@@ -1,0 +1,4 @@
+//! Regenerates one of the paper's evaluation artifacts; see DESIGN.md §6.
+fn main() {
+    print!("{}", legodb_bench::harness::fig13());
+}

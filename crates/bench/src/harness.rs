@@ -1,0 +1,462 @@
+//! Shared experiment machinery: the paper's storage configurations, query
+//! costing helpers, and markdown rendering. Each `fig*`/`tab*` function
+//! returns the experiment's report as markdown; the binaries print it and
+//! `all_experiments` assembles `EXPERIMENTS.md`.
+
+use legodb_core::cost::pschema_cost;
+use legodb_core::search::{greedy_search, SearchConfig, StartPoint};
+use legodb_core::transform::{apply, Transformation};
+use legodb_core::workload::Workload;
+use legodb_core::LegoDb;
+use legodb_imdb::queries::QUERIES;
+use legodb_imdb::stats::with_review_split;
+use legodb_imdb::{
+    fig5_queries, imdb_schema, lookup_workload, publish_workload, query, scaled_statistics,
+    workload_w1, workload_w2,
+};
+use legodb_optimizer::OptimizerConfig;
+use legodb_pschema::PSchema;
+use legodb_schema::TypeName;
+use legodb_xml::stats::Statistics;
+use legodb_xquery::XQuery;
+use std::fmt::Write as _;
+
+/// Statistics scale used by the experiments (full Appendix A numbers).
+pub const STATS_SCALE: f64 = 1.0;
+
+/// The engine over the IMDB application with an arbitrary workload.
+pub fn engine(workload: Workload) -> LegoDb {
+    LegoDb::new(imdb_schema(), scaled_statistics(STATS_SCALE), workload)
+}
+
+/// Storage Map 1 (Figure 4(a)): ALL-INLINED — unions to options, then
+/// maximal inlining.
+pub fn map_all_inlined() -> PSchema {
+    engine(Workload::new()).all_inlined_pschema()
+}
+
+/// Storage Map 2 (Figure 4(b)): ALL-INLINED with the review wildcard
+/// materialized into NYT vs other sources.
+pub fn map_wildcard_materialized() -> PSchema {
+    let base = map_all_inlined();
+    apply(
+        &base,
+        &Transformation::WildcardMaterialize {
+            wildcard_type: TypeName::new("Review"),
+            name: "nyt".into(),
+        },
+    )
+    .expect("review wildcard materializes")
+}
+
+/// Storage Map 3 (Figure 4(c)): the Show union distributed into
+/// Show_Part1 (movies) / Show_Part2 (TV).
+pub fn map_union_distributed() -> PSchema {
+    let e = engine(Workload::new());
+    let base = e.initial_pschema(StartPoint::MaximallyInlined);
+    apply(&base, &Transformation::UnionDistribute { in_type: TypeName::new("Show") })
+        .expect("show union distributes")
+}
+
+/// Unweighted cost of one query on a configuration.
+pub fn query_cost(pschema: &PSchema, stats: &Statistics, name: &str, q: &XQuery) -> f64 {
+    let mut w = Workload::new();
+    w.push(name, q.clone(), 1.0);
+    pschema_cost(pschema, stats, &w, &OptimizerConfig::default())
+        .map(|r| r.total)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Weighted workload cost of a configuration.
+pub fn workload_cost(pschema: &PSchema, stats: &Statistics, w: &Workload) -> f64 {
+    pschema_cost(pschema, stats, w, &OptimizerConfig::default())
+        .map(|r| r.total)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Render a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+fn fmt3(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+// ------------------------------------------------------------------ E1
+
+/// Figure 6 (§2): normalized estimated costs of the four Figure 5 queries
+/// and workloads W1/W2 across Storage Maps 1–3.
+pub fn fig06() -> String {
+    let stats = scaled_statistics(STATS_SCALE);
+    let maps = [
+        ("Map 1 (all-inlined)", map_all_inlined()),
+        ("Map 2 (wildcard split)", map_wildcard_materialized()),
+        ("Map 3 (union dist.)", map_union_distributed()),
+    ];
+    let queries = fig5_queries();
+    let mut rows = Vec::new();
+    let mut baseline: Vec<f64> = Vec::new();
+    for (qi, (name, q)) in queries.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (mi, (_, map)) in maps.iter().enumerate() {
+            let c = query_cost(map, &stats, name, q);
+            if mi == 0 {
+                baseline.push(c);
+            }
+            row.push(fmt3(c / baseline[qi]));
+        }
+        rows.push(row);
+    }
+    for (wname, w) in [("W1", workload_w1()), ("W2", workload_w2())] {
+        let mut row = vec![wname.to_string()];
+        let base = workload_cost(&maps[0].1, &stats, &w);
+        for (_, map) in &maps {
+            row.push(fmt3(workload_cost(map, &stats, &w) / base));
+        }
+        rows.push(row);
+    }
+    let mut out = String::from(
+        "## E1 — Figure 6: storage map comparison (costs normalized by Map 1)\n\n",
+    );
+    out.push_str(&md_table(&["Query", "Map 1 (Fig 4a)", "Map 2 (Fig 4b)", "Map 3 (Fig 4c)"], &rows));
+    out.push_str(
+        "\nPaper shape: Map 2 wins review-heavy queries (Q1/W1-style), Map 3 wins \
+         lookups and W2 (union distribution narrows Show), Map 1 never wins.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E2
+
+/// Figure 10 (§5.2): greedy-so vs greedy-si cost per iteration for the
+/// lookup and publish workloads.
+pub fn fig10() -> String {
+    let schema = imdb_schema();
+    let stats = scaled_statistics(STATS_SCALE);
+    let mut out = String::from("## E2 — Figure 10: greedy convergence per iteration\n\n");
+    for (wname, workload) in [("lookup", lookup_workload()), ("publish", publish_workload())] {
+        let mut rows = Vec::new();
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for start in [StartPoint::MaximallyOutlined, StartPoint::MaximallyInlined] {
+            let result = greedy_search(
+                &schema,
+                &stats,
+                &workload,
+                &SearchConfig { start, parallel: true, ..Default::default() },
+            )
+            .expect("search succeeds");
+            columns.push(result.trajectory.iter().map(|r| r.cost).collect());
+        }
+        let iterations = columns.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..iterations {
+            rows.push(vec![
+                i.to_string(),
+                columns[0].get(i).map(|&c| fmt3(c)).unwrap_or_else(|| "—".into()),
+                columns[1].get(i).map(|&c| fmt3(c)).unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        let _ = writeln!(out, "### {wname} workload\n");
+        out.push_str(&md_table(&["Iteration", "greedy-so", "greedy-si"], &rows));
+        out.push('\n');
+    }
+    out.push_str(
+        "Paper shape: greedy-so starts much higher (every element its own table, \
+         joins everywhere) and both strategies converge to similar final costs.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E3
+
+/// Figure 11 (§5.3): workload-sensitivity spectrum.
+pub fn fig11() -> String {
+    let schema = imdb_schema();
+    let stats = scaled_statistics(STATS_SCALE);
+    let lookup = lookup_workload();
+    let publish = publish_workload();
+    let grid: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+
+    // Tune configurations for k = 0.25, 0.50, 0.75.
+    let mut tuned = Vec::new();
+    for k in [0.25, 0.50, 0.75] {
+        let mix = lookup.mix(&publish, k);
+        let result = greedy_search(
+            &schema,
+            &stats,
+            &mix,
+            &SearchConfig { parallel: true, ..Default::default() },
+        )
+        .expect("search succeeds");
+        tuned.push((format!("C[{k:.2}]"), result.pschema));
+    }
+    tuned.push(("C[ALL-INLINED]".to_string(), map_all_inlined()));
+
+    let mut rows = Vec::new();
+    for &k in &grid {
+        let mix = lookup.mix(&publish, k);
+        let mut row = vec![format!("{k:.1}")];
+        for (_, config) in &tuned {
+            row.push(fmt3(workload_cost(config, &stats, &mix)));
+        }
+        // OPT: a fresh greedy search tuned for this k.
+        let opt = greedy_search(
+            &schema,
+            &stats,
+            &mix,
+            &SearchConfig { parallel: true, ..Default::default() },
+        )
+        .map(|r| r.cost)
+        .unwrap_or(f64::INFINITY);
+        row.push(fmt3(opt));
+        rows.push(row);
+    }
+    let mut out = String::from("## E3 — Figure 11: sensitivity to workload variation\n\n");
+    out.push_str("k = fraction of lookup queries in the mix; cells are workload costs.\n\n");
+    let headers: Vec<&str> =
+        ["k", "C[0.25]", "C[0.50]", "C[0.75]", "C[ALL-INLINED]", "OPT"].to_vec();
+    out.push_str(&md_table(&headers, &rows));
+    out.push_str(
+        "\nPaper shape: the tuned configurations hug OPT over wide regions and \
+         cross at a small angle; ALL-INLINED is a constant factor worse across \
+         the spectrum.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E4
+
+/// Figure 13 (§5.4): cost of the union-distributed configuration as a
+/// percentage of the all-inlined configuration.
+pub fn fig13() -> String {
+    let stats = scaled_statistics(STATS_SCALE);
+    let inlined = map_all_inlined();
+    let distributed = map_union_distributed();
+    let mut rows = Vec::new();
+    for name in ["Q4", "Q5", "Q6", "Q7", "Q13", "Q16", "Q19"] {
+        let q = query(name);
+        let a = query_cost(&inlined, &stats, name, &q);
+        let c = query_cost(&distributed, &stats, name, &q);
+        rows.push(vec![name.to_string(), format!("{:.0}%", 100.0 * c / a)]);
+    }
+    let mut out = String::from(
+        "## E4 — Figure 13: union distribution vs all-inlined (cost as % of all-inlined)\n\n",
+    );
+    out.push_str(&md_table(&["Query", "union-distributed / all-inlined"], &rows));
+    out.push_str(
+        "\nPaper shape: the union-transformed configuration is cheaper for every \
+         query — including Q6, which touches both movie and TV fields. \
+         Measured: confirmed for the selection queries (Q4–Q7, Q19, at 45–75%). \
+         Deviations: Q13 (the six-way acted-and-directed join) and Q16 \
+         (publish-all) come out more expensive under distribution in our model, \
+         because every part statement re-scans the shared Aka/Review child \
+         tables once per part — a consequence of compiling publishing into \
+         independent per-chain SQL statements.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E5
+
+/// Figure 14 (§5.4): all-inlined vs repetition-split while the number of
+/// akas grows.
+pub fn fig14() -> String {
+    let aka_lookup = Workload::from_sources([(
+        "aka-lookup",
+        r#"FOR $v IN document("imdbdata")/imdb/show, $a IN $v/aka
+           WHERE $v/title = c1
+           RETURN $a"#,
+        1.0,
+    )])
+    .expect("query parses");
+    let publish_shows = Workload::from_sources([(
+        "publish-shows",
+        r#"FOR $s IN document("imdbdata")/imdb/show RETURN $s"#,
+        1.0,
+    )])
+    .expect("query parses");
+
+    let mut out = String::from("## E5 — Figure 14: all-inlined vs repetition-split over #akas\n\n");
+    let mut rows = Vec::new();
+    for total_akas in [40_000u64, 80_000, 160_000, 320_000, 640_000] {
+        // The paper's original schema has aka{1,10} (repetition split
+        // needs min ≥ 1); annotate the repetition with the per-show
+        // average so the split's positional effect (one aka moves inline,
+        // the Aka table shrinks by one row per show) is countable.
+        let avg = total_akas as f64 / 34_798.0;
+        let schema_src = legodb_imdb::schema::IMDB_SCHEMA_SRC
+            .replace("Aka{0,10}", &format!("Aka{{1,20}}<#{avg:.3}>"));
+        let schema = legodb_schema::parse_schema(&schema_src).expect("variant schema parses");
+        let mut stats = scaled_statistics(STATS_SCALE);
+        stats.set_count(&["imdb", "show", "aka"], total_akas);
+        let e = LegoDb::new(schema.clone(), stats.clone(), Workload::new());
+        let inlined = e.all_inlined_pschema();
+        let split = apply(
+            &e.initial_pschema(StartPoint::MaximallyInlined),
+            &Transformation::RepetitionSplit {
+                in_type: TypeName::new("Show"),
+                target: TypeName::new("Aka"),
+            },
+        )
+        .expect("aka repetition splits");
+        // Flatten the remaining union so the comparison isolates the
+        // repetition change.
+        let split = apply(&split, &Transformation::UnionToOptions { in_type: TypeName::new("Show") })
+            .unwrap_or(split);
+        let price = |w: &Workload, p: &PSchema| workload_cost(p, &stats, w);
+        rows.push(vec![
+            total_akas.to_string(),
+            fmt3(price(&aka_lookup, &inlined)),
+            fmt3(price(&aka_lookup, &split)),
+            fmt3(price(&publish_shows, &inlined)),
+            fmt3(price(&publish_shows, &split)),
+        ]);
+    }
+    out.push_str(&md_table(
+        &["total akas", "lookup inlined", "lookup split", "publish inlined", "publish split"],
+        &rows,
+    ));
+    out.push_str(
+        "\nPaper shape: the split reduces the Aka table's size; the cost \
+         difference between the configurations shrinks as the total aka count \
+         grows. Measured: the *relative* gap indeed converges toward zero with \
+         scale, but in our model the split never wins outright — the split \
+         schema answers aka queries from two places (the inlined first \
+         occurrence and the residual table), and the extra union branch \
+         outweighs the smaller Aka table. Documented deviation.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E6
+
+/// Table 2 (§5.4): all-inlined vs wildcard-materialized for
+/// *find the NYT reviews of 1999 shows*, varying the NYT share.
+pub fn tab02() -> String {
+    let nyt_query = Workload::from_sources([(
+        "nyt-1999",
+        r#"FOR $v IN document("imdbdata")/imdb/show, $r IN $v/review
+           WHERE $v/year = 1999
+           RETURN $v/title, $r/nyt"#,
+        1.0,
+    )])
+    .expect("query parses");
+    let mut out = String::from(
+        "## E6 — Table 2: all-inlined vs wildcard-materialized (NYT review lookup)\n\n",
+    );
+    let mut rows = Vec::new();
+    for total in [10_000u64, 100_000] {
+        for pct in [0.5, 0.25, 0.125] {
+            let stats = with_review_split(scaled_statistics(STATS_SCALE), total, pct);
+            let e = LegoDb::new(imdb_schema(), stats.clone(), Workload::new());
+            let inlined = e.all_inlined_pschema();
+            let wild = apply(
+                &inlined,
+                &Transformation::WildcardMaterialize {
+                    wildcard_type: TypeName::new("Review"),
+                    name: "nyt".into(),
+                },
+            )
+            .expect("review wildcard materializes");
+            rows.push(vec![
+                total.to_string(),
+                format!("{:.1}%", pct * 100.0),
+                fmt3(workload_cost(&inlined, &stats, &nyt_query)),
+                fmt3(workload_cost(&wild, &stats, &nyt_query)),
+            ]);
+        }
+    }
+    out.push_str(&md_table(&["total reviews", "NYT share", "inlined", "wildcard split"], &rows));
+    out.push_str(
+        "\nPaper shape: the inlined cost is flat in the NYT share; the \
+         materialized cost shrinks proportionally to it, and the advantage grows \
+         with the total review count.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ E7
+
+/// Cost-model validation: optimizer estimates vs executor measurements on
+/// generated data (the analogue of the paper's ±10% SQL Server check,
+/// §5 preamble).
+pub fn validate_cost_model() -> String {
+    use legodb_imdb::{generate_imdb, ScaleConfig};
+    use legodb_pschema::{rel, shred};
+    use legodb_relational::exec::run;
+    use legodb_xquery::translate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let schema = imdb_schema();
+    let mut rng = StdRng::seed_from_u64(2002);
+    let config = ScaleConfig::at_scale(0.002);
+    let doc = generate_imdb(&mut rng, &config);
+    let measured_stats = Statistics::collect(&doc);
+    let e = LegoDb::new(schema, measured_stats.clone(), Workload::new());
+    let pschema = e.initial_pschema(StartPoint::MaximallyInlined);
+    let mapping = rel(&pschema, &measured_stats);
+    let db = shred(&mapping, &doc).expect("generated data shreds");
+
+    let mut out = String::from(
+        "## E7 — Cost-model validation: estimated vs executed\n\n\
+         Generated data at 1/500 scale; per-query estimated output rows and read \
+         pages vs the executor's observed counters.\n\n",
+    );
+    let mut rows = Vec::new();
+    for name in ["Q1", "Q3", "Q7", "Q16", "Q19"] {
+        let q = query(name);
+        let t = translate(&mapping, &q).expect("query translates");
+        let mut est_rows = 0.0;
+        let mut est_pages = 0.0;
+        let mut got_rows = 0u64;
+        let mut got_pages = 0.0;
+        for statement in &t.statements {
+            let opt = legodb_optimizer::optimize_statement(
+                &mapping.catalog,
+                statement,
+                &OptimizerConfig::default(),
+            )
+            .expect("statement optimizes");
+            est_rows += opt.rows;
+            est_pages += opt.cost.pages_read;
+            let (result, counters) = run(&db, &opt.plan).expect("plan executes");
+            got_rows += result.len() as u64;
+            got_pages += counters.pages_read;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{est_rows:.0}"),
+            got_rows.to_string(),
+            format!("{est_pages:.1}"),
+            format!("{got_pages:.1}"),
+        ]);
+    }
+    out.push_str(&md_table(
+        &["Query", "est. rows", "actual rows", "est. pages", "actual pages"],
+        &rows,
+    ));
+    out.push_str("\nEstimates should track measurements within a small factor.\n");
+    out
+}
+
+/// Every Appendix C query priced on the all-inlined configuration — a
+/// smoke check that the full workload costs end to end.
+pub fn full_workload_costs() -> String {
+    let stats = scaled_statistics(STATS_SCALE);
+    let inlined = map_all_inlined();
+    let mut rows = Vec::new();
+    for (name, _) in QUERIES {
+        let q = query(name);
+        rows.push(vec![name.to_string(), fmt3(query_cost(&inlined, &stats, name, &q))]);
+    }
+    let mut out = String::from("## Appendix — all twenty queries on ALL-INLINED\n\n");
+    out.push_str(&md_table(&["Query", "cost"], &rows));
+    out
+}

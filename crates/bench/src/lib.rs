@@ -1,0 +1,7 @@
+//! # legodb-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), shared helpers here, and Criterion benches for the
+//! machinery itself under `benches/`.
+
+pub mod harness;

@@ -1,0 +1,161 @@
+//! `GetPSchemaCost` (§4.2): price one physical schema against a workload.
+//!
+//! The pipeline per candidate: `rel(ps)` derives the relational catalog
+//! with translated statistics; each workload query is translated to SQL
+//! statements over that mapping; the cost-based optimizer prices each
+//! statement; the schema's cost is the weight-averaged sum.
+
+use crate::workload::Workload;
+use legodb_optimizer::{optimize_statement, OptimizerConfig, OptimizerError};
+use legodb_pschema::{rel, Mapping, PSchema};
+use legodb_xml::stats::Statistics;
+use legodb_xquery::{translate, TranslateError};
+use std::fmt;
+
+/// Costing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostError {
+    /// A query could not be translated against this mapping.
+    Translate {
+        /// Query name.
+        query: String,
+        /// Inner error.
+        error: TranslateError,
+    },
+    /// The optimizer rejected a translated statement.
+    Optimize {
+        /// Query name.
+        query: String,
+        /// Inner error.
+        error: OptimizerError,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::Translate { query, error } => {
+                write!(f, "translating {query}: {error}")
+            }
+            CostError::Optimize { query, error } => write!(f, "optimizing {query}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// The cost of one configuration.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Weighted total cost (the greedy search's objective).
+    pub total: f64,
+    /// Per-query `(name, unweighted cost)` pairs in workload order.
+    pub per_query: Vec<(String, f64)>,
+    /// The mapping that was priced (catalog, DDL, table mappings).
+    pub mapping: Mapping,
+}
+
+impl CostReport {
+    /// The unweighted cost of a query by name.
+    pub fn query_cost(&self, name: &str) -> Option<f64> {
+        self.per_query.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+    }
+}
+
+/// Price a p-schema against a workload. This is the paper's
+/// `GetPSchemaCost(pSchema, xWkld, xStats)`.
+pub fn pschema_cost(
+    pschema: &PSchema,
+    stats: &Statistics,
+    workload: &Workload,
+    config: &OptimizerConfig,
+) -> Result<CostReport, CostError> {
+    let mapping = rel(pschema, stats);
+    let mut total = 0.0;
+    let mut per_query = Vec::new();
+    for entry in workload.queries() {
+        let translated = translate(&mapping, &entry.query).map_err(|error| {
+            CostError::Translate { query: entry.name.clone(), error }
+        })?;
+        let mut query_cost = 0.0;
+        for statement in &translated.statements {
+            let optimized = optimize_statement(&mapping.catalog, statement, config)
+                .map_err(|error| CostError::Optimize { query: entry.name.clone(), error })?;
+            query_cost += optimized.total;
+        }
+        per_query.push((entry.name.clone(), query_cost));
+        total += entry.weight * query_cost;
+    }
+    Ok(CostReport { total, per_query, mapping })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_pschema::PSchema;
+    use legodb_schema::parse_schema;
+
+    fn setup() -> (PSchema, Statistics, Workload) {
+        let schema = parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ title[ String ], year[ Integer ], Aka{0,*} ]
+             type Aka = aka[ String ]",
+        )
+        .unwrap();
+        let pschema = PSchema::try_new(schema).unwrap();
+        let mut stats = Statistics::new();
+        stats
+            .set_count(&["imdb"], 1)
+            .set_count(&["imdb", "show"], 10000)
+            .set_size(&["imdb", "show", "title"], 50.0)
+            .set_distinct(&["imdb", "show", "title"], 10000)
+            .set_count(&["imdb", "show", "year"], 10000)
+            .set_base(&["imdb", "show", "year"], 1900, 2000, 100)
+            .set_count(&["imdb", "show", "aka"], 30000)
+            .set_size(&["imdb", "show", "aka"], 40.0);
+        let workload = Workload::from_sources([
+            (
+                "lookup",
+                r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
+                0.5,
+            ),
+            ("publish", r#"FOR $v IN document("x")/imdb/show RETURN $v"#, 0.5),
+        ])
+        .unwrap();
+        (pschema, stats, workload)
+    }
+
+    #[test]
+    fn produces_positive_costs_per_query() {
+        let (p, s, w) = setup();
+        let report = pschema_cost(&p, &s, &w, &OptimizerConfig::default()).unwrap();
+        assert!(report.total > 0.0);
+        assert_eq!(report.per_query.len(), 2);
+        assert!(report.query_cost("lookup").unwrap() > 0.0);
+        assert!(report.query_cost("publish").unwrap() > 0.0);
+        // Publishing everything costs more than one lookup.
+        assert!(report.query_cost("publish").unwrap() > report.query_cost("lookup").unwrap());
+    }
+
+    #[test]
+    fn weights_scale_the_total() {
+        let (p, s, w) = setup();
+        let cfg = OptimizerConfig::default();
+        let base = pschema_cost(&p, &s, &w, &cfg).unwrap();
+        let double = pschema_cost(&p, &s, &w.scaled(2.0), &cfg).unwrap();
+        assert!((double.total - 2.0 * base.total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unresolvable_query_reports_translate_error() {
+        let (p, s, _) = setup();
+        let w = Workload::from_sources([(
+            "bad",
+            r#"FOR $v IN document("x")/nothing RETURN $v"#,
+            1.0,
+        )])
+        .unwrap();
+        let err = pschema_cost(&p, &s, &w, &OptimizerConfig::default()).unwrap_err();
+        assert!(matches!(err, CostError::Translate { .. }));
+    }
+}

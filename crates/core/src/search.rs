@@ -1,0 +1,339 @@
+//! The greedy search of Algorithm 4.1: iteratively apply the single
+//! transformation that lowers workload cost the most, until no candidate
+//! improves. Candidate evaluation is independent per candidate and runs on
+//! scoped threads.
+
+use crate::cost::{pschema_cost, CostError, CostReport};
+use crate::transform::{apply, enumerate_candidates, Transformation, TransformationSet};
+use crate::workload::Workload;
+use legodb_optimizer::OptimizerConfig;
+use legodb_pschema::{derive_pschema, InlineStyle, PSchema};
+use legodb_schema::Schema;
+use legodb_xml::stats::Statistics;
+
+/// Which end of the inline spectrum the search starts from (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartPoint {
+    /// *greedy-si*: everything inlined, search explores outlining.
+    #[default]
+    MaximallyInlined,
+    /// *greedy-so*: everything outlined, search explores inlining.
+    MaximallyOutlined,
+}
+
+/// Search knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfig {
+    /// Starting configuration.
+    pub start: StartPoint,
+    /// Allowed transformation kinds. When `None`, matches the paper's
+    /// prototype: inline moves from an outlined start, outline moves from
+    /// an inlined start.
+    pub transformations: Option<TransformationSet>,
+    /// Optimizer settings used by `GetPSchemaCost`.
+    pub optimizer: OptimizerConfig,
+    /// Safety cap on greedy iterations (0 = unlimited).
+    pub max_iterations: usize,
+    /// Evaluate candidates on scoped threads.
+    pub parallel: bool,
+    /// Stop when the relative improvement of an iteration falls below this
+    /// threshold (the paper suggests this optimization; 0.0 disables it).
+    pub improvement_threshold: f64,
+}
+
+impl SearchConfig {
+    fn transformation_set(&self) -> TransformationSet {
+        match &self.transformations {
+            Some(set) => set.clone(),
+            None => match self.start {
+                StartPoint::MaximallyInlined => TransformationSet::outline_only(),
+                StartPoint::MaximallyOutlined => TransformationSet::inline_only(),
+            },
+        }
+    }
+}
+
+/// One greedy iteration's record, for the Figure 10 style convergence
+/// plots.
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// Iteration number (0 = the initial configuration).
+    pub iteration: usize,
+    /// Cost after this iteration.
+    pub cost: f64,
+    /// Number of candidates evaluated.
+    pub candidates: usize,
+    /// The transformation applied (`None` for the initial configuration).
+    pub applied: Option<String>,
+}
+
+/// The search outcome.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The selected physical schema.
+    pub pschema: PSchema,
+    /// Its workload cost.
+    pub cost: f64,
+    /// Full cost report (per-query costs, catalog, DDL).
+    pub report: CostReport,
+    /// Per-iteration trajectory (index 0 is the starting configuration).
+    pub trajectory: Vec<IterationReport>,
+}
+
+/// Run Algorithm 4.1 from an arbitrary source schema.
+pub fn greedy_search(
+    schema: &Schema,
+    stats: &Statistics,
+    workload: &Workload,
+    config: &SearchConfig,
+) -> Result<SearchResult, CostError> {
+    let start = match config.start {
+        StartPoint::MaximallyInlined => derive_pschema(schema, InlineStyle::Inlined),
+        StartPoint::MaximallyOutlined => derive_pschema(schema, InlineStyle::Outlined),
+    };
+    greedy_search_from(start, stats, workload, config)
+}
+
+/// Run Algorithm 4.1 from a specific initial p-schema.
+pub fn greedy_search_from(
+    initial: PSchema,
+    stats: &Statistics,
+    workload: &Workload,
+    config: &SearchConfig,
+) -> Result<SearchResult, CostError> {
+    let set = config.transformation_set();
+    let mut current = initial;
+    let mut report = pschema_cost(&current, stats, workload, &config.optimizer)?;
+    let mut cost = report.total;
+    let mut trajectory =
+        vec![IterationReport { iteration: 0, cost, candidates: 0, applied: None }];
+
+    let mut iteration = 0;
+    loop {
+        iteration += 1;
+        if config.max_iterations != 0 && iteration > config.max_iterations {
+            break;
+        }
+        let candidates = enumerate_candidates(&current, &set);
+        let evaluated = evaluate_candidates(&current, &candidates, stats, workload, config);
+        let best = evaluated
+            .into_iter()
+            .min_by(|a, b| a.2.total.partial_cmp(&b.2.total).expect("finite costs"));
+        let Some((t, pschema, new_report)) = best else { break };
+        if new_report.total >= cost {
+            break;
+        }
+        let improvement = (cost - new_report.total) / cost.max(f64::MIN_POSITIVE);
+        current = pschema;
+        cost = new_report.total;
+        report = new_report;
+        trajectory.push(IterationReport {
+            iteration,
+            cost,
+            candidates: candidates.len(),
+            applied: Some(t.to_string()),
+        });
+        if config.improvement_threshold > 0.0 && improvement < config.improvement_threshold {
+            break;
+        }
+    }
+
+    Ok(SearchResult { pschema: current, cost, report, trajectory })
+}
+
+/// Evaluate all candidates, optionally in parallel. Candidates whose
+/// application or costing fails are dropped (a candidate that cannot be
+/// priced cannot be chosen).
+fn evaluate_candidates(
+    current: &PSchema,
+    candidates: &[Transformation],
+    stats: &Statistics,
+    workload: &Workload,
+    config: &SearchConfig,
+) -> Vec<(Transformation, PSchema, CostReport)> {
+    let evaluate_one = |t: &Transformation| -> Option<(Transformation, PSchema, CostReport)> {
+        let pschema = apply(current, t).ok()?;
+        let report = pschema_cost(&pschema, stats, workload, &config.optimizer).ok()?;
+        Some((t.clone(), pschema, report))
+    };
+    if !config.parallel || candidates.len() < 2 {
+        return candidates.iter().filter_map(evaluate_one).collect();
+    }
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let chunk = candidates.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().filter_map(evaluate_one).collect::<Vec<_>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("candidate evaluation panicked")).collect()
+    })
+    .expect("scoped threads")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_schema::parse_schema;
+
+    fn schema() -> Schema {
+        parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ title[ String ], year[ Integer ],
+                                description[ String ], Aka{0,*} ]
+             type Aka = aka[ String ]",
+        )
+        .unwrap()
+    }
+
+    fn stats() -> Statistics {
+        let mut s = Statistics::new();
+        s.set_count(&["imdb"], 1)
+            .set_count(&["imdb", "show"], 20000)
+            .set_size(&["imdb", "show", "title"], 50.0)
+            .set_distinct(&["imdb", "show", "title"], 20000)
+            .set_count(&["imdb", "show", "year"], 20000)
+            .set_base(&["imdb", "show", "year"], 1900, 2000, 100)
+            .set_count(&["imdb", "show", "description"], 20000)
+            .set_size(&["imdb", "show", "description"], 2000.0)
+            .set_count(&["imdb", "show", "aka"], 60000)
+            .set_size(&["imdb", "show", "aka"], 40.0);
+        s
+    }
+
+    fn lookup_workload() -> Workload {
+        Workload::from_sources([(
+            "lookup",
+            r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
+            1.0,
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn search_monotonically_improves() {
+        let result = greedy_search(
+            &schema(),
+            &stats(),
+            &lookup_workload(),
+            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+        )
+        .unwrap();
+        let costs: Vec<f64> = result.trajectory.iter().map(|r| r.cost).collect();
+        assert!(costs.windows(2).all(|w| w[1] <= w[0]), "{costs:?}");
+        assert_eq!(result.cost, *costs.last().unwrap());
+    }
+
+    #[test]
+    fn lookup_workload_fragments_the_fat_table() {
+        // Show carries a 2 KB description and is only ever probed by
+        // title: the search should fragment it (outline the filter column
+        // for a narrow selection scan, or the fat description) — paper §2:
+        // "the large Description element need not be inlined unless it is
+        // frequently queried".
+        let result = greedy_search(
+            &schema(),
+            &stats(),
+            &lookup_workload(),
+            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+        )
+        .unwrap();
+        assert!(result.trajectory.len() >= 2, "expected at least one outline move");
+        assert!(
+            result.pschema.schema().len() > 3,
+            "expected new outlined types:\n{}",
+            result.pschema.schema()
+        );
+        let initial = result.trajectory[0].cost;
+        assert!(result.cost < 0.5 * initial, "cost {initial} -> {} too small a win", result.cost);
+    }
+
+    #[test]
+    fn publish_workload_keeps_narrow_columns_inline() {
+        // With only narrow columns there is nothing to gain from
+        // fragmentation: publishing pays a join per extra table.
+        let mut narrow_stats = stats();
+        narrow_stats.set_size(&["imdb", "show", "description"], 20.0);
+        let publish = Workload::from_sources([(
+            "publish",
+            r#"FOR $v IN document("x")/imdb/show RETURN $v"#,
+            1.0,
+        )])
+        .unwrap();
+        let result = greedy_search(
+            &schema(),
+            &narrow_stats,
+            &publish,
+            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            result.trajectory.len(),
+            1,
+            "publish over narrow columns should stay fully inlined:\n{}",
+            result.pschema.schema()
+        );
+    }
+
+    #[test]
+    fn both_starts_converge_to_similar_costs() {
+        let w = lookup_workload();
+        let si = greedy_search(
+            &schema(),
+            &stats(),
+            &w,
+            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+        )
+        .unwrap();
+        let so = greedy_search(
+            &schema(),
+            &stats(),
+            &w,
+            &SearchConfig { start: StartPoint::MaximallyOutlined, ..Default::default() },
+        )
+        .unwrap();
+        let ratio = si.cost / so.cost;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "si={} so={} should converge to similar costs",
+            si.cost,
+            so.cost
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let w = lookup_workload();
+        let seq = greedy_search(
+            &schema(),
+            &stats(),
+            &w,
+            &SearchConfig { parallel: false, ..Default::default() },
+        )
+        .unwrap();
+        let par = greedy_search(
+            &schema(),
+            &stats(),
+            &w,
+            &SearchConfig { parallel: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!((seq.cost - par.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_iterations_caps_the_search() {
+        let result = greedy_search(
+            &schema(),
+            &stats(),
+            &lookup_workload(),
+            &SearchConfig {
+                start: StartPoint::MaximallyOutlined,
+                max_iterations: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(result.trajectory.len() <= 2);
+    }
+}

@@ -1,0 +1,925 @@
+//! The schema transformations of §4.1. Each rewriting takes a valid
+//! p-schema and returns a new valid p-schema that validates the same set
+//! of documents (except [`Transformation::UnionToOptions`], which widens
+//! the language — the paper flags the same caveat for [19]'s heuristic).
+//!
+//! Transformations are *first enumerated* over a p-schema (yielding the
+//! candidate moves of one greedy iteration) and *then applied*; both steps
+//! are pure.
+
+use legodb_pschema::{PSchema, StratifyError};
+use legodb_schema::{NameTest, Schema, Type, TypeName};
+use std::fmt;
+
+/// One schema rewriting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transformation {
+    /// Replace the single reference to a type with its definition,
+    /// removing the type (a table disappears; its columns move into the
+    /// parent's table).
+    Inline(TypeName),
+    /// Hoist the nested element at `rel` (element-name steps from the
+    /// type's top element) into a fresh named type (a new table).
+    Outline {
+        /// The type containing the element.
+        in_type: TypeName,
+        /// Element-name path to the element to hoist.
+        rel: Vec<String>,
+    },
+    /// Distribute a union over its containing element:
+    /// `show[c, (Movie | TV)]` ⇒ `Show_Part1 | Show_Part2` with the common
+    /// content duplicated into each part (the paper's two union laws
+    /// composed, Figure 4(c)). Horizontal partitioning.
+    UnionDistribute {
+        /// The element type whose content holds the union.
+        in_type: TypeName,
+    },
+    /// `T{m,n}` with `m ≥ 1` ⇒ first occurrence inlined as columns,
+    /// remainder `T{m-1,n-1}` (the `a+ == a, a*` law).
+    RepetitionSplit {
+        /// The type whose definition holds the repetition.
+        in_type: TypeName,
+        /// The repeated type.
+        target: TypeName,
+    },
+    /// Split a wildcard type `~[t]` into a materialized name plus the
+    /// remainder: `(nyt[t] | ~!nyt[t])`. Horizontal partitioning by tag.
+    WildcardMaterialize {
+        /// The wildcard type to split.
+        wildcard_type: TypeName,
+        /// The tag name to materialize.
+        name: String,
+    },
+    /// Replace a union of group types with a sequence of optional groups:
+    /// `(Movie | TV)` ⇒ `(box_office, video_sales)?, (seasons, ...)?`.
+    /// Widens the document language (`t1|t2 ⊂ t1?,t2?`); inlines union
+    /// members as nullable columns ([19]'s treatment).
+    UnionToOptions {
+        /// The type whose definition holds the union.
+        in_type: TypeName,
+    },
+}
+
+impl fmt::Display for Transformation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transformation::Inline(t) => write!(f, "inline({t})"),
+            Transformation::Outline { in_type, rel } => {
+                write!(f, "outline({in_type}/{})", rel.join("/"))
+            }
+            Transformation::UnionDistribute { in_type } => write!(f, "union-dist({in_type})"),
+            Transformation::RepetitionSplit { in_type, target } => {
+                write!(f, "rep-split({in_type}, {target})")
+            }
+            Transformation::WildcardMaterialize { wildcard_type, name } => {
+                write!(f, "wildcard({wildcard_type}, {name})")
+            }
+            Transformation::UnionToOptions { in_type } => write!(f, "union-to-opts({in_type})"),
+        }
+    }
+}
+
+/// Why a transformation cannot be applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The named type does not exist.
+    UnknownType(TypeName),
+    /// Inline preconditions violated (shared, recursive, or in the named
+    /// layer).
+    NotInlinable(TypeName, &'static str),
+    /// No matching site for the transformation.
+    NoSite(String),
+    /// The rewriting produced a non-stratified schema (a bug).
+    Stratify(StratifyError),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::UnknownType(t) => write!(f, "unknown type {t}"),
+            TransformError::NotInlinable(t, why) => write!(f, "cannot inline {t}: {why}"),
+            TransformError::NoSite(what) => write!(f, "no site for {what}"),
+            TransformError::Stratify(e) => write!(f, "transformation broke stratification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<StratifyError> for TransformError {
+    fn from(e: StratifyError) -> Self {
+        TransformError::Stratify(e)
+    }
+}
+
+/// Which transformation kinds the search may use.
+#[derive(Debug, Clone, Default)]
+pub struct TransformationSet {
+    /// Allow inlining.
+    pub inline: bool,
+    /// Allow outlining.
+    pub outline: bool,
+    /// Allow union distribution.
+    pub union_distribute: bool,
+    /// Allow repetition splitting.
+    pub repetition_split: bool,
+    /// Wildcard tags that may be materialized (empty = never).
+    pub wildcard_names: Vec<String>,
+    /// Allow union-to-options.
+    pub union_to_options: bool,
+}
+
+impl TransformationSet {
+    /// Only inline moves — the paper's prototype greedy-si setting.
+    pub fn inline_only() -> Self {
+        TransformationSet { inline: true, ..Default::default() }
+    }
+
+    /// Only outline moves — the greedy-so setting.
+    pub fn outline_only() -> Self {
+        TransformationSet { outline: true, ..Default::default() }
+    }
+
+    /// Inline + outline (a richer greedy).
+    pub fn inline_outline() -> Self {
+        TransformationSet { inline: true, outline: true, ..Default::default() }
+    }
+
+    /// Everything, with the given wildcard hints.
+    pub fn all(wildcard_names: Vec<String>) -> Self {
+        TransformationSet {
+            inline: true,
+            outline: true,
+            union_distribute: true,
+            repetition_split: true,
+            wildcard_names,
+            union_to_options: true,
+        }
+    }
+}
+
+/// Enumerate every applicable transformation on `pschema` from the allowed
+/// set, in deterministic order.
+pub fn enumerate_candidates(pschema: &PSchema, set: &TransformationSet) -> Vec<Transformation> {
+    let schema = pschema.schema();
+    let mut out = Vec::new();
+    for (name, def) in schema.iter() {
+        if set.inline && inlinable(schema, name).is_ok() {
+            out.push(Transformation::Inline(name.clone()));
+        }
+        if set.outline {
+            for rel in outline_sites(def) {
+                out.push(Transformation::Outline { in_type: name.clone(), rel });
+            }
+        }
+        if set.union_distribute && union_site(def).is_some() && !schema.is_recursive(name) {
+            out.push(Transformation::UnionDistribute { in_type: name.clone() });
+        }
+        if set.repetition_split {
+            for target in rep_split_sites(def) {
+                out.push(Transformation::RepetitionSplit { in_type: name.clone(), target });
+            }
+        }
+        if !set.wildcard_names.is_empty() {
+            // A wildcard-shaped definition — or a definition *containing*
+            // an inline wildcard element (which is outlined on the fly).
+            let admitting = |nt: &NameTest, tag: &str| nt.is_wildcard() && nt.matches(tag);
+            let mut has_wildcard: Vec<&str> = Vec::new();
+            match def {
+                Type::Element { name: nt, .. } if nt.is_wildcard() => {
+                    for tag in &set.wildcard_names {
+                        if admitting(nt, tag) {
+                            has_wildcard.push(tag);
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(nt) = find_inline_wildcard(def) {
+                        for tag in &set.wildcard_names {
+                            if admitting(nt, tag) {
+                                has_wildcard.push(tag);
+                            }
+                        }
+                    }
+                }
+            }
+            for tag in has_wildcard {
+                out.push(Transformation::WildcardMaterialize {
+                    wildcard_type: name.clone(),
+                    name: tag.to_string(),
+                });
+            }
+        }
+        if set.union_to_options && union_to_options_applicable(schema, def) {
+            out.push(Transformation::UnionToOptions { in_type: name.clone() });
+        }
+    }
+    out
+}
+
+/// Apply one transformation, returning the rewritten p-schema.
+pub fn apply(pschema: &PSchema, t: &Transformation) -> Result<PSchema, TransformError> {
+    let schema = pschema.schema().clone();
+    let rewritten = match t {
+        Transformation::Inline(name) => apply_inline(schema, name)?,
+        Transformation::Outline { in_type, rel } => apply_outline(schema, in_type, rel)?,
+        Transformation::UnionDistribute { in_type } => apply_union_distribute(schema, in_type)?,
+        Transformation::RepetitionSplit { in_type, target } => {
+            apply_rep_split(schema, in_type, target)?
+        }
+        Transformation::WildcardMaterialize { wildcard_type, name } => {
+            apply_wildcard(schema, wildcard_type, name)?
+        }
+        Transformation::UnionToOptions { in_type } => apply_union_to_options(schema, in_type)?,
+    };
+    Ok(PSchema::try_new(rewritten)?)
+}
+
+// ---------------------------------------------------------------- inline
+
+/// Check the paper's inlining preconditions.
+fn inlinable(schema: &Schema, name: &TypeName) -> Result<(), TransformError> {
+    if name == schema.root() {
+        return Err(TransformError::NotInlinable(name.clone(), "root type"));
+    }
+    if schema.reference_count(name) != 1 {
+        return Err(TransformError::NotInlinable(name.clone(), "shared type"));
+    }
+    if schema.is_recursive(name) {
+        return Err(TransformError::NotInlinable(name.clone(), "recursive type"));
+    }
+    // The single reference must sit in the column world (not inside a
+    // multi-valued repetition or union).
+    let parents = schema.parents_of(name);
+    let parent = parents.first().ok_or_else(|| {
+        TransformError::NotInlinable(name.clone(), "unreachable type")
+    })?;
+    let parent_def = schema.get(parent).expect("parents are defined");
+    if ref_in_named_layer(parent_def, name) {
+        return Err(TransformError::NotInlinable(name.clone(), "multi-valued or union member"));
+    }
+    Ok(())
+}
+
+/// Is any reference to `name` inside a multi-valued repetition or union?
+fn ref_in_named_layer(ty: &Type, name: &TypeName) -> bool {
+    fn walk(ty: &Type, name: &TypeName, in_named: bool) -> bool {
+        match ty {
+            Type::Ref(n) => in_named && n == name,
+            Type::Element { content, .. } => walk(content, name, false),
+            Type::Attribute { .. } | Type::Scalar { .. } | Type::Empty => false,
+            Type::Seq(items) => items.iter().any(|t| walk(t, name, in_named)),
+            Type::Choice(items) => items.iter().any(|t| walk(t, name, true)),
+            Type::Rep { inner, occurs, .. } => {
+                walk(inner, name, in_named || occurs.multi_valued())
+            }
+        }
+    }
+    walk(ty, name, false)
+}
+
+fn apply_inline(mut schema: Schema, name: &TypeName) -> Result<Schema, TransformError> {
+    inlinable(&schema, name)?;
+    let def = schema.get(name).cloned().ok_or_else(|| TransformError::UnknownType(name.clone()))?;
+    let parent = schema.parents_of(name).pop().expect("checked by inlinable");
+    let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+    let replaced = parent_def.map(&mut |t| match t {
+        Type::Ref(n) if &n == name => def.clone(),
+        other => other,
+    });
+    schema.set(parent, replaced);
+    schema.remove(name);
+    schema.garbage_collect();
+    Ok(schema)
+}
+
+// --------------------------------------------------------------- outline
+
+/// Element-name paths of nested elements eligible for outlining: elements
+/// in the column world of the definition (below the top element).
+fn outline_sites(def: &Type) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let content = match def {
+        Type::Element { content, .. } => content,
+        other => other,
+    };
+    collect_outline_sites(content, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect_outline_sites(ty: &Type, prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
+    match ty {
+        Type::Element { name: NameTest::Name(n), content } => {
+            prefix.push(n.clone());
+            out.push(prefix.clone());
+            collect_outline_sites(content, prefix, out);
+            prefix.pop();
+        }
+        Type::Seq(items) => items.iter().for_each(|t| collect_outline_sites(t, prefix, out)),
+        Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => {
+            collect_outline_sites(inner, prefix, out)
+        }
+        _ => {}
+    }
+}
+
+fn apply_outline(mut schema: Schema, in_type: &TypeName, rel: &[String]) -> Result<Schema, TransformError> {
+    let def = schema
+        .get(in_type)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
+    let stem = rel
+        .last()
+        .map(|s| capitalize(s))
+        .ok_or_else(|| TransformError::NoSite("outline with empty path".into()))?;
+    let fresh = schema.fresh_name(&stem);
+    let mut extracted: Option<Type> = None;
+    // Sites are paths inside the definition's *content* (the top element
+    // itself stays — it names the type's table).
+    let rewritten = match def {
+        Type::Element { name, content } => {
+            let inner = outline_at(*content, rel, &fresh, &mut extracted);
+            Type::Element { name, content: Box::new(inner) }
+        }
+        other => outline_at(other, rel, &fresh, &mut extracted),
+    };
+    let element = extracted.ok_or_else(|| {
+        TransformError::NoSite(format!("outline {in_type}/{}", rel.join("/")))
+    })?;
+    schema.set(fresh, element);
+    schema.set(in_type.clone(), rewritten);
+    Ok(schema)
+}
+
+/// Replace the element at `rel` with a `Ref` to `fresh`, capturing it.
+fn outline_at(ty: Type, rel: &[String], fresh: &TypeName, extracted: &mut Option<Type>) -> Type {
+    if rel.is_empty() || extracted.is_some() {
+        return ty;
+    }
+    match ty {
+        Type::Element { name, content } => {
+            let matches = name.literal() == Some(rel[0].as_str());
+            if matches && rel.len() == 1 {
+                *extracted = Some(Type::Element { name, content });
+                return Type::Ref(fresh.clone());
+            }
+            if matches {
+                let inner = outline_at(*content, &rel[1..], fresh, extracted);
+                return Type::Element { name, content: Box::new(inner) };
+            }
+            Type::Element { name, content }
+        }
+        Type::Seq(items) => Type::seq(
+            items.into_iter().map(|t| outline_at(t, rel, fresh, extracted)),
+        ),
+        Type::Rep { inner, occurs, avg_count } if !occurs.multi_valued() => {
+            Type::rep_with_count(outline_at(*inner, rel, fresh, extracted), occurs, avg_count)
+        }
+        other => other,
+    }
+}
+
+// ------------------------------------------------------ union distribute
+
+/// Find a top-level (column-world) union of type refs in a definition's
+/// content; returns the path context needed to rebuild.
+fn union_site(def: &Type) -> Option<Vec<TypeName>> {
+    let content = match def {
+        Type::Element { content, .. } => content.as_ref(),
+        _ => return None, // distribution needs an element to distribute over
+    };
+    fn find(ty: &Type) -> Option<Vec<TypeName>> {
+        match ty {
+            Type::Choice(items) => {
+                let mut names = Vec::new();
+                for item in items {
+                    match item {
+                        Type::Ref(n) => names.push(n.clone()),
+                        _ => return None,
+                    }
+                }
+                Some(names)
+            }
+            Type::Seq(items) => items.iter().find_map(find),
+            _ => None,
+        }
+    }
+    find(content)
+}
+
+fn apply_union_distribute(mut schema: Schema, in_type: &TypeName) -> Result<Schema, TransformError> {
+    let def = schema
+        .get(in_type)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
+    let alternatives =
+        union_site(&def).ok_or_else(|| TransformError::NoSite(format!("union in {in_type}")))?;
+    let Type::Element { name: elem_name, content } = def else {
+        return Err(TransformError::NoSite(format!("element around union in {in_type}")));
+    };
+
+    // Build one part per alternative: the element with the union replaced
+    // by that alternative's definition (inlined when it is unshared).
+    let mut part_refs = Vec::new();
+    for alt in &alternatives {
+        let part_name = schema.fresh_name(&format!("{in_type}_Part"));
+        let alt_def = schema.get(alt).cloned().ok_or_else(|| TransformError::UnknownType(alt.clone()))?;
+        let shared = schema.reference_count(alt) > 1;
+        let part_content = content.clone().map(&mut |t| match t {
+            Type::Choice(items)
+                if items.iter().all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
+            {
+                if shared {
+                    Type::Ref(alt.clone())
+                } else {
+                    alt_def.clone()
+                }
+            }
+            other => other,
+        });
+        schema.set(
+            part_name.clone(),
+            Type::Element { name: elem_name.clone(), content: Box::new(part_content) },
+        );
+        part_refs.push(Type::Ref(part_name));
+    }
+
+    // Replace every reference to the original type with the union of parts.
+    let parents = schema.parents_of(in_type);
+    for parent in parents {
+        if schema.get(in_type).map(|_| ()).is_none() {
+            break;
+        }
+        let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+        let replaced = parent_def.map(&mut |t| match t {
+            Type::Ref(n) if &n == in_type => Type::choice(part_refs.clone()),
+            other => other,
+        });
+        schema.set(parent, replaced);
+    }
+    if in_type != schema.root() {
+        schema.remove(in_type);
+    }
+    schema.garbage_collect();
+    Ok(schema)
+}
+
+// ------------------------------------------------------- repetition split
+
+/// Repetitions `T{m,n}` with `m ≥ 1` whose target is an unshared
+/// element-shaped type (so one occurrence can be inlined as columns).
+fn rep_split_sites(def: &Type) -> Vec<TypeName> {
+    let mut out = Vec::new();
+    def.visit(&mut |t| {
+        if let Type::Rep { inner, occurs, .. } = t {
+            if occurs.min >= 1 && occurs.multi_valued() {
+                if let Type::Ref(n) = inner.as_ref() {
+                    out.push(n.clone());
+                }
+            }
+        }
+    });
+    out
+}
+
+fn apply_rep_split(mut schema: Schema, in_type: &TypeName, target: &TypeName) -> Result<Schema, TransformError> {
+    let target_def = schema
+        .get(target)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(target.clone()))?;
+    if !matches!(target_def, Type::Element { .. }) {
+        return Err(TransformError::NoSite(format!("rep-split target {target} is not an element")));
+    }
+    let def = schema
+        .get(in_type)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
+    let mut applied = false;
+    let rewritten = def.map(&mut |t| match t {
+        Type::Rep { inner, occurs, avg_count }
+            if !applied
+                && occurs.min >= 1
+                && occurs.multi_valued()
+                && matches!(inner.as_ref(), Type::Ref(n) if n == target) =>
+        {
+            applied = true;
+            let rest = Type::rep_with_count(
+                (*inner).clone(),
+                legodb_schema::Occurs::new(occurs.min - 1, occurs.max.map(|m| m - 1)),
+                avg_count.map(|c| (c - 1.0).max(0.0)),
+            );
+            Type::seq([target_def.clone(), rest])
+        }
+        other => other,
+    });
+    if !applied {
+        return Err(TransformError::NoSite(format!("T{{m≥1,n}} of {target} in {in_type}")));
+    }
+    schema.set(in_type.clone(), rewritten);
+    schema.garbage_collect();
+    Ok(schema)
+}
+
+// ------------------------------------------------------------- wildcards
+
+/// The name test of the first inline wildcard element in a definition's
+/// column world (below the top element), if any.
+fn find_inline_wildcard(def: &Type) -> Option<&NameTest> {
+    let content = match def {
+        Type::Element { content, .. } => content.as_ref(),
+        other => other,
+    };
+    fn find(ty: &Type) -> Option<&NameTest> {
+        match ty {
+            Type::Element { name, .. } if name.is_wildcard() => Some(name),
+            Type::Seq(items) => items.iter().find_map(find),
+            Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => find(inner),
+            _ => None,
+        }
+    }
+    find(content)
+}
+
+fn apply_wildcard(mut schema: Schema, wildcard_type: &TypeName, tag: &str) -> Result<Schema, TransformError> {
+    let def = schema
+        .get(wildcard_type)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(wildcard_type.clone()))?;
+    // A definition containing an *inline* wildcard (e.g. the paper's
+    // `review[ ~[String] ]`): outline the wildcard into its own type
+    // first, then split that type.
+    if !matches!(&def, Type::Element { name, .. } if name.is_wildcard()) {
+        if find_inline_wildcard(&def).is_none() {
+            return Err(TransformError::NoSite(format!(
+                "{wildcard_type} has no wildcard to materialize"
+            )));
+        }
+        let fresh = schema.fresh_name(&format!("Any{wildcard_type}"));
+        let mut extracted: Option<Type> = None;
+        let rewritten = match def {
+            Type::Element { name, content } => {
+                let inner = outline_wildcard_at(*content, &fresh, &mut extracted);
+                Type::Element { name, content: Box::new(inner) }
+            }
+            other => outline_wildcard_at(other, &fresh, &mut extracted),
+        };
+        let element = extracted.expect("find_inline_wildcard found one");
+        schema.set(fresh.clone(), element);
+        schema.set(wildcard_type.clone(), rewritten);
+        return apply_wildcard(schema, &fresh, tag);
+    }
+    let Type::Element { name, content } = def else {
+        unreachable!("checked above");
+    };
+    let excluded = match &name {
+        NameTest::Any => vec![tag.to_string()],
+        NameTest::AnyExcept(ex) if name.matches(tag) => {
+            let mut ex = ex.clone();
+            ex.push(tag.to_string());
+            ex
+        }
+        _ => {
+            return Err(TransformError::NoSite(format!(
+                "{wildcard_type} does not admit tag {tag}"
+            )))
+        }
+    };
+    let named = schema.fresh_name(&capitalize(tag));
+    let rest = schema.fresh_name(&format!("Other{wildcard_type}"));
+    schema.set(
+        named.clone(),
+        Type::Element { name: NameTest::Name(tag.to_string()), content: content.clone() },
+    );
+    schema.set(
+        rest.clone(),
+        Type::Element { name: NameTest::AnyExcept(excluded), content },
+    );
+    // Replace references to the wildcard type with the union.
+    let parents = schema.parents_of(wildcard_type);
+    for parent in parents {
+        if parent == named || parent == rest {
+            continue;
+        }
+        let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+        let replaced = parent_def.map(&mut |t| match t {
+            Type::Ref(n) if &n == wildcard_type => {
+                Type::choice([Type::Ref(named.clone()), Type::Ref(rest.clone())])
+            }
+            other => other,
+        });
+        schema.set(parent, replaced);
+    }
+    if wildcard_type != schema.root() {
+        schema.remove(wildcard_type);
+    }
+    schema.garbage_collect();
+    Ok(schema)
+}
+
+// -------------------------------------------------------- union-to-options
+
+/// Applicable when the definition holds a column-world union whose members
+/// are all unshared, non-recursive types.
+fn union_to_options_applicable(schema: &Schema, def: &Type) -> bool {
+    match union_site(def) {
+        Some(alternatives) => alternatives
+            .iter()
+            .all(|alt| schema.reference_count(alt) == 1 && !schema.is_recursive(alt)),
+        None => false,
+    }
+}
+
+fn apply_union_to_options(mut schema: Schema, in_type: &TypeName) -> Result<Schema, TransformError> {
+    let def = schema
+        .get(in_type)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
+    let alternatives =
+        union_site(&def).ok_or_else(|| TransformError::NoSite(format!("union in {in_type}")))?;
+    for alt in &alternatives {
+        if schema.reference_count(alt) != 1 || schema.is_recursive(alt) {
+            return Err(TransformError::NotInlinable(alt.clone(), "shared or recursive union member"));
+        }
+    }
+    let optionals: Vec<Type> = alternatives
+        .iter()
+        .map(|alt| {
+            let alt_def = schema.get(alt).cloned().expect("checked above");
+            Type::optional(alt_def)
+        })
+        .collect();
+    let rewritten = def.map(&mut |t| match t {
+        Type::Choice(items)
+            if items.iter().all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
+        {
+            Type::seq(optionals.clone())
+        }
+        other => other,
+    });
+    schema.set(in_type.clone(), rewritten);
+    for alt in &alternatives {
+        schema.remove(alt);
+    }
+    schema.garbage_collect();
+    Ok(schema)
+}
+
+/// Replace the first inline wildcard element with a `Ref` to `fresh`.
+fn outline_wildcard_at(ty: Type, fresh: &TypeName, extracted: &mut Option<Type>) -> Type {
+    if extracted.is_some() {
+        return ty;
+    }
+    match ty {
+        Type::Element { name, content } if name.is_wildcard() => {
+            *extracted = Some(Type::Element { name, content });
+            Type::Ref(fresh.clone())
+        }
+        Type::Seq(items) => {
+            Type::seq(items.into_iter().map(|t| outline_wildcard_at(t, fresh, extracted)))
+        }
+        Type::Rep { inner, occurs, avg_count } if !occurs.multi_valued() => {
+            Type::rep_with_count(outline_wildcard_at(*inner, fresh, extracted), occurs, avg_count)
+        }
+        other => other,
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_pschema::{derive_pschema, InlineStyle};
+    use legodb_schema::gen::{generate, GenConfig};
+    use legodb_schema::parse_schema;
+    use legodb_schema::validate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pschema(src: &str) -> PSchema {
+        PSchema::try_new(parse_schema(src).unwrap()).unwrap()
+    }
+
+    fn imdb() -> PSchema {
+        pschema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], Description, Episode{0,*}
+             type Description = description[ String ]
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+    }
+
+    /// A transformation preserves semantics when documents sampled from
+    /// the original schema validate under the transformed one.
+    fn assert_preserves_semantics(original: &PSchema, transformed: &PSchema) {
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..25 {
+            let doc = generate(original.schema(), &mut rng, &GenConfig::default());
+            assert!(
+                validate(transformed.schema(), &doc).is_ok(),
+                "doc {i} rejected by transformed schema\noriginal:\n{}\ntransformed:\n{}\ndoc:\n{}",
+                original.schema(),
+                transformed.schema(),
+                doc.to_xml_pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn inline_description_into_tv() {
+        // The paper's §4.1 inlining example.
+        let p = imdb();
+        let out = apply(&p, &Transformation::Inline(TypeName::new("Description"))).unwrap();
+        assert!(out.schema().get_str("Description").is_none());
+        let tv = out.schema().get_str("TV").unwrap();
+        let mut found = false;
+        tv.visit(&mut |t| {
+            if matches!(t, Type::Element { name, .. } if name.literal() == Some("description")) {
+                found = true;
+            }
+        });
+        assert!(found, "{}", out.schema());
+        assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn inline_rejects_shared_recursive_and_collection_types() {
+        let p = imdb();
+        // Aka is multi-valued (in a repetition).
+        assert!(matches!(
+            apply(&p, &Transformation::Inline(TypeName::new("Aka"))),
+            Err(TransformError::NotInlinable(_, _))
+        ));
+        // Movie is a union member.
+        assert!(matches!(
+            apply(&p, &Transformation::Inline(TypeName::new("Movie"))),
+            Err(TransformError::NotInlinable(_, _))
+        ));
+        let shared = pschema(
+            "type R = r[ a[ Name ], b[ Name ] ]
+             type Name = name[ String ]",
+        );
+        assert!(matches!(
+            apply(&shared, &Transformation::Inline(TypeName::new("Name"))),
+            Err(TransformError::NotInlinable(_, "shared type"))
+        ));
+        let recursive = pschema("type Doc = doc[ Any{0,1} ]\ntype Any = ~[ Any{0,1} ]");
+        assert!(apply(&recursive, &Transformation::Inline(TypeName::new("Any"))).is_err());
+    }
+
+    #[test]
+    fn outline_title_from_show() {
+        let p = imdb();
+        let out = apply(
+            &p,
+            &Transformation::Outline { in_type: TypeName::new("Show"), rel: vec!["title".into()] },
+        )
+        .unwrap();
+        assert!(out.schema().get_str("Title").is_some(), "{}", out.schema());
+        assert_preserves_semantics(&p, &out);
+        // Inlining it back restores a type-count equilibrium.
+        let back = apply(&out, &Transformation::Inline(TypeName::new("Title"))).unwrap();
+        assert_eq!(back.schema().len(), p.schema().len());
+    }
+
+    #[test]
+    fn outline_nested_element() {
+        let p = pschema("type A = a[ b[ c[ String ], d[ Integer ] ] ]");
+        let out = apply(
+            &p,
+            &Transformation::Outline {
+                in_type: TypeName::new("A"),
+                rel: vec!["b".into(), "c".into()],
+            },
+        )
+        .unwrap();
+        assert!(out.schema().get_str("C").is_some(), "{}", out.schema());
+        assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn union_distribute_creates_parts() {
+        let p = imdb();
+        let out = apply(&p, &Transformation::UnionDistribute { in_type: TypeName::new("Show") })
+            .unwrap();
+        let s = out.schema();
+        assert!(s.get_str("Show").is_none(), "{s}");
+        assert!(s.get_str("Show_Part").is_some() || s.get_str("Show_Part_1").is_some(), "{s}");
+        // Two parts referencing show content; both validate movies/tv.
+        assert_preserves_semantics(&p, &out);
+        // Parts inline the union members (box_office becomes a column of
+        // part 1 — the member types are gone).
+        assert!(s.get_str("Movie").is_none(), "{s}");
+    }
+
+    #[test]
+    fn repetition_split_unrolls_one_occurrence() {
+        let p = imdb();
+        let out = apply(
+            &p,
+            &Transformation::RepetitionSplit {
+                in_type: TypeName::new("Show"),
+                target: TypeName::new("Aka"),
+            },
+        )
+        .unwrap();
+        let show = out.schema().get_str("Show").unwrap();
+        // Now Show contains an inline aka element plus Aka{0,9}.
+        let mut inline_aka = false;
+        let mut rep_bounds = None;
+        show.visit(&mut |t| {
+            match t {
+                Type::Element { name, .. } if name.literal() == Some("aka") => inline_aka = true,
+                Type::Rep { inner, occurs, .. }
+                    if matches!(inner.as_ref(), Type::Ref(n) if n.as_str() == "Aka") =>
+                {
+                    rep_bounds = Some(*occurs)
+                }
+                _ => {}
+            }
+        });
+        assert!(inline_aka, "{}", out.schema());
+        let bounds = rep_bounds.expect("remaining repetition");
+        assert_eq!((bounds.min, bounds.max), (0, Some(9)));
+        assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn wildcard_materialize_splits_by_tag() {
+        let p = pschema(
+            "type Show = show[ title[ String ], AnyReview{0,*} ]
+             type AnyReview = ~[ String ]",
+        );
+        let out = apply(
+            &p,
+            &Transformation::WildcardMaterialize {
+                wildcard_type: TypeName::new("AnyReview"),
+                name: "nyt".into(),
+            },
+        )
+        .unwrap();
+        let s = out.schema();
+        assert!(s.get_str("Nyt").is_some(), "{s}");
+        assert!(s.get_str("OtherAnyReview").is_some(), "{s}");
+        assert!(s.get_str("AnyReview").is_none(), "{s}");
+        assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn union_to_options_inlines_with_optionals() {
+        let p = imdb();
+        let out = apply(&p, &Transformation::UnionToOptions { in_type: TypeName::new("Show") })
+            .unwrap();
+        let s = out.schema();
+        assert!(s.get_str("Movie").is_none(), "{s}");
+        assert!(s.get_str("TV").is_none(), "{s}");
+        // Movies' documents still validate (the language only widened).
+        assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn enumerate_respects_the_transformation_set() {
+        let p = imdb();
+        let inline_only = enumerate_candidates(&p, &TransformationSet::inline_only());
+        assert!(inline_only.iter().all(|t| matches!(t, Transformation::Inline(_))));
+        // Description is the only inlinable type (others are shared/
+        // multi-valued/union members).
+        assert_eq!(inline_only.len(), 1, "{inline_only:?}");
+        let outline_only = enumerate_candidates(&p, &TransformationSet::outline_only());
+        assert!(!outline_only.is_empty());
+        assert!(outline_only.iter().all(|t| matches!(t, Transformation::Outline { .. })));
+        let all = enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()]));
+        assert!(all.iter().any(|t| matches!(t, Transformation::UnionDistribute { .. })));
+        assert!(all.iter().any(|t| matches!(t, Transformation::RepetitionSplit { .. })));
+        assert!(all.iter().any(|t| matches!(t, Transformation::WildcardMaterialize { .. })));
+        assert!(all.iter().any(|t| matches!(t, Transformation::UnionToOptions { .. })));
+    }
+
+    #[test]
+    fn every_enumerated_candidate_applies_cleanly() {
+        let p = imdb();
+        for t in enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()])) {
+            let result = apply(&p, &t);
+            assert!(result.is_ok(), "candidate {t} failed: {result:?}");
+        }
+    }
+
+    #[test]
+    fn outlined_start_offers_many_inline_moves() {
+        let schema = imdb().into_schema();
+        let outlined = derive_pschema(&schema, InlineStyle::Outlined);
+        let moves = enumerate_candidates(&outlined, &TransformationSet::inline_only());
+        assert!(moves.len() >= 5, "expected many inline moves, got {}", moves.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Weighted XQuery workloads, e.g. the paper's
+//! `W1 = {Q1: 0.4, Q2: 0.4, Q3: 0.1, Q4: 0.1}`.
+
+use legodb_xquery::{parse_xquery, XQuery, XQueryParseError};
+
+/// One workload entry.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// A display name (`Q1`, `lookup-title`, ...).
+    pub name: String,
+    /// The parsed query.
+    pub query: XQuery,
+    /// Relative weight (importance/frequency).
+    pub weight: f64,
+}
+
+/// A weighted set of queries.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    queries: Vec<WorkloadQuery>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Add a parsed query.
+    pub fn push(&mut self, name: impl Into<String>, query: XQuery, weight: f64) -> &mut Self {
+        self.queries.push(WorkloadQuery { name: name.into(), query, weight });
+        self
+    }
+
+    /// Add a query from source text.
+    pub fn push_src(
+        &mut self,
+        name: impl Into<String>,
+        src: &str,
+        weight: f64,
+    ) -> Result<&mut Self, XQueryParseError> {
+        let query = parse_xquery(src)?;
+        Ok(self.push(name, query, weight))
+    }
+
+    /// Build from `(name, source, weight)` triples.
+    pub fn from_sources<'a>(
+        entries: impl IntoIterator<Item = (&'a str, &'a str, f64)>,
+    ) -> Result<Workload, XQueryParseError> {
+        let mut w = Workload::new();
+        for (name, src, weight) in entries {
+            w.push_src(name, src, weight)?;
+        }
+        Ok(w)
+    }
+
+    /// The entries.
+    pub fn queries(&self) -> &[WorkloadQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Sum of weights.
+    pub fn total_weight(&self) -> f64 {
+        self.queries.iter().map(|q| q.weight).sum()
+    }
+
+    /// A new workload with every weight multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Workload {
+        Workload {
+            queries: self
+                .queries
+                .iter()
+                .map(|q| WorkloadQuery { name: q.name.clone(), query: q.query.clone(), weight: q.weight * factor })
+                .collect(),
+        }
+    }
+
+    /// Concatenate two workloads (used to build the k : (1−k) lookup/
+    /// publish mixes of §5.3).
+    pub fn merged(&self, other: &Workload) -> Workload {
+        let mut queries = self.queries.clone();
+        queries.extend(other.queries.iter().cloned());
+        Workload { queries }
+    }
+
+    /// The §5.3 spectrum mix: `k` weight on `self`, `1-k` on `other`,
+    /// with each side's weights normalized first.
+    pub fn mix(&self, other: &Workload, k: f64) -> Workload {
+        let a = self.scaled(k / self.total_weight().max(f64::MIN_POSITIVE));
+        let b = other.scaled((1.0 - k) / other.total_weight().max(f64::MIN_POSITIVE));
+        a.merged(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> XQuery {
+        parse_xquery(src).unwrap()
+    }
+
+    #[test]
+    fn push_and_weights() {
+        let mut w = Workload::new();
+        w.push("Q1", q(r#"FOR $v IN document("x")/a RETURN $v"#), 0.4);
+        w.push("Q2", q(r#"FOR $v IN document("x")/a RETURN $v"#), 0.6);
+        assert_eq!(w.len(), 2);
+        assert!((w.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_normalizes_sides() {
+        let mut lookup = Workload::new();
+        lookup.push("L1", q(r#"FOR $v IN document("x")/a RETURN $v"#), 1.0);
+        lookup.push("L2", q(r#"FOR $v IN document("x")/a RETURN $v"#), 1.0);
+        let mut publish = Workload::new();
+        publish.push("P1", q(r#"FOR $v IN document("x")/a RETURN $v"#), 1.0);
+        let m = lookup.mix(&publish, 0.25);
+        assert_eq!(m.len(), 3);
+        let weights: Vec<f64> = m.queries().iter().map(|e| e.weight).collect();
+        assert!((weights[0] - 0.125).abs() < 1e-12);
+        assert!((weights[2] - 0.75).abs() < 1e-12);
+        assert!((m.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sources_builds_or_reports_errors() {
+        let w = Workload::from_sources([
+            ("Q1", r#"FOR $v IN document("x")/a RETURN $v"#, 0.5),
+        ])
+        .unwrap();
+        assert_eq!(w.len(), 1);
+        assert!(Workload::from_sources([("bad", "NOT XQUERY", 1.0)]).is_err());
+    }
+}

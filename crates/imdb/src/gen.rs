@@ -1,0 +1,277 @@
+//! Synthetic IMDB data generation.
+//!
+//! Produces documents whose per-path statistics track Appendix A at a
+//! chosen scale: show/director/actor counts, children-per-parent ratios,
+//! movie/TV split, review-source mix, string sizes, and numeric ranges.
+//! Substitutes for the proprietary IMDB dataset — the cost pipeline only
+//! consumes path statistics, which this data reproduces.
+
+use legodb_xml::{Document, Element};
+use rand::Rng;
+
+/// Generator scale knobs. Defaults reproduce Appendix A ratios at
+/// 1/100 scale.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of `show` elements.
+    pub shows: usize,
+    /// Number of `director` elements.
+    pub directors: usize,
+    /// Number of `actor` elements.
+    pub actors: usize,
+    /// Fraction of reviews tagged `nyt` (rest split over other sources).
+    pub nyt_fraction: f64,
+    /// Average akas per show (Appendix A: 13641/34798 ≈ 0.39).
+    pub akas_per_show: f64,
+    /// Average reviews per show (11250/34798 ≈ 0.32).
+    pub reviews_per_show: f64,
+    /// Fraction of shows that are movies (7000/10500 among classified).
+    pub movie_fraction: f64,
+    /// Average episodes per TV show (31250/3500 ≈ 8.9).
+    pub episodes_per_tv: f64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig::at_scale(0.01)
+    }
+}
+
+impl ScaleConfig {
+    /// Appendix A ratios at a linear scale factor.
+    pub fn at_scale(scale: f64) -> ScaleConfig {
+        let n = |base: f64| ((base * scale).round() as usize).max(1);
+        ScaleConfig {
+            shows: n(34798.0),
+            directors: n(26251.0),
+            actors: n(165_786.0),
+            nyt_fraction: 0.3,
+            akas_per_show: 13641.0 / 34798.0,
+            reviews_per_show: 11250.0 / 34798.0,
+            movie_fraction: 7000.0 / 10500.0,
+            episodes_per_tv: 31250.0 / 3500.0,
+        }
+    }
+}
+
+/// Generate one IMDB document.
+pub fn generate_imdb(rng: &mut impl Rng, config: &ScaleConfig) -> Document {
+    let mut imdb = Element::new("imdb");
+    for i in 0..config.shows {
+        imdb.children.push(legodb_xml::Node::Element(show(rng, config, i)));
+    }
+    for i in 0..config.directors {
+        imdb.children.push(legodb_xml::Node::Element(director(rng, config, i)));
+    }
+    for i in 0..config.actors {
+        imdb.children.push(legodb_xml::Node::Element(actor(rng, config, i)));
+    }
+    Document::new(imdb)
+}
+
+const REVIEW_SOURCES: [&str; 3] = ["suntimes", "variety", "guardian"];
+
+fn rand_string(rng: &mut impl Rng, len: usize) -> String {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz ";
+    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char).collect()
+}
+
+/// Sample a count with the given mean (rounded Bernoulli mixture: keeps
+/// the mean exact for means below one, approximates Poisson above).
+fn sample_count(rng: &mut impl Rng, mean: f64) -> usize {
+    let base = mean.floor() as usize;
+    let frac = mean - base as f64;
+    base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
+}
+
+/// A title shared across shows, played, and directed so the join queries
+/// (Q12–Q14) produce matches.
+fn title_for(i: usize) -> String {
+    format!("title_{i:06}")
+}
+
+fn person_name(kind: &str, i: usize) -> String {
+    format!("{kind}_{i:06}")
+}
+
+fn show(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
+    let is_movie = rng.gen_bool(config.movie_fraction.clamp(0.0, 1.0));
+    let mut e = Element::new("show")
+        .with_attr("type", if is_movie { "Movie" } else { "TV series" })
+        .with_child(Element::text_leaf("title", title_for(i)))
+        .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()));
+    for _ in 0..sample_count(rng, config.akas_per_show) {
+        e.children.push(legodb_xml::Node::Element(Element::text_leaf(
+            "aka",
+            rand_string(rng, 40),
+        )));
+    }
+    for _ in 0..sample_count(rng, config.reviews_per_show) {
+        let source = if rng.gen_bool(config.nyt_fraction.clamp(0.0, 1.0)) {
+            "nyt"
+        } else {
+            REVIEW_SOURCES[rng.gen_range(0..REVIEW_SOURCES.len())]
+        };
+        let review =
+            Element::new("review").with_child(Element::text_leaf(source, rand_string(rng, 80)));
+        e.children.push(legodb_xml::Node::Element(review));
+    }
+    if is_movie {
+        e = e
+            .with_child(Element::text_leaf(
+                "box_office",
+                rng.gen_range(10_000..=100_000_000i64).to_string(),
+            ))
+            .with_child(Element::text_leaf(
+                "video_sales",
+                rng.gen_range(10_000..=100_000_000i64).to_string(),
+            ));
+    } else {
+        e = e
+            .with_child(Element::text_leaf("seasons", rng.gen_range(1..=30).to_string()))
+            .with_child(Element::text_leaf("description", rand_string(rng, 120)));
+        for _ in 0..sample_count(rng, config.episodes_per_tv) {
+            let episode = Element::new("episode")
+                .with_child(Element::text_leaf("name", rand_string(rng, 40)))
+                .with_child(Element::text_leaf(
+                    "guest_director",
+                    person_name("director", rng.gen_range(0..config.directors.max(1))),
+                ));
+            e.children.push(legodb_xml::Node::Element(episode));
+        }
+    }
+    e
+}
+
+fn director(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
+    let mut e = Element::new("director")
+        .with_child(Element::text_leaf("name", person_name("director", i)));
+    // 105004 / 26251 ≈ 4 directed per director.
+    for _ in 0..sample_count(rng, 4.0) {
+        let mut d = Element::new("directed")
+            .with_child(Element::text_leaf(
+                "title",
+                title_for(rng.gen_range(0..config.shows.max(1))),
+            ))
+            .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()));
+        if rng.gen_bool(0.48) {
+            d.children.push(legodb_xml::Node::Element(Element::text_leaf(
+                "info",
+                rand_string(rng, 100),
+            )));
+        }
+        e.children.push(legodb_xml::Node::Element(d));
+    }
+    e
+}
+
+fn actor(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
+    let mut e =
+        Element::new("actor").with_child(Element::text_leaf("name", person_name("actor", i)));
+    // 663144 / 165786 ≈ 4 played per actor.
+    for _ in 0..sample_count(rng, 4.0) {
+        let mut p = Element::new("played")
+            .with_child(Element::text_leaf(
+                "title",
+                title_for(rng.gen_range(0..config.shows.max(1))),
+            ))
+            .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()))
+            .with_child(Element::text_leaf("character", rand_string(rng, 40)))
+            .with_child(Element::text_leaf(
+                "order_of_appearance",
+                rng.gen_range(1..=300).to_string(),
+            ));
+        // 66000 / 663144 ≈ 0.1 awards per role.
+        for _ in 0..sample_count(rng, 0.1) {
+            let award = Element::new("award")
+                .with_child(Element::text_leaf("result", "won"))
+                .with_child(Element::text_leaf("award_name", rand_string(rng, 40)));
+            p.children.push(legodb_xml::Node::Element(award));
+        }
+        e.children.push(legodb_xml::Node::Element(p));
+    }
+    // 20000 / 165786 ≈ 0.12 biographies per actor.
+    if rng.gen_bool(20_000.0 / 165_786.0) {
+        let bio = Element::new("biography")
+            .with_child(Element::text_leaf(
+                "birthday",
+                format!(
+                    "{:04}-{:02}-{:02}",
+                    rng.gen_range(1900..2000),
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                ),
+            ))
+            .with_child(Element::text_leaf("text", rand_string(rng, 30)));
+        e.children.push(legodb_xml::Node::Element(bio));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::imdb_schema;
+    use legodb_schema::validate::validate;
+    use legodb_xml::stats::Statistics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> ScaleConfig {
+        ScaleConfig { shows: 40, directors: 20, actors: 60, ..ScaleConfig::at_scale(0.001) }
+    }
+
+    #[test]
+    fn generated_documents_validate_against_the_schema() {
+        let schema = imdb_schema();
+        let mut rng = StdRng::seed_from_u64(2002);
+        let doc = generate_imdb(&mut rng, &tiny());
+        assert!(
+            validate(&schema, &doc).is_ok(),
+            "generated document is invalid"
+        );
+    }
+
+    #[test]
+    fn generated_statistics_track_the_config() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = ScaleConfig { shows: 200, directors: 50, actors: 100, ..tiny() };
+        let doc = generate_imdb(&mut rng, &config);
+        let stats = Statistics::collect(&doc);
+        assert_eq!(stats.count(&["imdb", "show"]), Some(200));
+        assert_eq!(stats.count(&["imdb", "director"]), Some(50));
+        assert_eq!(stats.count(&["imdb", "actor"]), Some(100));
+        // Movie fraction ≈ 2/3 of shows have box_office.
+        let movies = stats.count(&["imdb", "show", "box_office"]).unwrap_or(0);
+        assert!((60..=180).contains(&movies), "movies = {movies}");
+        // Title sizes near the configured 12 bytes ("title_000123").
+        let title = stats.get(&["imdb", "show", "title"]).unwrap();
+        assert!((10.0..=14.0).contains(&title.avg_size.unwrap()));
+    }
+
+    #[test]
+    fn review_mix_respects_nyt_fraction() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = ScaleConfig {
+            shows: 500,
+            reviews_per_show: 2.0,
+            nyt_fraction: 0.5,
+            ..tiny()
+        };
+        let doc = generate_imdb(&mut rng, &config);
+        let stats = Statistics::collect(&doc);
+        let nyt = stats.count(&["imdb", "show", "review", "nyt"]).unwrap_or(0) as f64;
+        let total = stats.count(&["imdb", "show", "review"]).unwrap_or(0) as f64;
+        assert!(total > 500.0);
+        let frac = nyt / total;
+        assert!((0.4..=0.6).contains(&frac), "nyt fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = tiny();
+        let a = generate_imdb(&mut StdRng::seed_from_u64(5), &config);
+        let b = generate_imdb(&mut StdRng::seed_from_u64(5), &config);
+        assert_eq!(a, b);
+    }
+}

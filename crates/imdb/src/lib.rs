@@ -1,0 +1,23 @@
+//! # legodb-imdb
+//!
+//! The paper's experimental application (§5.1, Appendices A–C): the
+//! Internet Movie Database schema in the type-algebra notation, the full
+//! Appendix A statistics, all twenty workload queries, and a synthetic
+//! data generator.
+//!
+//! The real IMDB dataset is proprietary; the generator synthesizes
+//! documents whose path statistics match Appendix A (scaled by a factor),
+//! which is sufficient because every cost estimate in the paper is driven
+//! only by those statistics.
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+pub mod stats;
+
+pub use gen::{generate_imdb, ScaleConfig};
+pub use queries::{
+    fig5_queries, lookup_workload, publish_workload, query, workload_w1, workload_w2,
+};
+pub use schema::imdb_schema;
+pub use stats::{paper_statistics, scaled_statistics};

@@ -1,0 +1,283 @@
+//! The workload queries: Figure 5's Q1–Q4 (with workloads W1/W2) and
+//! Appendix C's Q1–Q20, adapted to the schema's element names (`review`
+//! with tagged children instead of the figure's `nyt_reviews` shorthand).
+
+use legodb_core::workload::Workload;
+use legodb_xquery::{parse_xquery, XQuery};
+
+/// Appendix C query sources, indexed 1–20.
+pub const QUERIES: [(&str, &str); 20] = [
+    (
+        "Q1", // title, year, type for a show with a given title
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/title = c1
+           RETURN $v/title, $v/year, $v/type"#,
+    ),
+    (
+        "Q2", // title, year for a show with a given title
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/title = c1
+           RETURN $v/title, $v/year"#,
+    ),
+    (
+        "Q3", // title, year for all shows in a given year
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/year = 1999
+           RETURN $v/title, $v/year"#,
+    ),
+    (
+        "Q4", // description, title, year (only TV shows have description)
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/title = c1
+           RETURN $v/title, $v/year, $v/description"#,
+    ),
+    (
+        "Q5", // box office, title, year (only movies have box_office)
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/title = c1
+           RETURN $v/title, $v/year, $v/box_office"#,
+    ),
+    (
+        "Q6", // description AND box office
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/title = c1
+           RETURN $v/title, $v/year, $v/box_office, $v/description"#,
+    ),
+    (
+        "Q7", // shows that have an episode by a given guest director
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           RETURN $v/title, $v/year,
+             FOR $v/episode $e
+             WHERE $e/guest_director = c1
+             RETURN $e/guest_director"#,
+    ),
+    (
+        "Q8", // birthday for an actor given his name
+        r#"FOR $v IN document("imdbdata")/imdb/actor
+           WHERE $v/name = c1
+           RETURN $v/biography/birthday"#,
+    ),
+    (
+        "Q9", // name, biography text for all actors born on a given date
+        r#"FOR $v IN document("imdbdata")/imdb/actor
+           RETURN <result>
+             $v/name
+             FOR $v/biography $b WHERE $b/birthday = c1
+             RETURN $b/text
+           </result>"#,
+    ),
+    (
+        "Q10", // name, biography text and birthday by birth date
+        r#"FOR $v IN document("imdbdata")/imdb/actor
+           RETURN <result>
+             $v/name
+             FOR $v/biography $b WHERE $b/birthday = c1
+             RETURN $b/text, $b/birthday
+           </result>"#,
+    ),
+    (
+        "Q11", // name + order of appearance for actors playing a character
+        r#"FOR $v IN document("imdbdata")/imdb/actor
+           RETURN <result>
+             $v/name
+             FOR $v/played $p WHERE $p/character = c1
+             RETURN $p/order_of_appearance
+           </result>"#,
+    ),
+    (
+        "Q12", // people who acted and directed in the same movie
+        r#"FOR $i IN document("imdbdata")/imdb
+               $a IN $i/actor,
+               $m1 IN $a/played,
+               $d IN $i/director
+               $m2 IN $d/directed
+           WHERE $a/name = $d/name AND $m1/title = $m2/title
+           RETURN <result> $a/name $m1/title $m1/year </result>"#,
+    ),
+    (
+        "Q13", // acted-and-directed + the movie's alternate titles
+        r#"FOR $i IN document("imdbdata")/imdb
+               $s IN $i/show,
+               $a IN $i/actor,
+               $m1 IN $a/played,
+               $d IN $i/director
+               $m2 IN $d/directed
+           WHERE $a/name = $d/name AND $m1/title = $m2/title AND $m1/title = $s/title
+           RETURN <result>
+             $a/name $m1/title $m1/year
+             FOR $a2 IN $s/aka RETURN $a2
+           </result>"#,
+    ),
+    (
+        "Q14", // directors that directed a given actor
+        r#"FOR $i IN document("imdbdata")/imdb
+               $a IN $i/actor,
+               $m1 IN $a/played,
+               $d IN $i/director
+               $m2 IN $d/directed
+           WHERE $a/name = c1 AND $m1/title = $m2/title
+           RETURN <result> $d/name $m1/title $m1/year </result>"#,
+    ),
+    (
+        "Q15", // publish all actors
+        r#"FOR $a IN document("imdbdata")/imdb/actor RETURN $a"#,
+    ),
+    (
+        "Q16", // publish all shows
+        r#"FOR $s IN document("imdbdata")/imdb/show RETURN $s"#,
+    ),
+    (
+        "Q17", // publish all directors
+        r#"FOR $d IN document("imdbdata")/imdb/director RETURN $d"#,
+    ),
+    (
+        "Q18", // all info about a given actor
+        r#"FOR $a IN document("imdbdata")/imdb/actor
+           WHERE $a/name = c1
+           RETURN $a"#,
+    ),
+    (
+        "Q19", // all info about a given show
+        r#"FOR $s IN document("imdbdata")/imdb/show
+           WHERE $s/title = c1
+           RETURN $s"#,
+    ),
+    (
+        "Q20", // all info about a given director
+        r#"FOR $d IN document("imdbdata")/imdb/director
+           WHERE $d/name = c1
+           RETURN $d"#,
+    ),
+];
+
+/// Parse one Appendix C query by name (`Q1`..`Q20`).
+///
+/// # Panics
+/// On an unknown name; sources are compile-time constants checked by
+/// tests.
+pub fn query(name: &str) -> XQuery {
+    let (_, src) = QUERIES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown query {name}"));
+    parse_xquery(src).expect("appendix queries parse")
+}
+
+/// The §5.2 *lookup* workload: Q8, Q9, Q11, Q12, Q13 (equal weights).
+pub fn lookup_workload() -> Workload {
+    let mut w = Workload::new();
+    for name in ["Q8", "Q9", "Q11", "Q12", "Q13"] {
+        w.push(name, query(name), 1.0 / 5.0);
+    }
+    w
+}
+
+/// The §5.2 *publish* workload: Q15, Q16, Q17 (equal weights).
+pub fn publish_workload() -> Workload {
+    let mut w = Workload::new();
+    for name in ["Q15", "Q16", "Q17"] {
+        w.push(name, query(name), 1.0 / 3.0);
+    }
+    w
+}
+
+/// Figure 5's four queries (§2), adapted to the schema's review tagging:
+/// `FQ1` selects year-1999 shows with their NYT reviews, `FQ2` publishes
+/// all shows, `FQ3` looks up a description by title, `FQ4` finds episodes
+/// by guest director.
+pub fn fig5_queries() -> Vec<(&'static str, XQuery)> {
+    let sources = [
+        (
+            "FQ1",
+            r#"FOR $v IN document("imdbdata")/imdb/show, $r IN $v/review
+               WHERE $v/year = 1999
+               RETURN $v/title, $v/year, $r/nyt"#,
+        ),
+        ("FQ2", r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#),
+        (
+            "FQ3",
+            r#"FOR $v IN document("imdbdata")/imdb/show
+               WHERE $v/title = c2
+               RETURN $v/description"#,
+        ),
+        (
+            "FQ4",
+            r#"FOR $v IN document("imdbdata")/imdb/show
+               RETURN <result>
+                 $v/title $v/year
+                 FOR $v/episode $e WHERE $e/guest_director = c4 RETURN $e
+               </result>"#,
+        ),
+    ];
+    sources
+        .into_iter()
+        .map(|(n, src)| (n, parse_xquery(src).expect("figure 5 queries parse")))
+        .collect()
+}
+
+/// §2's W1: publishing-heavy — `{FQ1: 0.4, FQ2: 0.4, FQ3: 0.1, FQ4: 0.1}`.
+pub fn workload_w1() -> Workload {
+    let mut w = Workload::new();
+    for ((name, q), weight) in fig5_queries().into_iter().zip([0.4, 0.4, 0.1, 0.1]) {
+        w.push(name, q, weight);
+    }
+    w
+}
+
+/// §2's W2: lookup-heavy — `{FQ1: 0.1, FQ2: 0.1, FQ3: 0.4, FQ4: 0.4}`.
+pub fn workload_w2() -> Workload {
+    let mut w = Workload::new();
+    for ((name, q), weight) in fig5_queries().into_iter().zip([0.1, 0.1, 0.4, 0.4]) {
+        w.push(name, q, weight);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::imdb_schema;
+    use crate::stats::paper_statistics;
+    use legodb_pschema::{derive_pschema, rel, InlineStyle};
+    use legodb_xquery::translate;
+
+    #[test]
+    fn all_twenty_queries_parse() {
+        for (name, _) in QUERIES {
+            let _ = query(name);
+        }
+    }
+
+    #[test]
+    fn all_queries_translate_against_both_initial_pschemas() {
+        let schema = imdb_schema();
+        let stats = paper_statistics();
+        for style in [InlineStyle::Inlined, InlineStyle::Outlined] {
+            let mapping = rel(&derive_pschema(&schema, style), &stats);
+            for (name, _) in QUERIES {
+                let q = query(name);
+                let t = translate(&mapping, &q);
+                assert!(t.is_ok(), "{name} failed under {style:?}: {t:?}");
+            }
+            for (name, q) in fig5_queries() {
+                let t = translate(&mapping, &q);
+                assert!(t.is_ok(), "{name} failed under {style:?}: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_have_unit_weight() {
+        for w in [lookup_workload(), publish_workload(), workload_w1(), workload_w2()] {
+            assert!((w.total_weight() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn publish_queries_emit_multiple_statements() {
+        let schema = imdb_schema();
+        let mapping = rel(&derive_pschema(&schema, InlineStyle::Inlined), &paper_statistics());
+        let t = translate(&mapping, &query("Q16")).unwrap();
+        assert!(t.statements.len() >= 4, "{}", t.to_sql());
+    }
+}

@@ -1,0 +1,81 @@
+//! The IMDB schema of Appendix B, in the type-algebra notation.
+//!
+//! Element names follow the appendix (singular `aka`, `review`,
+//! `episode`); the `Show` union `(Movie | TV)` and the wildcard review
+//! content are preserved exactly — they are what the union-distribution
+//! and wildcard experiments (§5.4) operate on.
+
+use legodb_schema::{parse_schema, Schema};
+
+/// The schema source text.
+pub const IMDB_SCHEMA_SRC: &str = "
+type IMDB = imdb[ Show{0,*}, Director{0,*}, Actor{0,*} ]
+type Show = show[ @type[ String<#8> ],
+                  title[ String<#50,#34798> ],
+                  year[ Integer<#4,#1800,#2100,#300> ],
+                  Aka{0,10},
+                  Review{0,*},
+                  ( Movie | TV ) ]
+type Aka = aka[ String<#40> ]
+type Review = review[ ~[ String<#800> ] ]
+type Movie = box_office[ Integer<#4,#10000,#100000000,#7000> ],
+             video_sales[ Integer<#4,#10000,#100000000,#7000> ]
+type TV = seasons[ Integer<#4,#1,#30,#30> ],
+          description[ String<#120> ],
+          Episode{0,*}
+type Episode = episode[ name[ String<#40> ], guest_director[ String<#40> ] ]
+type Director = director[ name[ String<#40> ], Directed{0,*} ]
+type Directed = directed[ title[ String<#40> ],
+                          year[ Integer<#4,#1800,#2100,#300> ],
+                          info[ String<#100> ]?,
+                          ~[ String<#255> ]? ]
+type Actor = actor[ name[ String<#40> ],
+                    Played{0,*},
+                    biography[ birthday[ String<#10> ], text[ String<#30> ] ]? ]
+type Played = played[ title[ String<#40> ],
+                      year[ Integer<#4,#1800,#2100,#200> ],
+                      character[ String<#40> ],
+                      order_of_appearance[ Integer<#4,#1,#300,#300> ],
+                      Award{0,5} ]
+type Award = award[ result[ String<#3> ], award_name[ String<#40> ] ]
+";
+
+/// Parse the IMDB schema.
+///
+/// # Panics
+/// Never: the source is a compile-time constant checked by tests.
+pub fn imdb_schema() -> Schema {
+    parse_schema(IMDB_SCHEMA_SRC).expect("the IMDB schema constant parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_pschema::{derive_pschema, InlineStyle};
+
+    #[test]
+    fn schema_parses_with_all_types() {
+        let s = imdb_schema();
+        assert_eq!(s.root().as_str(), "IMDB");
+        for name in
+            ["Show", "Aka", "Review", "Movie", "TV", "Episode", "Director", "Directed", "Actor", "Played", "Award"]
+        {
+            assert!(s.get_str(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn schema_round_trips_through_the_printer() {
+        let s1 = imdb_schema();
+        let s2 = parse_schema(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn both_pschema_derivations_succeed() {
+        let s = imdb_schema();
+        let outlined = derive_pschema(&s, InlineStyle::Outlined);
+        let inlined = derive_pschema(&s, InlineStyle::Inlined);
+        assert!(outlined.schema().len() > inlined.schema().len());
+    }
+}

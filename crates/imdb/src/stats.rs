@@ -1,0 +1,143 @@
+//! The Appendix A statistics, verbatim (counts, sizes, bases), plus a
+//! scaler for smaller experiments.
+//!
+//! Path conventions: attribute statistics use `@name` steps (the harvester
+//! convention), wildcard content uses `TILDE` (the appendix convention).
+//! The appendix records review/`TILDE` sizes; review counts appear under
+//! `reviews` in the appendix but our schema's element is `review` — paths
+//! here follow the schema.
+
+use legodb_xml::stats::Statistics;
+
+/// The Appendix A statistics for the full-size IMDB dataset.
+pub fn paper_statistics() -> Statistics {
+    scaled_statistics(1.0)
+}
+
+/// Appendix A statistics with all counts multiplied by `scale`
+/// (sizes, value ranges, and distinct ratios preserved).
+pub fn scaled_statistics(scale: f64) -> Statistics {
+    let n = |base: u64| -> u64 { ((base as f64 * scale).round() as u64).max(1) };
+    let mut s = Statistics::new();
+    s.set_count(&["imdb"], 1)
+        // shows
+        .set_count(&["imdb", "show"], n(34798))
+        .set_size(&["imdb", "show", "@type"], 8.0)
+        .set_distinct(&["imdb", "show", "@type"], 2)
+        .set_count(&["imdb", "show", "title"], n(34798))
+        .set_size(&["imdb", "show", "title"], 50.0)
+        .set_distinct(&["imdb", "show", "title"], n(34798))
+        .set_count(&["imdb", "show", "year"], n(34798))
+        .set_base(&["imdb", "show", "year"], 1800, 2100, 300)
+        .set_count(&["imdb", "show", "aka"], n(13641))
+        .set_size(&["imdb", "show", "aka"], 40.0)
+        .set_distinct(&["imdb", "show", "aka"], n(13000))
+        .set_count(&["imdb", "show", "review"], n(11250))
+        .set_count(&["imdb", "show", "review", "TILDE"], n(11250))
+        .set_size(&["imdb", "show", "review", "TILDE"], 800.0)
+        // Per-tag share (not in the appendix; matches the generator's
+        // default 30% NYT mix) — enables the wildcard experiments.
+        .set_count(&["imdb", "show", "review", "nyt"], n(3375))
+        .set_size(&["imdb", "show", "review", "nyt"], 800.0)
+        .set_count(&["imdb", "show", "box_office"], n(7000))
+        .set_base(&["imdb", "show", "box_office"], 10_000, 100_000_000, 7000)
+        .set_count(&["imdb", "show", "video_sales"], n(7000))
+        .set_base(&["imdb", "show", "video_sales"], 10_000, 100_000_000, 7000)
+        .set_count(&["imdb", "show", "seasons"], n(3500))
+        .set_base(&["imdb", "show", "seasons"], 1, 30, 30)
+        .set_count(&["imdb", "show", "description"], n(3500))
+        .set_size(&["imdb", "show", "description"], 120.0)
+        .set_count(&["imdb", "show", "episode"], n(31250))
+        .set_count(&["imdb", "show", "episode", "name"], n(31250))
+        .set_size(&["imdb", "show", "episode", "name"], 40.0)
+        .set_count(&["imdb", "show", "episode", "guest_director"], n(31250))
+        .set_size(&["imdb", "show", "episode", "guest_director"], 40.0)
+        .set_distinct(&["imdb", "show", "episode", "guest_director"], n(5000))
+        // directors
+        .set_count(&["imdb", "director"], n(26251))
+        .set_count(&["imdb", "director", "name"], n(26251))
+        .set_size(&["imdb", "director", "name"], 40.0)
+        .set_distinct(&["imdb", "director", "name"], n(26251))
+        .set_count(&["imdb", "director", "directed"], n(105_004))
+        .set_count(&["imdb", "director", "directed", "title"], n(105_004))
+        .set_size(&["imdb", "director", "directed", "title"], 40.0)
+        .set_distinct(&["imdb", "director", "directed", "title"], n(34798))
+        .set_count(&["imdb", "director", "directed", "year"], n(105_004))
+        .set_base(&["imdb", "director", "directed", "year"], 1800, 2100, 300)
+        .set_count(&["imdb", "director", "directed", "info"], n(50_000))
+        .set_size(&["imdb", "director", "directed", "info"], 100.0)
+        .set_count(&["imdb", "director", "directed", "TILDE"], n(50_000))
+        .set_size(&["imdb", "director", "directed", "TILDE"], 255.0)
+        // actors
+        .set_count(&["imdb", "actor"], n(165_786))
+        .set_count(&["imdb", "actor", "name"], n(165_786))
+        .set_size(&["imdb", "actor", "name"], 40.0)
+        .set_distinct(&["imdb", "actor", "name"], n(165_786))
+        .set_count(&["imdb", "actor", "played"], n(663_144))
+        .set_count(&["imdb", "actor", "played", "title"], n(663_144))
+        .set_size(&["imdb", "actor", "played", "title"], 40.0)
+        .set_distinct(&["imdb", "actor", "played", "title"], n(34798))
+        .set_count(&["imdb", "actor", "played", "year"], n(663_144))
+        .set_base(&["imdb", "actor", "played", "year"], 1800, 2100, 200)
+        .set_count(&["imdb", "actor", "played", "character"], n(663_144))
+        .set_size(&["imdb", "actor", "played", "character"], 40.0)
+        .set_distinct(&["imdb", "actor", "played", "character"], n(300_000))
+        .set_count(&["imdb", "actor", "played", "order_of_appearance"], n(663_144))
+        .set_base(&["imdb", "actor", "played", "order_of_appearance"], 1, 300, 300)
+        .set_count(&["imdb", "actor", "played", "award"], n(66_000))
+        .set_count(&["imdb", "actor", "played", "award", "result"], n(66_000))
+        .set_size(&["imdb", "actor", "played", "award", "result"], 3.0)
+        .set_count(&["imdb", "actor", "played", "award", "award_name"], n(66_000))
+        .set_size(&["imdb", "actor", "played", "award", "award_name"], 40.0)
+        .set_count(&["imdb", "actor", "biography"], n(20_000))
+        .set_count(&["imdb", "actor", "biography", "birthday"], n(20_000))
+        .set_size(&["imdb", "actor", "biography", "birthday"], 10.0)
+        .set_distinct(&["imdb", "actor", "biography", "birthday"], n(18_000))
+        .set_count(&["imdb", "actor", "biography", "text"], n(20_000))
+        .set_size(&["imdb", "actor", "biography", "text"], 30.0);
+    s
+}
+
+/// Inject the Table 2 wildcard experiment's review statistics: a total
+/// review count and the fraction tagged `nyt` (the rest use other tags).
+pub fn with_review_split(mut stats: Statistics, total_reviews: u64, nyt_fraction: f64) -> Statistics {
+    let nyt = (total_reviews as f64 * nyt_fraction).round() as u64;
+    stats
+        .set_count(&["imdb", "show", "review"], total_reviews)
+        .set_count(&["imdb", "show", "review", "TILDE"], total_reviews)
+        .set_count(&["imdb", "show", "review", "nyt"], nyt)
+        .set_size(&["imdb", "show", "review", "nyt"], 800.0);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts_match_appendix_a() {
+        let s = paper_statistics();
+        assert_eq!(s.count(&["imdb", "show"]), Some(34798));
+        assert_eq!(s.count(&["imdb", "director"]), Some(26251));
+        assert_eq!(s.count(&["imdb", "actor"]), Some(165_786));
+        assert_eq!(s.count(&["imdb", "actor", "played"]), Some(663_144));
+        let year = s.get(&["imdb", "show", "year"]).unwrap();
+        assert_eq!((year.min, year.max, year.distinct), (Some(1800), Some(2100), Some(300)));
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let s = scaled_statistics(0.01);
+        assert_eq!(s.count(&["imdb", "show"]), Some(348));
+        assert_eq!(s.count(&["imdb", "actor", "played"]), Some(6631));
+        // Sizes unchanged.
+        assert_eq!(s.avg_size(&["imdb", "show", "title"]), Some(50.0));
+    }
+
+    #[test]
+    fn review_split_partitions_counts() {
+        let s = with_review_split(paper_statistics(), 10_000, 0.25);
+        assert_eq!(s.count(&["imdb", "show", "review", "nyt"]), Some(2500));
+        assert_eq!(s.count(&["imdb", "show", "review", "TILDE"]), Some(10_000));
+    }
+}

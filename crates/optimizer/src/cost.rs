@@ -1,0 +1,155 @@
+//! The cost model: seeks, pages read, pages written, CPU — the same four
+//! components the paper's optimizer accounts for (§5: "number of seeks,
+//! amount of data read, amount of data written, and CPU time").
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Tunable cost constants. The defaults model a disk where one random seek
+/// costs as much as ~40 sequential page transfers, and CPU work per tuple
+/// is three orders of magnitude cheaper than a page transfer — typical for
+/// the hardware class of the paper's era, and only the *ratios* matter for
+/// configuration comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one random seek.
+    pub seek: f64,
+    /// Cost of transferring one page (read or write).
+    pub page_io: f64,
+    /// Cost of processing one tuple in memory.
+    pub cpu_tuple: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { seek: 40.0, page_io: 1.0, cpu_tuple: 0.001 }
+    }
+}
+
+impl CostModel {
+    /// Collapse a [`Cost`] breakdown into one comparable number.
+    pub fn total(&self, cost: &Cost) -> f64 {
+        cost.seeks * self.seek
+            + (cost.pages_read + cost.pages_written) * self.page_io
+            + cost.cpu_tuples * self.cpu_tuple
+    }
+}
+
+/// A cost breakdown. Kept componentwise so experiments can report where
+/// time goes; collapse with [`CostModel::total`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cost {
+    /// Random seeks.
+    pub seeks: f64,
+    /// Pages read.
+    pub pages_read: f64,
+    /// Pages written (result delivery / materialization).
+    pub pages_written: f64,
+    /// Tuples processed in memory.
+    pub cpu_tuples: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost { seeks: 0.0, pages_read: 0.0, pages_written: 0.0, cpu_tuples: 0.0 };
+
+    /// A pure-CPU cost.
+    pub fn cpu(tuples: f64) -> Cost {
+        Cost { cpu_tuples: tuples, ..Cost::ZERO }
+    }
+
+    /// A sequential read: one seek plus `pages` transfers.
+    pub fn seq_read(pages: f64) -> Cost {
+        Cost { seeks: 1.0, pages_read: pages, ..Cost::ZERO }
+    }
+
+    /// A random read of `pages` pages: one seek each.
+    pub fn random_read(pages: f64) -> Cost {
+        Cost { seeks: pages, pages_read: pages, ..Cost::ZERO }
+    }
+
+    /// Scale all components (e.g. per-probe cost × number of probes).
+    pub fn scale(&self, factor: f64) -> Cost {
+        Cost {
+            seeks: self.seeks * factor,
+            pages_read: self.pages_read * factor,
+            pages_written: self.pages_written * factor,
+            cpu_tuples: self.cpu_tuples * factor,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            seeks: self.seeks + rhs.seeks,
+            pages_read: self.pages_read + rhs.pages_read,
+            pages_written: self.pages_written + rhs.pages_written,
+            cpu_tuples: self.cpu_tuples + rhs.cpu_tuples,
+        }
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seeks={:.1} read={:.1}p written={:.1}p cpu={:.0}t",
+            self.seeks, self.pages_read, self.pages_written, self.cpu_tuples
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_weight_components() {
+        let m = CostModel { seek: 10.0, page_io: 1.0, cpu_tuple: 0.01 };
+        let c = Cost { seeks: 2.0, pages_read: 5.0, pages_written: 3.0, cpu_tuples: 100.0 };
+        assert!((m.total(&c) - (20.0 + 8.0 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let a = Cost::seq_read(10.0);
+        let b = Cost::cpu(50.0);
+        let c = a + b;
+        assert_eq!(c.seeks, 1.0);
+        assert_eq!(c.pages_read, 10.0);
+        assert_eq!(c.cpu_tuples, 50.0);
+        let total: Cost = [a, b, c].into_iter().sum();
+        assert_eq!(total.pages_read, 20.0);
+    }
+
+    #[test]
+    fn scale_multiplies_all_components() {
+        let c = Cost { seeks: 1.0, pages_read: 3.0, pages_written: 0.0, cpu_tuples: 10.0 }.scale(4.0);
+        assert_eq!(c.seeks, 4.0);
+        assert_eq!(c.pages_read, 12.0);
+        assert_eq!(c.cpu_tuples, 40.0);
+    }
+
+    #[test]
+    fn random_read_pays_a_seek_per_page() {
+        let c = Cost::random_read(7.0);
+        assert_eq!(c.seeks, 7.0);
+        assert_eq!(c.pages_read, 7.0);
+    }
+
+    #[test]
+    fn default_ratios_are_sane() {
+        let m = CostModel::default();
+        assert!(m.seek > m.page_io);
+        assert!(m.page_io > m.cpu_tuple);
+    }
+}

@@ -1,0 +1,260 @@
+//! Cardinality and selectivity estimation from catalog statistics.
+//!
+//! Classic System-R estimators: equality selectivity `1/distinct`, range
+//! selectivity by uniform interpolation between the column's min and max,
+//! and equi-join selectivity `1/max(d_left, d_right)`.
+
+use crate::query::{ColRef, FilterPred, SpjQuery};
+use legodb_relational::{Catalog, CmpOp, ColumnDef, Value};
+
+/// Fallback equality selectivity when no distinct count is known.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Fallback range selectivity when min/max are unknown.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 0.3;
+
+/// Look up the column definition behind a [`ColRef`].
+pub fn resolve_column<'a>(
+    catalog: &'a Catalog,
+    query: &SpjQuery,
+    col: &ColRef,
+) -> Option<&'a ColumnDef> {
+    let table = query.tables.get(col.table)?;
+    catalog.table(&table.table)?.column(&col.column)
+}
+
+/// Estimated fraction of rows a filter keeps.
+pub fn filter_selectivity(catalog: &Catalog, query: &SpjQuery, filter: &FilterPred) -> f64 {
+    let Some(column) = resolve_column(catalog, query, filter.col()) else {
+        return DEFAULT_EQ_SELECTIVITY;
+    };
+    match filter {
+        FilterPred::Cmp { op, value, .. } => match op {
+            CmpOp::Eq => column.stats.distinct.map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0)),
+            CmpOp::Ne => {
+                1.0 - column.stats.distinct.map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0))
+            }
+            CmpOp::Lt | CmpOp::Le => open_range_fraction(column, value, true),
+            CmpOp::Gt | CmpOp::Ge => open_range_fraction(column, value, false),
+        },
+        FilterPred::Between { range, .. } => {
+            let (Some(min), Some(max)) = (column.stats.min, column.stats.max) else {
+                return DEFAULT_RANGE_SELECTIVITY;
+            };
+            let span = (max - min) as f64;
+            if span <= 0.0 {
+                return 1.0;
+            }
+            let lo = range.lo.as_ref().and_then(Value::as_int).unwrap_or(min).max(min);
+            let hi = range.hi.as_ref().and_then(Value::as_int).unwrap_or(max).min(max);
+            (((hi - lo) as f64) / span).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Fraction of rows below (`below = true`) or above the literal, assuming
+/// a uniform distribution between min and max.
+fn open_range_fraction(column: &ColumnDef, value: &Value, below: bool) -> f64 {
+    let (Some(min), Some(max), Some(v)) = (column.stats.min, column.stats.max, value.as_int())
+    else {
+        return DEFAULT_RANGE_SELECTIVITY;
+    };
+    let span = (max - min) as f64;
+    if span <= 0.0 {
+        return DEFAULT_RANGE_SELECTIVITY;
+    }
+    let frac = ((v - min) as f64 / span).clamp(0.0, 1.0);
+    if below {
+        frac
+    } else {
+        1.0 - frac
+    }
+}
+
+/// Combined selectivity of all filters on table `table_idx` (independence
+/// assumption: product).
+pub fn table_selectivity(catalog: &Catalog, query: &SpjQuery, table_idx: usize) -> f64 {
+    query
+        .filters
+        .iter()
+        .filter(|f| f.col().table == table_idx)
+        .map(|f| filter_selectivity(catalog, query, f))
+        .product()
+}
+
+/// Estimated rows of table `table_idx` after its filters.
+pub fn filtered_cardinality(catalog: &Catalog, query: &SpjQuery, table_idx: usize) -> f64 {
+    let Some(table) = query.tables.get(table_idx).and_then(|t| catalog.table(&t.table)) else {
+        return 0.0;
+    };
+    (table.stats.rows * table_selectivity(catalog, query, table_idx)).max(0.0)
+}
+
+/// Equi-join selectivity for a join edge: `1 / max(d_l, d_r)`. The key/FK
+/// case falls out naturally: the key side's distinct count equals its row
+/// count, giving the familiar `|child|` result cardinality.
+pub fn join_selectivity(catalog: &Catalog, query: &SpjQuery, left: &ColRef, right: &ColRef) -> f64 {
+    let d = |col: &ColRef| -> f64 {
+        resolve_column(catalog, query, col)
+            .and_then(|c| {
+                // Key columns: distinct = row count even if stats are stale.
+                let table = catalog.table(&query.tables[col.table].table)?;
+                if table.key.as_deref() == Some(col.column.as_str()) {
+                    Some(table.stats.rows.max(1.0))
+                } else {
+                    c.stats.distinct
+                }
+            })
+            .unwrap_or(10.0)
+    };
+    1.0 / d(left).max(d(right)).max(1.0)
+}
+
+/// Output row width (bytes) of the query's projection; with an empty
+/// projection, the sum of all table widths.
+pub fn output_width(catalog: &Catalog, query: &SpjQuery) -> f64 {
+    if query.projection.is_empty() {
+        query
+            .tables
+            .iter()
+            .filter_map(|t| catalog.table(&t.table))
+            .map(|t| t.row_width())
+            .sum()
+    } else {
+        query
+            .projection
+            .iter()
+            .filter_map(|c| resolve_column(catalog, query, c))
+            .map(|c| c.stats.avg_width)
+            .sum::<f64>()
+            .max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Range;
+    use legodb_relational::{ColumnStats, SqlType, TableDef};
+
+    fn catalog() -> Catalog {
+        let mut show = TableDef::new("Show");
+        show.columns = vec![
+            legodb_relational::ColumnDef::new("Show_id", SqlType::Int),
+            legodb_relational::ColumnDef::new("title", SqlType::Char(50)).with_stats(ColumnStats {
+                avg_width: 50.0,
+                distinct: Some(34798.0),
+                min: None,
+                max: None,
+                null_fraction: 0.0,
+            }),
+            legodb_relational::ColumnDef::new("year", SqlType::Int).with_stats(ColumnStats {
+                avg_width: 8.0,
+                distinct: Some(300.0),
+                min: Some(1800),
+                max: Some(2100),
+                null_fraction: 0.0,
+            }),
+        ];
+        show.key = Some("Show_id".into());
+        show.stats.rows = 34798.0;
+        let mut aka = TableDef::new("Aka");
+        aka.columns = vec![
+            legodb_relational::ColumnDef::new("Aka_id", SqlType::Int),
+            legodb_relational::ColumnDef::new("parent_Show", SqlType::Int).with_stats(ColumnStats {
+                avg_width: 8.0,
+                distinct: Some(10000.0),
+                min: None,
+                max: None,
+                null_fraction: 0.0,
+            }),
+        ];
+        aka.key = Some("Aka_id".into());
+        aka.stats.rows = 13641.0;
+        let mut c = Catalog::new();
+        c.add(show);
+        c.add(aka);
+        c
+    }
+
+    fn show_query() -> SpjQuery {
+        SpjQuery::single("Show", "s")
+    }
+
+    #[test]
+    fn equality_selectivity_uses_distincts() {
+        let c = catalog();
+        let q = show_query();
+        let f = FilterPred::eq(ColRef::new(0, "title"), "x");
+        let sel = filter_selectivity(&c, &q, &f);
+        assert!((sel - 1.0 / 34798.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let c = catalog();
+        let q = show_query();
+        let f = FilterPred::Between {
+            col: ColRef::new(0, "year"),
+            range: Range { lo: Some(Value::Int(1800)), hi: Some(Value::Int(1950)) },
+        };
+        let sel = filter_selectivity(&c, &q, &f);
+        assert!((sel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_ranges_split_the_domain() {
+        let c = catalog();
+        let q = show_query();
+        let f = FilterPred::Cmp {
+            col: ColRef::new(0, "year"),
+            op: CmpOp::Ge,
+            value: Value::Int(1950),
+        };
+        let sel = filter_selectivity(&c, &q, &f);
+        assert!((sel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_stats_fall_back() {
+        let c = catalog();
+        let q = show_query();
+        let f = FilterPred::eq(ColRef::new(0, "Show_id"), 5i64); // no distinct recorded
+        assert_eq!(filter_selectivity(&c, &q, &f), DEFAULT_EQ_SELECTIVITY);
+    }
+
+    #[test]
+    fn filters_multiply() {
+        let c = catalog();
+        let mut q = show_query();
+        q.filters.push(FilterPred::eq(ColRef::new(0, "title"), "x"));
+        q.filters.push(FilterPred::Cmp {
+            col: ColRef::new(0, "year"),
+            op: CmpOp::Ge,
+            value: Value::Int(1950),
+        });
+        let sel = table_selectivity(&c, &q, 0);
+        assert!((sel - 0.5 / 34798.0).abs() < 1e-12);
+        let card = filtered_cardinality(&c, &q, 0);
+        assert!((card - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fk_join_estimates_child_cardinality() {
+        let c = catalog();
+        let mut q = show_query();
+        let aka = q.add_table("Aka", "a");
+        let sel = join_selectivity(&c, &q, &ColRef::new(0, "Show_id"), &ColRef::new(aka, "parent_Show"));
+        // key side distinct = 34798 rows → join card = 34798 * 13641 / 34798 = 13641
+        let join_card = 34798.0 * 13641.0 * sel;
+        assert!((join_card - 13641.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn output_width_follows_projection() {
+        let c = catalog();
+        let mut q = show_query();
+        assert!(output_width(&c, &q) > 50.0); // whole table
+        q.projection = vec![ColRef::new(0, "year")];
+        assert_eq!(output_width(&c, &q), 8.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # legodb-optimizer
+//!
+//! A Volcano-style cost-based relational optimizer, standing in for the
+//! Bell Labs Volcano-variant the paper used ([12, 16]). LegoDB calls it to
+//! price each candidate relational configuration: the `rel(ps)` mapping
+//! turns a p-schema into a catalog with statistics, the XQuery workload is
+//! translated into [`query::Statement`]s, and this crate estimates each
+//! statement's cost with a model that — like the paper's — accounts for
+//! **seeks, data read, data written, and CPU time** (§5).
+//!
+//! The optimizer performs:
+//!
+//! - access-path selection (sequential scan vs. unclustered index scan,
+//!   under a configurable index assumption);
+//! - join-order enumeration: dynamic programming over connected subsets
+//!   (System-R style) with a greedy fallback for very large joins;
+//! - join-method selection (hash join, index nested-loop join, nested
+//!   loop for the rare non-equi case);
+//! - cardinality estimation from catalog statistics (equality selectivity
+//!   `1/distinct`, uniform range interpolation, FK-aware join
+//!   selectivity).
+//!
+//! Output is an executable [`legodb_relational::PhysicalPlan`] plus a
+//! [`cost::Cost`] breakdown, so estimates can be validated against the
+//! executor's observed counters (the analogue of the paper's ±10%
+//! SQL Server check).
+
+pub mod cost;
+pub mod estimate;
+pub mod optimize;
+pub mod query;
+
+pub use cost::{Cost, CostModel};
+pub use optimize::{optimize, optimize_statement, OptimizedPlan, OptimizerConfig, OptimizerError};
+pub use query::{ColRef, FilterPred, JoinPred, Range, SpjQuery, Statement, TableRef};

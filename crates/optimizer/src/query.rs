@@ -1,0 +1,306 @@
+//! The query representation the optimizer prices: select-project-join
+//! blocks with equality/range filters, optionally unioned.
+//!
+//! This is the target language of the XQuery→SQL translation (§3.3 of the
+//! paper, which delegates to Silkroute/XPERANTO-style algorithms; we build
+//! the needed subset directly). Every workload query in the paper's
+//! Appendix C compiles into one or more [`Statement`]s.
+
+use legodb_relational::{CmpOp, Value};
+use std::fmt;
+
+/// A table occurrence in the FROM clause (alias + base table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Alias, unique within the query (e.g. `s`, `a1`).
+    pub alias: String,
+    /// Base table name in the catalog.
+    pub table: String,
+}
+
+/// A reference to a column of the `i`-th table in the FROM list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Index into [`SpjQuery::tables`].
+    pub table: usize,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(table: usize, column: impl Into<String>) -> ColRef {
+        ColRef { table, column: column.into() }
+    }
+}
+
+/// An inclusive range bound pair for range filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    /// Lower bound (inclusive); `None` = unbounded.
+    pub lo: Option<Value>,
+    /// Upper bound (inclusive); `None` = unbounded.
+    pub hi: Option<Value>,
+}
+
+/// A single-table filter predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterPred {
+    /// `col op literal`.
+    Cmp {
+        /// The filtered column.
+        col: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare with.
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// The filtered column.
+        col: ColRef,
+        /// The range.
+        range: Range,
+    },
+}
+
+impl FilterPred {
+    /// Shorthand for an equality filter.
+    pub fn eq(col: ColRef, value: impl Into<Value>) -> FilterPred {
+        FilterPred::Cmp { col, op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// The column this predicate constrains.
+    pub fn col(&self) -> &ColRef {
+        match self {
+            FilterPred::Cmp { col, .. } | FilterPred::Between { col, .. } => col,
+        }
+    }
+}
+
+/// An equality join predicate between two tables' columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPred {
+    /// Left column.
+    pub left: ColRef,
+    /// Right column.
+    pub right: ColRef,
+}
+
+/// A select-project-join query block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpjQuery {
+    /// FROM list.
+    pub tables: Vec<TableRef>,
+    /// Equality join edges.
+    pub joins: Vec<JoinPred>,
+    /// Single-table filters.
+    pub filters: Vec<FilterPred>,
+    /// SELECT list; empty means `SELECT *` (all columns of all tables).
+    pub projection: Vec<ColRef>,
+}
+
+impl SpjQuery {
+    /// A single-table query with no predicates.
+    pub fn single(table: impl Into<String>, alias: impl Into<String>) -> SpjQuery {
+        SpjQuery {
+            tables: vec![TableRef { alias: alias.into(), table: table.into() }],
+            ..SpjQuery::default()
+        }
+    }
+
+    /// Add a table; returns its index for building [`ColRef`]s.
+    pub fn add_table(&mut self, table: impl Into<String>, alias: impl Into<String>) -> usize {
+        self.tables.push(TableRef { alias: alias.into(), table: table.into() });
+        self.tables.len() - 1
+    }
+
+    /// Add an equality join edge.
+    pub fn add_join(&mut self, left: ColRef, right: ColRef) {
+        self.joins.push(JoinPred { left, right });
+    }
+
+    /// Render as SQL text.
+    pub fn to_sql(&self) -> String {
+        let select = if self.projection.is_empty() {
+            "*".to_string()
+        } else {
+            self.projection
+                .iter()
+                .map(|c| format!("{}.{}", self.tables[c.table].alias, c.column))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let from = self
+            .tables
+            .iter()
+            .map(|t| format!("{} {}", t.table, t.alias))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut conditions: Vec<String> = Vec::new();
+        for j in &self.joins {
+            conditions.push(format!(
+                "{}.{} = {}.{}",
+                self.tables[j.left.table].alias,
+                j.left.column,
+                self.tables[j.right.table].alias,
+                j.right.column
+            ));
+        }
+        for f in &self.filters {
+            match f {
+                FilterPred::Cmp { col, op, value } => conditions.push(format!(
+                    "{}.{} {} {}",
+                    self.tables[col.table].alias, col.column, op, value
+                )),
+                FilterPred::Between { col, range } => {
+                    let alias = &self.tables[col.table].alias;
+                    match (&range.lo, &range.hi) {
+                        (Some(lo), Some(hi)) => conditions
+                            .push(format!("{alias}.{} BETWEEN {lo} AND {hi}", col.column)),
+                        (Some(lo), None) => {
+                            conditions.push(format!("{alias}.{} >= {lo}", col.column))
+                        }
+                        (None, Some(hi)) => {
+                            conditions.push(format!("{alias}.{} <= {hi}", col.column))
+                        }
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+        let mut sql = format!("SELECT {select} FROM {from}");
+        if !conditions.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&conditions.join(" AND "));
+        }
+        sql
+    }
+}
+
+impl fmt::Display for SpjQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+/// A complete SQL statement: one SPJ block or a `UNION ALL` of blocks.
+///
+/// Union statements arise when a logical XML collection is horizontally
+/// partitioned across tables (the paper's union-distribution rewriting:
+/// a query over `show` becomes the union of subqueries over `Show_Part1`
+/// and `Show_Part2`, §5.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A single SPJ block.
+    Select(SpjQuery),
+    /// `UNION ALL` over blocks.
+    UnionAll(Vec<SpjQuery>),
+}
+
+impl Statement {
+    /// The blocks of this statement.
+    pub fn blocks(&self) -> &[SpjQuery] {
+        match self {
+            Statement::Select(q) => std::slice::from_ref(q),
+            Statement::UnionAll(qs) => qs,
+        }
+    }
+
+    /// Normalize: a union of one block is a plain select.
+    pub fn from_blocks(mut blocks: Vec<SpjQuery>) -> Statement {
+        if blocks.len() == 1 {
+            Statement::Select(blocks.pop().expect("len checked"))
+        } else {
+            Statement::UnionAll(blocks)
+        }
+    }
+
+    /// Render as SQL text.
+    pub fn to_sql(&self) -> String {
+        match self {
+            Statement::Select(q) => q.to_sql(),
+            Statement::UnionAll(qs) => qs
+                .iter()
+                .map(SpjQuery::to_sql)
+                .collect::<Vec<_>>()
+                .join("\nUNION ALL\n"),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup_query() -> SpjQuery {
+        let mut q = SpjQuery::single("Show", "s");
+        let aka = q.add_table("Aka", "a");
+        q.add_join(ColRef::new(0, "Show_id"), ColRef::new(aka, "parent_Show"));
+        q.filters.push(FilterPred::eq(ColRef::new(0, "title"), "The Fugitive"));
+        q.projection = vec![ColRef::new(aka, "aka")];
+        q
+    }
+
+    #[test]
+    fn sql_rendering_select_from_where() {
+        let sql = lookup_query().to_sql();
+        assert_eq!(
+            sql,
+            "SELECT a.aka FROM Show s, Aka a WHERE s.Show_id = a.parent_Show AND s.title = 'The Fugitive'"
+        );
+    }
+
+    #[test]
+    fn star_projection_when_empty() {
+        let q = SpjQuery::single("Show", "s");
+        assert_eq!(q.to_sql(), "SELECT * FROM Show s");
+    }
+
+    #[test]
+    fn between_renders_bounds() {
+        let mut q = SpjQuery::single("Show", "s");
+        q.filters.push(FilterPred::Between {
+            col: ColRef::new(0, "year"),
+            range: Range { lo: Some(Value::Int(1990)), hi: Some(Value::Int(1999)) },
+        });
+        assert!(q.to_sql().contains("s.year BETWEEN 1990 AND 1999"));
+        let mut q = SpjQuery::single("Show", "s");
+        q.filters.push(FilterPred::Between {
+            col: ColRef::new(0, "year"),
+            range: Range { lo: Some(Value::Int(1990)), hi: None },
+        });
+        assert!(q.to_sql().contains("s.year >= 1990"));
+    }
+
+    #[test]
+    fn union_all_rendering() {
+        let s = Statement::UnionAll(vec![
+            SpjQuery::single("Show_Part1", "s"),
+            SpjQuery::single("Show_Part2", "s"),
+        ]);
+        let sql = s.to_sql();
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("Show_Part1"));
+        assert!(sql.contains("Show_Part2"));
+    }
+
+    #[test]
+    fn from_blocks_normalizes_singletons() {
+        let s = Statement::from_blocks(vec![SpjQuery::single("T", "t")]);
+        assert!(matches!(s, Statement::Select(_)));
+        assert_eq!(s.blocks().len(), 1);
+        let s = Statement::from_blocks(vec![
+            SpjQuery::single("A", "a"),
+            SpjQuery::single("B", "b"),
+        ]);
+        assert!(matches!(s, Statement::UnionAll(_)));
+        assert_eq!(s.blocks().len(), 2);
+    }
+}

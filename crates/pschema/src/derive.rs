@@ -1,0 +1,314 @@
+//! Deriving an initial p-schema from an arbitrary schema (§3.1: "any XML
+//! Schema has an equivalent physical schema").
+//!
+//! Two starting points, matching the paper's two greedy variants (§5.2):
+//!
+//! - [`InlineStyle::Outlined`] — *greedy-so*'s start: every element (except
+//!   attributes and the type's own top element) is outlined into its own
+//!   named type, i.e. its own relation;
+//! - [`InlineStyle::Inlined`] — *greedy-si*'s start: every single-valued,
+//!   non-recursive type reference is inlined; only multi-valued elements,
+//!   union alternatives, and recursive types keep their own names (this is
+//!   the inline-as-much-as-possible heuristic of Shanmugasundaram et al).
+//!
+//! Both produce a schema that validates exactly the same documents as the
+//! input (the property tests check this) and satisfies the stratified
+//! grammar.
+
+use crate::stratify::PSchema;
+use legodb_schema::{NameTest, Schema, Type, TypeName};
+
+/// Which extreme of the inline/outline spectrum to start from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlineStyle {
+    /// Outline everything outlineable (PS0 for *greedy-so*).
+    Outlined,
+    /// Inline everything inlineable (PS0 for *greedy-si*).
+    Inlined,
+}
+
+/// Derive an equivalent p-schema from `schema` in the requested style.
+///
+/// # Panics
+/// Never for well-formed inputs: the rewriting produces stratified schemas
+/// by construction; the final `PSchema::try_new` is a checked assertion of
+/// that invariant.
+pub fn derive_pschema(schema: &Schema, style: InlineStyle) -> PSchema {
+    let mut d = Deriver { schema: schema.clone(), style };
+    let names: Vec<TypeName> = d.schema.names().cloned().collect();
+    for name in names {
+        let def = d.schema.get(&name).expect("iterating existing names").clone();
+        let is_recursive = d.schema.is_recursive(&name);
+        let rewritten = d.rewrite(def, Ctx::Top, is_recursive);
+        d.schema.set(name, rewritten);
+    }
+    let mut schema = d.schema;
+    schema.garbage_collect();
+    PSchema::try_new(schema).expect("derivation yields a stratified schema")
+}
+
+/// Rewriting context: where in the type tree we are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    /// At the top of a named type's definition (the type's own element may
+    /// stay in place).
+    Top,
+    /// Inside a definition (elements here are candidates for outlining).
+    Nested,
+    /// Directly inside a multi-valued repetition or a union: only type
+    /// references may live here.
+    NamedLayer,
+}
+
+struct Deriver {
+    schema: Schema,
+    style: InlineStyle,
+}
+
+impl Deriver {
+    fn rewrite(&mut self, ty: Type, ctx: Ctx, in_recursive: bool) -> Type {
+        match ty {
+            // A bare scalar in a repetition/union must be named (the
+            // paper's `AnyScalar` companion to `AnyElement`).
+            Type::Scalar { .. } if ctx == Ctx::NamedLayer => self.outline(ty, Some("AnyScalar")),
+            Type::Empty | Type::Scalar { .. } | Type::Attribute { .. } => ty,
+            Type::Element { name, content } => {
+                let rewritten = Type::Element {
+                    name: name.clone(),
+                    content: Box::new(self.rewrite(*content, Ctx::Nested, in_recursive)),
+                };
+                match (self.style, ctx) {
+                    // greedy-so: every nested element becomes its own type.
+                    (InlineStyle::Outlined, Ctx::Nested | Ctx::NamedLayer) => {
+                        self.outline(rewritten, None)
+                    }
+                    // Multi-valued/union positions must be outlined in
+                    // either style.
+                    (InlineStyle::Inlined, Ctx::NamedLayer) => self.outline(rewritten, None),
+                    _ => rewritten,
+                }
+            }
+            Type::Seq(items) => {
+                let rewritten =
+                    Type::seq(items.into_iter().map(|t| self.rewrite(t, Ctx::Nested, in_recursive)));
+                if ctx == Ctx::NamedLayer {
+                    self.outline(rewritten, None)
+                } else {
+                    rewritten
+                }
+            }
+            Type::Choice(items) => {
+                // Union alternatives live in the named layer.
+                let alts: Vec<Type> = items
+                    .into_iter()
+                    .map(|t| self.rewrite(t, Ctx::NamedLayer, in_recursive))
+                    .collect();
+                Type::choice(alts)
+            }
+            Type::Rep { inner, occurs, avg_count } => {
+                if occurs.multi_valued() {
+                    let inner = self.rewrite(*inner, Ctx::NamedLayer, in_recursive);
+                    Type::rep_with_count(inner, occurs, avg_count)
+                } else {
+                    // The optional layer stays in the column world...
+                    let inner = self.rewrite(*inner, Ctx::Nested, in_recursive);
+                    // ...unless the whole optional group must be named.
+                    let rebuilt = Type::rep_with_count(inner, occurs, avg_count);
+                    if ctx == Ctx::NamedLayer {
+                        self.outline(rebuilt, None)
+                    } else {
+                        rebuilt
+                    }
+                }
+            }
+            Type::Ref(name) => match self.style {
+                InlineStyle::Outlined => Type::Ref(name),
+                InlineStyle::Inlined => {
+                    // Inline single-use, non-recursive references that sit
+                    // in the column world. References in the named layer
+                    // must stay references.
+                    if ctx == Ctx::NamedLayer
+                        || in_recursive
+                        || self.schema.is_recursive(&name)
+                        || self.schema.reference_count(&name) > 1
+                    {
+                        Type::Ref(name)
+                    } else {
+                        let def = self.schema.get(&name).expect("checked schema").clone();
+                        self.rewrite(def, ctx, in_recursive)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Create a fresh named type for `ty` and return a reference to it.
+    fn outline(&mut self, ty: Type, stem_hint: Option<&str>) -> Type {
+        let stem = stem_hint.map(str::to_string).unwrap_or_else(|| name_stem(&ty));
+        let name = self.schema.fresh_name(&stem);
+        // The new definition's content is already rewritten; it only needs
+        // registering.
+        self.schema.set(name.clone(), ty);
+        Type::Ref(name)
+    }
+}
+
+/// A readable type-name stem for an outlined structure: the element name
+/// capitalized, `Any` for wildcards, the first element's stem for groups.
+fn name_stem(ty: &Type) -> String {
+    match ty {
+        Type::Element { name: NameTest::Name(n), .. } => capitalize(n),
+        Type::Element { name: NameTest::Any, .. } => "Any".to_string(),
+        Type::Element { name: NameTest::AnyExcept(ex), .. } => {
+            format!("AnyBut{}", ex.first().map(|e| capitalize(e)).unwrap_or_default())
+        }
+        Type::Seq(items) => items.first().map(name_stem).map(|s| format!("{s}Grp")).unwrap_or_else(|| "Grp".into()),
+        Type::Rep { inner, .. } => name_stem(inner),
+        _ => "T".to_string(),
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_schema::gen::{generate, GenConfig};
+    use legodb_schema::parse_schema;
+    use legodb_schema::validate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn imdb_like() -> Schema {
+        parse_schema(
+            "type IMDB = imdb[ Show{0,*}<#3> ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                aka[ String ]{1,10}, review[ ~[ String ] ]{0,*}<#2>,
+                                ( Movie | TV ) ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ],
+                       episode[ name[ String ], guest_director[ String ] ]{0,*}",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outlined_style_creates_a_type_per_element() {
+        let p = derive_pschema(&imdb_like(), InlineStyle::Outlined);
+        let s = p.schema();
+        // title, year, aka, review, box_office, video_sales, seasons,
+        // description, episode (and its children) all get their own types.
+        assert!(s.get_str("Title").is_some(), "{s}");
+        assert!(s.get_str("Year").is_some());
+        assert!(s.get_str("Aka").is_some());
+        assert!(s.get_str("Box_office").is_some());
+        assert!(s.len() >= 12, "got {} types:\n{s}", s.len());
+    }
+
+    #[test]
+    fn inlined_style_keeps_only_forced_types() {
+        let p = derive_pschema(&imdb_like(), InlineStyle::Inlined);
+        let s = p.schema();
+        // Forced: root, Show (multi-valued), Aka (multi-valued),
+        // Review (multi-valued), Movie/TV (union alternatives),
+        // Episode (multi-valued). Not a type: title, year, seasons...
+        assert!(s.get_str("Title").is_none(), "{s}");
+        assert!(s.get_str("Movie").is_some());
+        assert!(s.get_str("TV").is_some());
+        assert!(s.len() <= 8, "got {} types:\n{s}", s.len());
+    }
+
+    #[test]
+    fn both_styles_accept_the_same_documents() {
+        let schema = imdb_like();
+        let outlined = derive_pschema(&schema, InlineStyle::Outlined);
+        let inlined = derive_pschema(&schema, InlineStyle::Inlined);
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..40 {
+            let doc = generate(&schema, &mut rng, &GenConfig::default());
+            assert!(
+                validate(&schema, &doc).is_ok(),
+                "doc {i} invalid under source schema"
+            );
+            assert!(
+                validate(outlined.schema(), &doc).is_ok(),
+                "doc {i} invalid under outlined p-schema:\n{}\n{}",
+                outlined.schema(),
+                doc.to_xml_pretty()
+            );
+            assert!(
+                validate(inlined.schema(), &doc).is_ok(),
+                "doc {i} invalid under inlined p-schema:\n{}\n{}",
+                inlined.schema(),
+                doc.to_xml_pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_types_survive_both_styles() {
+        let schema = parse_schema(
+            "type Doc = doc[ AnyElement{0,*} ]
+             type AnyElement = ~[ (AnyElement | String){0,*} ]",
+        )
+        .unwrap();
+        let outlined = derive_pschema(&schema, InlineStyle::Outlined);
+        assert!(outlined.schema().is_recursive(&TypeName::new("AnyElement")));
+        let inlined = derive_pschema(&schema, InlineStyle::Inlined);
+        assert!(inlined.schema().is_recursive(&TypeName::new("AnyElement")));
+    }
+
+    #[test]
+    fn shared_types_are_not_inlined() {
+        let schema = parse_schema(
+            "type Root = root[ a[ Name ], b[ Name ] ]
+             type Name = name[ String ]",
+        )
+        .unwrap();
+        let inlined = derive_pschema(&schema, InlineStyle::Inlined);
+        // Name is referenced twice; inlining it would drop a shared table.
+        assert!(inlined.schema().get_str("Name").is_some());
+    }
+
+    #[test]
+    fn avg_count_annotations_survive() {
+        let p = derive_pschema(&imdb_like(), InlineStyle::Inlined);
+        let mut found = false;
+        for (_, ty) in p.schema().iter() {
+            ty.visit(&mut |t| {
+                if let Type::Rep { avg_count: Some(c), .. } = t {
+                    if (*c - 3.0).abs() < f64::EPSILON {
+                        found = true;
+                    }
+                }
+            });
+        }
+        assert!(found, "Show{{0,*}}<#3> annotation lost:\n{}", p.schema());
+    }
+
+    #[test]
+    fn derivation_is_idempotent_on_pschemas() {
+        let schema = imdb_like();
+        let once = derive_pschema(&schema, InlineStyle::Inlined);
+        let twice = derive_pschema(once.schema(), InlineStyle::Inlined);
+        assert_eq!(once.schema().len(), twice.schema().len());
+    }
+
+    #[test]
+    fn union_to_options_optional_groups_stay_inline() {
+        let schema = parse_schema(
+            "type Show = show [ title[ String ],
+                                (box_office[ Integer ], video_sales[ Integer ])? ]",
+        )
+        .unwrap();
+        let p = derive_pschema(&schema, InlineStyle::Inlined);
+        // The optional group maps to nullable columns, not a new type.
+        assert_eq!(p.schema().len(), 1, "{}", p.schema());
+    }
+}

@@ -1,0 +1,42 @@
+//! # legodb-pschema
+//!
+//! Physical XML Schemas (*p-schemas*) and the fixed mapping into relations
+//! — §3 of the LegoDB paper.
+//!
+//! A p-schema is an XML Schema restricted to the paper's *stratified*
+//! grammar (Figure 9): named types contain only structures that map
+//! directly to one relation each — singleton/nested/optional elements
+//! become columns, while repetitions and unions may contain only type
+//! *references* (each becoming a child table with a foreign key).
+//!
+//! This crate provides:
+//!
+//! - [`PSchema`]: a validated p-schema ([`stratify`] enforces Figure 9);
+//! - [`derive_pschema`]: turn *any* schema into an equivalent p-schema,
+//!   either maximally outlined (the paper's PS0 used by *greedy-so*) or
+//!   maximally inlined (the *greedy-si* start, [19]'s heuristic);
+//! - [`rel`]: the fixed mapping of Table 1 — one relation per type name,
+//!   key and `parent_T` foreign-key columns, flattened data columns,
+//!   nullability from the optional layer, `tilde` columns for wildcards —
+//!   including the translation of XML path statistics into relational
+//!   catalog statistics;
+//! - [`shred`]: load an XML document into the mapped database;
+//! - [`publish`]: reconstruct XML from the mapped database (round-trips
+//!   with `shred`).
+//!
+//! Statistics are kept keyed by *document label paths* (as collected by
+//! `legodb-xml`), not embedded in the schema: label paths are invariant
+//! under all of LegoDB's semantics-preserving schema transformations, so
+//! one statistics set prices every candidate configuration.
+
+pub mod derive;
+pub mod mapping;
+pub mod publish;
+pub mod shred;
+pub mod stratify;
+
+pub use derive::{derive_pschema, InlineStyle};
+pub use mapping::{rel, ColumnTarget, Mapping, TableMapping};
+pub use publish::publish_all;
+pub use shred::shred;
+pub use stratify::{PSchema, StratifyError};

@@ -1,0 +1,926 @@
+//! The fixed mapping `rel(ps)` from p-schemas to relational schemas
+//! (paper §3.2, Table 1), including the translation of XML path
+//! statistics into relational catalog statistics.
+//!
+//! Per named type `T`:
+//! - one relation `T` with key column `T_id`;
+//! - a foreign-key column `parent_PT` for every parent type `PT`
+//!   (types whose definition references `T`);
+//! - one column per reachable scalar position in `T`'s definition, with
+//!   underscore-joined names for nested elements (`biography_birthday`);
+//! - columns under the optional layer are nullable;
+//! - wildcard elements contribute a `tilde` column holding the actual tag
+//!   name (Table 1's `~` row);
+//! - scalar-only types get a `__data` column.
+//!
+//! Statistics are translated by locating each type's *occurrence paths*
+//! (absolute document label paths of its anchor element) and reading the
+//! path-keyed [`Statistics`] there: occurrence counts become table
+//! cardinalities, text sizes become column widths, min/max/distinct carry
+//! over, and missing optional members become null fractions.
+
+use crate::stratify::PSchema;
+use legodb_relational::{
+    Catalog, ColumnDef, ColumnStats, ForeignKey, SqlType, TableDef,
+};
+use legodb_schema::{NameTest, ScalarKind, ScalarStats, Schema, Type, TypeName};
+use legodb_xml::stats::{Path, Statistics};
+use std::collections::BTreeMap;
+
+/// The pseudo path step for the content of a wildcard element. Translated
+/// to `TILDE` (the paper's Appendix A convention) for statistics lookups.
+pub const ANY_STEP: &str = "#any";
+/// The pseudo path step addressing a wildcard element's *name* column.
+pub const TILDE_STEP: &str = "#tilde";
+
+/// Where a column's value lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnTarget {
+    /// Column name in the type's table.
+    pub column: String,
+    /// Scalar kind stored there (`#tilde` columns are strings).
+    pub kind: ScalarKind,
+    /// Whether the column may be NULL.
+    pub nullable: bool,
+}
+
+/// How a type instance is anchored in the document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// The type's definition is an element: instances are those elements.
+    OwnElement,
+    /// The type's definition is a sequence/group: instances live inside
+    /// the *parent's* element (e.g. `type Movie = box_office[..], ...`).
+    ParentElement,
+}
+
+/// One site where a type occurs in documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Occurrence {
+    /// Absolute label path of the anchor element.
+    pub path: Path,
+    /// Anchoring mode.
+    pub anchor: Anchor,
+    /// The `<#count>` annotation of the enclosing repetition, if the site
+    /// sits inside one. Annotations are *positional* information that path
+    /// statistics cannot carry (e.g. after a repetition split, the table
+    /// holds one fewer occurrence per parent than the path count says),
+    /// so they take precedence over path counts.
+    pub rep_avg: Option<f64>,
+}
+
+/// Relational mapping of one type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableMapping {
+    /// The mapped type.
+    pub type_name: TypeName,
+    /// Table name (currently the type name).
+    pub table: String,
+    /// Key column name (`T_id`).
+    pub key: String,
+    /// Parent type → foreign-key column name.
+    pub parent_fk: BTreeMap<TypeName, String>,
+    /// Relative path (steps from the anchor element) → column.
+    /// The empty path addresses the anchor element's own scalar content.
+    pub columns: BTreeMap<Vec<String>, ColumnTarget>,
+    /// Document sites where instances occur.
+    pub occurrences: Vec<Occurrence>,
+}
+
+impl TableMapping {
+    /// Look up the column for a relative path.
+    pub fn column(&self, rel_path: &[String]) -> Option<&ColumnTarget> {
+        self.columns.get(rel_path)
+    }
+}
+
+/// The full mapping: p-schema + catalog + per-type table mappings.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// The source p-schema.
+    pub pschema: PSchema,
+    /// The generated relational catalog (definitions + statistics).
+    pub catalog: Catalog,
+    /// Per-type mapping detail, keyed by type name.
+    pub tables: BTreeMap<TypeName, TableMapping>,
+}
+
+impl Mapping {
+    /// The table mapping for a type.
+    pub fn table(&self, ty: &TypeName) -> Option<&TableMapping> {
+        self.tables.get(ty)
+    }
+
+    /// The root type.
+    pub fn root(&self) -> &TypeName {
+        self.pschema.root()
+    }
+}
+
+/// Apply the fixed mapping to a p-schema, translating `stats` into the
+/// relational catalog.
+pub fn rel(pschema: &PSchema, stats: &Statistics) -> Mapping {
+    let schema = pschema.schema();
+    let occurrences = discover_occurrences(schema);
+    let mut catalog = Catalog::new();
+    let mut tables = BTreeMap::new();
+
+    for name in schema.names() {
+        let def = schema.get(name).expect("iterating names");
+        let occs = occurrences.get(name).cloned().unwrap_or_default();
+        let (table_def, table_mapping) = build_table(schema, name, def, &occs, stats);
+        catalog.add(table_def);
+        tables.insert(name.clone(), table_mapping);
+    }
+
+    Mapping { pschema: pschema.clone(), catalog, tables }
+}
+
+/// The anchor step contributed by a type's top element (`None` for
+/// sequence-shaped types, `TILDE` for wildcard elements).
+fn anchor_step(def: &Type) -> Option<String> {
+    match def {
+        Type::Element { name, .. } => Some(match name {
+            NameTest::Name(n) => n.clone(),
+            NameTest::Any | NameTest::AnyExcept(_) => "TILDE".to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// Walk the schema from the root, recording each type's occurrence paths.
+fn discover_occurrences(schema: &Schema) -> BTreeMap<TypeName, Vec<Occurrence>> {
+    let mut out: BTreeMap<TypeName, Vec<Occurrence>> = BTreeMap::new();
+    // (type, anchor path) pairs pending exploration.
+    let root = schema.root().clone();
+    let root_def = schema.root_type();
+    let root_anchor = match anchor_step(root_def) {
+        Some(step) => Path::new([step]),
+        None => Path::new(Vec::<String>::new()),
+    };
+    let root_occ = Occurrence {
+        path: root_anchor,
+        anchor: if matches!(root_def, Type::Element { .. }) {
+            Anchor::OwnElement
+        } else {
+            Anchor::ParentElement
+        },
+        rep_avg: None,
+    };
+    let mut queue = vec![(root.clone(), root_occ.clone())];
+    out.entry(root).or_default().push(root_occ);
+
+    while let Some((name, occ)) = queue.pop() {
+        let Some(def) = schema.get(&name) else { continue };
+        // Walk inside the definition; the current element path starts at
+        // the anchor.
+        walk_refs(def, &occ.path, true, None, &mut |child: &TypeName, path: &Path, rep_avg| {
+            let child_def = schema.get(child).expect("checked schema");
+            let child_occ = match anchor_step(child_def) {
+                Some(step) => {
+                    Occurrence { path: path.child(step), anchor: Anchor::OwnElement, rep_avg }
+                }
+                None => Occurrence { path: path.clone(), anchor: Anchor::ParentElement, rep_avg },
+            };
+            let known = out.entry(child.clone()).or_default();
+            if !known.contains(&child_occ) {
+                // Bound the bookkeeping on recursive schemas: beyond a few
+                // distinct sites the extra paths add no information.
+                if known.len() < 8 {
+                    known.push(child_occ.clone());
+                    queue.push((child.clone(), child_occ));
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Visit each `Ref` in `ty` with the element path at which it occurs.
+/// `at_top` skips the definition's own top element (its name is already in
+/// the anchor path).
+fn walk_refs(
+    ty: &Type,
+    path: &Path,
+    at_top: bool,
+    rep_avg: Option<f64>,
+    visit: &mut impl FnMut(&TypeName, &Path, Option<f64>),
+) {
+    match ty {
+        Type::Empty | Type::Scalar { .. } | Type::Attribute { .. } => {}
+        Type::Element { name, content } => {
+            if at_top {
+                walk_refs(content, path, false, None, visit);
+            } else {
+                let step = match name {
+                    NameTest::Name(n) => n.clone(),
+                    _ => "TILDE".to_string(),
+                };
+                let child_path = path.child(step);
+                walk_refs(content, &child_path, false, None, visit);
+            }
+        }
+        Type::Seq(items) | Type::Choice(items) => {
+            for item in items {
+                walk_refs(item, path, false, rep_avg, visit);
+            }
+        }
+        Type::Rep { inner, avg_count, .. } => {
+            walk_refs(inner, path, false, avg_count.or(rep_avg), visit)
+        }
+        Type::Ref(name) => visit(name, path, rep_avg),
+    }
+}
+
+/// A column being accumulated during flattening.
+struct PendingColumn {
+    name_parts: Vec<String>,
+    rel_path: Vec<String>,
+    kind: ScalarKind,
+    annotated: ScalarStats,
+    nullable: bool,
+}
+
+/// Build one table definition + mapping for a type.
+fn build_table(
+    schema: &Schema,
+    name: &TypeName,
+    def: &Type,
+    occurrences: &[Occurrence],
+    stats: &Statistics,
+) -> (TableDef, TableMapping) {
+    let mut table = TableDef::new(name.as_str());
+    let key = format!("{name}_id");
+
+    // Table cardinality first: column null fractions are relative to it.
+    let rows = estimate_rows(schema, def, occurrences, stats);
+    table.stats.rows = rows;
+
+    // Key column.
+    let key_col = ColumnDef::new(&key, SqlType::Int).with_stats(ColumnStats {
+        avg_width: 8.0,
+        distinct: Some(rows.max(1.0)),
+        min: Some(0),
+        max: Some(rows.max(1.0) as i64),
+        null_fraction: 0.0,
+    });
+    table.columns.push(key_col);
+    table.key = Some(key.clone());
+
+    // Foreign keys to parents.
+    let parents = schema.parents_of(name);
+    let multi_parent = parents.len() > 1;
+    let mut parent_fk = BTreeMap::new();
+    for parent in &parents {
+        let fk_name = format!("parent_{parent}");
+        let parent_rows = 1.0_f64.max(
+            // Parents may not be built yet; estimate from their own
+            // occurrence statistics on demand.
+            estimate_rows(
+                schema,
+                schema.get(parent).expect("checked schema"),
+                &discover_occurrences(schema).get(parent).cloned().unwrap_or_default(),
+                stats,
+            ),
+        );
+        let mut col = ColumnDef::new(&fk_name, SqlType::Int).with_stats(ColumnStats {
+            avg_width: 8.0,
+            distinct: Some(parent_rows),
+            min: None,
+            max: None,
+            null_fraction: if multi_parent { 0.5 } else { 0.0 },
+        });
+        if multi_parent {
+            col = col.nullable();
+        }
+        table.columns.push(col);
+        table.foreign_keys.push(ForeignKey {
+            column: fk_name.clone(),
+            parent_table: parent.to_string(),
+        });
+        parent_fk.insert(parent.clone(), fk_name);
+    }
+
+    // Data columns from flattening the definition.
+    let mut pending = Vec::new();
+    let anchor_name = match def {
+        Type::Element { name: NameTest::Name(n), content } => {
+            flatten(content, &mut Vec::new(), &mut Vec::new(), false, &mut pending);
+            Some(n.clone())
+        }
+        Type::Element { name: _, content } => {
+            // Wildcard anchor: a `tilde` column for the tag name.
+            pending.push(PendingColumn {
+                name_parts: vec!["tilde".into()],
+                rel_path: vec![TILDE_STEP.into()],
+                kind: ScalarKind::String,
+                annotated: ScalarStats::none(),
+                nullable: false,
+            });
+            flatten(content, &mut Vec::new(), &mut Vec::new(), false, &mut pending);
+            None
+        }
+        other => {
+            flatten(other, &mut Vec::new(), &mut Vec::new(), false, &mut pending);
+            None
+        }
+    };
+
+    let mut columns_map = BTreeMap::new();
+    let mut used: BTreeMap<String, usize> = BTreeMap::new();
+    for col in pending {
+        let base_name = if col.name_parts.is_empty() {
+            anchor_name.clone().unwrap_or_else(|| "__data".to_string())
+        } else {
+            col.name_parts.join("_")
+        };
+        // Avoid clashes with the key/FK columns and among data columns.
+        let mut column_name = base_name.clone();
+        if table.column(&column_name).is_some() || used.contains_key(&column_name) {
+            let n = used.entry(base_name.clone()).or_insert(1);
+            *n += 1;
+            column_name = format!("{base_name}_{n}");
+        }
+        used.entry(column_name.clone()).or_insert(1);
+
+        let col_stats = column_stats(&col, occurrences, stats, rows);
+        let ty = sql_type(col.kind, &col_stats);
+        let mut def = ColumnDef::new(&column_name, ty).with_stats(col_stats);
+        if col.nullable {
+            def = def.nullable();
+        }
+        table.columns.push(def);
+        columns_map.insert(
+            col.rel_path,
+            ColumnTarget { column: column_name, kind: col.kind, nullable: col.nullable },
+        );
+    }
+
+    let mapping = TableMapping {
+        type_name: name.clone(),
+        table: name.to_string(),
+        key,
+        parent_fk,
+        columns: columns_map,
+        occurrences: occurrences.to_vec(),
+    };
+    (table, mapping)
+}
+
+/// Flatten a physical-type expression into pending columns.
+fn flatten(
+    ty: &Type,
+    name_parts: &mut Vec<String>,
+    rel_path: &mut Vec<String>,
+    nullable: bool,
+    out: &mut Vec<PendingColumn>,
+) {
+    match ty {
+        Type::Empty => {}
+        Type::Scalar { kind, stats } => out.push(PendingColumn {
+            name_parts: name_parts.clone(),
+            rel_path: rel_path.clone(),
+            kind: *kind,
+            annotated: stats.clone(),
+            nullable,
+        }),
+        Type::Attribute { name, content } => {
+            let (kind, annotated) = scalar_of(content);
+            name_parts.push(name.clone());
+            rel_path.push(format!("@{name}"));
+            out.push(PendingColumn {
+                name_parts: name_parts.clone(),
+                rel_path: rel_path.clone(),
+                kind,
+                annotated,
+                nullable,
+            });
+            name_parts.pop();
+            rel_path.pop();
+        }
+        Type::Element { name, content } => match name {
+            NameTest::Name(n) => {
+                name_parts.push(n.clone());
+                rel_path.push(n.clone());
+                flatten(content, name_parts, rel_path, nullable, out);
+                name_parts.pop();
+                rel_path.pop();
+            }
+            NameTest::Any | NameTest::AnyExcept(_) => {
+                // Inlined wildcard element: a name column + content columns.
+                // The tilde path is `[.., #any, #tilde]`: navigate into the
+                // wildcard child, then read its tag name.
+                rel_path.push(ANY_STEP.into());
+                name_parts.push("tilde".into());
+                rel_path.push(TILDE_STEP.into());
+                out.push(PendingColumn {
+                    name_parts: name_parts.clone(),
+                    rel_path: rel_path.clone(),
+                    kind: ScalarKind::String,
+                    annotated: ScalarStats::none(),
+                    nullable,
+                });
+                name_parts.pop();
+                rel_path.pop();
+                name_parts.push("data".into());
+                flatten(content, name_parts, rel_path, nullable, out);
+                name_parts.pop();
+                rel_path.pop();
+            }
+        },
+        Type::Seq(items) => {
+            for item in items {
+                flatten(item, name_parts, rel_path, nullable, out);
+            }
+        }
+        Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => {
+            // Optional layer: nullable columns.
+            flatten(inner, name_parts, rel_path, true, out);
+        }
+        // Child tables: no columns here.
+        Type::Rep { .. } | Type::Choice(_) | Type::Ref(_) => {}
+    }
+}
+
+/// The scalar kind (and annotations) of an attribute's content.
+fn scalar_of(ty: &Type) -> (ScalarKind, ScalarStats) {
+    match ty {
+        Type::Scalar { kind, stats } => (*kind, stats.clone()),
+        Type::Choice(items) => items.first().map(scalar_of).unwrap_or((ScalarKind::String, ScalarStats::none())),
+        Type::Rep { inner, .. } => scalar_of(inner),
+        _ => (ScalarKind::String, ScalarStats::none()),
+    }
+}
+
+/// Translate a relative path to the statistics path convention:
+/// `#any` → `TILDE`, `#tilde` is dropped (the name column has no direct
+/// statistics path), attributes keep their `@`.
+fn stats_steps(rel_path: &[String]) -> Option<Vec<String>> {
+    let mut out = Vec::new();
+    for step in rel_path {
+        if step == TILDE_STEP {
+            return None;
+        }
+        if step == ANY_STEP {
+            out.push("TILDE".to_string());
+        } else {
+            out.push(step.clone());
+        }
+    }
+    Some(out)
+}
+
+/// Occurrence count of a path, with the wildcard-exclusion adjustment:
+/// for a `~!a,b` anchor, the count is the TILDE total minus the named
+/// exclusions (when those are recorded).
+fn path_count(stats: &Statistics, path: &Path) -> Option<f64> {
+    stats.get_path(path).and_then(|s| s.count).map(|c| c as f64)
+}
+
+/// Estimated instance count of a type from its occurrences.
+fn estimate_rows(
+    schema: &Schema,
+    def: &Type,
+    occurrences: &[Occurrence],
+    stats: &Statistics,
+) -> f64 {
+    let mut total = 0.0;
+    let mut any = false;
+    for occ in occurrences {
+        // An explicit `<#count>` annotation on the enclosing repetition is
+        // positional information path statistics cannot express; it wins.
+        if let Some(avg) = occ.rep_avg {
+            let parent = occ
+                .path
+                .parent()
+                .and_then(|p| path_count(stats, &p))
+                .unwrap_or(1.0);
+            total += parent * avg;
+            any = true;
+            continue;
+        }
+        let count = match occ.anchor {
+            Anchor::OwnElement => {
+                match def {
+                    Type::Element { name: NameTest::AnyExcept(excluded), .. } => {
+                        // TILDE total minus named exclusions.
+                        let tilde = path_count(stats, &occ.path);
+                        tilde.map(|t| {
+                            let parent = occ.path.parent().unwrap_or_else(|| Path::new(Vec::<String>::new()));
+                            let removed: f64 = excluded
+                                .iter()
+                                .filter_map(|e| path_count(stats, &parent.child(e.clone())))
+                                .sum();
+                            (t - removed).max(0.0)
+                        })
+                    }
+                    Type::Element { name: NameTest::Name(_), content } => {
+                        // Prefer the literal path; a wildcard-materialized
+                        // name (e.g. `nyt`) may be recorded under its own
+                        // label even when siblings use TILDE.
+                        let anchor = path_count(stats, &occ.path).or_else(|| {
+                            let parent = occ.path.parent()?;
+                            path_count(stats, &parent.child("TILDE"))
+                        });
+                        // Union-distributed parts share an anchor path
+                        // (`imdb/show` for both Show_Part1 and Show_Part2):
+                        // the discriminating *required members* partition
+                        // the count (box_office ⇒ movie part, seasons ⇒ TV
+                        // part). Take the minimum of anchor and members.
+                        let members = first_level_members(schema, content);
+                        let member_min = members
+                            .iter()
+                            .filter_map(|m| path_count(stats, &occ.path.child(m.clone())))
+                            .reduce(f64::min);
+                        match (anchor, member_min) {
+                            (Some(a), Some(m)) => Some(a.min(m)),
+                            (a, m) => a.or(m),
+                        }
+                    }
+                    _ => path_count(stats, &occ.path),
+                }
+            }
+            Anchor::ParentElement => {
+                // Sequence-shaped type: instances are present in a parent
+                // element when the group's members are. Use the minimum
+                // count over the group's required member elements.
+                let members = first_level_members(schema, def);
+                let counts: Vec<f64> = members
+                    .iter()
+                    .filter_map(|m| path_count(stats, &occ.path.child(m.clone())))
+                    .collect();
+                if counts.is_empty() {
+                    path_count(stats, &occ.path)
+                } else {
+                    counts.iter().cloned().reduce(f64::min)
+                }
+            }
+        };
+        let count = count.or_else(|| {
+            // No direct statistics for this path: a (non-repeated) child
+            // occurs once per parent, so inherit the nearest ancestor's
+            // count rather than defaulting to a phantom one-row table.
+            let mut p = occ.path.parent();
+            while let Some(path) = p {
+                if let Some(c) = path_count(stats, &path) {
+                    return Some(c);
+                }
+                p = path.parent();
+            }
+            None
+        });
+        if let Some(c) = count {
+            total += c;
+            any = true;
+        }
+    }
+    if any {
+        total
+    } else {
+        // No statistics at all: default to one instance per occurrence site.
+        occurrences.len().max(1) as f64
+    }
+}
+
+/// The first-level *required* member element names of a sequence-shaped
+/// definition (used to count group instances).
+fn first_level_members(schema: &Schema, def: &Type) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_members(schema, def, false, &mut out, 0);
+    out
+}
+
+fn collect_members(schema: &Schema, ty: &Type, optional: bool, out: &mut Vec<String>, depth: usize) {
+    if depth > 16 {
+        return;
+    }
+    match ty {
+        Type::Element { name: NameTest::Name(n), .. } if !optional => out.push(n.clone()),
+        Type::Seq(items) => {
+            for item in items {
+                collect_members(schema, item, optional, out, depth);
+            }
+        }
+        Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => {
+            collect_members(schema, inner, optional || occurs.nullable(), out, depth)
+        }
+        Type::Ref(name) if !optional => {
+            // Outlined members hide behind references; a singleton ref's
+            // top element is a required member.
+            if let Some(def) = schema.get(name) {
+                if let Type::Element { name: NameTest::Name(n), .. } = def {
+                    out.push(n.clone());
+                } else {
+                    collect_members(schema, def, optional, out, depth + 1);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Build column statistics by probing each occurrence path.
+fn column_stats(
+    col: &PendingColumn,
+    occurrences: &[Occurrence],
+    stats: &Statistics,
+    table_rows: f64,
+) -> ColumnStats {
+    let mut merged = ColumnStats {
+        avg_width: col.annotated.size.unwrap_or(match col.kind {
+            ScalarKind::Integer => 8.0,
+            ScalarKind::String => 16.0,
+        }),
+        distinct: col.annotated.distinct.map(|d| d as f64),
+        min: col.annotated.min,
+        max: col.annotated.max,
+        null_fraction: if col.nullable { 0.5 } else { 0.0 },
+    };
+    let Some(steps) = stats_steps(&col.rel_path) else {
+        return merged;
+    };
+    let mut count = 0.0;
+    let mut found = false;
+    for occ in occurrences {
+        let mut path = occ.path.clone();
+        for step in &steps {
+            path = path.child(step.clone());
+        }
+        if let Some(s) = stats.get_path(&path) {
+            found = true;
+            if let Some(c) = s.count {
+                count += c as f64;
+            }
+            if let Some(size) = s.avg_size {
+                merged.avg_width = size;
+            }
+            if let Some(d) = s.distinct {
+                merged.distinct = Some(d as f64);
+            }
+            merged.min = s.min.or(merged.min);
+            merged.max = s.max.or(merged.max);
+        }
+    }
+    if found && col.nullable && table_rows > 0.0 && count > 0.0 {
+        merged.null_fraction = (1.0 - count / table_rows).clamp(0.0, 1.0);
+    }
+    merged
+}
+
+/// Pick the SQL type for a column.
+fn sql_type(kind: ScalarKind, stats: &ColumnStats) -> SqlType {
+    match kind {
+        ScalarKind::Integer => SqlType::Int,
+        ScalarKind::String => {
+            if stats.avg_width > 0.0 && stats.avg_width <= 255.0 {
+                SqlType::Char(stats.avg_width.ceil() as u32)
+            } else {
+                SqlType::Text
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_schema::parse_schema;
+
+    fn imdb_schema() -> Schema {
+        parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+        .unwrap()
+    }
+
+    fn imdb_stats() -> Statistics {
+        let mut s = Statistics::new();
+        s.set_count(&["imdb"], 1)
+            .set_count(&["imdb", "show"], 34798)
+            .set_size(&["imdb", "show", "title"], 50.0)
+            .set_distinct(&["imdb", "show", "title"], 34798)
+            .set_count(&["imdb", "show", "year"], 34798)
+            .set_base(&["imdb", "show", "year"], 1800, 2100, 300)
+            .set_count(&["imdb", "show", "aka"], 13641)
+            .set_size(&["imdb", "show", "aka"], 40.0)
+            .set_size(&["imdb", "show", "@type"], 8.0)
+            .set_count(&["imdb", "show", "review"], 11250)
+            .set_size(&["imdb", "show", "review", "TILDE"], 800.0)
+            .set_count(&["imdb", "show", "box_office"], 7000)
+            .set_base(&["imdb", "show", "box_office"], 10000, 100000000, 7000)
+            .set_count(&["imdb", "show", "video_sales"], 7000)
+            .set_count(&["imdb", "show", "seasons"], 3500)
+            .set_count(&["imdb", "show", "description"], 3500)
+            .set_size(&["imdb", "show", "description"], 120.0)
+            .set_count(&["imdb", "show", "episode"], 31250)
+            .set_size(&["imdb", "show", "episode", "name"], 40.0);
+        s
+    }
+
+    fn mapping() -> Mapping {
+        let p = PSchema::try_new(imdb_schema()).unwrap();
+        rel(&p, &imdb_stats())
+    }
+
+    #[test]
+    fn one_table_per_type_with_keys() {
+        let m = mapping();
+        assert_eq!(m.catalog.len(), 7);
+        for name in ["IMDB", "Show", "Aka", "Review", "Movie", "TV", "Episode"] {
+            let t = m.catalog.table(name).unwrap();
+            assert_eq!(t.key.as_deref(), Some(format!("{name}_id").as_str()), "{name}");
+        }
+    }
+
+    #[test]
+    fn foreign_keys_point_to_parents() {
+        let m = mapping();
+        let aka = m.catalog.table("Aka").unwrap();
+        assert!(aka.foreign_keys.iter().any(|fk| fk.parent_table == "Show"));
+        assert!(aka.column("parent_Show").is_some());
+        let episode = m.catalog.table("Episode").unwrap();
+        assert!(episode.column("parent_TV").is_some());
+        let show = m.catalog.table("Show").unwrap();
+        assert!(show.column("parent_IMDB").is_some());
+    }
+
+    #[test]
+    fn scalar_children_become_columns() {
+        let m = mapping();
+        let show = m.catalog.table("Show").unwrap();
+        for col in ["type", "title", "year"] {
+            assert!(show.column(col).is_some(), "missing {col}");
+        }
+        // Multi-valued children are NOT columns.
+        assert!(show.column("aka").is_none());
+        assert!(show.column("box_office").is_none()); // behind a union
+    }
+
+    #[test]
+    fn statistics_translate_to_cardinalities() {
+        let m = mapping();
+        assert_eq!(m.catalog.table("Show").unwrap().stats.rows, 34798.0);
+        assert_eq!(m.catalog.table("Aka").unwrap().stats.rows, 13641.0);
+        assert_eq!(m.catalog.table("Review").unwrap().stats.rows, 11250.0);
+        // Sequence types count via their member elements.
+        assert_eq!(m.catalog.table("Movie").unwrap().stats.rows, 7000.0);
+        assert_eq!(m.catalog.table("TV").unwrap().stats.rows, 3500.0);
+        assert_eq!(m.catalog.table("Episode").unwrap().stats.rows, 31250.0);
+    }
+
+    #[test]
+    fn statistics_translate_to_column_stats() {
+        let m = mapping();
+        let show = m.catalog.table("Show").unwrap();
+        let year = show.column("year").unwrap();
+        assert_eq!(year.stats.min, Some(1800));
+        assert_eq!(year.stats.max, Some(2100));
+        assert_eq!(year.stats.distinct, Some(300.0));
+        let title = show.column("title").unwrap();
+        assert_eq!(title.stats.avg_width, 50.0);
+        assert_eq!(title.ty, SqlType::Char(50));
+    }
+
+    #[test]
+    fn wildcard_type_gets_tilde_and_data_columns() {
+        let m = mapping();
+        let tm = m.table(&TypeName::new("Review")).unwrap();
+        // review[ ~[String] ]: the wildcard child is inlined → tilde + data.
+        assert!(tm.columns.keys().any(|p| p.last().map(String::as_str) == Some(TILDE_STEP)));
+        let review = m.catalog.table("Review").unwrap();
+        assert!(review.columns.iter().any(|c| c.name.contains("tilde")));
+    }
+
+    #[test]
+    fn inlined_schema_flattens_nested_names() {
+        let schema = parse_schema(
+            "type Actor = actor[ name[ String ], biography[ birthday[ String ], text[ String ] ] ]",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let m = rel(&p, &Statistics::new());
+        let actor = m.catalog.table("Actor").unwrap();
+        assert!(actor.column("name").is_some());
+        assert!(actor.column("biography_birthday").is_some());
+        assert!(actor.column("biography_text").is_some());
+    }
+
+    #[test]
+    fn optional_layer_maps_to_nullable_columns() {
+        let schema = parse_schema(
+            "type Show = show[ title[ String ],
+                               (box_office[ Integer ], video_sales[ Integer ])? ]",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let mut stats = Statistics::new();
+        stats
+            .set_count(&["show"], 100)
+            .set_count(&["show", "box_office"], 25);
+        let m = rel(&p, &stats);
+        let show = m.catalog.table("Show").unwrap();
+        let bo = show.column("box_office").unwrap();
+        assert!(bo.nullable);
+        assert!((bo.stats.null_fraction - 0.75).abs() < 1e-9);
+        assert!(!show.column("title").unwrap().nullable);
+    }
+
+    #[test]
+    fn scalar_only_type_gets_data_column() {
+        let schema = parse_schema(
+            "type Doc = doc[ AnyScalar{0,*} ]
+             type AnyScalar = String",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let m = rel(&p, &Statistics::new());
+        let t = m.catalog.table("AnyScalar").unwrap();
+        assert!(t.column("__data").is_some(), "{}", t.to_ddl());
+    }
+
+    #[test]
+    fn element_type_with_scalar_content_names_column_after_element() {
+        let m = mapping();
+        let aka = m.catalog.table("Aka").unwrap();
+        assert!(aka.column("aka").is_some(), "{}", aka.to_ddl());
+    }
+
+    #[test]
+    fn recursive_schema_maps_with_self_fk() {
+        let schema = parse_schema(
+            "type Doc = doc[ AnyElement{0,*} ]
+             type AnyElement = ~[ (AnyElement | AnyScalar){0,*} ]
+             type AnyScalar = String",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let m = rel(&p, &Statistics::new());
+        let any = m.catalog.table("AnyElement").unwrap();
+        // Parents: Doc and AnyElement itself → two FKs, nullable.
+        assert!(any.column("parent_Doc").is_some());
+        assert!(any.column("parent_AnyElement").is_some());
+        assert!(any.column("parent_AnyElement").unwrap().nullable);
+    }
+
+    #[test]
+    fn any_except_rows_subtract_named_siblings() {
+        let schema = parse_schema(
+            "type Reviews = review[ (NYTReview | OtherReview){0,*} ]
+             type NYTReview = nyt[ String ]
+             type OtherReview = ~!nyt[ String ]",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let mut stats = Statistics::new();
+        stats
+            .set_count(&["review"], 1000)
+            .set_count(&["review", "TILDE"], 10000)
+            .set_count(&["review", "nyt"], 2500);
+        let m = rel(&p, &stats);
+        assert_eq!(m.catalog.table("NYTReview").unwrap().stats.rows, 2500.0);
+        assert_eq!(m.catalog.table("OtherReview").unwrap().stats.rows, 7500.0);
+    }
+
+    #[test]
+    fn union_distributed_parts_count_via_members() {
+        // Show split into parts (the paper's Figure 4(c)).
+        let schema = parse_schema(
+            "type IMDB = imdb[ (Show_Part1 | Show_Part2){0,*} ]
+             type Show_Part1 = show[ title[ String ], box_office[ Integer ] ]
+             type Show_Part2 = show[ title[ String ], seasons[ Integer ] ]",
+        )
+        .unwrap();
+        let p = PSchema::try_new(schema).unwrap();
+        let mut stats = Statistics::new();
+        stats
+            .set_count(&["imdb"], 1)
+            .set_count(&["imdb", "show"], 10000)
+            .set_count(&["imdb", "show", "title"], 10000)
+            .set_count(&["imdb", "show", "box_office"], 7000)
+            .set_count(&["imdb", "show", "seasons"], 3000);
+        let m = rel(&p, &stats);
+        // Element-anchored: both parts see path imdb/show (10000) — but the
+        // discriminating member should partition them. Element-anchored
+        // counting uses the anchor path, so both read 10000 here; the
+        // *member-refined* count is what we want.
+        let p1 = m.catalog.table("Show_Part1").unwrap().stats.rows;
+        let p2 = m.catalog.table("Show_Part2").unwrap().stats.rows;
+        assert_eq!(p1, 7000.0, "Part1 should count via box_office");
+        assert_eq!(p2, 3000.0, "Part2 should count via seasons");
+    }
+
+    #[test]
+    fn ddl_renders_for_the_whole_catalog() {
+        let m = mapping();
+        let ddl = m.catalog.to_ddl();
+        assert!(ddl.contains("CREATE TABLE Show"));
+        assert!(ddl.contains("FOREIGN KEY (parent_Show) REFERENCES Show"));
+    }
+}

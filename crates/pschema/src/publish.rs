@@ -1,0 +1,407 @@
+//! Publishing: reconstructing XML from the shredded database.
+//!
+//! The inverse of [`crate::shred`]: for each type instance (row) the type
+//! definition dictates the element structure; scalar columns become text
+//! and attributes, child tables are fetched through their `parent_T`
+//! foreign-key indexes and recursed into. This is the execution-side
+//! analogue of the paper's publishing queries (`RETURN $v`).
+
+use crate::mapping::{Mapping, TableMapping, ANY_STEP, TILDE_STEP};
+use legodb_relational::{Database, RelationalError, Row, Value};
+use legodb_schema::{NameTest, Schema, Type, TypeName};
+use legodb_xml::{Attribute, Document, Element, Node};
+use std::fmt;
+
+/// A publishing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PublishError {
+    /// The root table has no rows (or more than one).
+    BadRootCardinality(usize),
+    /// Storage-level failure.
+    Storage(RelationalError),
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::BadRootCardinality(n) => {
+                write!(f, "expected exactly one root instance, found {n}")
+            }
+            PublishError::Storage(e) => write!(f, "storage error while publishing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+impl From<RelationalError> for PublishError {
+    fn from(e: RelationalError) -> Self {
+        PublishError::Storage(e)
+    }
+}
+
+/// Reconstruct the whole document from the database.
+pub fn publish_all(mapping: &Mapping, db: &Database) -> Result<Document, PublishError> {
+    let root = mapping.root().clone();
+    let rows = db.table(mapping.table(&root).expect("mapped root").table.as_str())?.scan();
+    if rows.len() != 1 {
+        return Err(PublishError::BadRootCardinality(rows.len()));
+    }
+    let p = Publisher { mapping, schema: mapping.pschema.schema(), db };
+    let mut nodes = Vec::new();
+    let mut attrs = Vec::new();
+    p.publish_instance(&root, &rows[0], &mut attrs, &mut nodes)?;
+    match nodes.into_iter().find_map(|n| match n {
+        Node::Element(e) => Some(e),
+        Node::Text(_) => None,
+    }) {
+        Some(root_element) => Ok(Document::new(root_element)),
+        None => Err(PublishError::BadRootCardinality(0)),
+    }
+}
+
+/// Publish one instance of an element-anchored type as an [`Element`]
+/// (convenience for targeted publishing, e.g. "publish show with id 7").
+pub fn publish_instance(
+    mapping: &Mapping,
+    db: &Database,
+    ty: &TypeName,
+    row: &Row,
+) -> Result<Option<Element>, PublishError> {
+    let p = Publisher { mapping, schema: mapping.pschema.schema(), db };
+    let mut nodes = Vec::new();
+    let mut attrs = Vec::new();
+    p.publish_instance(ty, row, &mut attrs, &mut nodes)?;
+    Ok(nodes.into_iter().find_map(|n| match n {
+        Node::Element(e) => Some(e),
+        Node::Text(_) => None,
+    }))
+}
+
+struct Publisher<'a> {
+    mapping: &'a Mapping,
+    schema: &'a Schema,
+    db: &'a Database,
+}
+
+impl Publisher<'_> {
+    /// Emit the nodes/attributes of one instance into `attrs`/`nodes`.
+    /// Element-anchored types append a single element; sequence-shaped
+    /// types splice their content into the parent's lists.
+    fn publish_instance(
+        &self,
+        ty: &TypeName,
+        row: &Row,
+        attrs: &mut Vec<Attribute>,
+        nodes: &mut Vec<Node>,
+    ) -> Result<(), PublishError> {
+        let def = self.schema.get(ty).expect("defined type");
+        let tm = self.mapping.table(ty).expect("mapped type");
+        let mut rel_path: Vec<String> = Vec::new();
+        self.publish_type(ty, tm, def, row, &mut rel_path, true, attrs, nodes)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn publish_type(
+        &self,
+        ty: &TypeName,
+        tm: &TableMapping,
+        node_ty: &Type,
+        row: &Row,
+        rel_path: &mut Vec<String>,
+        at_top: bool,
+        attrs: &mut Vec<Attribute>,
+        nodes: &mut Vec<Node>,
+    ) -> Result<(), PublishError> {
+        match node_ty {
+            Type::Empty => Ok(()),
+            Type::Scalar { .. } => {
+                if let Some(v) = self.column_value(tm, row, rel_path) {
+                    if let Some(text) = value_text(&v) {
+                        if !text.is_empty() {
+                            nodes.push(Node::Text(text));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Type::Attribute { name, .. } => {
+                rel_path.push(format!("@{name}"));
+                if let Some(v) = self.column_value(tm, row, rel_path) {
+                    if let Some(text) = value_text(&v) {
+                        attrs.push(Attribute { name: name.clone(), value: text });
+                    }
+                }
+                rel_path.pop();
+                Ok(())
+            }
+            Type::Element { name, content } => {
+                let tag = match name {
+                    NameTest::Name(n) => {
+                        if !at_top {
+                            rel_path.push(n.clone());
+                        }
+                        n.clone()
+                    }
+                    NameTest::Any | NameTest::AnyExcept(_) => {
+                        // Wildcard: tag from the tilde column. Nested
+                        // wildcards live behind an `#any` navigation step.
+                        if !at_top {
+                            rel_path.push(ANY_STEP.into());
+                        }
+                        rel_path.push(TILDE_STEP.into());
+                        let tag = self
+                            .column_value(tm, row, rel_path)
+                            .and_then(|v| value_text(&v))
+                            .unwrap_or_else(|| "any".to_string());
+                        rel_path.pop();
+                        tag
+                    }
+                };
+                let mut child_attrs = Vec::new();
+                let mut child_nodes = Vec::new();
+                self.publish_type(ty, tm, content, row, rel_path, false, &mut child_attrs, &mut child_nodes)?;
+                // Check emptiness against this element's own prefix before
+                // unwinding it.
+                let omittable = child_attrs.is_empty()
+                    && child_nodes.is_empty()
+                    && self.element_is_omittable(tm, row, rel_path, node_ty);
+                if !at_top {
+                    rel_path.pop();
+                }
+                let element = Element { name: tag, attributes: child_attrs, children: child_nodes };
+                if at_top || !omittable {
+                    nodes.push(Node::Element(element));
+                }
+                Ok(())
+            }
+            Type::Seq(items) => {
+                for item in items {
+                    self.publish_type(ty, tm, item, row, rel_path, false, attrs, nodes)?;
+                }
+                Ok(())
+            }
+            Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => {
+                self.publish_type(ty, tm, inner, row, rel_path, false, attrs, nodes)
+            }
+            Type::Rep { inner, .. } => self.publish_children(ty, inner, row, tm, attrs, nodes),
+            Type::Choice(_) | Type::Ref(_) => {
+                self.publish_children(ty, node_ty, row, tm, attrs, nodes)
+            }
+        }
+    }
+
+    /// Is an empty nested element genuinely absent (all its columns NULL)?
+    fn element_is_omittable(
+        &self,
+        tm: &TableMapping,
+        row: &Row,
+        rel_prefix: &[String],
+        _ty: &Type,
+    ) -> bool {
+        // Any column under this prefix non-null → keep the element.
+        let table = self.mapping.catalog.table(&tm.table).expect("catalog table");
+        for (path, target) in &tm.columns {
+            if path.starts_with(rel_prefix) {
+                if let Some(idx) = table.column_index(&target.column) {
+                    if !row[idx].is_null() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Fetch and publish the child rows of a named-layer site.
+    fn publish_children(
+        &self,
+        owner: &TypeName,
+        site: &Type,
+        row: &Row,
+        tm: &TableMapping,
+        attrs: &mut Vec<Attribute>,
+        nodes: &mut Vec<Node>,
+    ) -> Result<(), PublishError> {
+        let table = self.mapping.catalog.table(&tm.table).expect("catalog table");
+        let key_idx = table.column_index(&tm.key).expect("key column");
+        let my_id = row[key_idx].clone();
+
+        let mut alternatives = Vec::new();
+        collect_refs(site, &mut alternatives);
+        // Collect (child id, alt, row) across alternatives, then interleave
+        // by id to approximate document order within this site.
+        let mut children: Vec<(i64, TypeName, Row)> = Vec::new();
+        for alt in &alternatives {
+            let child_tm = self.mapping.table(alt).expect("mapped type");
+            let child_table = self.db.table(&child_tm.table)?;
+            let Some(fk) = child_tm.parent_fk.get(owner) else { continue };
+            child_table.create_index(fk)?;
+            let rows = child_table
+                .index_lookup(fk, &my_id)
+                .expect("index just created");
+            let child_key = child_table.def.column_index(&child_tm.key).expect("key column");
+            for r in rows {
+                let id = r[child_key].as_int().unwrap_or(0);
+                children.push((id, alt.clone(), r));
+            }
+        }
+        children.sort_by_key(|(id, alt, _)| (*id, alt.clone()));
+        for (_, alt, child_row) in children {
+            self.publish_instance(&alt, &child_row, attrs, nodes)?;
+        }
+        Ok(())
+    }
+
+    fn column_value(&self, tm: &TableMapping, row: &Row, rel_path: &[String]) -> Option<Value> {
+        let target = tm.columns.get(rel_path)?;
+        let table = self.mapping.catalog.table(&tm.table)?;
+        let idx = table.column_index(&target.column)?;
+        let v = row.get(idx)?;
+        if v.is_null() {
+            None
+        } else {
+            Some(v.clone())
+        }
+    }
+}
+
+fn collect_refs(ty: &Type, out: &mut Vec<TypeName>) {
+    match ty {
+        Type::Ref(n) => out.push(n.clone()),
+        Type::Choice(items) | Type::Seq(items) => items.iter().for_each(|t| collect_refs(t, out)),
+        Type::Rep { inner, .. } => collect_refs(inner, out),
+        _ => {}
+    }
+}
+
+fn value_text(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => None,
+        Value::Int(n) => Some(n.to_string()),
+        Value::Str(s) => Some(s.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::rel;
+    use crate::shred::shred;
+    use crate::stratify::PSchema;
+    use legodb_schema::parse_schema;
+    use legodb_schema::validate::validate;
+    use legodb_xml::parse;
+    use legodb_xml::stats::Statistics;
+
+    fn mapping_for(src: &str) -> Mapping {
+        rel(&PSchema::try_new(parse_schema(src).unwrap()).unwrap(), &Statistics::new())
+    }
+
+    const IMDB_SRC: &str = "type IMDB = imdb[ Show{0,*} ]
+        type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                           Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+        type Aka = aka[ String ]
+        type Review = review[ ~[ String ] ]
+        type Movie = box_office[ Integer ], video_sales[ Integer ]
+        type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+        type Episode = episode[ name[ String ], guest_director[ String ] ]";
+
+    fn sample_doc() -> Document {
+        parse(
+            r#"<imdb>
+                <show type="Movie">
+                  <title>Fugitive, The</title><year>1993</year>
+                  <aka>Auf der Flucht</aka><aka>Le Fugitif</aka>
+                  <review><nyt>ok movie</nyt></review>
+                  <box_office>183752965</box_office>
+                  <video_sales>72450220</video_sales>
+                </show>
+                <show type="TV series">
+                  <title>X Files, The</title><year>1994</year>
+                  <aka>Aux frontieres du Reel</aka>
+                  <seasons>10</seasons>
+                  <description>Aliens and the FBI</description>
+                  <episode><name>Fallen Angel</name>
+                           <guest_director>Larry Shaw</guest_director></episode>
+                </show>
+              </imdb>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn publish_round_trips_structure() {
+        let m = mapping_for(IMDB_SRC);
+        let doc = sample_doc();
+        let db = shred(&m, &doc).unwrap();
+        let rebuilt = publish_all(&m, &db).unwrap();
+        // The rebuilt document must validate against the schema...
+        assert!(
+            validate(m.pschema.schema(), &rebuilt).is_ok(),
+            "{}",
+            rebuilt.to_xml_pretty()
+        );
+        // ...and re-shred to identical row counts and contents.
+        let db2 = shred(&m, &rebuilt).unwrap();
+        for table in db.tables() {
+            let t2 = db2.table(&table.def.name).unwrap();
+            let mut a = table.scan();
+            let mut b = t2.scan();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "table {} differs after round trip", table.def.name);
+        }
+    }
+
+    #[test]
+    fn publishes_the_exact_document_for_simple_schemas() {
+        let m = mapping_for(
+            "type Root = root[ a[ String ], b[ Integer ], Item{0,*} ]
+             type Item = item[ name[ String ] ]",
+        );
+        let doc = parse("<root><a>hi</a><b>7</b><item><name>x</name></item><item><name>y</name></item></root>").unwrap();
+        let db = shred(&m, &doc).unwrap();
+        let rebuilt = publish_all(&m, &db).unwrap();
+        assert_eq!(doc, rebuilt, "rebuilt:\n{}", rebuilt.to_xml_pretty());
+    }
+
+    #[test]
+    fn wildcard_tags_are_restored() {
+        let m = mapping_for(IMDB_SRC);
+        let db = shred(&m, &sample_doc()).unwrap();
+        let rebuilt = publish_all(&m, &db).unwrap();
+        let show = rebuilt.root.first_child("show").unwrap();
+        let review = show.first_child("review").unwrap();
+        assert!(review.first_child("nyt").is_some(), "{}", rebuilt.to_xml_pretty());
+    }
+
+    #[test]
+    fn optional_absent_elements_stay_absent() {
+        let m = mapping_for("type T = t[ a[ String ]?, b[ String ] ]");
+        let doc = parse("<t><b>x</b></t>").unwrap();
+        let db = shred(&m, &doc).unwrap();
+        let rebuilt = publish_all(&m, &db).unwrap();
+        assert_eq!(doc, rebuilt, "{}", rebuilt.to_xml_pretty());
+    }
+
+    #[test]
+    fn bad_root_cardinality_is_reported() {
+        let m = mapping_for("type T = t[ a[ String ] ]");
+        let db = Database::from_catalog(&m.catalog);
+        assert!(matches!(publish_all(&m, &db), Err(PublishError::BadRootCardinality(0))));
+    }
+
+    #[test]
+    fn targeted_instance_publishing() {
+        let m = mapping_for(IMDB_SRC);
+        let db = shred(&m, &sample_doc()).unwrap();
+        let show_rows = db.table("Show").unwrap().scan();
+        let e = publish_instance(&m, &db, &TypeName::new("Show"), &show_rows[0])
+            .unwrap()
+            .expect("an element");
+        assert_eq!(e.name, "show");
+        assert_eq!(e.first_child("title").unwrap().text(), "Fugitive, The");
+        assert_eq!(e.children_named("aka").count(), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! Shredding: loading an XML document into the relational database defined
+//! by a [`Mapping`] (the paper's "corresponding mapping from XML documents
+//! to databases", §1).
+//!
+//! Each type instance becomes one row: the key column gets a fresh id, the
+//! `parent_T` column gets the owning instance's id, scalar positions fill
+//! data columns, and child types recurse. Union alternatives are decided by
+//! validating the candidate element (or element content, for
+//! sequence-shaped types) against each alternative.
+
+use crate::mapping::{ColumnTarget, Mapping, ANY_STEP, TILDE_STEP};
+use legodb_relational::{Database, RelationalError, Value};
+use legodb_schema::validate::{content_matches, element_matches};
+use legodb_schema::{NameTest, ScalarKind, Schema, Type, TypeName};
+use legodb_xml::{Document, Element};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A shredding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShredError {
+    /// The document does not match the p-schema.
+    Invalid(String),
+    /// A storage-level failure (should not occur for valid inputs).
+    Storage(RelationalError),
+}
+
+impl fmt::Display for ShredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShredError::Invalid(m) => write!(f, "document does not match the p-schema: {m}"),
+            ShredError::Storage(e) => write!(f, "storage error while shredding: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShredError {}
+
+impl From<RelationalError> for ShredError {
+    fn from(e: RelationalError) -> Self {
+        ShredError::Storage(e)
+    }
+}
+
+/// Shred `doc` into a fresh database over `mapping.catalog`.
+///
+/// Builds foreign-key indexes after loading (they are what the publishing
+/// path and the index-join operators probe).
+pub fn shred(mapping: &Mapping, doc: &Document) -> Result<Database, ShredError> {
+    let schema = mapping.pschema.schema();
+    let root = mapping.root().clone();
+    let root_def = schema.get(&root).expect("root defined");
+    if !element_matches(schema, &doc.root, root_def) {
+        return Err(ShredError::Invalid(format!(
+            "root element <{}> does not match type {root}",
+            doc.root.name
+        )));
+    }
+    let mut s = Shredder { mapping, schema, db: Database::from_catalog(&mapping.catalog), next_ids: HashMap::new() };
+    s.shred_instance(&root, &doc.root, None)?;
+    // FK indexes for the publisher and index joins.
+    for table in s.db.tables() {
+        let fks: Vec<String> = table.def.foreign_keys.iter().map(|fk| fk.column.clone()).collect();
+        for fk in fks {
+            table.create_index(&fk)?;
+        }
+    }
+    Ok(s.db)
+}
+
+struct Shredder<'a> {
+    mapping: &'a Mapping,
+    schema: &'a Schema,
+    db: Database,
+    next_ids: HashMap<String, i64>,
+}
+
+impl Shredder<'_> {
+    /// Shred one instance of `ty`, anchored at `element` (the instance's
+    /// own element, or the parent element for sequence-shaped types).
+    fn shred_instance(
+        &mut self,
+        ty: &TypeName,
+        element: &Element,
+        parent: Option<(&TypeName, i64)>,
+    ) -> Result<i64, ShredError> {
+        let table_mapping = self.mapping.table(ty).expect("mapped type");
+        let def = self.schema.get(ty).expect("defined type");
+        let table_def = self
+            .mapping
+            .catalog
+            .table(&table_mapping.table)
+            .expect("catalog covers mapping");
+
+        let id = {
+            let n = self.next_ids.entry(table_mapping.table.clone()).or_insert(0);
+            *n += 1;
+            *n
+        };
+
+        let mut row = vec![Value::Null; table_def.columns.len()];
+        let key_idx = table_def.column_index(&table_mapping.key).expect("key column");
+        row[key_idx] = Value::Int(id);
+        if let Some((parent_ty, parent_id)) = parent {
+            if let Some(fk) = table_mapping.parent_fk.get(parent_ty) {
+                let fk_idx = table_def.column_index(fk).expect("fk column");
+                row[fk_idx] = Value::Int(parent_id);
+            }
+        }
+
+        // The element whose content the columns read: for element-anchored
+        // types the instance element itself.
+        for (rel_path, target) in &table_mapping.columns {
+            if let Some(value) = extract_value(element, rel_path, target) {
+                let idx = table_def.column_index(&target.column).expect("mapped column");
+                row[idx] = value;
+            }
+        }
+
+        self.db.insert(&table_mapping.table, row)?;
+
+        // Recurse into child types.
+        let content = match def {
+            Type::Element { content, .. } => content,
+            other => other,
+        };
+        let reserved = self.literal_names(content);
+        self.spawn_children(content, element, ty, id, &reserved)?;
+        Ok(id)
+    }
+
+    /// Literal child-element names claimed by named sites in a content
+    /// model. Wildcard alternatives must not shred children carrying these
+    /// names — they belong to their literal sites.
+    fn literal_names(&self, ty: &Type) -> HashSet<String> {
+        let mut out = HashSet::new();
+        self.collect_literal_names(ty, &mut out, 0);
+        out
+    }
+
+    fn collect_literal_names(&self, ty: &Type, out: &mut HashSet<String>, depth: usize) {
+        if depth > 16 {
+            return;
+        }
+        match ty {
+            Type::Element { name: NameTest::Name(n), .. } => {
+                out.insert(n.clone());
+            }
+            Type::Seq(items) | Type::Choice(items) => {
+                items.iter().for_each(|t| self.collect_literal_names(t, out, depth));
+            }
+            Type::Rep { inner, .. } => self.collect_literal_names(inner, out, depth),
+            Type::Ref(name) => {
+                if let Some(def) = self.schema.get(name) {
+                    match def {
+                        Type::Element { name: NameTest::Name(n), .. } => {
+                            out.insert(n.clone());
+                        }
+                        Type::Element { .. } => {}
+                        other => self.collect_literal_names(other, out, depth + 1),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Walk a content model over an anchor element, shredding instances of
+    /// referenced types found among the element's children.
+    fn spawn_children(
+        &mut self,
+        ty: &Type,
+        element: &Element,
+        owner: &TypeName,
+        owner_id: i64,
+        reserved: &HashSet<String>,
+    ) -> Result<(), ShredError> {
+        match ty {
+            Type::Empty | Type::Scalar { .. } | Type::Attribute { .. } => Ok(()),
+            Type::Element { name, content } => {
+                // Inlined nested element: descend into the matching child,
+                // which starts a fresh reserved-name scope.
+                let child = element.child_elements().find(|e| name.matches(&e.name));
+                if let Some(child) = child {
+                    let inner_reserved = self.literal_names(content);
+                    self.spawn_children(content, child, owner, owner_id, &inner_reserved)?;
+                }
+                Ok(())
+            }
+            Type::Seq(items) => {
+                for item in items {
+                    self.spawn_children(item, element, owner, owner_id, reserved)?;
+                }
+                Ok(())
+            }
+            Type::Rep { inner, .. } => {
+                self.spawn_children(inner, element, owner, owner_id, reserved)
+            }
+            Type::Choice(_) | Type::Ref(_) if ty_is_named_layer(ty) => {
+                let alts = named_alternatives(ty);
+                self.shred_named_site(&alts, element, owner, owner_id, reserved)
+            }
+            Type::Choice(items) => {
+                // A non-named choice cannot occur in a p-schema; recurse
+                // defensively.
+                for item in items {
+                    self.spawn_children(item, element, owner, owner_id, reserved)?;
+                }
+                Ok(())
+            }
+            Type::Ref(_) => unreachable!("covered by the named-layer arm"),
+        }
+    }
+
+    /// Handle one named-layer site (a `Ref` or a union of refs): find the
+    /// child elements (or content groups) instantiating each alternative.
+    fn shred_named_site(
+        &mut self,
+        alternatives: &[TypeName],
+        element: &Element,
+        owner: &TypeName,
+        owner_id: i64,
+        reserved: &HashSet<String>,
+    ) -> Result<(), ShredError> {
+        // Element-anchored alternatives claim matching child elements;
+        // sequence-anchored alternatives claim the anchor element itself
+        // when their content group is present.
+        let mut any_sequence_claimed = false;
+        for child in element.child_elements() {
+            for alt in alternatives {
+                let def = self.schema.get(alt).expect("defined type");
+                if let Type::Element { name, .. } = def {
+                    // A wildcard alternative must not steal children that
+                    // literal-named sites in this content model own.
+                    if name.is_wildcard() && reserved.contains(&child.name) {
+                        continue;
+                    }
+                    if name.matches(&child.name) && element_matches(self.schema, child, def) {
+                        self.shred_instance(alt, child, Some((owner, owner_id)))?;
+                        break;
+                    }
+                }
+            }
+        }
+        for alt in alternatives {
+            let def = self.schema.get(alt).expect("defined type");
+            if matches!(def, Type::Element { .. }) {
+                continue;
+            }
+            if any_sequence_claimed {
+                break; // at most one group alternative per parent
+            }
+            if sequence_type_present(self.schema, def, element) {
+                self.shred_instance(alt, element, Some((owner, owner_id)))?;
+                any_sequence_claimed = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn ty_is_named_layer(ty: &Type) -> bool {
+    match ty {
+        Type::Ref(_) => true,
+        Type::Choice(items) => items.iter().all(ty_is_named_layer),
+        _ => false,
+    }
+}
+
+fn named_alternatives(ty: &Type) -> Vec<TypeName> {
+    let mut out = Vec::new();
+    fn walk(ty: &Type, out: &mut Vec<TypeName>) {
+        match ty {
+            Type::Ref(n) => out.push(n.clone()),
+            Type::Choice(items) => items.iter().for_each(|t| walk(t, out)),
+            _ => {}
+        }
+    }
+    walk(ty, &mut out);
+    out
+}
+
+
+/// Is an instance of a sequence-shaped type present inside `element`?
+/// Checked by requiring the group's first required member element
+/// (resolving type references), falling back to full content matching.
+fn sequence_type_present(schema: &Schema, def: &Type, element: &Element) -> bool {
+    let mut members = Vec::new();
+    collect_required_members(schema, def, &mut members, 0);
+    if let Some(first) = members.first() {
+        return element.first_child(first).is_some();
+    }
+    // No required members (all optional): fall back to content matching,
+    // accepting permissively when the matcher cannot decide.
+    content_matches(schema, element, def)
+}
+
+fn collect_required_members(schema: &Schema, ty: &Type, out: &mut Vec<String>, depth: usize) {
+    if depth > 16 {
+        return; // recursive type: give up, the caller falls back
+    }
+    match ty {
+        Type::Element { name: NameTest::Name(n), .. } => out.push(n.clone()),
+        Type::Seq(items) => {
+            items.iter().for_each(|t| collect_required_members(schema, t, out, depth))
+        }
+        Type::Rep { inner, occurs, .. } if !occurs.nullable() => {
+            collect_required_members(schema, inner, out, depth)
+        }
+        Type::Ref(name) => {
+            if let Some(def) = schema.get(name) {
+                collect_required_members(schema, def, out, depth + 1);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Pull the scalar value addressed by a relative path out of an element.
+fn extract_value(element: &Element, rel_path: &[String], target: &ColumnTarget) -> Option<Value> {
+    let mut current = element;
+    let mut steps = rel_path.iter().peekable();
+    while let Some(step) = steps.next() {
+        if let Some(attr) = step.strip_prefix('@') {
+            let v = current.attribute(attr)?;
+            return Some(convert(v, target.kind));
+        }
+        if step == TILDE_STEP {
+            // The tag name of the element navigated to so far: the anchor
+            // itself for `[#tilde]`, the wildcard child after `#any`.
+            return Some(Value::str(current.name.clone()));
+        }
+        if step == ANY_STEP {
+            current = current.child_elements().next()?;
+            continue;
+        }
+        current = current.first_child(step)?;
+        let _ = steps.peek();
+    }
+    let text = current.text();
+    if text.is_empty() && target.kind == ScalarKind::Integer {
+        return None;
+    }
+    Some(convert(&text, target.kind))
+}
+
+fn convert(text: &str, kind: ScalarKind) -> Value {
+    match kind {
+        ScalarKind::Integer => text.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        ScalarKind::String => Value::str(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::rel;
+    use crate::stratify::PSchema;
+    use legodb_schema::parse_schema;
+    use legodb_xml::parse;
+    use legodb_xml::stats::Statistics;
+
+    fn imdb_mapping() -> Mapping {
+        let schema = parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+        .unwrap();
+        rel(&PSchema::try_new(schema).unwrap(), &Statistics::new())
+    }
+
+    fn sample_doc() -> Document {
+        parse(
+            r#"<imdb>
+                <show type="Movie">
+                  <title>Fugitive, The</title><year>1993</year>
+                  <aka>Auf der Flucht</aka><aka>Le Fugitif</aka>
+                  <review><nyt>ok movie</nyt></review>
+                  <review><suntimes>two thumbs</suntimes></review>
+                  <box_office>183752965</box_office>
+                  <video_sales>72450220</video_sales>
+                </show>
+                <show type="TV series">
+                  <title>X Files, The</title><year>1994</year>
+                  <aka>Aux frontieres du Reel</aka>
+                  <seasons>10</seasons>
+                  <description>Aliens and the FBI</description>
+                  <episode><name>Ghost in the Machine</name>
+                           <guest_director>Jerrold Freedman</guest_director></episode>
+                  <episode><name>Fallen Angel</name>
+                           <guest_director>Larry Shaw</guest_director></episode>
+                </show>
+              </imdb>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shreds_row_counts() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        assert_eq!(db.table("IMDB").unwrap().len(), 1);
+        assert_eq!(db.table("Show").unwrap().len(), 2);
+        assert_eq!(db.table("Aka").unwrap().len(), 3);
+        assert_eq!(db.table("Review").unwrap().len(), 2);
+        assert_eq!(db.table("Movie").unwrap().len(), 1);
+        assert_eq!(db.table("TV").unwrap().len(), 1);
+        assert_eq!(db.table("Episode").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scalar_columns_are_filled() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        let show = db.table("Show").unwrap();
+        let rows = show.scan();
+        let def = &show.def;
+        let title = def.column_index("title").unwrap();
+        let year = def.column_index("year").unwrap();
+        let ty = def.column_index("type").unwrap();
+        assert_eq!(rows[0][title], Value::str("Fugitive, The"));
+        assert_eq!(rows[0][year], Value::Int(1993));
+        assert_eq!(rows[0][ty], Value::str("Movie"));
+    }
+
+    #[test]
+    fn parent_foreign_keys_link_children() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        let aka = db.table("Aka").unwrap();
+        let fk = aka.def.column_index("parent_Show").unwrap();
+        let parents: Vec<i64> =
+            aka.scan().iter().map(|r| r[fk].as_int().unwrap()).collect();
+        assert_eq!(parents, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn union_alternatives_land_in_the_right_tables() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        let movie = db.table("Movie").unwrap();
+        let bo = movie.def.column_index("box_office").unwrap();
+        assert_eq!(movie.scan()[0][bo], Value::Int(183752965));
+        let tv = db.table("TV").unwrap();
+        let seasons = tv.def.column_index("seasons").unwrap();
+        assert_eq!(tv.scan()[0][seasons], Value::Int(10));
+        // Episodes hang off the TV instance.
+        let ep = db.table("Episode").unwrap();
+        let fk = ep.def.column_index("parent_TV").unwrap();
+        assert!(ep.scan().iter().all(|r| r[fk] == Value::Int(1)));
+    }
+
+    #[test]
+    fn wildcard_reviews_record_tilde_and_content() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        let review = db.table("Review").unwrap();
+        let tilde = review
+            .def
+            .columns
+            .iter()
+            .position(|c| c.name.contains("tilde"))
+            .expect("tilde column");
+        let names: Vec<String> = review
+            .scan()
+            .iter()
+            .map(|r| r[tilde].as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["nyt", "suntimes"]);
+    }
+
+    #[test]
+    fn invalid_document_is_rejected() {
+        let m = imdb_mapping();
+        let doc = parse("<wrong/>").unwrap();
+        assert!(matches!(shred(&m, &doc), Err(ShredError::Invalid(_))));
+    }
+
+    #[test]
+    fn fk_indexes_exist_after_shredding() {
+        let m = imdb_mapping();
+        let db = shred(&m, &sample_doc()).unwrap();
+        assert!(db.table("Aka").unwrap().has_index("parent_Show"));
+        assert!(db.table("Episode").unwrap().has_index("parent_TV"));
+    }
+}

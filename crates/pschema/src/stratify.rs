@@ -1,0 +1,256 @@
+//! The stratified physical-type grammar (paper Figure 9) and its checker.
+//!
+//! A schema is a valid p-schema when every named type's definition is a
+//! *physical type expression*:
+//!
+//! ```text
+//! pt := Scalar
+//!     | @a[ Scalar-content ]
+//!     | nametest[ pt ]            -- nested elements become prefixed columns
+//!     | pt , pt , ...
+//!     | pt ?                      -- optional layer → nullable columns
+//!     | nt {m,n}  (multi-valued)  -- collections of *named types only*
+//!     | nt                        -- a single-valued child type
+//!     | nt | nt | ...             -- unions of *named types only*
+//!     | ()
+//! nt := TypeRef | nt "|" nt
+//! ```
+//!
+//! The payoff (paper §3.2): each named type maps to exactly one relation;
+//! repetition and union never contain anonymous structure, so child tables
+//! and foreign keys are forced to exist wherever the relational model
+//! needs them.
+
+use legodb_schema::{Schema, Type, TypeName};
+use std::fmt;
+
+/// A schema whose every definition satisfies the stratified grammar.
+///
+/// The inner schema is reachable read-only; mutation goes through
+/// [`PSchema::try_new`] so the invariant cannot be silently broken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PSchema {
+    schema: Schema,
+}
+
+/// Why a schema is not a valid p-schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StratifyError {
+    /// A multi-valued repetition contains structure other than type
+    /// references.
+    RepetitionOfAnonymousType {
+        /// The offending type.
+        in_type: TypeName,
+    },
+    /// A union contains structure other than type references.
+    UnionOfAnonymousType {
+        /// The offending type.
+        in_type: TypeName,
+    },
+    /// An attribute whose content is not scalar.
+    NonScalarAttribute {
+        /// The offending type.
+        in_type: TypeName,
+        /// The attribute name.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StratifyError::RepetitionOfAnonymousType { in_type } => {
+                write!(f, "type {in_type}: multi-valued repetition must contain only type names")
+            }
+            StratifyError::UnionOfAnonymousType { in_type } => {
+                write!(f, "type {in_type}: union must contain only type names")
+            }
+            StratifyError::NonScalarAttribute { in_type, attribute } => {
+                write!(f, "type {in_type}: attribute @{attribute} must have scalar content")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+impl PSchema {
+    /// Validate the stratification invariant and wrap.
+    pub fn try_new(schema: Schema) -> Result<PSchema, StratifyError> {
+        for (name, ty) in schema.iter() {
+            check_pt(name, ty)?;
+        }
+        Ok(PSchema { schema })
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Unwrap.
+    pub fn into_schema(self) -> Schema {
+        self.schema
+    }
+
+    /// The root type name.
+    pub fn root(&self) -> &TypeName {
+        self.schema.root()
+    }
+}
+
+/// Is `ty` a physical type expression?
+fn check_pt(in_type: &TypeName, ty: &Type) -> Result<(), StratifyError> {
+    match ty {
+        Type::Empty | Type::Scalar { .. } => Ok(()),
+        Type::Attribute { name, content } => {
+            if scalar_content(content) {
+                Ok(())
+            } else {
+                Err(StratifyError::NonScalarAttribute {
+                    in_type: in_type.clone(),
+                    attribute: name.clone(),
+                })
+            }
+        }
+        Type::Element { content, .. } => check_pt(in_type, content),
+        Type::Seq(items) => items.iter().try_for_each(|t| check_pt(in_type, t)),
+        Type::Choice(items) => {
+            if items.iter().all(is_named_layer) {
+                Ok(())
+            } else {
+                Err(StratifyError::UnionOfAnonymousType { in_type: in_type.clone() })
+            }
+        }
+        Type::Rep { inner, occurs, .. } => {
+            if occurs.multi_valued() {
+                if is_named_layer(inner) {
+                    Ok(())
+                } else {
+                    Err(StratifyError::RepetitionOfAnonymousType { in_type: in_type.clone() })
+                }
+            } else {
+                // The optional layer: `pt?` stays in the column world.
+                check_pt(in_type, inner)
+            }
+        }
+        Type::Ref(_) => Ok(()),
+    }
+}
+
+/// The `nt` layer: type references and unions thereof.
+fn is_named_layer(ty: &Type) -> bool {
+    match ty {
+        Type::Ref(_) => true,
+        Type::Choice(items) => items.iter().all(is_named_layer),
+        _ => false,
+    }
+}
+
+/// Attribute content must be scalar (possibly a union of scalars).
+fn scalar_content(ty: &Type) -> bool {
+    match ty {
+        Type::Scalar { .. } | Type::Empty => true,
+        Type::Choice(items) => items.iter().all(scalar_content),
+        Type::Rep { inner, occurs, .. } => !occurs.multi_valued() && scalar_content(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_schema::parse_schema;
+
+    fn check(src: &str) -> Result<PSchema, StratifyError> {
+        PSchema::try_new(parse_schema(src).unwrap())
+    }
+
+    #[test]
+    fn paper_figure8_pschema_is_valid() {
+        let p = check(
+            "type Show = show [ @type[ String ], title[ String ], year[ Integer ], Reviews{0,*} ]
+             type Reviews = reviews[ String ]",
+        );
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn multi_valued_anonymous_element_is_rejected() {
+        let err = check("type Show = show [ reviews[ String ]{0,*} ]").unwrap_err();
+        assert!(matches!(err, StratifyError::RepetitionOfAnonymousType { .. }));
+    }
+
+    #[test]
+    fn union_of_refs_is_valid_but_union_of_elements_is_not() {
+        assert!(check(
+            "type Show = show [ title[ String ], (Movie | TV) ]
+             type Movie = box_office[ Integer ]
+             type TV = seasons[ Integer ]"
+        )
+        .is_ok());
+        let err = check("type Show = show [ (box_office[ Integer ] | seasons[ Integer ]) ]")
+            .unwrap_err();
+        assert!(matches!(err, StratifyError::UnionOfAnonymousType { .. }));
+    }
+
+    #[test]
+    fn optional_layer_is_part_of_the_column_world() {
+        // `(box_office, video_sales)?` — the union-to-options rewriting.
+        assert!(check(
+            "type Show = show [ title[ String ],
+                                (box_office[ Integer ], video_sales[ Integer ])?,
+                                (seasons[ Integer ], description[ String ], Episode{0,*})? ]
+             type Episode = episode[ name[ String ] ]"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn nested_singleton_elements_are_columns() {
+        assert!(check(
+            "type Actor = actor [ name[ String ],
+                                  biography[ birthday[ String ], text[ String ] ] ]"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn bare_refs_in_sequences_are_valid() {
+        // `type TV = seasons, Description, Episode*` — Description is a
+        // single-valued child type (the outlining example of §4.1).
+        assert!(check(
+            "type TV = seasons[ Integer ], Description, Episode{0,*}
+             type Description = description[ String ]
+             type Episode = episode[ name[ String ] ]"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn non_scalar_attribute_is_rejected() {
+        let err = check("type T = t[ @a[ b[ String ] ] ]").unwrap_err();
+        assert!(matches!(err, StratifyError::NonScalarAttribute { .. }));
+    }
+
+    #[test]
+    fn wildcard_elements_are_valid_columns() {
+        assert!(check("type Review = review[ ~[ String ] ]").is_ok());
+        assert!(check("type Other = ~!nyt[ String ]").is_ok());
+    }
+
+    #[test]
+    fn recursive_named_types_are_valid() {
+        assert!(check("type AnyElement = ~[ AnyElement{0,*} ]").is_ok());
+    }
+
+    #[test]
+    fn nested_union_of_refs_in_rep_is_valid() {
+        assert!(check(
+            "type Reviews = review[ (NYTReview | OtherReview){0,*} ]
+             type NYTReview = nyt[ String ]
+             type OtherReview = ~!nyt[ String ]"
+        )
+        .is_ok());
+    }
+}

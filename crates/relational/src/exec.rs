@@ -1,0 +1,506 @@
+//! The plan executor, with I/O and CPU accounting.
+//!
+//! Execution is materialized operator-at-a-time (each operator returns its
+//! full result), which is simple and sufficient for validating the cost
+//! model: the counters in [`ExecCounters`] — pages read, seeks, tuples
+//! processed — are the *same quantities* the optimizer's cost model
+//! estimates, so estimate-vs-measurement comparisons are direct.
+
+use crate::error::RelationalError;
+use crate::plan::{IndexKey, PhysicalPlan};
+use crate::storage::{Database, Row};
+use crate::types::Value;
+use crate::PAGE_SIZE;
+use std::collections::HashMap;
+
+/// Work counters accumulated during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecCounters {
+    /// Tuples pulled out of base tables.
+    pub tuples_read: u64,
+    /// Tuples emitted by the plan root.
+    pub tuples_output: u64,
+    /// Tuples processed by operators (CPU work: filter evaluations, join
+    /// probe comparisons, hash insertions).
+    pub tuples_processed: u64,
+    /// Pages read from base tables (sequential + random).
+    pub pages_read: f64,
+    /// Random seeks performed (one per scan start, one per index probe).
+    pub seeks: u64,
+    /// Index probes performed.
+    pub index_probes: u64,
+}
+
+impl ExecCounters {
+    /// Merge another counter set into this one (used when summing the work
+    /// of several independently executed queries, e.g. a publish workload
+    /// compiled into one query per descendant table).
+    pub fn absorb(&mut self, other: ExecCounters) {
+        self.tuples_read += other.tuples_read;
+        self.tuples_output += other.tuples_output;
+        self.tuples_processed += other.tuples_processed;
+        self.pages_read += other.pages_read;
+        self.seeks += other.seeks;
+        self.index_probes += other.index_probes;
+    }
+}
+
+/// Execute `plan` against `db`, returning the result rows and the work
+/// counters.
+pub fn run(db: &Database, plan: &PhysicalPlan) -> Result<(Vec<Row>, ExecCounters), RelationalError> {
+    let mut counters = ExecCounters::default();
+    let rows = execute(db, plan, &mut counters)?;
+    counters.tuples_output = rows.len() as u64;
+    Ok((rows, counters))
+}
+
+fn execute(
+    db: &Database,
+    plan: &PhysicalPlan,
+    counters: &mut ExecCounters,
+) -> Result<Vec<Row>, RelationalError> {
+    match plan {
+        PhysicalPlan::SeqScan { table, predicate, projection } => {
+            let t = db.table(table)?;
+            counters.seeks += 1;
+            // A sequential scan touches every page of the table.
+            counters.pages_read += (t.len() as f64 * t.def.row_width() / PAGE_SIZE).max(1.0);
+            let mut out = Vec::new();
+            let mut err = None;
+            t.for_each(|row| {
+                if err.is_some() {
+                    return;
+                }
+                counters.tuples_read += 1;
+                counters.tuples_processed += 1;
+                let keep = match predicate {
+                    Some(p) => match p.accepts(row) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            err = Some(e);
+                            return;
+                        }
+                    },
+                    None => true,
+                };
+                if keep {
+                    out.push(apply_projection(row, projection));
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            Ok(out)
+        }
+        PhysicalPlan::IndexScan { table, column, key, residual, projection } => {
+            let t = db.table(table)?;
+            let matches = probe_index(db, table, column, key)?;
+            counters.seeks += 1;
+            counters.index_probes += 1;
+            // Index pages (root-to-leaf, flat 2) + one random page per match
+            // (unclustered secondary index).
+            counters.pages_read += 2.0 + matches.len() as f64;
+            counters.tuples_read += matches.len() as u64;
+            let mut out = Vec::new();
+            for row in matches {
+                counters.tuples_processed += 1;
+                let keep = match residual {
+                    Some(p) => p.accepts(&row)?,
+                    None => true,
+                };
+                if keep {
+                    out.push(apply_projection(&row, projection));
+                }
+            }
+            let _ = t;
+            Ok(out)
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let rows = execute(db, input, counters)?;
+            let mut out = Vec::new();
+            for row in rows {
+                counters.tuples_processed += 1;
+                if predicate.accepts(&row)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Project { input, columns } => {
+            let rows = execute(db, input, counters)?;
+            rows.into_iter()
+                .map(|row| {
+                    columns
+                        .iter()
+                        .map(|&i| {
+                            row.get(i).cloned().ok_or(RelationalError::ColumnOutOfRange {
+                                index: i,
+                                width: row.len(),
+                            })
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+            let left_rows = execute(db, left, counters)?;
+            let right_rows = execute(db, right, counters)?;
+            let mut out = Vec::new();
+            for l in &left_rows {
+                for r in &right_rows {
+                    counters.tuples_processed += 1;
+                    let mut joined = l.clone();
+                    joined.extend(r.iter().cloned());
+                    let keep = match predicate {
+                        Some(p) => p.accepts(&joined)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+            if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                return Err(RelationalError::BadPlan(
+                    "hash join requires equal-length, non-empty key lists".into(),
+                ));
+            }
+            let left_rows = execute(db, left, counters)?;
+            let right_rows = execute(db, right, counters)?;
+            // Build on the right side.
+            let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for row in &right_rows {
+                counters.tuples_processed += 1;
+                let key: Vec<Value> = right_keys
+                    .iter()
+                    .map(|&i| {
+                        row.get(i).cloned().ok_or(RelationalError::ColumnOutOfRange {
+                            index: i,
+                            width: row.len(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                // SQL equality: NULL keys never join.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                table.entry(key).or_default().push(row);
+            }
+            let mut out = Vec::new();
+            for l in &left_rows {
+                counters.tuples_processed += 1;
+                let key: Vec<Value> = left_keys
+                    .iter()
+                    .map(|&i| {
+                        l.get(i).cloned().ok_or(RelationalError::ColumnOutOfRange {
+                            index: i,
+                            width: l.len(),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for r in matches {
+                        let mut joined = l.clone();
+                        joined.extend(r.iter().cloned());
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::IndexJoin { left, table, column, left_key, residual } => {
+            let left_rows = execute(db, left, counters)?;
+            let mut out = Vec::new();
+            for l in &left_rows {
+                let key = l.get(*left_key).cloned().ok_or(RelationalError::ColumnOutOfRange {
+                    index: *left_key,
+                    width: l.len(),
+                })?;
+                counters.index_probes += 1;
+                counters.seeks += 1;
+                if key.is_null() {
+                    continue;
+                }
+                let matches = probe_index(db, table, column, &IndexKey::Eq(key))?;
+                counters.pages_read += 2.0 + matches.len() as f64;
+                counters.tuples_read += matches.len() as u64;
+                for r in matches {
+                    counters.tuples_processed += 1;
+                    let mut joined = l.clone();
+                    joined.extend(r);
+                    let keep = match residual {
+                        Some(p) => p.accepts(&joined)?,
+                        None => true,
+                    };
+                    if keep {
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        PhysicalPlan::Union { inputs } => {
+            let mut out = Vec::new();
+            let mut arity: Option<usize> = None;
+            for input in inputs {
+                let rows = execute(db, input, counters)?;
+                if let Some(first) = rows.first() {
+                    match arity {
+                        None => arity = Some(first.len()),
+                        Some(a) if a != first.len() => {
+                            return Err(RelationalError::BadPlan(format!(
+                                "union arity mismatch: {a} vs {}",
+                                first.len()
+                            )))
+                        }
+                        _ => {}
+                    }
+                }
+                out.extend(rows);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn probe_index(
+    db: &Database,
+    table: &str,
+    column: &str,
+    key: &IndexKey,
+) -> Result<Vec<Row>, RelationalError> {
+    let t = db.table(table)?;
+    if !t.has_index(column) {
+        t.create_index(column)?; // auto-build: the optimizer decided an index exists
+    }
+    let rows = match key {
+        IndexKey::Eq(v) => t.index_lookup(column, v),
+        IndexKey::Range { lo, hi } => t.index_range(column, lo.as_ref(), hi.as_ref()),
+    };
+    rows.ok_or_else(|| RelationalError::UnknownColumn {
+        table: table.to_string(),
+        column: column.to_string(),
+    })
+}
+
+fn apply_projection(row: &Row, projection: &Option<Vec<usize>>) -> Row {
+    match projection {
+        None => row.clone(),
+        Some(cols) => cols.iter().map(|&i| row.get(i).cloned().unwrap_or(Value::Null)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use crate::expr::{CmpOp, Expr};
+    use crate::types::SqlType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let mut show = TableDef::new("Show");
+        show.columns = vec![
+            ColumnDef::new("Show_id", SqlType::Int),
+            ColumnDef::new("title", SqlType::Text),
+            ColumnDef::new("year", SqlType::Int),
+        ];
+        db.create_table(show).unwrap();
+        let mut aka = TableDef::new("Aka");
+        aka.columns = vec![
+            ColumnDef::new("Aka_id", SqlType::Int),
+            ColumnDef::new("aka", SqlType::Text),
+            ColumnDef::new("parent_Show", SqlType::Int),
+        ];
+        db.create_table(aka).unwrap();
+        for (id, title, year) in
+            [(1, "The Fugitive", 1993), (2, "X Files", 1993), (3, "ER", 1994)]
+        {
+            db.insert("Show", vec![Value::Int(id), Value::str(title), Value::Int(year)]).unwrap();
+        }
+        for (id, aka, parent) in
+            [(1, "Auf der Flucht", 1), (2, "Le Fugitif", 1), (3, "Aux frontieres", 2)]
+        {
+            db.insert("Aka", vec![Value::Int(id), Value::str(aka), Value::Int(parent)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn seq_scan_with_filter_and_projection() {
+        let db = sample_db();
+        let plan = PhysicalPlan::SeqScan {
+            table: "Show".into(),
+            predicate: Some(Expr::cmp(CmpOp::Eq, 2, 1993i64)),
+            projection: Some(vec![1]),
+        };
+        let (rows, counters) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::str("The Fugitive")]);
+        assert_eq!(counters.tuples_read, 3);
+        assert_eq!(counters.tuples_output, 2);
+        assert!(counters.pages_read >= 1.0);
+        assert_eq!(counters.seeks, 1);
+    }
+
+    #[test]
+    fn index_scan_equality() {
+        let db = sample_db();
+        let plan = PhysicalPlan::IndexScan {
+            table: "Show".into(),
+            column: "year".into(),
+            key: IndexKey::Eq(Value::Int(1994)),
+            residual: None,
+            projection: None,
+        };
+        let (rows, counters) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::str("ER"));
+        assert_eq!(counters.index_probes, 1);
+        assert_eq!(counters.tuples_read, 1);
+    }
+
+    #[test]
+    fn index_scan_range() {
+        let db = sample_db();
+        let plan = PhysicalPlan::IndexScan {
+            table: "Show".into(),
+            column: "year".into(),
+            key: IndexKey::Range { lo: Some(Value::Int(1993)), hi: Some(Value::Int(1993)) },
+            residual: None,
+            projection: None,
+        };
+        let (rows, _) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_parent_child() {
+        let db = sample_db();
+        // Aka.parent_Show = Show.Show_id
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::scan("Show")),
+            right: Box::new(PhysicalPlan::scan("Aka")),
+            left_keys: vec![0],
+            right_keys: vec![2],
+        };
+        let (rows, _) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 3); // two akas for show 1, one for show 2
+        assert_eq!(rows[0].len(), 6);
+    }
+
+    #[test]
+    fn nested_loop_join_with_predicate_matches_hash_join() {
+        let db = sample_db();
+        let nl = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::scan("Show")),
+            right: Box::new(PhysicalPlan::scan("Aka")),
+            predicate: Some(Expr::col_eq_col(0, 5)),
+        };
+        let hj = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::scan("Show")),
+            right: Box::new(PhysicalPlan::scan("Aka")),
+            left_keys: vec![0],
+            right_keys: vec![2],
+        };
+        let (mut r1, _) = run(&db, &nl).unwrap();
+        let (mut r2, _) = run(&db, &hj).unwrap();
+        r1.sort();
+        r2.sort();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn index_join_probes_per_left_row() {
+        let db = sample_db();
+        let plan = PhysicalPlan::IndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: "Show".into(),
+                predicate: Some(Expr::cmp(CmpOp::Eq, 1, "The Fugitive")),
+                projection: None,
+            }),
+            table: "Aka".into(),
+            column: "parent_Show".into(),
+            left_key: 0,
+            residual: None,
+        };
+        let (rows, counters) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(counters.index_probes, 1);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let db = sample_db();
+        let plan = PhysicalPlan::Union {
+            inputs: vec![PhysicalPlan::scan("Show"), PhysicalPlan::scan("Show")],
+        };
+        let (rows, _) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn union_arity_mismatch_is_rejected() {
+        let db = sample_db();
+        let plan = PhysicalPlan::Union {
+            inputs: vec![
+                PhysicalPlan::scan("Show"),
+                PhysicalPlan::Project {
+                    input: Box::new(PhysicalPlan::scan("Show")),
+                    columns: vec![0],
+                },
+            ],
+        };
+        assert!(matches!(run(&db, &plan), Err(RelationalError::BadPlan(_))));
+    }
+
+    #[test]
+    fn hash_join_never_matches_null_keys() {
+        let mut db = Database::new();
+        let mut t = TableDef::new("T");
+        t.columns = vec![ColumnDef::new("k", SqlType::Int).nullable()];
+        db.create_table(t).unwrap();
+        db.insert("T", vec![Value::Null]).unwrap();
+        db.insert("T", vec![Value::Int(1)]).unwrap();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::scan("T")),
+            right: Box::new(PhysicalPlan::scan("T")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let (rows, _) = run(&db, &plan).unwrap();
+        assert_eq!(rows.len(), 1); // only Int(1) joins with itself
+    }
+
+    #[test]
+    fn bad_hash_join_keys_are_rejected() {
+        let db = sample_db();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::scan("Show")),
+            right: Box::new(PhysicalPlan::scan("Aka")),
+            left_keys: vec![],
+            right_keys: vec![],
+        };
+        assert!(matches!(run(&db, &plan), Err(RelationalError::BadPlan(_))));
+    }
+
+    #[test]
+    fn filter_and_project_operators() {
+        let db = sample_db();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::scan("Show")),
+                predicate: Expr::cmp(CmpOp::Gt, 2, 1993i64),
+            }),
+            columns: vec![1, 2],
+        };
+        let (rows, _) = run(&db, &plan).unwrap();
+        assert_eq!(rows, vec![vec![Value::str("ER"), Value::Int(1994)]]);
+    }
+}

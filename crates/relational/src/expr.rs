@@ -1,0 +1,335 @@
+//! Scalar expressions over rows: column references (by position), literals,
+//! comparisons, and boolean connectives with SQL three-valued logic.
+
+use crate::error::RelationalError;
+use crate::types::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A scalar expression evaluated against one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of the row's `i`-th column.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    /// Binary comparison (SQL semantics: NULL operands yield unknown).
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Conjunction (empty = TRUE).
+    And(Vec<Expr>),
+    /// Disjunction (empty = FALSE).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+}
+
+/// Three-valued logic outcome of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    /// TRUE
+    True,
+    /// FALSE
+    False,
+    /// UNKNOWN (NULL comparison)
+    Unknown,
+}
+
+impl Expr {
+    /// Shorthand: `col(i) op literal`.
+    pub fn cmp(op: CmpOp, column: usize, value: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            op,
+            left: Box::new(Expr::Column(column)),
+            right: Box::new(Expr::Literal(value.into())),
+        }
+    }
+
+    /// Shorthand: equality between two columns (a join predicate once both
+    /// sides are concatenated into one row).
+    pub fn col_eq_col(left: usize, right: usize) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Column(left)),
+            right: Box::new(Expr::Column(right)),
+        }
+    }
+
+    /// Evaluate to a value. Comparisons return `Int(1)`/`Int(0)`/`Null`.
+    pub fn eval(&self, row: &[Value]) -> Result<Value, RelationalError> {
+        Ok(match self.eval_truth(row)? {
+            Some(t) => match t {
+                Truth::True => Value::Int(1),
+                Truth::False => Value::Int(0),
+                Truth::Unknown => Value::Null,
+            },
+            None => self.eval_scalar(row)?,
+        })
+    }
+
+    fn eval_scalar(&self, row: &[Value]) -> Result<Value, RelationalError> {
+        match self {
+            Expr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or(RelationalError::ColumnOutOfRange { index: *i, width: row.len() }),
+            Expr::Literal(v) => Ok(v.clone()),
+            _ => unreachable!("boolean expressions handled by eval_truth"),
+        }
+    }
+
+    /// Evaluate as a predicate in three-valued logic; `None` means the
+    /// expression is scalar (column/literal), not boolean.
+    fn eval_truth(&self, row: &[Value]) -> Result<Option<Truth>, RelationalError> {
+        Ok(Some(match self {
+            Expr::Column(_) | Expr::Literal(_) => return Ok(None),
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval_scalar_or_truth(row)?;
+                let r = right.eval_scalar_or_truth(row)?;
+                match l.sql_cmp(&r) {
+                    Some(ord) => {
+                        if op.test(ord) {
+                            Truth::True
+                        } else {
+                            Truth::False
+                        }
+                    }
+                    None => Truth::Unknown,
+                }
+            }
+            Expr::And(items) => {
+                let mut result = Truth::True;
+                for item in items {
+                    match item.as_truth(row)? {
+                        Truth::False => return Ok(Some(Truth::False)),
+                        Truth::Unknown => result = Truth::Unknown,
+                        Truth::True => {}
+                    }
+                }
+                result
+            }
+            Expr::Or(items) => {
+                let mut result = Truth::False;
+                for item in items {
+                    match item.as_truth(row)? {
+                        Truth::True => return Ok(Some(Truth::True)),
+                        Truth::Unknown => result = Truth::Unknown,
+                        Truth::False => {}
+                    }
+                }
+                result
+            }
+            Expr::Not(inner) => match inner.as_truth(row)? {
+                Truth::True => Truth::False,
+                Truth::False => Truth::True,
+                Truth::Unknown => Truth::Unknown,
+            },
+            Expr::IsNull(inner) => {
+                let v = inner.eval_scalar_or_truth(row)?;
+                if v.is_null() {
+                    Truth::True
+                } else {
+                    Truth::False
+                }
+            }
+        }))
+    }
+
+    fn eval_scalar_or_truth(&self, row: &[Value]) -> Result<Value, RelationalError> {
+        self.eval(row)
+    }
+
+    fn as_truth(&self, row: &[Value]) -> Result<Truth, RelationalError> {
+        match self.eval_truth(row)? {
+            Some(t) => Ok(t),
+            None => Ok(match self.eval_scalar(row)? {
+                Value::Null => Truth::Unknown,
+                Value::Int(0) => Truth::False,
+                _ => Truth::True,
+            }),
+        }
+    }
+
+    /// Does this predicate accept the row? (UNKNOWN rejects, as in SQL
+    /// `WHERE`.)
+    pub fn accepts(&self, row: &[Value]) -> Result<bool, RelationalError> {
+        Ok(self.as_truth(row)? == Truth::True)
+    }
+
+    /// Shift every column reference by `delta` (used when gluing rows
+    /// together for joins).
+    pub fn shift_columns(&self, delta: usize) -> Expr {
+        match self {
+            Expr::Column(i) => Expr::Column(i + delta),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(left.shift_columns(delta)),
+                right: Box::new(right.shift_columns(delta)),
+            },
+            Expr::And(items) => Expr::And(items.iter().map(|e| e.shift_columns(delta)).collect()),
+            Expr::Or(items) => Expr::Or(items.iter().map(|e| e.shift_columns(delta)).collect()),
+            Expr::Not(inner) => Expr::Not(Box::new(inner.shift_columns(delta))),
+            Expr::IsNull(inner) => Expr::IsNull(Box::new(inner.shift_columns(delta))),
+        }
+    }
+
+    /// All column indexes referenced by this expression.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(i) => out.push(*i),
+            Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(items) | Expr::Or(items) => {
+                for item in items {
+                    item.collect_columns(out);
+                }
+            }
+            Expr::Not(inner) | Expr::IsNull(inner) => inner.collect_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(1993), Value::str("The Fugitive"), Value::Null]
+    }
+
+    #[test]
+    fn equality_on_columns_and_literals() {
+        let e = Expr::cmp(CmpOp::Eq, 0, 1993i64);
+        assert!(e.accepts(&row()).unwrap());
+        let e = Expr::cmp(CmpOp::Eq, 1, "The Fugitive");
+        assert!(e.accepts(&row()).unwrap());
+        let e = Expr::cmp(CmpOp::Eq, 1, "Other");
+        assert!(!e.accepts(&row()).unwrap());
+    }
+
+    #[test]
+    fn range_comparisons() {
+        assert!(Expr::cmp(CmpOp::Lt, 0, 2000i64).accepts(&row()).unwrap());
+        assert!(Expr::cmp(CmpOp::Ge, 0, 1993i64).accepts(&row()).unwrap());
+        assert!(!Expr::cmp(CmpOp::Gt, 0, 1993i64).accepts(&row()).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown_and_rejected() {
+        let e = Expr::cmp(CmpOp::Eq, 2, 5i64);
+        assert!(!e.accepts(&row()).unwrap());
+        let e = Expr::cmp(CmpOp::Ne, 2, 5i64);
+        assert!(!e.accepts(&row()).unwrap()); // NULL <> 5 is UNKNOWN
+    }
+
+    #[test]
+    fn is_null_detects_nulls() {
+        assert!(Expr::IsNull(Box::new(Expr::Column(2))).accepts(&row()).unwrap());
+        assert!(!Expr::IsNull(Box::new(Expr::Column(0))).accepts(&row()).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let null_cmp = Expr::cmp(CmpOp::Eq, 2, 1i64); // UNKNOWN
+        let true_cmp = Expr::cmp(CmpOp::Eq, 0, 1993i64);
+        let false_cmp = Expr::cmp(CmpOp::Eq, 0, 0i64);
+        // UNKNOWN AND TRUE = UNKNOWN (rejected)
+        assert!(!Expr::And(vec![null_cmp.clone(), true_cmp.clone()]).accepts(&row()).unwrap());
+        // UNKNOWN OR TRUE = TRUE
+        assert!(Expr::Or(vec![null_cmp.clone(), true_cmp]).accepts(&row()).unwrap());
+        // UNKNOWN OR FALSE = UNKNOWN (rejected)
+        assert!(!Expr::Or(vec![null_cmp.clone(), false_cmp]).accepts(&row()).unwrap());
+        // NOT UNKNOWN = UNKNOWN (rejected)
+        assert!(!Expr::Not(Box::new(null_cmp)).accepts(&row()).unwrap());
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Expr::And(vec![]).accepts(&row()).unwrap());
+        assert!(!Expr::Or(vec![]).accepts(&row()).unwrap());
+    }
+
+    #[test]
+    fn column_out_of_range_is_an_error() {
+        let e = Expr::Column(9);
+        assert!(matches!(
+            e.eval(&row()),
+            Err(RelationalError::ColumnOutOfRange { index: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn shift_columns_moves_references() {
+        let e = Expr::col_eq_col(0, 2).shift_columns(5);
+        assert_eq!(e.referenced_columns(), vec![5, 7]);
+    }
+
+    #[test]
+    fn referenced_columns_deduplicates() {
+        let e = Expr::And(vec![Expr::cmp(CmpOp::Eq, 1, 1i64), Expr::cmp(CmpOp::Lt, 1, 9i64)]);
+        assert_eq!(e.referenced_columns(), vec![1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # legodb-relational
+//!
+//! The relational substrate LegoDB maps XML into. The paper targeted a
+//! commercial RDBMS (validated against Microsoft SQL Server 6.5); this crate
+//! provides the equivalent moving parts, built from scratch:
+//!
+//! - a typed **catalog** ([`catalog::Catalog`]) with per-table and
+//!   per-column statistics — the interface the cost-based optimizer reads;
+//! - **values and expressions** ([`types::Value`], [`expr::Expr`]) for
+//!   predicates and projections;
+//! - an in-memory **storage engine** ([`storage::Database`]) with heap
+//!   tables and B-tree (ordered) secondary indexes;
+//! - **physical plans** ([`plan::PhysicalPlan`]) and a pull-based
+//!   **executor** ([`exec`]) that runs them while counting tuples and pages
+//!   touched, so optimizer estimates can be checked against observed work
+//!   (the analogue of the paper's ±10% SQL Server validation).
+//!
+//! Page geometry is fixed at [`PAGE_SIZE`] bytes; table width is derived
+//! from column statistics, matching how the cost model reasons.
+
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod storage;
+pub mod types;
+
+pub use catalog::{Catalog, ColumnDef, ColumnStats, ForeignKey, TableDef, TableStats};
+pub use error::RelationalError;
+pub use exec::{run, ExecCounters};
+pub use expr::{CmpOp, Expr};
+pub use plan::PhysicalPlan;
+pub use storage::{Database, Row, Table};
+pub use types::{SqlType, Value};
+
+/// Page size used for both cost estimation and executor accounting (bytes).
+pub const PAGE_SIZE: f64 = 8192.0;
+
+/// Per-row storage overhead (header + slot entry), in bytes.
+pub const ROW_OVERHEAD: f64 = 16.0;

@@ -1,0 +1,226 @@
+//! Physical query plans: the operator tree the executor runs and the
+//! optimizer emits.
+
+use crate::expr::Expr;
+use crate::types::Value;
+use std::fmt;
+
+/// How an index scan selects rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexKey {
+    /// Rows whose indexed column equals the value.
+    Eq(Value),
+    /// Rows whose indexed column lies in the inclusive range
+    /// (`None` bounds are unbounded).
+    Range {
+        /// Lower bound, inclusive.
+        lo: Option<Value>,
+        /// Upper bound, inclusive.
+        hi: Option<Value>,
+    },
+}
+
+/// A physical operator tree. Joins output `left_row ++ right_row`;
+/// projections select columns by position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Full scan of a table with optional filter and projection pushed in.
+    SeqScan {
+        /// Table name.
+        table: String,
+        /// Filter applied to each row (over the table's full column list).
+        predicate: Option<Expr>,
+        /// Output columns (positions); `None` means all.
+        projection: Option<Vec<usize>>,
+    },
+    /// Index-assisted selection on one column.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Indexed column name.
+        column: String,
+        /// Equality or range key.
+        key: IndexKey,
+        /// Residual filter on matching rows.
+        residual: Option<Expr>,
+        /// Output columns (positions); `None` means all.
+        projection: Option<Vec<usize>>,
+    },
+    /// Filter on an input.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Predicate over the input's output row.
+        predicate: Expr,
+    },
+    /// Column projection.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Positions of the input's output row to keep, in order.
+        columns: Vec<usize>,
+    },
+    /// Tuple-at-a-time nested-loop join with an arbitrary predicate
+    /// (over `left_row ++ right_row`). `None` predicate is a cross product.
+    NestedLoopJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Inner input.
+        right: Box<PhysicalPlan>,
+        /// Join predicate over the concatenated row.
+        predicate: Option<Expr>,
+    },
+    /// Hash equi-join: build on the right input, probe with the left.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Key positions in the left output row.
+        left_keys: Vec<usize>,
+        /// Key positions in the right output row.
+        right_keys: Vec<usize>,
+    },
+    /// Index nested-loop join: for each left row, probe `table`'s index on
+    /// `column` with the value at `left_key`.
+    IndexJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Inner table (must have an index on `column`).
+        table: String,
+        /// Indexed column name.
+        column: String,
+        /// Position in the left output row providing the probe key.
+        left_key: usize,
+        /// Residual predicate over the concatenated row.
+        residual: Option<Expr>,
+    },
+    /// Bag union (concatenation) of same-arity inputs.
+    Union {
+        /// Inputs.
+        inputs: Vec<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Convenience: an unfiltered full-table scan.
+    pub fn scan(table: impl Into<String>) -> PhysicalPlan {
+        PhysicalPlan::SeqScan { table: table.into(), predicate: None, projection: None }
+    }
+
+    /// All table names this plan touches (with repetition).
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::IndexScan { table, .. } => {
+                out.push(table)
+            }
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Project { input, .. } => {
+                input.collect_tables(out)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            PhysicalPlan::IndexJoin { left, table, .. } => {
+                left.collect_tables(out);
+                out.push(table);
+            }
+            PhysicalPlan::Union { inputs } => {
+                for input in inputs {
+                    input.collect_tables(out);
+                }
+            }
+        }
+    }
+
+    fn explain_into(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysicalPlan::SeqScan { table, predicate, projection } => {
+                write!(f, "{pad}SeqScan {table}")?;
+                if let Some(p) = predicate {
+                    write!(f, " filter={p:?}")?;
+                }
+                if let Some(cols) = projection {
+                    write!(f, " project={cols:?}")?;
+                }
+                writeln!(f)
+            }
+            PhysicalPlan::IndexScan { table, column, key, .. } => {
+                writeln!(f, "{pad}IndexScan {table}.{column} key={key:?}")
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter {predicate:?}")?;
+                input.explain_into(f, depth + 1)
+            }
+            PhysicalPlan::Project { input, columns } => {
+                writeln!(f, "{pad}Project {columns:?}")?;
+                input.explain_into(f, depth + 1)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+                writeln!(f, "{pad}NestedLoopJoin pred={predicate:?}")?;
+                left.explain_into(f, depth + 1)?;
+                right.explain_into(f, depth + 1)
+            }
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+                writeln!(f, "{pad}HashJoin l={left_keys:?} r={right_keys:?}")?;
+                left.explain_into(f, depth + 1)?;
+                right.explain_into(f, depth + 1)
+            }
+            PhysicalPlan::IndexJoin { left, table, column, left_key, .. } => {
+                writeln!(f, "{pad}IndexJoin {table}.{column} probe=col{left_key}")?;
+                left.explain_into(f, depth + 1)
+            }
+            PhysicalPlan::Union { inputs } => {
+                writeln!(f, "{pad}Union")?;
+                for input in inputs {
+                    input.explain_into(f, depth + 1)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.explain_into(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn tables_walks_the_tree() {
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::scan("Show")),
+            right: Box::new(PhysicalPlan::Union {
+                inputs: vec![PhysicalPlan::scan("Review"), PhysicalPlan::scan("Episode")],
+            }),
+            left_keys: vec![0],
+            right_keys: vec![2],
+        };
+        assert_eq!(plan.tables(), ["Show", "Review", "Episode"]);
+    }
+
+    #[test]
+    fn display_renders_a_tree() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::scan("Show")),
+            predicate: Expr::cmp(CmpOp::Eq, 3, 1999i64),
+        };
+        let text = plan.to_string();
+        assert!(text.contains("Filter"));
+        assert!(text.contains("SeqScan Show"));
+    }
+}

@@ -1,0 +1,383 @@
+//! The in-memory storage engine: heap tables with optional ordered
+//! (B-tree) secondary indexes.
+//!
+//! Tables are internally locked with `parking_lot::RwLock` so a shared
+//! `&Database` can be read from multiple threads — the LegoDB greedy search
+//! evaluates candidate configurations in parallel.
+
+use crate::catalog::{Catalog, ColumnStats, TableDef};
+use crate::error::RelationalError;
+use crate::types::Value;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+
+/// A row: one value per column of the owning table.
+pub type Row = Vec<Value>;
+
+/// A table: definition + rows + secondary indexes.
+#[derive(Debug)]
+pub struct Table {
+    /// The table definition (columns, key, statistics).
+    pub def: TableDef,
+    rows: RwLock<Vec<Row>>,
+    indexes: RwLock<HashMap<String, BTreeMap<Value, Vec<usize>>>>,
+}
+
+impl Table {
+    /// An empty table for a definition.
+    pub fn new(def: TableDef) -> Table {
+        Table { def, rows: RwLock::new(Vec::new()), indexes: RwLock::new(HashMap::new()) }
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert one row, enforcing arity, types, and NOT NULL constraints.
+    pub fn insert(&self, row: Row) -> Result<(), RelationalError> {
+        if row.len() != self.def.columns.len() {
+            return Err(RelationalError::ArityMismatch {
+                table: self.def.name.clone(),
+                expected: self.def.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(&self.def.columns) {
+            if value.is_null() && !col.nullable {
+                return Err(RelationalError::NullViolation {
+                    table: self.def.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+            if !col.ty.admits(value) {
+                return Err(RelationalError::TypeMismatch {
+                    table: self.def.name.clone(),
+                    column: col.name.clone(),
+                    value: value.to_string(),
+                });
+            }
+        }
+        let mut rows = self.rows.write();
+        let row_id = rows.len();
+        let mut indexes = self.indexes.write();
+        for (column, index) in indexes.iter_mut() {
+            let ci = self.def.column_index(column).expect("index on existing column");
+            index.entry(row[ci].clone()).or_default().push(row_id);
+        }
+        rows.push(row);
+        Ok(())
+    }
+
+    /// Build an ordered secondary index on `column` (idempotent).
+    pub fn create_index(&self, column: &str) -> Result<(), RelationalError> {
+        let ci = self.def.column_index(column).ok_or_else(|| RelationalError::UnknownColumn {
+            table: self.def.name.clone(),
+            column: column.to_string(),
+        })?;
+        let mut indexes = self.indexes.write();
+        if indexes.contains_key(column) {
+            return Ok(());
+        }
+        let rows = self.rows.read();
+        let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+        for (row_id, row) in rows.iter().enumerate() {
+            index.entry(row[ci].clone()).or_default().push(row_id);
+        }
+        indexes.insert(column.to_string(), index);
+        Ok(())
+    }
+
+    /// Is there an index on `column`?
+    pub fn has_index(&self, column: &str) -> bool {
+        self.indexes.read().contains_key(column)
+    }
+
+    /// Snapshot all rows (cloned). The executor's sequential scan.
+    pub fn scan(&self) -> Vec<Row> {
+        self.rows.read().clone()
+    }
+
+    /// Visit all rows without cloning the whole table.
+    pub fn for_each(&self, mut f: impl FnMut(&Row)) {
+        for row in self.rows.read().iter() {
+            f(row);
+        }
+    }
+
+    /// Rows whose `column` equals `key`, via the index. Returns `None` if no
+    /// index exists on that column.
+    pub fn index_lookup(&self, column: &str, key: &Value) -> Option<Vec<Row>> {
+        let indexes = self.indexes.read();
+        let index = indexes.get(column)?;
+        let rows = self.rows.read();
+        Some(
+            index
+                .get(key)
+                .map(|ids| ids.iter().map(|&i| rows[i].clone()).collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Rows whose `column` lies in `[lo, hi]` (inclusive bounds; `None` is
+    /// unbounded), via the index.
+    pub fn index_range(&self, column: &str, lo: Option<&Value>, hi: Option<&Value>) -> Option<Vec<Row>> {
+        let indexes = self.indexes.read();
+        let index = indexes.get(column)?;
+        let rows = self.rows.read();
+        let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let upper = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let mut out = Vec::new();
+        for (_, ids) in index.range((lower, upper)) {
+            out.extend(ids.iter().map(|&i| rows[i].clone()));
+        }
+        Some(out)
+    }
+
+    /// Recompute this table's statistics from the stored data: row count,
+    /// average widths, distincts, numeric min/max, null fractions.
+    pub fn analyze(&mut self) {
+        let rows = self.rows.read();
+        let n = rows.len();
+        self.def.stats.rows = n as f64;
+        for (ci, col) in self.def.columns.iter_mut().enumerate() {
+            if n == 0 {
+                col.stats = ColumnStats::unknown(col.ty);
+                continue;
+            }
+            let mut width_sum = 0.0;
+            let mut nulls = 0usize;
+            let mut distinct: HashSet<&Value> = HashSet::new();
+            let mut min: Option<i64> = None;
+            let mut max: Option<i64> = None;
+            for row in rows.iter() {
+                let v = &row[ci];
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                width_sum += v.width();
+                distinct.insert(v);
+                if let Value::Int(i) = v {
+                    min = Some(min.map_or(*i, |m| m.min(*i)));
+                    max = Some(max.map_or(*i, |m| m.max(*i)));
+                }
+            }
+            let non_null = n - nulls;
+            col.stats = ColumnStats {
+                avg_width: if non_null > 0 { width_sum / non_null as f64 } else { 1.0 },
+                distinct: Some(distinct.len() as f64),
+                min,
+                max,
+                null_fraction: nulls as f64 / n as f64,
+            };
+        }
+    }
+}
+
+/// A database: a set of tables. Construct one from a [`Catalog`] and load
+/// rows, or build tables ad hoc.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Instantiate every table in a catalog (empty tables).
+    pub fn from_catalog(catalog: &Catalog) -> Database {
+        let mut db = Database::new();
+        for def in catalog.iter() {
+            db.tables.insert(def.name.clone(), Table::new(def.clone()));
+        }
+        db
+    }
+
+    /// Create a table; errors if a table of that name exists.
+    pub fn create_table(&mut self, def: TableDef) -> Result<(), RelationalError> {
+        if self.tables.contains_key(&def.name) {
+            return Err(RelationalError::DuplicateTable(def.name));
+        }
+        self.tables.insert(def.name.clone(), Table::new(def));
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, RelationalError> {
+        self.tables.get(name).ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup (for `analyze`).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, RelationalError> {
+        self.tables.get_mut(name).ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+    }
+
+    /// Insert into a named table.
+    pub fn insert(&self, table: &str, row: Row) -> Result<(), RelationalError> {
+        self.table(table)?.insert(row)
+    }
+
+    /// All tables, name-ordered.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Recompute statistics on every table and return the resulting
+    /// catalog (measured, not estimated).
+    pub fn analyze(&mut self) -> Catalog {
+        let mut catalog = Catalog::new();
+        for table in self.tables.values_mut() {
+            table.analyze();
+            catalog.add(table.def.clone());
+        }
+        catalog
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+    use crate::types::SqlType;
+
+    fn show_def() -> TableDef {
+        let mut def = TableDef::new("Show");
+        def.columns = vec![
+            ColumnDef::new("Show_id", SqlType::Int),
+            ColumnDef::new("title", SqlType::Text),
+            ColumnDef::new("year", SqlType::Int).nullable(),
+        ];
+        def.key = Some("Show_id".into());
+        def
+    }
+
+    fn loaded_table() -> Table {
+        let t = Table::new(show_def());
+        t.insert(vec![Value::Int(1), Value::str("The Fugitive"), Value::Int(1993)]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("X Files"), Value::Int(1993)]).unwrap();
+        t.insert(vec![Value::Int(3), Value::str("Twin Peaks"), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = loaded_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.scan()[0][1], Value::str("The Fugitive"));
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let t = Table::new(show_def());
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn types_are_enforced() {
+        let t = Table::new(show_def());
+        let err = t.insert(vec![Value::str("x"), Value::str("t"), Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationalError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn not_null_is_enforced() {
+        let t = Table::new(show_def());
+        let err = t.insert(vec![Value::Null, Value::str("t"), Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, RelationalError::NullViolation { .. }));
+        // but the nullable column accepts NULL
+        t.insert(vec![Value::Int(1), Value::str("t"), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn index_lookup_finds_matches() {
+        let t = loaded_table();
+        t.create_index("year").unwrap();
+        let rows = t.index_lookup("year", &Value::Int(1993)).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = t.index_lookup("year", &Value::Int(1800)).unwrap();
+        assert!(rows.is_empty());
+        assert!(t.index_lookup("title", &Value::str("x")).is_none());
+    }
+
+    #[test]
+    fn index_stays_current_across_inserts() {
+        let t = loaded_table();
+        t.create_index("year").unwrap();
+        t.insert(vec![Value::Int(4), Value::str("ER"), Value::Int(1993)]).unwrap();
+        assert_eq!(t.index_lookup("year", &Value::Int(1993)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn index_range_scans_inclusive_bounds() {
+        let t = loaded_table();
+        t.create_index("Show_id").unwrap();
+        let rows = t.index_range("Show_id", Some(&Value::Int(2)), Some(&Value::Int(3))).unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = t.index_range("Show_id", None, Some(&Value::Int(1))).unwrap();
+        assert_eq!(rows.len(), 1);
+        let all = t.index_range("Show_id", None, None).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn create_index_on_missing_column_fails() {
+        let t = Table::new(show_def());
+        assert!(matches!(
+            t.create_index("nope"),
+            Err(RelationalError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_measures_statistics() {
+        let mut t = loaded_table();
+        t.analyze();
+        assert_eq!(t.def.stats.rows, 3.0);
+        let year = t.def.column("year").unwrap();
+        assert_eq!(year.stats.min, Some(1993));
+        assert_eq!(year.stats.max, Some(1993));
+        assert_eq!(year.stats.distinct, Some(1.0));
+        assert!((year.stats.null_fraction - 1.0 / 3.0).abs() < 1e-9);
+        let title = t.def.column("title").unwrap();
+        assert_eq!(title.stats.distinct, Some(3.0));
+    }
+
+    #[test]
+    fn database_crud() {
+        let mut db = Database::new();
+        db.create_table(show_def()).unwrap();
+        assert!(matches!(
+            db.create_table(show_def()),
+            Err(RelationalError::DuplicateTable(_))
+        ));
+        db.insert("Show", vec![Value::Int(1), Value::str("t"), Value::Null]).unwrap();
+        assert_eq!(db.table("Show").unwrap().len(), 1);
+        assert!(db.table("Nope").is_err());
+        assert_eq!(db.total_rows(), 1);
+    }
+
+    #[test]
+    fn from_catalog_instantiates_all_tables() {
+        let mut catalog = Catalog::new();
+        catalog.add(show_def());
+        catalog.add(TableDef::new("Aka"));
+        let db = Database::from_catalog(&catalog);
+        assert_eq!(db.tables().count(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! SQL column types and runtime values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A column's declared SQL type. Mirrors the types the paper's Table 1
+/// emits: `INT`, `CHAR(size)`, and `STRING` (unbounded varchar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    /// 64-bit integer (the paper writes `INT`).
+    Int,
+    /// Fixed-size character data, `CHAR(n)`.
+    Char(u32),
+    /// Unbounded character data (the paper writes `STRING`).
+    Text,
+}
+
+impl SqlType {
+    /// Bytes a value of this type occupies on a page, used for width
+    /// accounting when no measured average is available.
+    pub fn default_width(&self) -> f64 {
+        match self {
+            SqlType::Int => 8.0,
+            SqlType::Char(n) => *n as f64,
+            SqlType::Text => 32.0,
+        }
+    }
+
+    /// Does `value` inhabit this type? `Null` inhabits every type
+    /// (nullability is checked separately against the column definition).
+    pub fn admits(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (SqlType::Int, Value::Int(_))
+                | (SqlType::Char(_) | SqlType::Text, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Int => f.write_str("INT"),
+            SqlType::Char(n) => write!(f, "CHAR({n})"),
+            SqlType::Text => f.write_str("STRING"),
+        }
+    }
+}
+
+/// A runtime value in a row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Approximate on-page width of this value in bytes.
+    pub fn width(&self) -> f64 {
+        match self {
+            Value::Null => 1.0,
+            Value::Int(_) => 8.0,
+            Value::Str(s) => s.len() as f64,
+        }
+    }
+}
+
+/// Total order used for index keys and sorting: `Null < Int < Str`.
+/// (Distinct from [`Value::sql_cmp`], which is SQL semantics.)
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_admission() {
+        assert!(SqlType::Int.admits(&Value::Int(1)));
+        assert!(!SqlType::Int.admits(&Value::str("x")));
+        assert!(SqlType::Text.admits(&Value::str("x")));
+        assert!(SqlType::Char(8).admits(&Value::str("x")));
+        assert!(SqlType::Int.admits(&Value::Null));
+    }
+
+    #[test]
+    fn sql_cmp_is_null_aware() {
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(2)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::str("a")), None);
+        assert_eq!(Value::str("a").sql_cmp(&Value::str("a")), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn total_order_ranks_null_lowest() {
+        let mut vals = vec![Value::str("b"), Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::Null, Value::Int(1), Value::Int(3), Value::str("b")]);
+    }
+
+    #[test]
+    fn display_quotes_strings_sql_style() {
+        assert_eq!(Value::str("o'hara").to_string(), "'o''hara'");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn widths_scale_with_content() {
+        assert_eq!(Value::Int(1).width(), 8.0);
+        assert_eq!(Value::str("abcd").width(), 4.0);
+        assert_eq!(SqlType::Char(50).default_width(), 50.0);
+    }
+}

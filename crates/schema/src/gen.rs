@@ -1,0 +1,381 @@
+//! Random generation of documents *valid under a schema*.
+//!
+//! Used by the IMDB data generator (`legodb-imdb`) to synthesize datasets
+//! matching the paper's Appendix A statistics (the real IMDB data is
+//! proprietary), and by property tests to check that schema transformations
+//! preserve document semantics: every document sampled from a schema must
+//! validate against every transformation of it.
+
+use crate::name::{NameTest, TypeName};
+use crate::schema::Schema;
+use crate::ty::{ScalarKind, ScalarStats, Type};
+use legodb_xml::{Attribute, Document, Element, Node};
+use rand::Rng;
+
+/// Generation knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Beyond this element depth, repetitions use their minimum count and
+    /// unions pick their least-recursive alternative (terminates recursive
+    /// schemas such as `AnyElement`).
+    pub max_depth: usize,
+    /// Cap applied to unbounded repetitions when no `<#count>` annotation
+    /// is present.
+    pub default_unbounded_max: u32,
+    /// Names to use when a wildcard (`~` / `~!...`) element must be
+    /// emitted, with selection weights. Falls back to `any0..any3` when
+    /// empty (after exclusion filtering).
+    pub wildcard_names: Vec<(String, f64)>,
+    /// Default string length when no `<#size>` annotation is present.
+    pub default_string_len: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 24,
+            default_unbounded_max: 3,
+            wildcard_names: Vec::new(),
+            default_string_len: 8,
+        }
+    }
+}
+
+/// Generate one random document valid under `schema`.
+///
+/// The schema root must be (or resolve to) a single element type.
+pub fn generate(schema: &Schema, rng: &mut impl Rng, config: &GenConfig) -> Document {
+    let root_ty = schema.root_type();
+    let mut items = Vec::new();
+    let mut gen = Gen { schema, rng, config };
+    gen.emit(root_ty, 0, &mut items);
+    let root = items
+        .into_iter()
+        .find_map(|i| match i {
+            Item::Child(Node::Element(e)) => Some(e),
+            _ => None,
+        })
+        .unwrap_or_else(|| Element::new("empty"));
+    Document::new(root)
+}
+
+enum Item {
+    Attr(Attribute),
+    Child(Node),
+}
+
+struct Gen<'a, R: Rng> {
+    schema: &'a Schema,
+    rng: &'a mut R,
+    config: &'a GenConfig,
+}
+
+impl<R: Rng> Gen<'_, R> {
+    /// Emit the items produced by one type occurrence.
+    fn emit(&mut self, ty: &Type, depth: usize, out: &mut Vec<Item>) {
+        match ty {
+            Type::Empty => {}
+            Type::Scalar { kind, stats } => {
+                let text = self.scalar_value(*kind, stats);
+                if !text.is_empty() {
+                    out.push(Item::Child(Node::Text(text)));
+                }
+            }
+            Type::Attribute { name, content } => {
+                let value = self.scalar_value_of(content);
+                out.push(Item::Attr(Attribute { name: name.clone(), value }));
+            }
+            Type::Element { name, content } => {
+                let tag = self.pick_name(name);
+                let mut items = Vec::new();
+                self.emit(content, depth + 1, &mut items);
+                let mut e = Element::new(tag);
+                for item in items {
+                    match item {
+                        Item::Attr(a) => {
+                            if e.attribute(&a.name).is_none() {
+                                e.attributes.push(a);
+                            }
+                        }
+                        Item::Child(n) => e.children.push(n),
+                    }
+                }
+                out.push(Item::Child(Node::Element(e)));
+            }
+            Type::Seq(items) => {
+                for item in items {
+                    self.emit(item, depth, out);
+                }
+            }
+            Type::Choice(alternatives) => {
+                let pick = if depth > self.config.max_depth {
+                    least_recursive(alternatives)
+                } else {
+                    self.rng.gen_range(0..alternatives.len())
+                };
+                self.emit(&alternatives[pick], depth, out);
+            }
+            Type::Rep { inner, occurs, avg_count } => {
+                let count = self.sample_count(occurs.min, occurs.max, *avg_count, depth);
+                for _ in 0..count {
+                    self.emit(inner, depth, out);
+                }
+            }
+            Type::Ref(name) => {
+                if let Some(def) = self.schema.get(name) {
+                    self.emit(def, depth, out);
+                }
+            }
+        }
+    }
+
+    fn sample_count(&mut self, min: u32, max: Option<u32>, avg: Option<f64>, depth: usize) -> u32 {
+        if depth > self.config.max_depth {
+            return min;
+        }
+        let hi = match max {
+            Some(m) => m,
+            None => match avg {
+                // Spread uniformly on [0, 2·avg] so the mean tracks the
+                // annotation; clamp below by min.
+                Some(a) => ((2.0 * a).ceil() as u32).max(min),
+                None => min + self.config.default_unbounded_max,
+            },
+        };
+        if hi <= min {
+            min
+        } else {
+            self.rng.gen_range(min..=hi)
+        }
+    }
+
+    fn scalar_value_of(&mut self, ty: &Type) -> String {
+        match ty {
+            Type::Scalar { kind, stats } => self.scalar_value(*kind, stats),
+            Type::Choice(alts) if !alts.is_empty() => {
+                let i = self.rng.gen_range(0..alts.len());
+                self.scalar_value_of(&alts[i])
+            }
+            Type::Ref(name) => match self.schema.get(name) {
+                Some(def) => self.scalar_value_of(def),
+                None => String::new(),
+            },
+            _ => String::new(),
+        }
+    }
+
+    fn scalar_value(&mut self, kind: ScalarKind, stats: &ScalarStats) -> String {
+        match kind {
+            ScalarKind::Integer => {
+                let lo = stats.min.unwrap_or(0);
+                let hi = stats.max.unwrap_or(lo + 999).max(lo);
+                // Honor the distinct count by quantizing the range.
+                match stats.distinct {
+                    Some(d) if d > 0 && (hi - lo) as u64 >= d => {
+                        let step = ((hi - lo) as u64 / d).max(1);
+                        let k = self.rng.gen_range(0..d);
+                        (lo + (k * step) as i64).to_string()
+                    }
+                    _ => self.rng.gen_range(lo..=hi).to_string(),
+                }
+            }
+            ScalarKind::String => {
+                let len = stats.size.map(|s| s.round() as usize).unwrap_or(self.config.default_string_len);
+                match stats.distinct {
+                    Some(d) if d > 0 => {
+                        let k = self.rng.gen_range(0..d);
+                        let mut s = format!("v{k}_");
+                        self.pad_random(&mut s, len);
+                        s
+                    }
+                    _ => {
+                        let mut s = String::new();
+                        self.pad_random(&mut s, len.max(1));
+                        s
+                    }
+                }
+            }
+        }
+    }
+
+    fn pad_random(&mut self, s: &mut String, len: usize) {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+        while s.len() < len {
+            let i = self.rng.gen_range(0..ALPHABET.len());
+            s.push(ALPHABET[i] as char);
+        }
+        s.truncate(len);
+    }
+
+    fn pick_name(&mut self, test: &NameTest) -> String {
+        match test {
+            NameTest::Name(n) => n.clone(),
+            NameTest::Any | NameTest::AnyExcept(_) => {
+                let candidates: Vec<(String, f64)> = if self.config.wildcard_names.is_empty() {
+                    (0..4).map(|i| (format!("any{i}"), 1.0)).collect()
+                } else {
+                    self.config.wildcard_names.clone()
+                };
+                let allowed: Vec<&(String, f64)> =
+                    candidates.iter().filter(|(n, _)| test.matches(n)).collect();
+                if allowed.is_empty() {
+                    return "anyx".to_string();
+                }
+                let total: f64 = allowed.iter().map(|(_, w)| w).sum();
+                let mut pick = self.rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                for (name, w) in &allowed {
+                    if pick < *w {
+                        return name.clone();
+                    }
+                    pick -= w;
+                }
+                allowed.last().expect("non-empty checked").0.clone()
+            }
+        }
+    }
+}
+
+/// Index of the alternative least likely to recurse: prefers alternatives
+/// without type references.
+fn least_recursive(alternatives: &[Type]) -> usize {
+    alternatives
+        .iter()
+        .position(|t| {
+            let mut has_ref = false;
+            t.visit(&mut |n| {
+                if matches!(n, Type::Ref(_)) {
+                    has_ref = true;
+                }
+            });
+            !has_ref
+        })
+        .unwrap_or(0)
+}
+
+/// Convenience: the `TypeName`-keyed schema lookup used in tests.
+pub fn generate_many(
+    schema: &Schema,
+    rng: &mut impl Rng,
+    config: &GenConfig,
+    n: usize,
+) -> Vec<Document> {
+    (0..n).map(|_| generate(schema, rng, config)).collect()
+}
+
+/// Re-exported for callers that key generation by type.
+pub type Name = TypeName;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_schema;
+    use crate::validate::validate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn show_schema() -> Schema {
+        parse_schema(
+            "type IMDB = imdb[ Show{0,*}<#3> ]
+             type Show = show [ @type[ String ], title[ String<#12,#40> ],
+                                year[ Integer<#4,#1800,#2100,#300> ],
+                                Aka{1,10}, Review*<#2>, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generated_documents_validate() {
+        let schema = show_schema();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..50 {
+            let doc = generate(&schema, &mut rng, &GenConfig::default());
+            assert!(
+                validate(&schema, &doc).is_ok(),
+                "document {i} failed validation:\n{}",
+                doc.to_xml_pretty()
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_schemas_terminate() {
+        let schema = parse_schema("type AnyElement = ~[ (AnyElement | String)* ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = GenConfig { max_depth: 6, ..GenConfig::default() };
+        for _ in 0..20 {
+            let doc = generate(&schema, &mut rng, &config);
+            assert!(validate(&schema, &doc).is_ok());
+        }
+    }
+
+    #[test]
+    fn respects_bounded_occurrences() {
+        let schema = parse_schema("type T = t[ Aka{2,4} ]\ntype Aka = aka[ String ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let doc = generate(&schema, &mut rng, &GenConfig::default());
+            let n = doc.root.children_named("aka").count();
+            assert!((2..=4).contains(&n), "got {n} akas");
+        }
+    }
+
+    #[test]
+    fn integer_values_respect_min_max() {
+        let schema = parse_schema("type T = t[ year[ Integer<#4,#1990,#1999,#10> ] ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let doc = generate(&schema, &mut rng, &GenConfig::default());
+            let y: i64 = doc.root.first_child("year").unwrap().text().parse().unwrap();
+            assert!((1990..=1999).contains(&y));
+        }
+    }
+
+    #[test]
+    fn wildcard_names_come_from_config() {
+        let schema = parse_schema("type R = review[ ~[ String ]+ ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = GenConfig {
+            wildcard_names: vec![("nyt".into(), 1.0), ("suntimes".into(), 1.0)],
+            ..GenConfig::default()
+        };
+        let doc = generate(&schema, &mut rng, &config);
+        for child in doc.root.child_elements() {
+            assert!(child.name == "nyt" || child.name == "suntimes");
+        }
+    }
+
+    #[test]
+    fn any_except_never_picks_excluded() {
+        let schema = parse_schema("type R = review[ ~!nyt[ String ]{3,6} ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = GenConfig {
+            wildcard_names: vec![("nyt".into(), 5.0), ("suntimes".into(), 1.0)],
+            ..GenConfig::default()
+        };
+        for _ in 0..10 {
+            let doc = generate(&schema, &mut rng, &config);
+            assert!(doc.root.child_elements().all(|e| e.name != "nyt"));
+        }
+    }
+
+    #[test]
+    fn avg_count_annotation_drives_unbounded_reps() {
+        let schema = parse_schema("type T = t[ Aka{0,*}<#10> ]\ntype Aka = aka[ String ]").unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let total: usize = (0..200)
+            .map(|_| {
+                generate(&schema, &mut rng, &GenConfig::default())
+                    .root
+                    .children_named("aka")
+                    .count()
+            })
+            .sum();
+        let mean = total as f64 / 200.0;
+        assert!((7.0..=13.0).contains(&mean), "mean {mean} should be near 10");
+    }
+}

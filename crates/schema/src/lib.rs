@@ -1,0 +1,48 @@
+//! # legodb-schema
+//!
+//! The XML Query Algebra type system used by LegoDB (ICDE 2002, §2 and
+//! Appendix B). XML Schemas are represented in the algebra's type notation:
+//!
+//! ```text
+//! type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+//!                    Aka{1,10}, Review*, ( Movie | TV ) ]
+//! ```
+//!
+//! This crate provides:
+//!
+//! - the type AST ([`Type`], [`NameTest`], [`ScalarKind`]) with the paper's
+//!   statistics annotations (`String<#50,#34798>`, `Review*<#10>`);
+//! - [`Schema`]: a named collection of type definitions with a root;
+//! - a parser ([`parse_schema`]) and pretty-printer for the textual notation
+//!   (they round-trip);
+//! - a document validator ([`validate::validate`]) based on Brzozowski
+//!   derivatives over the tree-regular content models — used both to check
+//!   data and to *test that schema transformations preserve semantics*;
+//! - a random document sampler ([`gen::generate`]) that produces documents
+//!   valid under a schema, honoring cardinality annotations.
+//!
+//! ```
+//! use legodb_schema::{parse_schema, validate::validate};
+//!
+//! let schema = parse_schema(
+//!     "type Show = show [ title[ String ], year[ Integer ], Aka{0,*} ]
+//!      type Aka = aka[ String ]",
+//! ).unwrap();
+//! let doc = legodb_xml::parse(
+//!     "<show><title>The Fugitive</title><year>1993</year><aka>Le Fugitif</aka></show>",
+//! ).unwrap();
+//! assert!(validate(&schema, &doc).is_ok());
+//! ```
+
+pub mod gen;
+pub mod name;
+pub mod parse;
+pub mod print;
+pub mod schema;
+pub mod ty;
+pub mod validate;
+
+pub use name::{NameTest, TypeName};
+pub use parse::{parse_schema, SchemaParseError};
+pub use schema::{Schema, SchemaError};
+pub use ty::{Occurs, ScalarKind, ScalarStats, Type};

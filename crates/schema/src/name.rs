@@ -1,0 +1,148 @@
+//! Type names and element name tests (wildcards).
+
+use std::borrow::Borrow;
+use std::fmt;
+
+/// The name of a type definition, e.g. `Show` in `type Show = ...`.
+///
+/// Type names never appear in documents — they classify elements, and the
+/// LegoDB mapping creates one relation per type name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeName(String);
+
+impl TypeName {
+    /// Wrap a string as a type name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TypeName(name.into())
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Derive a fresh name with a suffix, e.g. `Show` → `Show_Part1`.
+    /// Used by transformations that split types.
+    pub fn suffixed(&self, suffix: &str) -> TypeName {
+        TypeName(format!("{}_{}", self.0, suffix))
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TypeName {
+    fn from(s: &str) -> Self {
+        TypeName::new(s)
+    }
+}
+
+impl From<String> for TypeName {
+    fn from(s: String) -> Self {
+        TypeName(s)
+    }
+}
+
+impl Borrow<str> for TypeName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A test on an element's tag name: a literal name, the `~` wildcard
+/// (any name), or `~!a,b` (any name except those listed) — the paper's
+/// wildcard notation from [8].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NameTest {
+    /// A literal tag name.
+    Name(String),
+    /// `~`: any tag name.
+    Any,
+    /// `~!a`: any tag name except the listed ones.
+    AnyExcept(Vec<String>),
+}
+
+impl NameTest {
+    /// Does a concrete tag name satisfy this test?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            NameTest::Name(n) => n == name,
+            NameTest::Any => true,
+            NameTest::AnyExcept(excluded) => !excluded.iter().any(|e| e == name),
+        }
+    }
+
+    /// The literal name, if this is not a wildcard.
+    pub fn literal(&self) -> Option<&str> {
+        match self {
+            NameTest::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// True for `~` and `~!...`.
+    pub fn is_wildcard(&self) -> bool {
+        !matches!(self, NameTest::Name(_))
+    }
+}
+
+impl fmt::Display for NameTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameTest::Name(n) => f.write_str(n),
+            NameTest::Any => f.write_str("~"),
+            NameTest::AnyExcept(ex) => write!(f, "~!{}", ex.join(",")),
+        }
+    }
+}
+
+impl From<&str> for NameTest {
+    fn from(s: &str) -> Self {
+        NameTest::Name(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_name_matches_only_itself() {
+        let nt = NameTest::Name("nyt".into());
+        assert!(nt.matches("nyt"));
+        assert!(!nt.matches("suntimes"));
+        assert_eq!(nt.literal(), Some("nyt"));
+        assert!(!nt.is_wildcard());
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(NameTest::Any.matches("anything"));
+        assert!(NameTest::Any.is_wildcard());
+        assert_eq!(NameTest::Any.literal(), None);
+    }
+
+    #[test]
+    fn any_except_excludes_listed_names() {
+        let nt = NameTest::AnyExcept(vec!["nyt".into()]);
+        assert!(!nt.matches("nyt"));
+        assert!(nt.matches("suntimes"));
+        assert!(nt.is_wildcard());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NameTest::Name("a".into()).to_string(), "a");
+        assert_eq!(NameTest::Any.to_string(), "~");
+        assert_eq!(NameTest::AnyExcept(vec!["nyt".into()]).to_string(), "~!nyt");
+    }
+
+    #[test]
+    fn type_name_suffixing() {
+        let t = TypeName::new("Show");
+        assert_eq!(t.suffixed("Part1").as_str(), "Show_Part1");
+    }
+}

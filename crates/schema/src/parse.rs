@@ -1,0 +1,477 @@
+//! Parser for the textual type-algebra notation used throughout the paper:
+//!
+//! ```text
+//! type Show = show [ @type[ String ], title[ String<#50,#34798> ],
+//!                    year[ Integer<#4,#1800,#2100,#300> ],
+//!                    Aka{1,10}, Review*<#10>, ( Movie | TV ) ]
+//! ```
+//!
+//! Grammar (statistics annotations `<#...>` are optional everywhere):
+//!
+//! ```text
+//! schema  := ("type" NAME "=" type)+
+//! type    := seq ("|" seq)*
+//! seq     := postfix ("," postfix)*
+//! postfix := primary ( "*" | "+" | "?" | "{" INT "," (INT|"*") "}" )? stats?
+//! primary := "(" type ")"
+//!          | "@" NAME "[" type "]"
+//!          | "String" stats? | "Integer" stats?
+//!          | ("~" ("!" NAME ("," NAME)*)?) "[" type "]"
+//!          | NAME "[" type "]"          -- element
+//!          | NAME                       -- type reference
+//! stats   := "<" "#" NUM ("," "#" NUM)* ">"
+//! ```
+//!
+//! `//` starts a line comment. An identifier followed by `[` is an element;
+//! otherwise it is a type reference (the paper's convention: lowercase tag
+//! names, capitalized type names — but case is not enforced).
+
+use crate::name::{NameTest, TypeName};
+use crate::schema::{Schema, SchemaError};
+use crate::ty::{Occurs, ScalarKind, ScalarStats, Type};
+use std::fmt;
+
+/// An error from [`parse_schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaParseError {
+    /// Lexical or syntactic failure, with a byte offset and message.
+    Syntax { offset: usize, message: String },
+    /// The declarations parsed but the schema is not well-formed.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for SchemaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaParseError::Syntax { offset, message } => {
+                write!(f, "schema syntax error at byte {offset}: {message}")
+            }
+            SchemaParseError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaParseError {}
+
+impl From<SchemaError> for SchemaParseError {
+    fn from(e: SchemaError) -> Self {
+        SchemaParseError::Schema(e)
+    }
+}
+
+/// Parse a schema in the algebra notation. The first declared type is the
+/// root.
+pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
+    let mut p = P::new(src);
+    let mut defs = Vec::new();
+    p.ws();
+    while !p.eof() {
+        p.keyword("type")?;
+        let name = p.ident()?;
+        p.token("=")?;
+        let ty = p.parse_type()?;
+        defs.push((TypeName::new(name), ty));
+        p.ws();
+    }
+    Ok(Schema::new(defs)?)
+}
+
+/// Parse a single type expression (without the `type X =` header). Useful
+/// in tests and for building types programmatically from snippets.
+pub fn parse_type(src: &str) -> Result<Type, SchemaParseError> {
+    let mut p = P::new(src);
+    let t = p.parse_type()?;
+    p.ws();
+    if !p.eof() {
+        return Err(p.err("trailing input after type expression"));
+    }
+    Ok(t)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(src: &'a str) -> Self {
+        P { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SchemaParseError {
+        SchemaParseError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn ws(&mut self) {
+        loop {
+            let r = self.rest();
+            if let Some(stripped) = r.strip_prefix("//") {
+                let line_len = stripped.find('\n').map(|i| i + 3).unwrap_or(r.len());
+                self.pos += line_len.min(r.len());
+                continue;
+            }
+            match r.chars().next() {
+                Some(c) if c.is_whitespace() => self.pos += c.len_utf8(),
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn token(&mut self, s: &str) -> Result<(), SchemaParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    /// Match a keyword: the literal must not be followed by a name char.
+    fn keyword(&mut self, kw: &str) -> Result<(), SchemaParseError> {
+        self.ws();
+        let r = self.rest();
+        if r.starts_with(kw) && !r[kw.len()..].starts_with(is_name_char) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SchemaParseError> {
+        self.ws();
+        let r = self.rest();
+        let end = r.find(|c: char| !is_name_char(c)).unwrap_or(r.len());
+        if end == 0 || r.starts_with(|c: char| c.is_ascii_digit()) {
+            return Err(self.err("expected an identifier"));
+        }
+        let name = r[..end].to_string();
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn number_u32(&mut self) -> Result<u32, SchemaParseError> {
+        self.ws();
+        let r = self.rest();
+        let end = r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n = r[..end].parse::<u32>().map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    /// A (possibly negative, possibly fractional) numeric literal for stats.
+    fn number_f64(&mut self) -> Result<f64, SchemaParseError> {
+        self.ws();
+        let r = self.rest();
+        let end = r
+            .char_indices()
+            .find(|&(i, c)| !(c.is_ascii_digit() || c == '.' || (c == '-' && i == 0)))
+            .map(|(i, _)| i)
+            .unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n = r[..end].parse::<f64>().map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    fn parse_type(&mut self) -> Result<Type, SchemaParseError> {
+        let mut alternatives = vec![self.parse_seq()?];
+        while self.eat("|") {
+            alternatives.push(self.parse_seq()?);
+        }
+        Ok(Type::choice(alternatives))
+    }
+
+    fn parse_seq(&mut self) -> Result<Type, SchemaParseError> {
+        let mut items = vec![self.parse_postfix()?];
+        while self.eat(",") {
+            items.push(self.parse_postfix()?);
+        }
+        Ok(Type::seq(items))
+    }
+
+    fn parse_postfix(&mut self) -> Result<Type, SchemaParseError> {
+        let base = self.parse_primary()?;
+        let occurs = if self.eat("*") {
+            Some(Occurs::STAR)
+        } else if self.eat("+") {
+            Some(Occurs::PLUS)
+        } else if self.eat("?") {
+            Some(Occurs::OPT)
+        } else if self.eat("{") {
+            let min = self.number_u32()?;
+            self.token(",")?;
+            let max = if self.eat("*") { None } else { Some(self.number_u32()?) };
+            self.token("}")?;
+            Some(Occurs::new(min, max))
+        } else {
+            None
+        };
+        match occurs {
+            None => Ok(base),
+            Some(occurs) => {
+                let avg_count = match self.parse_stats_numbers()? {
+                    Some(nums) => nums.first().copied(),
+                    None => None,
+                };
+                Ok(Type::rep_with_count(base, occurs, avg_count))
+            }
+        }
+    }
+
+    /// Parse a `<#n,#m,...>` annotation, if present.
+    fn parse_stats_numbers(&mut self) -> Result<Option<Vec<f64>>, SchemaParseError> {
+        self.ws();
+        if !self.rest().starts_with("<#") {
+            return Ok(None);
+        }
+        self.token("<")?;
+        let mut nums = Vec::new();
+        loop {
+            self.token("#")?;
+            nums.push(self.number_f64()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.token(">")?;
+        Ok(Some(nums))
+    }
+
+    fn parse_primary(&mut self) -> Result<Type, SchemaParseError> {
+        self.ws();
+        match self.peek() {
+            Some('(') => {
+                self.token("(")?;
+                if self.eat(")") {
+                    return Ok(Type::Empty);
+                }
+                let t = self.parse_type()?;
+                self.token(")")?;
+                Ok(t)
+            }
+            Some('@') => {
+                self.token("@")?;
+                let name = self.ident()?;
+                self.token("[")?;
+                let content = self.parse_type()?;
+                self.token("]")?;
+                Ok(Type::attribute(name, content))
+            }
+            Some('~') => {
+                self.token("~")?;
+                let name = if self.eat("!") {
+                    let mut excluded = vec![self.ident()?];
+                    while self.eat(",") {
+                        excluded.push(self.ident()?);
+                    }
+                    NameTest::AnyExcept(excluded)
+                } else {
+                    NameTest::Any
+                };
+                self.token("[")?;
+                let content = self.parse_type()?;
+                self.token("]")?;
+                Ok(Type::Element { name, content: Box::new(content) })
+            }
+            Some(c) if is_name_char(c) && !c.is_ascii_digit() => {
+                let name = self.ident()?;
+                match name.as_str() {
+                    "String" | "Integer" => {
+                        let kind = if name == "String" { ScalarKind::String } else { ScalarKind::Integer };
+                        let stats = self.parse_scalar_stats(kind)?;
+                        Ok(Type::Scalar { kind, stats })
+                    }
+                    _ => {
+                        if self.eat("[") {
+                            let content = self.parse_type()?;
+                            self.token("]")?;
+                            Ok(Type::element(name, content))
+                        } else {
+                            Ok(Type::reference(name))
+                        }
+                    }
+                }
+            }
+            other => Err(self.err(format!("unexpected {other:?} at start of a type"))),
+        }
+    }
+
+    /// Positional scalar annotations. `String<#size>` or
+    /// `String<#size,#distincts>`; `Integer<#size>`, `Integer<#size,#min,#max,#distincts>`.
+    fn parse_scalar_stats(&mut self, kind: ScalarKind) -> Result<ScalarStats, SchemaParseError> {
+        let Some(nums) = self.parse_stats_numbers()? else {
+            return Ok(ScalarStats::none());
+        };
+        let mut stats = ScalarStats::none();
+        match kind {
+            ScalarKind::String => {
+                stats.size = nums.first().copied();
+                stats.distinct = nums.get(1).map(|&d| d as u64);
+            }
+            ScalarKind::Integer => {
+                stats.size = nums.first().copied();
+                stats.min = nums.get(1).map(|&m| m as i64);
+                stats.max = nums.get(2).map(|&m| m as i64);
+                stats.distinct = nums.get(3).map(|&d| d as u64);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_show_type() {
+        let schema = parse_schema(
+            "type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review*, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ],
+                       episode[ name[ String ], guest_director[ String ] ]*",
+        )
+        .unwrap();
+        assert_eq!(schema.root().as_str(), "Show");
+        assert_eq!(schema.len(), 5);
+        let show = schema.get_str("Show").unwrap();
+        let Type::Element { name, content } = show else { panic!("Show should be an element") };
+        assert_eq!(name.literal(), Some("show"));
+        let items = content.seq_items();
+        assert_eq!(items.len(), 6);
+        assert!(matches!(&items[0], Type::Attribute { name, .. } if name == "type"));
+        assert!(matches!(&items[3], Type::Rep { occurs, .. }
+            if occurs.min == 1 && occurs.max == Some(10)));
+        assert!(matches!(&items[5], Type::Choice(alts) if alts.len() == 2));
+    }
+
+    #[test]
+    fn parses_scalar_statistics() {
+        let t = parse_type("year[ Integer<#4,#1800,#2100,#300> ]").unwrap();
+        let Type::Element { content, .. } = t else { panic!() };
+        let Type::Scalar { kind: ScalarKind::Integer, stats } = *content else { panic!() };
+        assert_eq!(stats.size, Some(4.0));
+        assert_eq!(stats.min, Some(1800));
+        assert_eq!(stats.max, Some(2100));
+        assert_eq!(stats.distinct, Some(300));
+    }
+
+    #[test]
+    fn parses_string_statistics() {
+        let t = parse_type("String<#50,#34798>").unwrap();
+        let Type::Scalar { kind: ScalarKind::String, stats } = t else { panic!() };
+        assert_eq!(stats.size, Some(50.0));
+        assert_eq!(stats.distinct, Some(34798));
+    }
+
+    #[test]
+    fn parses_repetition_count_annotation() {
+        let t = parse_type("Review*<#10>").unwrap();
+        let Type::Rep { avg_count, .. } = t else { panic!() };
+        assert_eq!(avg_count, Some(10.0));
+    }
+
+    #[test]
+    fn parses_occurrence_shorthands() {
+        let t = parse_type("A?").unwrap();
+        assert!(matches!(t, Type::Rep { occurs, .. } if occurs == Occurs::OPT));
+        let t = parse_type("a[ String ]?").unwrap();
+        assert!(matches!(t, Type::Rep { occurs, .. } if occurs == Occurs::OPT));
+        let t = parse_type("a[ String ]+").unwrap();
+        assert!(matches!(t, Type::Rep { occurs, .. } if occurs == Occurs::PLUS));
+        let t = parse_type("a[ String ]{2,7}").unwrap();
+        assert!(matches!(t, Type::Rep { occurs, .. } if occurs == Occurs::new(2, Some(7))));
+        let t = parse_type("a[ String ]{0,*}").unwrap();
+        assert!(matches!(t, Type::Rep { occurs, .. } if occurs == Occurs::STAR));
+    }
+
+    #[test]
+    fn parses_wildcards() {
+        let t = parse_type("~[ String ]").unwrap();
+        assert!(matches!(t, Type::Element { name: NameTest::Any, .. }));
+        let t = parse_type("~!nyt[ String ]").unwrap();
+        assert!(matches!(t, Type::Element { name: NameTest::AnyExcept(ex), .. } if ex == ["nyt"]));
+        let t = parse_type("~!nyt,suntimes[ String ]").unwrap();
+        assert!(
+            matches!(t, Type::Element { name: NameTest::AnyExcept(ex), .. } if ex.len() == 2)
+        );
+    }
+
+    #[test]
+    fn union_binds_looser_than_sequence() {
+        let t = parse_type("a[()], b[()] | c[()]").unwrap();
+        let Type::Choice(alts) = t else { panic!("expected a choice") };
+        assert_eq!(alts.len(), 2);
+        assert!(matches!(&alts[0], Type::Seq(items) if items.len() == 2));
+    }
+
+    #[test]
+    fn parens_group_unions() {
+        let t = parse_type("a[()], (b[()] | c[()])").unwrap();
+        let Type::Seq(items) = t else { panic!("expected a sequence") };
+        assert!(matches!(&items[1], Type::Choice(_)));
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        let schema = parse_schema(
+            "// the root type\ntype A = a[ String ] // trailing comment\ntype B = b[ () ]",
+        );
+        // B is unreachable from A but still well-formed.
+        assert_eq!(schema.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_content_parses() {
+        let t = parse_type("a[ () ]").unwrap();
+        assert!(matches!(t, Type::Element { content, .. } if *content == Type::Empty));
+    }
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        let err = parse_schema("type = a[ String ]").unwrap_err();
+        assert!(matches!(err, SchemaParseError::Syntax { .. }));
+        let err = parse_type("a[ String").unwrap_err();
+        assert!(matches!(err, SchemaParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn dangling_refs_become_schema_errors() {
+        let err = parse_schema("type A = a[ B ]").unwrap_err();
+        assert!(matches!(err, SchemaParseError::Schema(SchemaError::UndefinedType { .. })));
+    }
+}

@@ -1,0 +1,202 @@
+//! Pretty-printing of types and schemas back into the algebra notation.
+//! `parse_schema(schema.to_string())` reproduces the schema.
+
+use crate::schema::Schema;
+use crate::ty::{ScalarKind, ScalarStats, Type};
+use std::fmt;
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, ty) in self.iter() {
+            writeln!(f, "type {name} = {ty}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_type(f, self, Prec::Top)
+    }
+}
+
+/// Operator precedence for parenthesization: union is loosest, then
+/// sequence, then postfix repetition.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum Prec {
+    Top,
+    Seq,
+    Postfix,
+}
+
+fn write_type(f: &mut fmt::Formatter<'_>, t: &Type, prec: Prec) -> fmt::Result {
+    match t {
+        Type::Empty => f.write_str("()"),
+        Type::Scalar { kind, stats } => {
+            match kind {
+                ScalarKind::String => f.write_str("String")?,
+                ScalarKind::Integer => f.write_str("Integer")?,
+            }
+            write_scalar_stats(f, *kind, stats)
+        }
+        Type::Attribute { name, content } => {
+            write!(f, "@{name}[ ")?;
+            write_type(f, content, Prec::Top)?;
+            f.write_str(" ]")
+        }
+        Type::Element { name, content } => {
+            write!(f, "{name}[ ")?;
+            write_type(f, content, Prec::Top)?;
+            f.write_str(" ]")
+        }
+        Type::Seq(items) => {
+            let parens = prec > Prec::Seq;
+            if parens {
+                f.write_str("(")?;
+            }
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write_type(f, item, Prec::Postfix)?;
+            }
+            if parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Type::Choice(items) => {
+            let parens = prec > Prec::Top;
+            if parens {
+                f.write_str("(")?;
+            }
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" | ")?;
+                }
+                write_type(f, item, Prec::Seq)?;
+            }
+            if parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Type::Rep { inner, occurs, avg_count } => {
+            write_type(f, inner, Prec::Postfix)?;
+            match (occurs.min, occurs.max) {
+                (0, None) => f.write_str("*")?,
+                (1, None) => f.write_str("+")?,
+                (0, Some(1)) => f.write_str("?")?,
+                (min, None) => write!(f, "{{{min},*}}")?,
+                (min, Some(max)) => write!(f, "{{{min},{max}}}")?,
+            }
+            if let Some(c) = avg_count {
+                write!(f, "<#{}>", fmt_num(*c))?;
+            }
+            Ok(())
+        }
+        Type::Ref(name) => write!(f, "{name}"),
+    }
+}
+
+fn write_scalar_stats(f: &mut fmt::Formatter<'_>, kind: ScalarKind, stats: &ScalarStats) -> fmt::Result {
+    if stats.is_empty() {
+        return Ok(());
+    }
+    // Positional form matching the parser: String<#size,#distinct>,
+    // Integer<#size,#min,#max,#distinct>. Missing leading fields print as 0.
+    let nums: Vec<f64> = match kind {
+        ScalarKind::String => {
+            let mut v = vec![stats.size.unwrap_or(0.0)];
+            if let Some(d) = stats.distinct {
+                v.push(d as f64);
+            }
+            v
+        }
+        ScalarKind::Integer => {
+            let mut v = vec![stats.size.unwrap_or(4.0)];
+            if stats.min.is_some() || stats.max.is_some() || stats.distinct.is_some() {
+                v.push(stats.min.unwrap_or(i64::MIN >> 32) as f64);
+                v.push(stats.max.unwrap_or(i64::MAX >> 32) as f64);
+                v.push(stats.distinct.unwrap_or(0) as f64);
+            }
+            v
+        }
+    };
+    f.write_str("<")?;
+    for (i, n) in nums.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "#{}", fmt_num(*n))?;
+    }
+    f.write_str(">")
+}
+
+/// Print a float without a trailing `.0` when integral.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::{parse_schema, parse_type};
+
+    /// Parse → print → parse must reproduce the same AST.
+    fn round_trip_type(src: &str) {
+        let t1 = parse_type(src).unwrap();
+        let printed = t1.to_string();
+        let t2 = parse_type(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
+        assert_eq!(t1, t2, "round trip failed:\n  src: {src}\n  printed: {printed}");
+    }
+
+    #[test]
+    fn round_trips_core_constructs() {
+        for src in [
+            "String",
+            "Integer",
+            "String<#50,#34798>",
+            "Integer<#4,#1800,#2100,#300>",
+            "a[ String ]",
+            "@type[ String ]",
+            "~[ String ]",
+            "~!nyt[ String ]",
+            "~!nyt,suntimes[ String ]",
+            "a[ String ], b[ Integer ]",
+            "a[ String ] | b[ Integer ]",
+            "(a[ () ], b[ () ]) | c[ () ]",
+            "a[ () ]*",
+            "a[ () ]+",
+            "a[ () ]?",
+            "a[ () ]{1,10}",
+            "a[ () ]{2,*}",
+            "Review*<#10>",
+            "show [ @type[ String ], title[ String ], (Movie | TV) ]",
+        ] {
+            // `Review` and `Movie`/`TV` refs are fine at the type level.
+            round_trip_type(src);
+        }
+    }
+
+    #[test]
+    fn round_trips_a_schema() {
+        let src = "type IMDB = imdb[ Show{0,*}, Director{0,*} ]
+                   type Show = show [ title[ String<#50> ], year[ Integer ], Aka{1,10}<#3> ]
+                   type Aka = aka[ String ]
+                   type Director = director[ name[ String ] ]";
+        let s1 = parse_schema(src).unwrap();
+        let s2 = parse_schema(&s1.to_string()).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn nested_unions_print_with_parens() {
+        round_trip_type("a[ (b[ () ] | c[ () ]), d[ () ] ]");
+        round_trip_type("(a[ () ] | b[ () ])*");
+        round_trip_type("(a[ () ], b[ () ])?");
+    }
+}

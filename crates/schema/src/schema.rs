@@ -1,0 +1,377 @@
+//! [`Schema`]: an ordered collection of named type definitions with a
+//! designated root type, plus well-formedness checks.
+
+use crate::name::TypeName;
+use crate::ty::Type;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A schema: named type definitions plus a root type name.
+///
+/// Definition order is preserved (it matters for readable output and for
+/// deterministic search), and lookup is O(log n) through an index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    root: TypeName,
+    order: Vec<TypeName>,
+    types: BTreeMap<TypeName, Type>,
+}
+
+/// Schema construction / well-formedness errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A `Ref` points to a type with no definition.
+    UndefinedType { referrer: TypeName, missing: TypeName },
+    /// Two `type X = ...` declarations share a name.
+    DuplicateType(TypeName),
+    /// The declared root has no definition.
+    UndefinedRoot(TypeName),
+    /// The schema has no type declarations at all.
+    Empty,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UndefinedType { referrer, missing } => {
+                write!(f, "type {referrer} references undefined type {missing}")
+            }
+            SchemaError::DuplicateType(t) => write!(f, "duplicate definition of type {t}"),
+            SchemaError::UndefinedRoot(t) => write!(f, "root type {t} is not defined"),
+            SchemaError::Empty => write!(f, "schema has no type definitions"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Build a schema from `(name, definition)` pairs; the first pair is the
+    /// root. Checks for duplicates and dangling references.
+    pub fn new(defs: impl IntoIterator<Item = (TypeName, Type)>) -> Result<Schema, SchemaError> {
+        let mut order = Vec::new();
+        let mut types = BTreeMap::new();
+        for (name, ty) in defs {
+            if types.insert(name.clone(), ty).is_some() {
+                return Err(SchemaError::DuplicateType(name));
+            }
+            order.push(name);
+        }
+        let root = order.first().cloned().ok_or(SchemaError::Empty)?;
+        let schema = Schema { root, order, types };
+        schema.check()?;
+        Ok(schema)
+    }
+
+    /// Like [`Schema::new`] but with an explicit root.
+    pub fn with_root(
+        root: impl Into<TypeName>,
+        defs: impl IntoIterator<Item = (TypeName, Type)>,
+    ) -> Result<Schema, SchemaError> {
+        let mut schema = Schema::new(defs)?;
+        let root = root.into();
+        if !schema.types.contains_key(&root) {
+            return Err(SchemaError::UndefinedRoot(root));
+        }
+        schema.root = root;
+        Ok(schema)
+    }
+
+    fn check(&self) -> Result<(), SchemaError> {
+        for (name, ty) in &self.types {
+            for referenced in ty.referenced_types() {
+                if !self.types.contains_key(&referenced) {
+                    return Err(SchemaError::UndefinedType {
+                        referrer: name.clone(),
+                        missing: referenced,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The root type name.
+    pub fn root(&self) -> &TypeName {
+        &self.root
+    }
+
+    /// The definition of the root type.
+    pub fn root_type(&self) -> &Type {
+        &self.types[&self.root]
+    }
+
+    /// Look up a type definition.
+    pub fn get(&self, name: &TypeName) -> Option<&Type> {
+        self.types.get(name)
+    }
+
+    /// Look up a type definition by string name.
+    pub fn get_str(&self, name: &str) -> Option<&Type> {
+        self.types.get(name)
+    }
+
+    /// Replace (or insert) a definition. Inserting a new name appends it to
+    /// the declaration order. The caller must keep references consistent;
+    /// [`Schema::validate_refs`] re-checks.
+    pub fn set(&mut self, name: TypeName, ty: Type) {
+        if !self.types.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.types.insert(name, ty);
+    }
+
+    /// Remove a definition (root cannot be removed). Returns the old
+    /// definition, if any.
+    pub fn remove(&mut self, name: &TypeName) -> Option<Type> {
+        if name == &self.root {
+            return None;
+        }
+        let old = self.types.remove(name);
+        if old.is_some() {
+            self.order.retain(|n| n != name);
+        }
+        old
+    }
+
+    /// Re-run the dangling-reference check (after mutations).
+    pub fn validate_refs(&self) -> Result<(), SchemaError> {
+        self.check()
+    }
+
+    /// Type names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &TypeName> {
+        self.order.iter()
+    }
+
+    /// `(name, definition)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TypeName, &Type)> {
+        self.order.iter().map(move |n| (n, &self.types[n]))
+    }
+
+    /// Number of type definitions.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the schema has no definitions (unreachable post-construction,
+    /// but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Does any *other* type (or the same type, for recursion) reference
+    /// `name` more than once in total, or from more than one site? Used by
+    /// the inlining transformation, which requires unshared types.
+    pub fn reference_count(&self, name: &TypeName) -> usize {
+        let mut count = 0;
+        for ty in self.types.values() {
+            ty.visit(&mut |t| {
+                if matches!(t, Type::Ref(n) if n == name) {
+                    count += 1;
+                }
+            });
+        }
+        count
+    }
+
+    /// The set of types that reference `name` (its "parent types" in the
+    /// paper's mapping: they generate the foreign keys).
+    pub fn parents_of(&self, name: &TypeName) -> Vec<TypeName> {
+        let mut out = Vec::new();
+        for (candidate, ty) in self.iter() {
+            let mut found = false;
+            ty.visit(&mut |t| {
+                if matches!(t, Type::Ref(n) if n == name) {
+                    found = true;
+                }
+            });
+            if found {
+                out.push(candidate.clone());
+            }
+        }
+        out
+    }
+
+    /// Types reachable from the root (via references), in BFS order.
+    pub fn reachable(&self) -> Vec<TypeName> {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![self.root.clone()];
+        let mut out = Vec::new();
+        while let Some(name) = queue.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            out.push(name.clone());
+            if let Some(ty) = self.types.get(&name) {
+                queue.extend(ty.referenced_types());
+            }
+        }
+        out
+    }
+
+    /// Drop definitions not reachable from the root. Transformations that
+    /// detach types call this to keep the schema (and hence the relational
+    /// configuration) minimal.
+    pub fn garbage_collect(&mut self) {
+        let keep: BTreeSet<TypeName> = self.reachable().into_iter().collect();
+        self.order.retain(|n| keep.contains(n));
+        self.types.retain(|n, _| keep.contains(n));
+    }
+
+    /// Is `name` involved in a reference cycle (recursive type)?
+    pub fn is_recursive(&self, name: &TypeName) -> bool {
+        // DFS from `name` looking for a path back to `name`.
+        let mut stack: Vec<TypeName> =
+            self.types.get(name).map(|t| t.referenced_types()).unwrap_or_default();
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if &n == name {
+                return true;
+            }
+            if seen.insert(n.clone()) {
+                if let Some(t) = self.types.get(&n) {
+                    stack.extend(t.referenced_types());
+                }
+            }
+        }
+        false
+    }
+
+    /// Generate a type name not yet used in this schema, based on `stem`.
+    pub fn fresh_name(&self, stem: &str) -> TypeName {
+        let candidate = TypeName::new(stem);
+        if !self.types.contains_key(&candidate) {
+            return candidate;
+        }
+        for i in 1.. {
+            let candidate = TypeName::new(format!("{stem}_{i}"));
+            if !self.types.contains_key(&candidate) {
+                return candidate;
+            }
+        }
+        unreachable!("u32 space exhausted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Occurs;
+
+    fn imdb_fragment() -> Schema {
+        Schema::new([
+            (
+                TypeName::new("IMDB"),
+                Type::element("imdb", Type::star(Type::reference("Show"))),
+            ),
+            (
+                TypeName::new("Show"),
+                Type::element(
+                    "show",
+                    Type::seq([
+                        Type::element("title", Type::string()),
+                        Type::rep(Type::reference("Aka"), Occurs::new(1, Some(10))),
+                        Type::star(Type::reference("Review")),
+                    ]),
+                ),
+            ),
+            (TypeName::new("Aka"), Type::element("aka", Type::string())),
+            (TypeName::new("Review"), Type::element("review", Type::string())),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_definition_is_root() {
+        let s = imdb_fragment();
+        assert_eq!(s.root().as_str(), "IMDB");
+        assert!(matches!(s.root_type(), Type::Element { .. }));
+    }
+
+    #[test]
+    fn dangling_reference_is_rejected() {
+        let err = Schema::new([(
+            TypeName::new("A"),
+            Type::element("a", Type::reference("Missing")),
+        )])
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::UndefinedType { .. }));
+    }
+
+    #[test]
+    fn duplicate_definition_is_rejected() {
+        let err = Schema::new([
+            (TypeName::new("A"), Type::element("a", Type::Empty)),
+            (TypeName::new("A"), Type::element("a", Type::Empty)),
+        ])
+        .unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateType(TypeName::new("A")));
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        assert_eq!(Schema::new([]).unwrap_err(), SchemaError::Empty);
+    }
+
+    #[test]
+    fn with_root_overrides_and_checks() {
+        let defs = [
+            (TypeName::new("A"), Type::element("a", Type::Empty)),
+            (TypeName::new("B"), Type::element("b", Type::Empty)),
+        ];
+        let s = Schema::with_root("B", defs.clone()).unwrap();
+        assert_eq!(s.root().as_str(), "B");
+        assert!(matches!(
+            Schema::with_root("C", defs).unwrap_err(),
+            SchemaError::UndefinedRoot(_)
+        ));
+    }
+
+    #[test]
+    fn parents_and_reference_counts() {
+        let s = imdb_fragment();
+        assert_eq!(s.parents_of(&TypeName::new("Aka")), vec![TypeName::new("Show")]);
+        assert_eq!(s.reference_count(&TypeName::new("Show")), 1);
+        assert_eq!(s.reference_count(&TypeName::new("IMDB")), 0);
+    }
+
+    #[test]
+    fn reachability_and_gc() {
+        let mut s = imdb_fragment();
+        s.set(TypeName::new("Orphan"), Type::element("orphan", Type::Empty));
+        assert_eq!(s.len(), 5);
+        s.garbage_collect();
+        assert_eq!(s.len(), 4);
+        assert!(s.get_str("Orphan").is_none());
+    }
+
+    #[test]
+    fn root_cannot_be_removed() {
+        let mut s = imdb_fragment();
+        let root = s.root().clone();
+        assert!(s.remove(&root).is_none());
+        assert!(s.get(&root).is_some());
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let s = Schema::new([
+            (
+                TypeName::new("AnyElement"),
+                Type::wildcard(Type::star(Type::reference("AnyElement"))),
+            ),
+        ])
+        .unwrap();
+        assert!(s.is_recursive(&TypeName::new("AnyElement")));
+        let t = imdb_fragment();
+        assert!(!t.is_recursive(&TypeName::new("Show")));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let s = imdb_fragment();
+        assert_eq!(s.fresh_name("Show").as_str(), "Show_1");
+        assert_eq!(s.fresh_name("Zed").as_str(), "Zed");
+    }
+}

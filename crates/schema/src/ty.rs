@@ -1,0 +1,391 @@
+//! The type AST of the XML Query Algebra subset used by LegoDB, with the
+//! paper's statistics annotations attached where they appear in p-schemas.
+
+use crate::name::{NameTest, TypeName};
+
+/// A scalar datatype of the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScalarKind {
+    /// Character data (`String`). DTD `#PCDATA` maps here.
+    String,
+    /// Integral data (`Integer`).
+    Integer,
+}
+
+/// Statistics annotated on a scalar occurrence in a p-schema, as in
+/// `String<#50,#34798>` (size, distincts) and
+/// `Integer<#4,#1800,#2100,#300>` (size, min, max, distincts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScalarStats {
+    /// Average (strings) or fixed (integers) size in bytes.
+    pub size: Option<f64>,
+    /// Minimum value (integers).
+    pub min: Option<i64>,
+    /// Maximum value (integers).
+    pub max: Option<i64>,
+    /// Number of distinct values.
+    pub distinct: Option<u64>,
+}
+
+impl ScalarStats {
+    /// No statistics known.
+    pub const fn none() -> Self {
+        ScalarStats { size: None, min: None, max: None, distinct: None }
+    }
+
+    /// True when no component is recorded (so the printer can elide `<#...>`).
+    pub fn is_empty(&self) -> bool {
+        self.size.is_none() && self.min.is_none() && self.max.is_none() && self.distinct.is_none()
+    }
+}
+
+/// Occurrence bounds of a repetition: `{min, max}` with `max = None`
+/// meaning unbounded (`*` in `{1,*}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Occurs {
+    /// Minimum number of occurrences.
+    pub min: u32,
+    /// Maximum number of occurrences; `None` is unbounded.
+    pub max: Option<u32>,
+}
+
+impl Occurs {
+    /// `{0,*}` — the Kleene star.
+    pub const STAR: Occurs = Occurs { min: 0, max: None };
+    /// `{1,*}` — one or more.
+    pub const PLUS: Occurs = Occurs { min: 1, max: None };
+    /// `{0,1}` — optional.
+    pub const OPT: Occurs = Occurs { min: 0, max: Some(1) };
+
+    /// An arbitrary bounded or unbounded range.
+    pub const fn new(min: u32, max: Option<u32>) -> Self {
+        Occurs { min, max }
+    }
+
+    /// Can the repetition match the empty sequence?
+    pub fn nullable(&self) -> bool {
+        self.min == 0
+    }
+
+    /// Can more than one occurrence appear?
+    pub fn multi_valued(&self) -> bool {
+        self.max.is_none_or(|m| m > 1)
+    }
+
+    /// The bounds after consuming one occurrence
+    /// (`a{2,5}` → `a{1,4}`, `a*` → `a*`).
+    pub fn decrement(&self) -> Occurs {
+        Occurs { min: self.min.saturating_sub(1), max: self.max.map(|m| m.saturating_sub(1)) }
+    }
+
+    /// Is the range empty (`{0,0}`)?
+    pub fn is_exhausted(&self) -> bool {
+        self.max == Some(0)
+    }
+}
+
+/// A type expression of the algebra.
+///
+/// The grammar mirrors the paper's notation:
+/// scalars (`String`, `Integer`), attributes (`@type[ String ]`),
+/// elements (`show [ ... ]`, wildcard `~[ ... ]`), sequences (`,`),
+/// unions (`|`), repetitions (`*`, `+`, `?`, `{m,n}`), and references to
+/// named types (`Show`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// The empty sequence (unit of `Seq`).
+    Empty,
+    /// A scalar datatype, with optional statistics annotations.
+    Scalar {
+        /// Which scalar.
+        kind: ScalarKind,
+        /// `<#...>` annotations, if present.
+        stats: ScalarStats,
+    },
+    /// An attribute `@name[ content ]`; content is scalar in practice.
+    Attribute {
+        /// The attribute name (no `@`).
+        name: String,
+        /// The attribute's content type.
+        content: Box<Type>,
+    },
+    /// An element `nametest [ content ]`.
+    Element {
+        /// Tag-name test, possibly a wildcard.
+        name: NameTest,
+        /// The element's content type.
+        content: Box<Type>,
+    },
+    /// A sequence `t1, t2, ...` (invariant: ≥ 2 items, none `Empty`/`Seq`).
+    Seq(Vec<Type>),
+    /// A union `t1 | t2 | ...` (invariant: ≥ 2 items, none `Choice`).
+    Choice(Vec<Type>),
+    /// A repetition `t{min,max}` with an optional per-parent average count
+    /// annotation (`Review*<#10>`: ten reviews per parent on average).
+    Rep {
+        /// The repeated item.
+        inner: Box<Type>,
+        /// Occurrence bounds.
+        occurs: Occurs,
+        /// `<#count>` annotation: average occurrences per parent.
+        avg_count: Option<f64>,
+    },
+    /// A reference to a named type.
+    Ref(TypeName),
+}
+
+impl Type {
+    /// A plain string scalar without statistics.
+    pub fn string() -> Type {
+        Type::Scalar { kind: ScalarKind::String, stats: ScalarStats::none() }
+    }
+
+    /// A plain integer scalar without statistics.
+    pub fn integer() -> Type {
+        Type::Scalar { kind: ScalarKind::Integer, stats: ScalarStats::none() }
+    }
+
+    /// An element with a literal name.
+    pub fn element(name: impl Into<String>, content: Type) -> Type {
+        Type::Element { name: NameTest::Name(name.into()), content: Box::new(content) }
+    }
+
+    /// A wildcard element `~[ content ]`.
+    pub fn wildcard(content: Type) -> Type {
+        Type::Element { name: NameTest::Any, content: Box::new(content) }
+    }
+
+    /// An attribute.
+    pub fn attribute(name: impl Into<String>, content: Type) -> Type {
+        Type::Attribute { name: name.into(), content: Box::new(content) }
+    }
+
+    /// A reference to a named type.
+    pub fn reference(name: impl Into<TypeName>) -> Type {
+        Type::Ref(name.into())
+    }
+
+    /// Smart constructor for sequences: flattens nested sequences, drops
+    /// `Empty`, and collapses singletons.
+    pub fn seq(items: impl IntoIterator<Item = Type>) -> Type {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                Type::Empty => {}
+                Type::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Type::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Type::Seq(out),
+        }
+    }
+
+    /// Smart constructor for unions: flattens nested unions and collapses
+    /// singletons. (Does **not** deduplicate: `a|a` is kept, harmless.)
+    pub fn choice(items: impl IntoIterator<Item = Type>) -> Type {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                Type::Choice(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Type::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Type::Choice(out),
+        }
+    }
+
+    /// Smart constructor for repetitions. `t{1,1}` collapses to `t`;
+    /// `t{0,0}` collapses to `Empty`.
+    pub fn rep(inner: Type, occurs: Occurs) -> Type {
+        Type::rep_with_count(inner, occurs, None)
+    }
+
+    /// [`Type::rep`] with a `<#count>` average-count annotation.
+    pub fn rep_with_count(inner: Type, occurs: Occurs, avg_count: Option<f64>) -> Type {
+        if occurs.max == Some(0) {
+            return Type::Empty;
+        }
+        if occurs.min == 1 && occurs.max == Some(1) {
+            return inner;
+        }
+        Type::Rep { inner: Box::new(inner), occurs, avg_count }
+    }
+
+    /// `t?` — optional.
+    pub fn optional(inner: Type) -> Type {
+        Type::rep(inner, Occurs::OPT)
+    }
+
+    /// `t*`.
+    pub fn star(inner: Type) -> Type {
+        Type::rep(inner, Occurs::STAR)
+    }
+
+    /// `t+`.
+    pub fn plus(inner: Type) -> Type {
+        Type::rep(inner, Occurs::PLUS)
+    }
+
+    /// All type names referenced anywhere inside this type, in first-seen
+    /// order, with duplicates removed.
+    pub fn referenced_types(&self) -> Vec<TypeName> {
+        let mut out = Vec::new();
+        self.visit(&mut |t| {
+            if let Type::Ref(name) = t {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Visit every node of the type tree, parents before children.
+    pub fn visit(&self, f: &mut impl FnMut(&Type)) {
+        f(self);
+        match self {
+            Type::Empty | Type::Scalar { .. } | Type::Ref(_) => {}
+            Type::Attribute { content, .. } | Type::Element { content, .. } => content.visit(f),
+            Type::Seq(items) | Type::Choice(items) => {
+                for item in items {
+                    item.visit(f);
+                }
+            }
+            Type::Rep { inner, .. } => inner.visit(f),
+        }
+    }
+
+    /// Rewrite the tree bottom-up: children are transformed first, then `f`
+    /// is applied to the rebuilt node. Smart constructors re-normalize.
+    pub fn map(self, f: &mut impl FnMut(Type) -> Type) -> Type {
+        let rebuilt = match self {
+            Type::Attribute { name, content } => {
+                Type::Attribute { name, content: Box::new(content.map(f)) }
+            }
+            Type::Element { name, content } => {
+                Type::Element { name, content: Box::new(content.map(f)) }
+            }
+            Type::Seq(items) => Type::seq(items.into_iter().map(|t| t.map(f))),
+            Type::Choice(items) => Type::choice(items.into_iter().map(|t| t.map(f))),
+            Type::Rep { inner, occurs, avg_count } => {
+                Type::rep_with_count(inner.map(f), occurs, avg_count)
+            }
+            leaf => leaf,
+        };
+        f(rebuilt)
+    }
+
+    /// True if this node is (syntactically) a scalar.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Scalar { .. })
+    }
+
+    /// The sequence items if this is a `Seq`, else a one-element slice view
+    /// of `self` (or empty for `Empty`). Convenience for iteration.
+    pub fn seq_items(&self) -> &[Type] {
+        match self {
+            Type::Seq(items) => items,
+            Type::Empty => &[],
+            other => std::slice::from_ref(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_smart_constructor_flattens_and_collapses() {
+        let t = Type::seq([Type::Empty, Type::seq([Type::string(), Type::integer()]), Type::string()]);
+        match &t {
+            Type::Seq(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected Seq, got {other:?}"),
+        }
+        assert_eq!(Type::seq([Type::string()]), Type::string());
+        assert_eq!(Type::seq(Vec::<Type>::new()), Type::Empty);
+    }
+
+    #[test]
+    fn choice_smart_constructor_flattens() {
+        let t = Type::choice([
+            Type::choice([Type::string(), Type::integer()]),
+            Type::reference("TV"),
+        ]);
+        match &t {
+            Type::Choice(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected Choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rep_collapses_trivial_bounds() {
+        assert_eq!(Type::rep(Type::string(), Occurs::new(1, Some(1))), Type::string());
+        assert_eq!(Type::rep(Type::string(), Occurs::new(0, Some(0))), Type::Empty);
+        assert!(matches!(Type::star(Type::string()), Type::Rep { .. }));
+    }
+
+    #[test]
+    fn occurs_predicates() {
+        assert!(Occurs::STAR.nullable());
+        assert!(Occurs::STAR.multi_valued());
+        assert!(!Occurs::OPT.multi_valued());
+        assert!(Occurs::PLUS.multi_valued());
+        assert!(!Occurs::PLUS.nullable());
+        assert!(!Occurs::new(1, Some(10)).nullable());
+        assert!(Occurs::new(1, Some(10)).multi_valued());
+    }
+
+    #[test]
+    fn occurs_decrement() {
+        let o = Occurs::new(2, Some(5)).decrement();
+        assert_eq!((o.min, o.max), (1, Some(4)));
+        let s = Occurs::STAR.decrement();
+        assert_eq!((s.min, s.max), (0, None));
+        assert!(Occurs::new(0, Some(1)).decrement().is_exhausted());
+    }
+
+    #[test]
+    fn referenced_types_deduplicates_in_order() {
+        let t = Type::seq([
+            Type::reference("Aka"),
+            Type::star(Type::reference("Review")),
+            Type::choice([Type::reference("Movie"), Type::reference("TV")]),
+            Type::reference("Aka"),
+        ]);
+        let names: Vec<String> = t.referenced_types().iter().map(|n| n.to_string()).collect();
+        assert_eq!(names, ["Aka", "Review", "Movie", "TV"]);
+    }
+
+    #[test]
+    fn map_rewrites_bottom_up() {
+        // Replace every Integer with String.
+        let t = Type::element("show", Type::seq([Type::integer(), Type::string()]));
+        let t = t.map(&mut |node| match node {
+            Type::Scalar { kind: ScalarKind::Integer, stats } => {
+                Type::Scalar { kind: ScalarKind::String, stats }
+            }
+            other => other,
+        });
+        let mut ints = 0;
+        t.visit(&mut |n| {
+            if matches!(n, Type::Scalar { kind: ScalarKind::Integer, .. }) {
+                ints += 1;
+            }
+        });
+        assert_eq!(ints, 0);
+    }
+
+    #[test]
+    fn seq_items_views() {
+        assert_eq!(Type::Empty.seq_items().len(), 0);
+        assert_eq!(Type::string().seq_items().len(), 1);
+        assert_eq!(Type::seq([Type::string(), Type::integer()]).seq_items().len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Parse errors with byte/line/column positions.
+
+use std::fmt;
+
+/// A position in the source text, tracked by the parser for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not grapheme clusters).
+    pub column: u32,
+}
+
+impl Position {
+    /// The position of the first byte of the input.
+    pub const fn start() -> Self {
+        Position { offset: 0, line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// An error produced while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the input the error was detected.
+    pub position: Position,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The specific failure detected by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended before the document was complete.
+    UnexpectedEof(&'static str),
+    /// A character that is not legal at this point in the grammar.
+    UnexpectedChar { found: char, expected: &'static str },
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedClosingTag { open: String, close: String },
+    /// Markup (or text) appeared after the document element closed.
+    TrailingContent,
+    /// The document has no root element.
+    MissingRoot,
+    /// An entity reference (`&...;`) that is malformed or unknown.
+    BadEntity(String),
+    /// An element or attribute name that is empty or starts illegally.
+    BadName,
+    /// The same attribute appears twice on one element.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}: ", self.position)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input while {ctx}"),
+            ParseErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            ParseErrorKind::MismatchedClosingTag { open, close } => {
+                write!(f, "closing tag </{close}> does not match opening tag <{open}>")
+            }
+            ParseErrorKind::TrailingContent => write!(f, "content after the document element"),
+            ParseErrorKind::MissingRoot => write!(f, "document has no root element"),
+            ParseErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
+            ParseErrorKind::BadName => write!(f, "invalid element or attribute name"),
+            ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_and_column() {
+        let p = Position { offset: 10, line: 2, column: 5 };
+        assert_eq!(p.to_string(), "2:5");
+    }
+
+    #[test]
+    fn error_display_mentions_position_and_kind() {
+        let e = ParseError {
+            position: Position::start(),
+            kind: ParseErrorKind::MismatchedClosingTag { open: "a".into(), close: "b".into() },
+        };
+        let s = e.to_string();
+        assert!(s.contains("1:1"));
+        assert!(s.contains("</b>"));
+        assert!(s.contains("<a>"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use std::borrow::Cow;
+
+/// Escape text for use as element character data (`<`, `&`, and `>` for
+/// robustness against `]]>`).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, false)
+}
+
+/// Escape text for use inside a double-quoted attribute value.
+pub fn escape_attribute(s: &str) -> Cow<'_, str> {
+    escape_with(s, true)
+}
+
+fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s.bytes().any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && b == b'"'));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve a single entity name (the text between `&` and `;`) to its
+/// character, supporting the five XML predefined entities and numeric
+/// character references (`#10`, `#x1F`).
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let digits = name.strip_prefix('#')?;
+            let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                digits.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn special_chars_are_escaped() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+
+    #[test]
+    fn quotes_escaped_only_in_attributes() {
+        assert_eq!(escape_text("say \"hi\""), "say \"hi\"");
+        assert_eq!(escape_attribute("say \"hi\""), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn predefined_entities_resolve() {
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+    }
+
+    #[test]
+    fn numeric_references_resolve() {
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#X41"), Some('A'));
+    }
+
+    #[test]
+    fn bad_entities_are_rejected() {
+        assert_eq!(resolve_entity("nbsp"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#x110000"), None); // beyond char range
+        assert_eq!(resolve_entity(""), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! A hand-written, non-validating XML parser.
+//!
+//! Supports the subset of XML needed by the LegoDB workloads: elements,
+//! attributes, character data, predefined and numeric entity references,
+//! comments, CDATA sections, processing instructions, and a DOCTYPE
+//! declaration (skipped, including an internal subset). Namespaces are
+//! treated as part of the name (prefix and all), matching the paper's usage.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::escape::resolve_entity;
+use crate::tree::{Attribute, Document, Element, Node};
+
+/// Parse a complete XML document from a string.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let root = match p.parse_element()? {
+        Some(root) => root,
+        None => return Err(p.error(ParseErrorKind::MissingRoot)),
+    };
+    p.skip_misc();
+    if !p.at_eof() {
+        return Err(p.error(ParseErrorKind::TrailingContent));
+    }
+    Ok(Document::new(root))
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { input: src.as_bytes(), src, pos: 0, line: 1, col: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position { offset: self.pos, line: self.line, column: self.col }
+    }
+
+    fn error(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError { position: self.position(), kind }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Skip the XML declaration, DOCTYPE, comments and PIs before the root.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_until("?>", "reading a processing instruction")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->", "reading a comment")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip trailing comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->", "reading a comment").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>", "reading a processing instruction").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str, ctx: &'static str) -> Result<(), ParseError> {
+        while !self.at_eof() {
+            if self.starts_with(end) {
+                self.bump_n(end.len());
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.error(ParseErrorKind::UnexpectedEof(ctx)))
+    }
+
+    /// Skip `<!DOCTYPE ... >`, including a bracketed internal subset.
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        self.bump_n("<!DOCTYPE".len());
+        let mut depth: i32 = 0;
+        while let Some(b) = self.peek() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth -= 1,
+                b'>' if depth <= 0 => {
+                    self.bump();
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        Err(self.error(ParseErrorKind::UnexpectedEof("reading DOCTYPE")))
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if is_name_start(b) => {
+                self.bump();
+            }
+            _ => return Err(self.error(ParseErrorKind::BadName)),
+        }
+        while matches!(self.peek(), Some(b) if is_name_char(b)) {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    /// Parse one element starting at `<name ...`. Returns `None` if the
+    /// cursor is not at an element start.
+    fn parse_element(&mut self) -> Result<Option<Element>, ParseError> {
+        if self.peek() != Some(b'<') {
+            return Ok(None);
+        }
+        self.bump(); // consume '<'
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    self.parse_content(&mut element)?;
+                    return Ok(Some(element));
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error(ParseErrorKind::UnexpectedChar {
+                            found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                            expected: "'>' after '/'",
+                        }));
+                    }
+                    self.bump();
+                    return Ok(Some(element));
+                }
+                Some(b) if is_name_start(b) => {
+                    let attr = self.parse_attribute()?;
+                    if element.attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(self.error(ParseErrorKind::DuplicateAttribute(attr.name)));
+                    }
+                    element.attributes.push(attr);
+                }
+                Some(b) => {
+                    return Err(self.error(ParseErrorKind::UnexpectedChar {
+                        found: b as char,
+                        expected: "attribute name, '>', or '/>'",
+                    }))
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading a start tag"))),
+            }
+        }
+    }
+
+    fn parse_attribute(&mut self) -> Result<Attribute, ParseError> {
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            return Err(self.error(ParseErrorKind::UnexpectedChar {
+                found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                expected: "'=' in attribute",
+            }));
+        }
+        self.bump();
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            other => {
+                return Err(self.error(ParseErrorKind::UnexpectedChar {
+                    found: other.map(|b| b as char).unwrap_or('\0'),
+                    expected: "quoted attribute value",
+                }))
+            }
+        };
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(b'&') => value.push(self.parse_entity()?),
+                Some(_) => {
+                    let c = self.next_char()?;
+                    value.push(c);
+                }
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading an attribute value"))),
+            }
+        }
+        Ok(Attribute { name, value })
+    }
+
+    /// Parse element content up to and including the matching close tag.
+    fn parse_content(&mut self, element: &mut Element) -> Result<(), ParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading element content"))),
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        flush_text(&mut text, element);
+                        self.bump_n(2);
+                        let close = self.parse_name()?;
+                        if close != element.name {
+                            return Err(self.error(ParseErrorKind::MismatchedClosingTag {
+                                open: element.name.clone(),
+                                close,
+                            }));
+                        }
+                        self.skip_whitespace();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.error(ParseErrorKind::UnexpectedChar {
+                                found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                                expected: "'>' in closing tag",
+                            }));
+                        }
+                        self.bump();
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        self.skip_until("-->", "reading a comment")?;
+                    } else if self.starts_with("<![CDATA[") {
+                        self.bump_n("<![CDATA[".len());
+                        let start = self.pos;
+                        self.skip_until("]]>", "reading a CDATA section")?;
+                        text.push_str(&self.src[start..self.pos - 3]);
+                    } else if self.starts_with("<?") {
+                        self.skip_until("?>", "reading a processing instruction")?;
+                    } else {
+                        flush_text(&mut text, element);
+                        let child = self
+                            .parse_element()?
+                            .expect("peeked '<' guarantees an element start");
+                        element.children.push(Node::Element(child));
+                    }
+                }
+                Some(b'&') => text.push(self.parse_entity()?),
+                Some(_) => {
+                    let c = self.next_char()?;
+                    text.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let name = &self.src[start..self.pos];
+                self.bump();
+                return resolve_entity(name)
+                    .ok_or_else(|| self.error(ParseErrorKind::BadEntity(name.to_string())));
+            }
+            if self.pos - start > 16 {
+                break;
+            }
+            self.bump();
+        }
+        Err(self.error(ParseErrorKind::BadEntity(self.src[start..self.pos].to_string())))
+    }
+
+    /// Consume one full (possibly multi-byte) character.
+    fn next_char(&mut self) -> Result<char, ParseError> {
+        let c = self.src[self.pos..]
+            .chars()
+            .next()
+            .ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof("reading text")))?;
+        self.bump_n(c.len_utf8());
+        Ok(c)
+    }
+}
+
+fn flush_text(text: &mut String, element: &mut Element) {
+    if !text.trim().is_empty() {
+        element.children.push(Node::Text(std::mem::take(text)));
+    } else {
+        text.clear();
+    }
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseErrorKind;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse("<a><b>hi</b><b>ho</b></a>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert_eq!(doc.root.children_named("b").count(), 2);
+        assert_eq!(doc.root.first_child("b").unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn parses_attributes_and_self_closing() {
+        let doc = parse(r#"<show type="Movie" year='1993'><empty/></show>"#).unwrap();
+        assert_eq!(doc.root.attribute("type"), Some("Movie"));
+        assert_eq!(doc.root.attribute("year"), Some("1993"));
+        assert!(doc.root.first_child("empty").unwrap().is_leaf());
+    }
+
+    #[test]
+    fn resolves_entities_in_text_and_attributes() {
+        let doc = parse(r#"<a t="&lt;x&gt;">a &amp; b &#65;</a>"#).unwrap();
+        assert_eq!(doc.root.attribute("t"), Some("<x>"));
+        assert_eq!(doc.root.text(), "a & b A");
+    }
+
+    #[test]
+    fn skips_prolog_doctype_comments_and_pis() {
+        let src = r#"<?xml version="1.0"?>
+            <!DOCTYPE imdb [ <!ELEMENT imdb (show*)> ]>
+            <!-- a comment -->
+            <imdb><?pi data?><!-- inner --><show/></imdb>
+            <!-- trailing -->"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.root.name, "imdb");
+        assert_eq!(doc.root.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let doc = parse("<a><![CDATA[x < y && z]]></a>").unwrap();
+        assert_eq!(doc.root.text(), "x < y && z");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MismatchedClosingTag { .. }));
+    }
+
+    #[test]
+    fn trailing_content_is_rejected() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn missing_root_is_rejected() {
+        let err = parse("   ").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MissingRoot));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn unknown_entity_is_rejected() {
+        let err = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadEntity(_)));
+    }
+
+    #[test]
+    fn eof_inside_tag_is_reported() {
+        let err = parse("<a><b>text").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn line_and_column_are_tracked() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.position.line, 2);
+    }
+
+    #[test]
+    fn utf8_text_round_trips() {
+        let doc = parse("<aka>Die unheimlichen Fälle — «déjà vu»</aka>").unwrap();
+        assert_eq!(doc.root.text(), "Die unheimlichen Fälle — «déjà vu»");
+    }
+}

@@ -1,0 +1,391 @@
+//! XML data statistics, keyed by *label paths* from the document root —
+//! the `STcnt` / `STsize` / `STbase` statistics of the paper's Appendix A.
+//!
+//! Statistics are the third LegoDB input (next to the schema and the query
+//! workload). They can be harvested from a sample document with
+//! [`Statistics::collect`], or stated directly (as the paper does in its
+//! appendix) with the builder methods. The p-schema layer folds them into
+//! the physical schema, and the `rel(ps)` mapping translates them into
+//! relational catalog statistics (table cardinalities, column widths,
+//! min/max, distinct counts).
+
+use crate::tree::{Document, Element};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A label path from the document root, e.g. `imdb/show/aka`.
+/// Attribute steps are spelled `@name`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path(pub Vec<String>);
+
+impl Path {
+    /// Build a path from string-like steps.
+    pub fn new<I, S>(steps: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Path(steps.into_iter().map(Into::into).collect())
+    }
+
+    /// The path one step shorter (the parent element's path), if any.
+    pub fn parent(&self) -> Option<Path> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(Path(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Extend with one more step.
+    pub fn child(&self, step: impl Into<String>) -> Path {
+        let mut v = self.0.clone();
+        v.push(step.into());
+        Path(v)
+    }
+
+    /// The final step, if the path is non-empty.
+    pub fn last(&self) -> Option<&str> {
+        self.0.last().map(String::as_str)
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.join("/"))
+    }
+}
+
+impl<S: Into<String> + Clone> From<&[S]> for Path {
+    fn from(steps: &[S]) -> Self {
+        Path(steps.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Statistics recorded for one label path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathStat {
+    /// Total number of occurrences in the dataset (`STcnt`).
+    pub count: Option<u64>,
+    /// Average size in bytes of the text content (`STsize`).
+    pub avg_size: Option<f64>,
+    /// Minimum numeric value (`STbase` first component).
+    pub min: Option<i64>,
+    /// Maximum numeric value (`STbase` second component).
+    pub max: Option<i64>,
+    /// Number of distinct values (`STbase` third component, or the
+    /// `#distincts` annotation on strings).
+    pub distinct: Option<u64>,
+}
+
+/// A set of per-path statistics for a dataset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Statistics {
+    entries: BTreeMap<Path, PathStat>,
+}
+
+impl Statistics {
+    /// An empty statistics set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a total occurrence count for a path (`STcnt`).
+    pub fn set_count<S: Into<String> + Clone>(&mut self, path: &[S], count: u64) -> &mut Self {
+        self.entry(path).count = Some(count);
+        self
+    }
+
+    /// Record an average text size in bytes for a path (`STsize`).
+    pub fn set_size<S: Into<String> + Clone>(&mut self, path: &[S], avg_size: f64) -> &mut Self {
+        self.entry(path).avg_size = Some(avg_size);
+        self
+    }
+
+    /// Record numeric min/max and a distinct-value count (`STbase`).
+    pub fn set_base<S: Into<String> + Clone>(
+        &mut self,
+        path: &[S],
+        min: i64,
+        max: i64,
+        distinct: u64,
+    ) -> &mut Self {
+        let e = self.entry(path);
+        e.min = Some(min);
+        e.max = Some(max);
+        e.distinct = Some(distinct);
+        self
+    }
+
+    /// Record a distinct-value count for a (string-valued) path.
+    pub fn set_distinct<S: Into<String> + Clone>(&mut self, path: &[S], distinct: u64) -> &mut Self {
+        self.entry(path).distinct = Some(distinct);
+        self
+    }
+
+    fn entry<S: Into<String> + Clone>(&mut self, path: &[S]) -> &mut PathStat {
+        self.entries.entry(Path::from(path)).or_default()
+    }
+
+    /// The statistics for an exact path, if recorded.
+    pub fn get<S: Into<String> + Clone>(&self, path: &[S]) -> Option<&PathStat> {
+        self.entries.get(&Path::from(path))
+    }
+
+    /// The statistics for a [`Path`] key, if recorded.
+    pub fn get_path(&self, path: &Path) -> Option<&PathStat> {
+        self.entries.get(path)
+    }
+
+    /// Occurrence count for a path.
+    pub fn count<S: Into<String> + Clone>(&self, path: &[S]) -> Option<u64> {
+        self.get(path).and_then(|s| s.count)
+    }
+
+    /// Average text size for a path.
+    pub fn avg_size<S: Into<String> + Clone>(&self, path: &[S]) -> Option<f64> {
+        self.get(path).and_then(|s| s.avg_size)
+    }
+
+    /// Average number of occurrences of `path` per occurrence of its parent.
+    /// Falls back to `1.0` when either count is unknown.
+    pub fn avg_per_parent(&self, path: &Path) -> f64 {
+        let Some(child_count) = self.get_path(path).and_then(|s| s.count) else {
+            return 1.0;
+        };
+        let parent_count = path
+            .parent()
+            .and_then(|p| self.get_path(&p))
+            .and_then(|s| s.count)
+            .unwrap_or(1);
+        if parent_count == 0 {
+            0.0
+        } else {
+            child_count as f64 / parent_count as f64
+        }
+    }
+
+    /// Iterate over all `(path, stat)` entries in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Path, &PathStat)> {
+        self.entries.iter()
+    }
+
+    /// Number of paths with recorded statistics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no statistics are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Harvest statistics from a sample document: per-path occurrence
+    /// counts, average text sizes of leaf elements and attributes, numeric
+    /// min/max where every value parses as an integer, and distinct-value
+    /// counts (exact up to [`DISTINCT_CAP`] values, saturating after).
+    pub fn collect(doc: &Document) -> Statistics {
+        let mut acc: BTreeMap<Path, Accum> = BTreeMap::new();
+        let mut path = Vec::new();
+        walk(&doc.root, &mut path, &mut acc);
+        let mut stats = Statistics::new();
+        for (path, a) in acc {
+            let e = stats.entries.entry(path).or_default();
+            e.count = Some(a.count);
+            if a.text_values > 0 {
+                e.avg_size = Some(a.total_text_len as f64 / a.text_values as f64);
+                e.distinct = Some(a.distinct.len() as u64);
+                if a.all_numeric {
+                    e.min = a.min;
+                    e.max = a.max;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Cap on exact distinct-value tracking during collection; beyond this the
+/// distinct count saturates (it stops growing), which keeps harvesting
+/// memory-bounded on large datasets.
+pub const DISTINCT_CAP: usize = 1 << 16;
+
+#[derive(Default)]
+struct Accum {
+    count: u64,
+    total_text_len: u64,
+    text_values: u64,
+    distinct: HashSet<String>,
+    all_numeric: bool,
+    min: Option<i64>,
+    max: Option<i64>,
+    seen_value: bool,
+}
+
+impl Accum {
+    fn observe_value(&mut self, value: &str) {
+        self.total_text_len += value.len() as u64;
+        self.text_values += 1;
+        if self.distinct.len() < DISTINCT_CAP {
+            self.distinct.insert(value.to_string());
+        }
+        match value.trim().parse::<i64>() {
+            Ok(n) => {
+                if !self.seen_value {
+                    self.all_numeric = true;
+                }
+                if self.all_numeric {
+                    self.min = Some(self.min.map_or(n, |m| m.min(n)));
+                    self.max = Some(self.max.map_or(n, |m| m.max(n)));
+                }
+            }
+            Err(_) => {
+                self.all_numeric = false;
+                self.min = None;
+                self.max = None;
+            }
+        }
+        self.seen_value = true;
+    }
+}
+
+fn walk(e: &Element, path: &mut Vec<String>, acc: &mut BTreeMap<Path, Accum>) {
+    path.push(e.name.clone());
+    let entry = acc.entry(Path(path.clone())).or_default();
+    entry.count += 1;
+    if e.is_leaf() {
+        let text = e.text();
+        if !text.is_empty() {
+            acc.get_mut(&Path(path.clone())).expect("just inserted").observe_value(&text);
+        }
+    }
+    for a in &e.attributes {
+        path.push(format!("@{}", a.name));
+        let entry = acc.entry(Path(path.clone())).or_default();
+        entry.count += 1;
+        entry.observe_value(&a.value);
+        path.pop();
+    }
+    for child in e.child_elements() {
+        walk(child, path, acc);
+    }
+    path.pop();
+}
+
+impl fmt::Display for Statistics {
+    /// Render in the paper's Appendix A notation, one entry per line:
+    /// `(["imdb";"show"], STcnt(34798)); (...)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (path, stat) in &self.entries {
+            let quoted: Vec<String> = path.0.iter().map(|s| format!("{s:?}")).collect();
+            let key = format!("[{}]", quoted.join(";"));
+            if let Some(c) = stat.count {
+                writeln!(f, "({key}, STcnt({c}));")?;
+            }
+            if let Some(s) = stat.avg_size {
+                writeln!(f, "({key}, STsize({s:.0}));")?;
+            }
+            if let (Some(min), Some(max), Some(d)) = (stat.min, stat.max, stat.distinct) {
+                writeln!(f, "({key}, STbase({min},{max},{d}));")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn sample() -> Document {
+        parse(
+            r#"<imdb>
+                 <show type="Movie"><title>Fugitive, The</title><year>1993</year>
+                   <aka>Auf der Flucht</aka><aka>Le Fugitif</aka></show>
+                 <show type="TV series"><title>X Files, The</title><year>1994</year>
+                   <aka>Aux frontieres du Reel</aka></show>
+               </imdb>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_per_path() {
+        let s = Statistics::collect(&sample());
+        assert_eq!(s.count(&["imdb"]), Some(1));
+        assert_eq!(s.count(&["imdb", "show"]), Some(2));
+        assert_eq!(s.count(&["imdb", "show", "aka"]), Some(3));
+        assert_eq!(s.count(&["imdb", "show", "@type"]), Some(2));
+    }
+
+    #[test]
+    fn numeric_leaves_get_min_max() {
+        let s = Statistics::collect(&sample());
+        let year = s.get(&["imdb", "show", "year"]).unwrap();
+        assert_eq!(year.min, Some(1993));
+        assert_eq!(year.max, Some(1994));
+        assert_eq!(year.distinct, Some(2));
+    }
+
+    #[test]
+    fn string_leaves_get_avg_size_not_min_max() {
+        let s = Statistics::collect(&sample());
+        let title = s.get(&["imdb", "show", "title"]).unwrap();
+        assert!(title.avg_size.unwrap() > 0.0);
+        assert_eq!(title.min, None);
+        assert_eq!(title.distinct, Some(2));
+    }
+
+    #[test]
+    fn avg_per_parent_divides_counts() {
+        let s = Statistics::collect(&sample());
+        let aka = Path::new(["imdb", "show", "aka"]);
+        assert!((s.avg_per_parent(&aka) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_per_parent_defaults_to_one_when_unknown() {
+        let s = Statistics::new();
+        assert_eq!(s.avg_per_parent(&Path::new(["a", "b"])), 1.0);
+    }
+
+    #[test]
+    fn builder_and_accessors_round_trip() {
+        let mut s = Statistics::new();
+        s.set_count(&["imdb", "show"], 34798)
+            .set_size(&["imdb", "show", "title"], 50.0)
+            .set_base(&["imdb", "show", "year"], 1800, 2100, 300);
+        assert_eq!(s.count(&["imdb", "show"]), Some(34798));
+        assert_eq!(s.avg_size(&["imdb", "show", "title"]), Some(50.0));
+        let y = s.get(&["imdb", "show", "year"]).unwrap();
+        assert_eq!((y.min, y.max, y.distinct), (Some(1800), Some(2100), Some(300)));
+    }
+
+    #[test]
+    fn display_uses_appendix_a_notation() {
+        let mut s = Statistics::new();
+        s.set_count(&["imdb", "show"], 42);
+        let text = s.to_string();
+        assert!(text.contains(r#"(["imdb";"show"], STcnt(42));"#), "{text}");
+    }
+
+    #[test]
+    fn mixed_numeric_and_text_values_disable_min_max() {
+        let doc = parse("<r><v>12</v><v>abc</v></r>").unwrap();
+        let s = Statistics::collect(&doc);
+        let v = s.get(&["r", "v"]).unwrap();
+        assert_eq!(v.min, None);
+        assert_eq!(v.distinct, Some(2));
+    }
+
+    #[test]
+    fn path_helpers() {
+        let p = Path::new(["a", "b", "c"]);
+        assert_eq!(p.to_string(), "a/b/c");
+        assert_eq!(p.parent().unwrap().to_string(), "a/b");
+        assert_eq!(p.child("d").to_string(), "a/b/c/d");
+        assert_eq!(p.last(), Some("c"));
+        assert_eq!(Path::new(["a"]).parent(), None);
+    }
+}

@@ -1,0 +1,129 @@
+//! XML serialization: compact and indented forms.
+
+use crate::escape::{escape_attribute, escape_text};
+use crate::tree::{Document, Element, Node};
+use std::fmt::Write as _;
+
+impl Document {
+    /// Serialize compactly (no added whitespace). The output re-parses to an
+    /// equal document.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        write_element(&mut out, &self.root, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation. Mixed-content elements (any
+    /// direct text) are kept on one line so text content survives a
+    /// round-trip unchanged.
+    pub fn to_xml_pretty(&self) -> String {
+        let mut out = String::new();
+        write_element(&mut out, &self.root, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl Element {
+    /// Serialize this element (and subtree) compactly.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        write_element(&mut out, self, None, 0);
+        out
+    }
+}
+
+fn write_element(out: &mut String, e: &Element, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    };
+    if depth > 0 {
+        pad(out, depth);
+    }
+    out.push('<');
+    out.push_str(&e.name);
+    for a in &e.attributes {
+        let _ = write!(out, " {}=\"{}\"", a.name, escape_attribute(&a.value));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let mixed = e.children.iter().any(|c| matches!(c, Node::Text(_)));
+    // Mixed content must be serialized verbatim: indentation would inject
+    // whitespace into character data.
+    let child_indent = if mixed { None } else { indent };
+    for child in &e.children {
+        match child {
+            Node::Element(c) => write_element(out, c, child_indent, depth + 1),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    if !mixed && indent.is_some() {
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn sample() -> Document {
+        parse(r#"<show type="Movie"><title>Fugitive, The</title><year>1993</year><empty/></show>"#)
+            .unwrap()
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let doc = sample();
+        let reparsed = parse(&doc.to_xml()).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let doc = sample();
+        let reparsed = parse(&doc.to_xml_pretty()).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let doc = parse(r#"<a t="&quot;&lt;">x &amp; y &lt;z&gt;</a>"#).unwrap();
+        let reparsed = parse(&doc.to_xml()).unwrap();
+        assert_eq!(doc, reparsed);
+        assert!(doc.to_xml().contains("&amp;"));
+    }
+
+    #[test]
+    fn empty_element_serializes_self_closing() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(doc.to_xml(), "<a><b/></a>");
+    }
+
+    #[test]
+    fn pretty_indents_element_only_content() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let pretty = doc.to_xml_pretty();
+        assert!(pretty.contains("\n  <b>"));
+        assert!(pretty.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn mixed_content_is_not_reindented() {
+        let doc = parse("<p>before<b>bold</b>after</p>").unwrap();
+        let pretty = doc.to_xml_pretty();
+        let reparsed = parse(&pretty).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+}

@@ -1,0 +1,128 @@
+//! The XQuery FLWR AST covering the paper's workloads.
+
+use legodb_relational::CmpOp;
+use std::fmt;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XQuery {
+    /// The outermost FLWR block.
+    pub flwr: Flwr,
+}
+
+/// A `FOR ... WHERE ... RETURN ...` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwr {
+    /// Variable bindings, in order.
+    pub bindings: Vec<BindingDef>,
+    /// Conjunctive WHERE predicates.
+    pub predicates: Vec<Predicate>,
+    /// RETURN items.
+    pub returns: Vec<ReturnItem>,
+}
+
+/// One `$var IN path` binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingDef {
+    /// Variable name without the `$`.
+    pub var: String,
+    /// Source path.
+    pub source: PathExpr,
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathRoot {
+    /// `document("...")` — the document root.
+    Document,
+    /// `$v` — a bound variable.
+    Var(String),
+}
+
+/// A path expression: a root plus child steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathExpr {
+    /// Starting point.
+    pub root: PathRoot,
+    /// Child element steps (attributes are spelled as plain names in the
+    /// paper's queries, e.g. `$v/type`).
+    pub steps: Vec<String>,
+}
+
+impl PathExpr {
+    /// A path rooted at a variable.
+    pub fn var(name: impl Into<String>, steps: impl IntoIterator<Item = &'static str>) -> Self {
+        PathExpr {
+            root: PathRoot::Var(name.into()),
+            steps: steps.into_iter().map(str::to_string).collect(),
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.root {
+            PathRoot::Document => write!(f, "document(\"…\")")?,
+            PathRoot::Var(v) => write!(f, "${v}")?,
+        }
+        for s in &self.steps {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// A named constant placeholder (`c1`, `c4` in the paper). Its value is
+    /// synthesized at translation time from the target column's type.
+    Placeholder(String),
+    /// Another path (a value join).
+    Path(PathExpr),
+}
+
+/// A WHERE predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left path.
+    pub left: PathExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// An item in a RETURN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnItem {
+    /// A path — a column when it lands on a scalar, a subtree publish when
+    /// it lands on structure (`RETURN $v`).
+    Path(PathExpr),
+    /// An element constructor `<result> ... </result>`.
+    Element {
+        /// Constructor tag.
+        name: String,
+        /// Contained items.
+        items: Vec<ReturnItem>,
+    },
+    /// A nested FLWR block.
+    Nested(Flwr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display() {
+        let p = PathExpr::var("v", ["title"]);
+        assert_eq!(p.to_string(), "$v/title");
+        let p = PathExpr { root: PathRoot::Document, steps: vec!["imdb".into(), "show".into()] };
+        assert_eq!(p.to_string(), "document(\"…\")/imdb/show");
+    }
+}

@@ -1,0 +1,39 @@
+//! # legodb-xquery
+//!
+//! The XQuery side of LegoDB: a parser for the FLWR subset the paper's
+//! workloads use (Appendix C, queries Q1–Q20), and the translation of
+//! those queries into relational statements over a given storage mapping
+//! (§3.3 — the paper delegates this to Silkroute/XPERANTO-style
+//! algorithms [10, 3]; we implement the needed subset directly).
+//!
+//! Supported query shape:
+//!
+//! ```text
+//! FOR $v IN document("imdb")/imdb/show, $a IN $v/aka
+//! WHERE $v/year = 1999 AND $v/title = $a/title
+//! RETURN $v/title, $v/year, $v/nyt_reviews
+//! ```
+//!
+//! plus nested `FOR ... WHERE ... RETURN` inside RETURN bodies and
+//! `<result> ... </result>` element constructors — enough for every query
+//! in the paper.
+//!
+//! ## Translation model
+//!
+//! Each variable binds to a set of *resolutions* against the mapping: a
+//! chain of types from the root joined by `parent_T` foreign keys, plus a
+//! residual element path for positions inlined into a table. Unions in the
+//! schema (e.g. a union-distributed `Show`) multiply resolutions, so one
+//! XQuery becomes a `UNION ALL` of SPJ blocks. `RETURN $v` (publishing a
+//! whole subtree) is compiled Silkroute-style into one SPJ block per
+//! descendant-table chain; the statement set's cost is the sum over
+//! blocks.
+
+pub mod ast;
+pub mod parse;
+pub mod resolve;
+pub mod translate;
+
+pub use ast::{Flwr, PathExpr, Predicate, ReturnItem, XQuery};
+pub use parse::{parse_xquery, XQueryParseError};
+pub use translate::{translate, TranslateError, TranslatedQuery};

@@ -1,0 +1,424 @@
+//! Recursive-descent parser for the FLWR subset.
+//!
+//! Accepts both binding orders seen in the paper: `FOR $v IN path` and the
+//! appendix's `FOR path $v` shorthand (e.g. `FOR $v/episode $e`). Keywords
+//! are case-insensitive; RETURN items may be separated by commas or
+//! whitespace.
+
+use crate::ast::{BindingDef, Flwr, Operand, PathExpr, PathRoot, Predicate, ReturnItem, XQuery};
+use legodb_relational::CmpOp;
+use std::fmt;
+
+/// A parse failure with an offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XQueryParseError {
+    /// Byte offset in the input.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for XQueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XQuery syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XQueryParseError {}
+
+/// Parse one query.
+pub fn parse_xquery(src: &str) -> Result<XQuery, XQueryParseError> {
+    let mut p = P { src, pos: 0 };
+    let flwr = p.parse_flwr()?;
+    p.ws();
+    if !p.eof() {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(XQuery { flwr })
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl P<'_> {
+    fn err(&self, message: impl Into<String>) -> XQueryParseError {
+        XQueryParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.ws();
+        let r = self.rest();
+        r.len() >= kw.len()
+            && r[..kw.len()].eq_ignore_ascii_case(kw)
+            && !r[kw.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, XQueryParseError> {
+        self.ws();
+        let r = self.rest();
+        let end = r
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let out = r[..end].to_string();
+        self.pos += end;
+        Ok(out)
+    }
+
+    fn parse_flwr(&mut self) -> Result<Flwr, XQueryParseError> {
+        if !self.eat_keyword("FOR") {
+            return Err(self.err("expected FOR"));
+        }
+        let mut bindings = vec![self.parse_binding()?];
+        loop {
+            let checkpoint = self.pos;
+            let had_comma = self.eat(",");
+            // Further bindings may follow with or without a comma (the
+            // appendix formats them one per line, comma-optional).
+            if self.peek_keyword("WHERE") || self.peek_keyword("RETURN") {
+                if had_comma {
+                    self.pos = checkpoint;
+                }
+                break;
+            }
+            match self.parse_binding() {
+                Ok(b) => bindings.push(b),
+                Err(_) => {
+                    self.pos = checkpoint;
+                    break;
+                }
+            }
+        }
+        let mut predicates = Vec::new();
+        if self.eat_keyword("WHERE") {
+            predicates.push(self.parse_predicate()?);
+            while self.eat_keyword("AND") {
+                predicates.push(self.parse_predicate()?);
+            }
+        }
+        if !self.eat_keyword("RETURN") {
+            return Err(self.err("expected RETURN"));
+        }
+        let returns = self.parse_return_items()?;
+        Ok(Flwr { bindings, predicates, returns })
+    }
+
+    fn parse_binding(&mut self) -> Result<BindingDef, XQueryParseError> {
+        self.ws();
+        if self.rest().starts_with('$') {
+            let start = self.pos;
+            let path = self.parse_path()?;
+            // `$v IN path` (variable first) or `$v/episode $e` (path first).
+            if self.eat_keyword("IN") {
+                let PathRoot::Var(var) = path.root else {
+                    return Err(self.err("binding variable must be a plain $var"));
+                };
+                if !path.steps.is_empty() {
+                    self.pos = start;
+                    return Err(self.err("binding variable must be a plain $var"));
+                }
+                let source = self.parse_path()?;
+                return Ok(BindingDef { var, source });
+            }
+            // Path-first shorthand: the next token is the bound variable.
+            self.ws();
+            if self.rest().starts_with('$') {
+                self.pos += 1;
+                let var = self.ident()?;
+                return Ok(BindingDef { var, source: path });
+            }
+            Err(self.err("expected IN or a binding variable after path"))
+        } else {
+            Err(self.err("expected a $variable binding"))
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<PathExpr, XQueryParseError> {
+        self.ws();
+        let root = if self.eat_keyword("document") {
+            if !self.eat("(") {
+                return Err(self.err("expected ( after document"));
+            }
+            // Skip the quoted document name.
+            self.ws();
+            if self.eat("\"") {
+                match self.rest().find('"') {
+                    Some(i) => self.pos += i + 1,
+                    None => return Err(self.err("unterminated document name")),
+                }
+            }
+            if !self.eat(")") {
+                return Err(self.err("expected ) after document name"));
+            }
+            PathRoot::Document
+        } else if self.eat("$") {
+            PathRoot::Var(self.ident()?)
+        } else {
+            return Err(self.err("expected a path (document(...) or $var)"));
+        };
+        let mut steps = Vec::new();
+        while self.eat("/") {
+            steps.push(self.ident()?);
+        }
+        Ok(PathExpr { root, steps })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, XQueryParseError> {
+        let left = self.parse_path()?;
+        self.ws();
+        let op = if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat("!=") || self.eat("<>") {
+            CmpOp::Ne
+        } else if self.eat("=") {
+            CmpOp::Eq
+        } else if self.eat("<") {
+            CmpOp::Lt
+        } else if self.eat(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected a comparison operator"));
+        };
+        let right = self.parse_operand()?;
+        Ok(Predicate { left, op, right })
+    }
+
+    fn parse_operand(&mut self) -> Result<Operand, XQueryParseError> {
+        self.ws();
+        let r = self.rest();
+        if r.starts_with('$') || r.len() >= 9 && r[..9].eq_ignore_ascii_case("document(") {
+            return Ok(Operand::Path(self.parse_path()?));
+        }
+        if r.starts_with('"') || r.starts_with('\'') {
+            let quote = r.chars().next().expect("nonempty");
+            self.pos += 1;
+            match self.rest().find(quote) {
+                Some(i) => {
+                    let s = self.rest()[..i].to_string();
+                    self.pos += i + 1;
+                    return Ok(Operand::Str(s));
+                }
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        if r.starts_with(|c: char| c.is_ascii_digit() || c == '-') {
+            let end = r
+                .char_indices()
+                .find(|&(i, c)| !(c.is_ascii_digit() || (c == '-' && i == 0)))
+                .map(|(i, _)| i)
+                .unwrap_or(r.len());
+            let n: i64 = r[..end]
+                .parse()
+                .map_err(|e| self.err(format!("bad integer literal: {e}")))?;
+            self.pos += end;
+            return Ok(Operand::Int(n));
+        }
+        // Bare identifier: a named constant placeholder (c1, c2, ...).
+        Ok(Operand::Placeholder(self.ident()?))
+    }
+
+    fn parse_return_items(&mut self) -> Result<Vec<ReturnItem>, XQueryParseError> {
+        let mut items = Vec::new();
+        loop {
+            self.ws();
+            let at_close = self.rest().is_empty() || self.rest().starts_with("</");
+            if at_close {
+                break;
+            }
+            if self.rest().starts_with('<') {
+                items.push(self.parse_constructor()?);
+            } else if self.peek_keyword("FOR") {
+                items.push(ReturnItem::Nested(self.parse_flwr()?));
+            } else if self.rest().starts_with('$') {
+                items.push(ReturnItem::Path(self.parse_path()?));
+            } else {
+                break;
+            }
+            self.eat(",");
+        }
+        if items.is_empty() {
+            return Err(self.err("RETURN clause has no items"));
+        }
+        Ok(items)
+    }
+
+    fn parse_constructor(&mut self) -> Result<ReturnItem, XQueryParseError> {
+        if !self.eat("<") {
+            return Err(self.err("expected <"));
+        }
+        let name = self.ident()?;
+        if !self.eat(">") {
+            return Err(self.err("expected > in constructor"));
+        }
+        let items = self.parse_return_items()?;
+        if !self.eat("</") {
+            return Err(self.err("expected closing tag"));
+        }
+        let close = self.ident()?;
+        if close != name {
+            return Err(self.err(format!("constructor <{name}> closed by </{close}>")));
+        }
+        if !self.eat(">") {
+            return Err(self.err("expected > in closing tag"));
+        }
+        Ok(ReturnItem::Element { name, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1_lookup() {
+        let q = parse_xquery(
+            r#"FOR $v IN document("imdbdata")/imdb/show
+               WHERE $v/title = c1
+               RETURN $v/title, $v/year, $v/type"#,
+        )
+        .unwrap();
+        assert_eq!(q.flwr.bindings.len(), 1);
+        assert_eq!(q.flwr.bindings[0].var, "v");
+        assert_eq!(q.flwr.bindings[0].source.steps, ["imdb", "show"]);
+        assert_eq!(q.flwr.predicates.len(), 1);
+        assert!(matches!(q.flwr.predicates[0].right, Operand::Placeholder(_)));
+        assert_eq!(q.flwr.returns.len(), 3);
+    }
+
+    #[test]
+    fn parses_integer_and_string_literals() {
+        let q = parse_xquery(
+            r#"FOR $v IN document("x")/imdb/show WHERE $v/year = 1999 RETURN $v/title"#,
+        )
+        .unwrap();
+        assert!(matches!(q.flwr.predicates[0].right, Operand::Int(1999)));
+        let q = parse_xquery(
+            r#"FOR $v IN document("x")/imdb/show WHERE $v/title = "The Fugitive" RETURN $v/year"#,
+        )
+        .unwrap();
+        assert!(matches!(&q.flwr.predicates[0].right, Operand::Str(s) if s == "The Fugitive"));
+    }
+
+    #[test]
+    fn parses_publish_all() {
+        let q = parse_xquery(r#"FOR $v IN document("x")/imdb/show RETURN $v"#).unwrap();
+        assert!(q.flwr.predicates.is_empty());
+        assert!(
+            matches!(&q.flwr.returns[0], ReturnItem::Path(p) if p.steps.is_empty())
+        );
+    }
+
+    #[test]
+    fn parses_multi_variable_joins() {
+        // Q12-style: actors who also directed.
+        let q = parse_xquery(
+            r#"FOR $i IN document("x")/imdb
+                   $a IN $i/actor,
+                   $m1 IN $a/played,
+                   $d IN $i/director
+                   $m2 IN $d/directed
+               WHERE $a/name = $d/name AND $m1/title = $m2/title
+               RETURN <result> $a/name $m1/title $m1/year </result>"#,
+        )
+        .unwrap();
+        assert_eq!(q.flwr.bindings.len(), 5);
+        assert_eq!(q.flwr.predicates.len(), 2);
+        assert!(matches!(&q.flwr.predicates[0].right, Operand::Path(_)));
+        assert!(matches!(&q.flwr.returns[0], ReturnItem::Element { name, items }
+            if name == "result" && items.len() == 3));
+    }
+
+    #[test]
+    fn parses_nested_flwr_with_path_first_binding() {
+        // Q7-style: nested FOR with the appendix's `FOR $v/episode $e` order.
+        let q = parse_xquery(
+            r#"FOR $v IN document("x")/imdb/show
+               RETURN $v/title, $v/year,
+                 FOR $v/episode $e
+                 WHERE $e/guest_director = c1
+                 RETURN $e/guest_director"#,
+        )
+        .unwrap();
+        assert_eq!(q.flwr.returns.len(), 3);
+        let ReturnItem::Nested(inner) = &q.flwr.returns[2] else {
+            panic!("expected nested FLWR, got {:?}", q.flwr.returns[2]);
+        };
+        assert_eq!(inner.bindings[0].var, "e");
+        assert_eq!(inner.bindings[0].source.steps, ["episode"]);
+    }
+
+    #[test]
+    fn parses_constructor_with_nested_for() {
+        let q = parse_xquery(
+            r#"FOR $a IN document("x")/imdb/actor
+               RETURN <result>
+                  $a/name
+                  FOR $a/played $p WHERE $p/character = c1
+                  RETURN $p/order_of_appearance
+               </result>"#,
+        )
+        .unwrap();
+        let ReturnItem::Element { items, .. } = &q.flwr.returns[0] else { panic!() };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[1], ReturnItem::Nested(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_xquery("WHERE x RETURN y").is_err());
+        assert!(parse_xquery("FOR $v IN document(\"x\")/a WHERE RETURN $v").is_err());
+        assert!(parse_xquery("FOR $v IN document(\"x\")/a RETURN").is_err());
+        assert!(parse_xquery(
+            "FOR $v IN document(\"x\")/a RETURN <r> $v </wrong>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse_xquery(
+            r#"for $v in document("x")/imdb/show where $v/year = 1 return $v/title"#,
+        )
+        .unwrap();
+        assert_eq!(q.flwr.bindings.len(), 1);
+    }
+}

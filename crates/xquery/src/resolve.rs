@@ -1,0 +1,285 @@
+//! Path resolution against a storage mapping: where does one child step
+//! land, starting from a position inside a type?
+//!
+//! A position is `(owner type, relative element path)`. A step can stay in
+//! the owner's table (an inlined element → longer relative path), cross
+//! into a child table (a `Ref` whose element matches → chain extension), or
+//! pass *through* sequence-shaped types (`Movie`, `TV`) that anchor at the
+//! parent's element. Wildcard positions match any step name and induce an
+//! equality filter on the `tilde` column.
+
+use legodb_pschema::mapping::{ANY_STEP, TILDE_STEP};
+use legodb_schema::{NameTest, Schema, Type, TypeName};
+use std::collections::BTreeSet;
+
+/// Where one step lands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTarget {
+    /// Types appended to the join chain (empty = same table).
+    pub chain: Vec<TypeName>,
+    /// New relative path within the final owner.
+    pub rel: Vec<String>,
+    /// Required filter on a wildcard name column:
+    /// `(tilde column's relative path, required tag)`.
+    pub tag_filter: Option<(Vec<String>, String)>,
+}
+
+/// The content term of `owner_def` at relative path `rel`.
+/// Returns `None` when the path does not navigate to a term.
+pub fn term_at<'a>(owner_def: &'a Type, rel: &[String]) -> Option<&'a Type> {
+    let mut term = match owner_def {
+        Type::Element { content, .. } => content.as_ref(),
+        other => other,
+    };
+    for step in rel {
+        let element = if step == ANY_STEP {
+            find_element(term, &|nt| nt.is_wildcard())?
+        } else {
+            find_element(term, &|nt| nt.literal() == Some(step.as_str()))?
+        };
+        let Type::Element { content, .. } = element else { return None };
+        term = content;
+    }
+    Some(term)
+}
+
+/// Find an element node in the column world of a term (crossing sequences
+/// and the optional layer, not crossing other elements or the named layer).
+fn find_element<'a>(term: &'a Type, pred: &dyn Fn(&NameTest) -> bool) -> Option<&'a Type> {
+    match term {
+        Type::Element { name, .. } if pred(name) => Some(term),
+        Type::Seq(items) => items.iter().find_map(|t| find_element(t, pred)),
+        Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => find_element(inner, pred),
+        _ => None,
+    }
+}
+
+/// The type references reachable in a term without entering nested
+/// elements (those belong to deeper relative paths).
+fn ref_sites(term: &Type, out: &mut Vec<TypeName>) {
+    match term {
+        Type::Ref(n) => out.push(n.clone()),
+        Type::Seq(items) | Type::Choice(items) => {
+            items.iter().for_each(|t| ref_sites(t, out))
+        }
+        Type::Rep { inner, .. } => ref_sites(inner, out),
+        _ => {}
+    }
+}
+
+/// Resolve one child step from `(owner, rel)`. Multiple targets arise from
+/// union alternatives.
+pub fn step_from(schema: &Schema, owner: &TypeName, rel: &[String], step: &str) -> Vec<StepTarget> {
+    let mut visiting = BTreeSet::new();
+    step_from_guarded(schema, owner, rel, step, &mut visiting)
+}
+
+fn step_from_guarded(
+    schema: &Schema,
+    owner: &TypeName,
+    rel: &[String],
+    step: &str,
+    visiting: &mut BTreeSet<TypeName>,
+) -> Vec<StepTarget> {
+    let Some(owner_def) = schema.get(owner) else { return Vec::new() };
+    let Some(term) = term_at(owner_def, rel) else { return Vec::new() };
+    let mut targets = Vec::new();
+
+    // 1. Inlined element with this literal name.
+    if find_element(term, &|nt| nt.literal() == Some(step)).is_some() {
+        let mut new_rel = rel.to_vec();
+        new_rel.push(step.to_string());
+        targets.push(StepTarget { chain: Vec::new(), rel: new_rel, tag_filter: None });
+    }
+    // 2. Inlined wildcard element admitting this name.
+    if find_element(term, &|nt| nt.is_wildcard() && nt.matches(step)).is_some() {
+        let mut new_rel = rel.to_vec();
+        new_rel.push(ANY_STEP.to_string());
+        let mut tilde = new_rel.clone();
+        tilde.push(TILDE_STEP.to_string());
+        targets.push(StepTarget {
+            chain: Vec::new(),
+            rel: new_rel,
+            tag_filter: Some((tilde, step.to_string())),
+        });
+    }
+
+    // 3. Referenced child types.
+    let mut refs = Vec::new();
+    ref_sites(term, &mut refs);
+    for ct in refs {
+        let Some(ct_def) = schema.get(&ct) else { continue };
+        match ct_def {
+            Type::Element { name: NameTest::Name(n), .. } if n == step => {
+                targets.push(StepTarget { chain: vec![ct.clone()], rel: Vec::new(), tag_filter: None });
+            }
+            Type::Element { name, .. } if name.is_wildcard() && name.matches(step) => {
+                targets.push(StepTarget {
+                    chain: vec![ct.clone()],
+                    rel: Vec::new(),
+                    tag_filter: Some((vec![TILDE_STEP.to_string()], step.to_string())),
+                });
+            }
+            Type::Element { .. } => {}
+            _ => {
+                // Sequence-shaped type: step through it (its instance is
+                // anchored at the parent's element).
+                if visiting.insert(ct.clone()) {
+                    for sub in step_from_guarded(schema, &ct, &[], step, visiting) {
+                        let mut chain = vec![ct.clone()];
+                        chain.extend(sub.chain);
+                        targets.push(StepTarget { chain, rel: sub.rel, tag_filter: sub.tag_filter });
+                    }
+                    visiting.remove(&ct);
+                }
+            }
+        }
+    }
+    targets
+}
+
+/// All descendant type chains under a type (excluding the empty chain),
+/// used to compile `RETURN $v` into one query per chain. Recursion is cut
+/// when a type repeats within a chain; chains are depth-capped.
+pub fn descendant_chains(schema: &Schema, ty: &TypeName) -> Vec<Vec<TypeName>> {
+    const MAX_DEPTH: usize = 8;
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    fn dfs(
+        schema: &Schema,
+        ty: &TypeName,
+        path: &mut Vec<TypeName>,
+        out: &mut Vec<Vec<TypeName>>,
+    ) {
+        if path.len() >= MAX_DEPTH {
+            return;
+        }
+        let Some(def) = schema.get(ty) else { return };
+        for child in def.referenced_types() {
+            if path.contains(&child) || &child == ty {
+                continue;
+            }
+            path.push(child.clone());
+            out.push(path.clone());
+            dfs(schema, &child, path, out);
+            path.pop();
+        }
+    }
+    dfs(schema, ty, &mut path, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legodb_schema::parse_schema;
+
+    fn imdb() -> Schema {
+        parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+        .unwrap()
+    }
+
+    fn step(owner: &str, rel: &[&str], step_name: &str) -> Vec<StepTarget> {
+        let schema = imdb();
+        let rel: Vec<String> = rel.iter().map(|s| s.to_string()).collect();
+        step_from(&schema, &TypeName::new(owner), &rel, step_name)
+    }
+
+    #[test]
+    fn inlined_scalar_step() {
+        let t = step("Show", &[], "title");
+        assert_eq!(t.len(), 1);
+        assert!(t[0].chain.is_empty());
+        assert_eq!(t[0].rel, ["title"]);
+    }
+
+    #[test]
+    fn child_table_step() {
+        let t = step("Show", &[], "aka");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].chain, vec![TypeName::new("Aka")]);
+        assert!(t[0].rel.is_empty());
+    }
+
+    #[test]
+    fn step_through_sequence_types() {
+        // box_office lives in the Movie alternative.
+        let t = step("Show", &[], "box_office");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].chain, vec![TypeName::new("Movie")]);
+        assert_eq!(t[0].rel, ["box_office"]);
+        // episode is two levels deep: TV, then Episode.
+        let t = step("Show", &[], "episode");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].chain, vec![TypeName::new("TV"), TypeName::new("Episode")]);
+    }
+
+    #[test]
+    fn wildcard_step_induces_tag_filter() {
+        // review's content is ~[String]: stepping `nyt` under review.
+        let t = step("Review", &[], "nyt");
+        assert_eq!(t.len(), 1);
+        assert!(t[0].chain.is_empty());
+        assert_eq!(t[0].rel, [ANY_STEP]);
+        let (tilde_path, tag) = t[0].tag_filter.clone().unwrap();
+        assert_eq!(tilde_path, [ANY_STEP, TILDE_STEP]);
+        assert_eq!(tag, "nyt");
+    }
+
+    #[test]
+    fn unresolvable_step_returns_empty() {
+        assert!(step("Show", &[], "bogus").is_empty());
+        // description exists only via TV.
+        let t = step("Show", &[], "description");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].chain, vec![TypeName::new("TV")]);
+    }
+
+    #[test]
+    fn term_navigation() {
+        let schema = imdb();
+        let show = schema.get_str("Show").unwrap();
+        let term = term_at(show, &["title".to_string()]).unwrap();
+        assert!(matches!(term, Type::Scalar { .. }));
+        assert!(term_at(show, &["bogus".to_string()]).is_none());
+    }
+
+    #[test]
+    fn descendant_chains_enumerate_subtree_tables() {
+        let schema = imdb();
+        let chains = descendant_chains(&schema, &TypeName::new("Show"));
+        let rendered: Vec<String> = chains
+            .iter()
+            .map(|c| c.iter().map(|t| t.as_str()).collect::<Vec<_>>().join("/"))
+            .collect();
+        assert!(rendered.contains(&"Aka".to_string()));
+        assert!(rendered.contains(&"Review".to_string()));
+        assert!(rendered.contains(&"Movie".to_string()));
+        assert!(rendered.contains(&"TV".to_string()));
+        assert!(rendered.contains(&"TV/Episode".to_string()));
+        assert_eq!(chains.len(), 5, "{rendered:?}");
+    }
+
+    #[test]
+    fn recursive_schemas_have_bounded_chains() {
+        let schema = parse_schema(
+            "type Doc = doc[ AnyElement{0,*} ]
+             type AnyElement = ~[ (AnyElement | AnyScalar){0,*} ]
+             type AnyScalar = String",
+        )
+        .unwrap();
+        let chains = descendant_chains(&schema, &TypeName::new("Doc"));
+        // AnyElement, AnyElement/AnyScalar — recursion cut on repeat.
+        assert!(chains.len() >= 2);
+        assert!(chains.iter().all(|c| c.len() <= 8));
+    }
+}

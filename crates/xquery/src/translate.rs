@@ -1,0 +1,728 @@
+//! XQuery → relational translation over a storage [`Mapping`].
+//!
+//! Each FLWR block is compiled into a set of *worlds*: alternative
+//! conjunctive interpretations of the query, one per combination of union
+//! alternatives met while resolving paths (the paper's union rewriting:
+//! a query over a horizontally partitioned `show` becomes a `UNION ALL`).
+//! Each world yields one SPJ block; `RETURN $v` subtree publishing emits
+//! one additional statement per descendant-table chain (Silkroute-style),
+//! whose costs the caller sums.
+
+use crate::ast::{Flwr, Operand, PathExpr, PathRoot, ReturnItem, XQuery};
+use crate::resolve::{descendant_chains, step_from};
+use legodb_optimizer::{ColRef, FilterPred, SpjQuery, Statement};
+use legodb_pschema::Mapping;
+use legodb_relational::{CmpOp, Value};
+use legodb_schema::TypeName;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Translation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateError {
+    /// A binding path could not be resolved in any world.
+    UnresolvedBinding(String),
+    /// The document-rooted path does not start at the schema root element.
+    BadRoot(String),
+    /// A WHERE path did not land on a scalar column in any world.
+    UnresolvedPredicate(String),
+    /// A variable was used before being bound.
+    UnboundVariable(String),
+    /// The query produced no statements at all.
+    Empty,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnresolvedBinding(p) => write!(f, "cannot resolve binding path {p}"),
+            TranslateError::BadRoot(s) => write!(f, "path does not start at the document root: {s}"),
+            TranslateError::UnresolvedPredicate(p) => {
+                write!(f, "WHERE path {p} does not resolve to a column")
+            }
+            TranslateError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            TranslateError::Empty => write!(f, "query translated to no statements"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The translation result: one or more SQL statements whose combined cost
+/// is the query's cost.
+#[derive(Debug, Clone)]
+pub struct TranslatedQuery {
+    /// The statements (a lookup query is usually one; a publish query is
+    /// one per subtree chain).
+    pub statements: Vec<Statement>,
+}
+
+impl TranslatedQuery {
+    /// Render all statements as SQL, separated by `;`.
+    pub fn to_sql(&self) -> String {
+        self.statements
+            .iter()
+            .map(Statement::to_sql)
+            .collect::<Vec<_>>()
+            .join(";\n")
+    }
+}
+
+/// A table instance in a world.
+#[derive(Debug, Clone)]
+struct Inst {
+    ty: TypeName,
+    parent: Option<usize>,
+}
+
+/// A position: a table instance plus a relative path inside it.
+type Pos = (usize, Vec<String>);
+
+/// One conjunctive interpretation of the query.
+#[derive(Debug, Clone, Default)]
+struct World {
+    instances: Vec<Inst>,
+    vars: HashMap<String, Pos>,
+    filters: Vec<(Pos, CmpOp, Operand)>,
+    value_joins: Vec<(Pos, Pos)>,
+    columns_out: Vec<Pos>,
+    publishes: Vec<usize>,
+}
+
+impl World {
+    fn add_instance(&mut self, ty: TypeName, parent: Option<usize>) -> usize {
+        self.instances.push(Inst { ty, parent });
+        self.instances.len() - 1
+    }
+}
+
+/// Translate a query against a mapping.
+pub fn translate(mapping: &Mapping, query: &XQuery) -> Result<TranslatedQuery, TranslateError> {
+    let mut t = Translator { mapping };
+    let mut worlds = vec![World::default()];
+    t.process_flwr(&query.flwr, &mut worlds)?;
+    t.finish(worlds)
+}
+
+struct Translator<'a> {
+    mapping: &'a Mapping,
+}
+
+impl Translator<'_> {
+    fn schema(&self) -> &legodb_schema::Schema {
+        self.mapping.pschema.schema()
+    }
+
+    fn process_flwr(&mut self, flwr: &Flwr, worlds: &mut Vec<World>) -> Result<(), TranslateError> {
+        for binding in &flwr.bindings {
+            let next = self.resolve_path_in_worlds(worlds, &binding.source, true)?;
+            if next.is_empty() {
+                return Err(TranslateError::UnresolvedBinding(binding.source.to_string()));
+            }
+            *worlds = next
+                .into_iter()
+                .map(|(mut world, pos)| {
+                    world.vars.insert(binding.var.clone(), pos);
+                    world
+                })
+                .collect();
+        }
+        for pred in &flwr.predicates {
+            let resolved = self.resolve_path_in_worlds(worlds, &pred.left, false)?;
+            let mut next = Vec::new();
+            for (world, pos) in resolved {
+                if !self.is_column(&world, &pos) {
+                    continue; // predicate on missing structure: no matches
+                }
+                match &pred.right {
+                    Operand::Path(right_path) => {
+                        let rhs =
+                            self.resolve_path_in_worlds(&mut vec![world], right_path, false)?;
+                        for (mut w2, rpos) in rhs {
+                            if self.is_column(&w2, &rpos) {
+                                w2.value_joins.push((pos.clone(), rpos));
+                                next.push(w2);
+                            }
+                        }
+                    }
+                    other => {
+                        let mut w = world;
+                        w.filters.push((pos, pred.op, other.clone()));
+                        next.push(w);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Err(TranslateError::UnresolvedPredicate(pred.left.to_string()));
+            }
+            *worlds = next;
+        }
+        self.process_returns(&flwr.returns, worlds)?;
+        Ok(())
+    }
+
+    fn process_returns(
+        &mut self,
+        items: &[ReturnItem],
+        worlds: &mut Vec<World>,
+    ) -> Result<(), TranslateError> {
+        for item in items {
+            match item {
+                ReturnItem::Path(path) => {
+                    // Resolution failures in a world skip the item there
+                    // (XQuery returns empty for missing structure).
+                    let resolved = self.resolve_path_in_worlds_lossy(worlds, path)?;
+                    *worlds = resolved
+                        .into_iter()
+                        .map(|(mut world, pos)| {
+                            match pos {
+                                Some(pos) if self.is_column(&world, &pos) => {
+                                    world.columns_out.push(pos)
+                                }
+                                Some((inst, _)) => world.publishes.push(inst),
+                                None => {}
+                            }
+                            world
+                        })
+                        .collect();
+                }
+                ReturnItem::Element { items, .. } => self.process_returns(items, worlds)?,
+                ReturnItem::Nested(flwr) => self.process_flwr(flwr, worlds)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a path in every world, forking on union alternatives.
+    /// `strict` drops worlds where the path is unresolvable.
+    fn resolve_path_in_worlds(
+        &self,
+        worlds: &mut Vec<World>,
+        path: &PathExpr,
+        _strict: bool,
+    ) -> Result<Vec<(World, Pos)>, TranslateError> {
+        let mut out = Vec::new();
+        for world in worlds.drain(..) {
+            out.extend(self.resolve_path(world, path)?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Self::resolve_path_in_worlds`], but keeps worlds where the
+    /// path is unresolvable, marking the position as `None`.
+    fn resolve_path_in_worlds_lossy(
+        &self,
+        worlds: &mut Vec<World>,
+        path: &PathExpr,
+    ) -> Result<Vec<(World, Option<Pos>)>, TranslateError> {
+        let mut out = Vec::new();
+        for world in worlds.drain(..) {
+            let resolved = self.resolve_path(world.clone(), path)?;
+            if resolved.is_empty() {
+                out.push((world, None));
+            } else {
+                out.extend(resolved.into_iter().map(|(w, p)| (w, Some(p))));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolve one path in one world, returning a forked world per
+    /// alternative landing position.
+    fn resolve_path(
+        &self,
+        world: World,
+        path: &PathExpr,
+    ) -> Result<Vec<(World, Pos)>, TranslateError> {
+        // Establish the starting position.
+        let (mut states, steps): (Vec<(World, Pos)>, &[String]) = match &path.root {
+            PathRoot::Document => {
+                let root_ty = self.mapping.root().clone();
+                let root_def = self.schema().get(&root_ty).expect("root defined");
+                // The first step must name the root element.
+                let Some(first) = path.steps.first() else {
+                    return Err(TranslateError::BadRoot(path.to_string()));
+                };
+                let matches_root = match root_def {
+                    legodb_schema::Type::Element { name, .. } => name.matches(first),
+                    _ => false,
+                };
+                if !matches_root {
+                    return Err(TranslateError::BadRoot(path.to_string()));
+                }
+                let mut w = world;
+                let inst = w.add_instance(root_ty, None);
+                (vec![(w, (inst, Vec::new()))], &path.steps[1..])
+            }
+            PathRoot::Var(v) => {
+                let pos = world
+                    .vars
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| TranslateError::UnboundVariable(v.clone()))?;
+                (vec![(world, pos)], &path.steps[..])
+            }
+        };
+
+        for step in steps {
+            let mut next = Vec::new();
+            for (world, (inst, rel)) in states {
+                let owner_ty = world.instances[inst].ty.clone();
+                for target in step_from(self.schema(), &owner_ty, &rel, step) {
+                    let mut w = world.clone();
+                    let mut cur = inst;
+                    for ct in &target.chain {
+                        cur = w.add_instance(ct.clone(), Some(cur));
+                    }
+                    if let Some((tilde_rel, tag)) = &target.tag_filter {
+                        w.filters.push((
+                            (cur, tilde_rel.clone()),
+                            CmpOp::Eq,
+                            Operand::Str(tag.clone()),
+                        ));
+                    }
+                    next.push((w, (cur, target.rel.clone())));
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                break;
+            }
+        }
+        Ok(states)
+    }
+
+    /// Does a position address a scalar column?
+    fn is_column(&self, world: &World, pos: &Pos) -> bool {
+        let ty = &world.instances[pos.0].ty;
+        self.mapping
+            .table(ty)
+            .is_some_and(|tm| tm.columns.contains_key(&pos.1))
+    }
+
+    /// Build the final statements.
+    fn finish(&self, worlds: Vec<World>) -> Result<TranslatedQuery, TranslateError> {
+        let mut base_blocks = Vec::new();
+        let mut publish_statements = Vec::new();
+        for world in &worlds {
+            // A world contributes a base block only when some RETURN item
+            // resolved to a column there: in a union alternative where the
+            // requested fields don't exist, XQuery returns empty content.
+            if !world.columns_out.is_empty() {
+                if let Some(block) = self.world_to_block(world, None) {
+                    base_blocks.push(block);
+                }
+            }
+            for &publish in &world.publishes {
+                let ty = world.instances[publish].ty.clone();
+                // The instance's own columns.
+                if let Some(block) = self.world_to_block(world, Some((publish, Vec::new()))) {
+                    publish_statements.push(Statement::Select(block));
+                }
+                // One statement per descendant chain.
+                for chain in descendant_chains(self.schema(), &ty) {
+                    if let Some(block) = self.world_to_block(world, Some((publish, chain))) {
+                        publish_statements.push(Statement::Select(block));
+                    }
+                }
+            }
+        }
+        let mut statements = Vec::new();
+        if !base_blocks.is_empty() {
+            statements.push(Statement::from_blocks(base_blocks));
+        }
+        statements.extend(publish_statements);
+        if statements.is_empty() {
+            // No RETURN item resolved anywhere: the bindings and filters
+            // still execute (a real engine must enumerate the matches), so
+            // cost the bare blocks.
+            let blocks: Vec<SpjQuery> =
+                worlds.iter().filter_map(|w| self.world_to_block(w, None)).collect();
+            if blocks.is_empty() {
+                return Err(TranslateError::Empty);
+            }
+            statements.push(Statement::from_blocks(blocks));
+        }
+        Ok(TranslatedQuery { statements })
+    }
+
+    /// Render one world (+ optional publish chain) as an SPJ block.
+    fn world_to_block(
+        &self,
+        world: &World,
+        publish: Option<(usize, Vec<TypeName>)>,
+    ) -> Option<SpjQuery> {
+        // Extend the instance list with the publish chain.
+        let mut instances = world.instances.clone();
+        let mut publish_tables: Vec<usize> = Vec::new();
+        if let Some((anchor, chain)) = &publish {
+            publish_tables.push(*anchor);
+            let mut cur = *anchor;
+            for ct in chain {
+                instances.push(Inst { ty: ct.clone(), parent: Some(cur) });
+                cur = instances.len() - 1;
+                publish_tables.push(cur);
+            }
+        }
+
+        // Keep only instances that matter: referenced by filters, joins,
+        // outputs, publishes — or on the FK path between kept instances.
+        let mut needed = vec![false; instances.len()];
+        for (pos, _, _) in &world.filters {
+            needed[pos.0] = true;
+        }
+        for (a, b) in &world.value_joins {
+            needed[a.0] = true;
+            needed[b.0] = true;
+        }
+        if publish.is_none() {
+            for pos in &world.columns_out {
+                needed[pos.0] = true;
+            }
+        }
+        for &i in &publish_tables {
+            needed[i] = true;
+        }
+        // Need every ancestor between two needed instances? FK edges join
+        // child→parent; dropping an unneeded *interior* ancestor would
+        // disconnect the query. Keep ancestors of needed nodes up to the
+        // lowest needed ancestor — conservatively, keep ancestors that have
+        // a needed descendant AND a needed ancestor... Simpler and sound:
+        // keep all ancestors of needed instances except maximal unneeded
+        // prefixes (pure root chains with one child and no role).
+        let mut keep = needed.clone();
+        for i in 0..instances.len() {
+            if needed[i] {
+                let mut p = instances[i].parent;
+                while let Some(pi) = p {
+                    keep[pi] = true;
+                    p = instances[pi].parent;
+                }
+            }
+        }
+        // Prune unneeded pure-root prefixes: a kept instance that is not
+        // needed, has no kept parent, and is the parent of exactly one kept
+        // instance can be dropped (its join only multiplies by one row of
+        // context — e.g. the IMDB root table).
+        loop {
+            let mut dropped = false;
+            for i in 0..instances.len() {
+                if keep[i] && !needed[i] && instances[i].parent.is_none_or(|p| !keep[p]) {
+                    let children: Vec<usize> = (0..instances.len())
+                        .filter(|&c| keep[c] && instances[c].parent == Some(i))
+                        .collect();
+                    if children.len() == 1 {
+                        keep[i] = false;
+                        dropped = true;
+                    }
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+        if !keep.iter().any(|&k| k) {
+            return None;
+        }
+
+        // Assign FROM positions.
+        let mut from_index = vec![usize::MAX; instances.len()];
+        let mut q = SpjQuery::default();
+        for (i, inst) in instances.iter().enumerate() {
+            if keep[i] {
+                let tm = self.mapping.table(&inst.ty)?;
+                from_index[i] = q.add_table(tm.table.clone(), format!("t{i}"));
+            }
+        }
+        // FK join edges.
+        for (i, inst) in instances.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let Some(parent) = inst.parent else { continue };
+            if !keep[parent] {
+                continue;
+            }
+            let child_tm = self.mapping.table(&inst.ty)?;
+            let parent_ty = &instances[parent].ty;
+            let parent_tm = self.mapping.table(parent_ty)?;
+            let fk = child_tm.parent_fk.get(parent_ty)?;
+            q.add_join(
+                ColRef::new(from_index[parent], parent_tm.key.clone()),
+                ColRef::new(from_index[i], fk.clone()),
+            );
+        }
+        // Filters.
+        for (pos, op, operand) in &world.filters {
+            if !keep[pos.0] {
+                continue;
+            }
+            let col = self.col_ref(&instances, &from_index, pos)?;
+            let value = self.operand_value(&instances[pos.0].ty, &pos.1, operand);
+            q.filters.push(FilterPred::Cmp { col, op: *op, value });
+        }
+        // Value joins.
+        for (a, b) in &world.value_joins {
+            if !keep[a.0] || !keep[b.0] {
+                continue;
+            }
+            let left = self.col_ref(&instances, &from_index, a)?;
+            let right = self.col_ref(&instances, &from_index, b)?;
+            q.add_join(left, right);
+        }
+        // Projection.
+        match &publish {
+            None => {
+                for pos in &world.columns_out {
+                    if keep[pos.0] {
+                        if let Some(col) = self.col_ref(&instances, &from_index, pos) {
+                            q.projection.push(col);
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                // Publish, Silkroute-style sorted-outer-union shape: the
+                // leaf table of the chain contributes all its columns; the
+                // tables above it contribute only their keys (enough to
+                // stitch results back into a tree). Parent *data* columns
+                // are emitted once, by the anchor's own statement.
+                let (&leaf, ancestors) =
+                    publish_tables.split_last().expect("publish chain is non-empty");
+                for &i in ancestors {
+                    let tm = self.mapping.table(&instances[i].ty)?;
+                    q.projection.push(ColRef::new(from_index[i], tm.key.clone()));
+                }
+                let tm = self.mapping.table(&instances[leaf].ty)?;
+                let table = self.mapping.catalog.table(&tm.table)?;
+                for col in &table.columns {
+                    q.projection.push(ColRef::new(from_index[leaf], col.name.clone()));
+                }
+            }
+        }
+        Some(q)
+    }
+
+    fn col_ref(&self, instances: &[Inst], from_index: &[usize], pos: &Pos) -> Option<ColRef> {
+        let tm = self.mapping.table(&instances[pos.0].ty)?;
+        let target = tm.columns.get(&pos.1)?;
+        Some(ColRef::new(from_index[pos.0], target.column.clone()))
+    }
+
+    /// Concretize an operand into a [`Value`] appropriate for the target
+    /// column (placeholders synthesize a mid-domain value: only the
+    /// *selectivity* of the predicate matters for costing).
+    fn operand_value(&self, ty: &TypeName, rel: &[String], operand: &Operand) -> Value {
+        match operand {
+            Operand::Int(n) => Value::Int(*n),
+            Operand::Str(s) => Value::str(s.clone()),
+            Operand::Placeholder(name) => {
+                let kind = self
+                    .mapping
+                    .table(ty)
+                    .and_then(|tm| tm.columns.get(rel))
+                    .map(|c| c.kind);
+                match kind {
+                    Some(legodb_schema::ScalarKind::Integer) => {
+                        // Mid-domain synthetic value.
+                        let (min, max) = self
+                            .mapping
+                            .table(ty)
+                            .and_then(|tm| {
+                                let col = tm.columns.get(rel)?;
+                                let table = self.mapping.catalog.table(&tm.table)?;
+                                let stats = &table.column(&col.column)?.stats;
+                                Some((stats.min.unwrap_or(0), stats.max.unwrap_or(1000)))
+                            })
+                            .unwrap_or((0, 1000));
+                        Value::Int((min + max) / 2)
+                    }
+                    _ => Value::str(name.clone()),
+                }
+            }
+            Operand::Path(_) => unreachable!("paths handled as value joins"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_xquery;
+    use legodb_pschema::{rel, PSchema};
+    use legodb_schema::parse_schema;
+    use legodb_xml::stats::Statistics;
+
+    fn imdb_mapping() -> Mapping {
+        let schema = parse_schema(
+            "type IMDB = imdb[ Show{0,*} ]
+             type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+             type Aka = aka[ String ]
+             type Review = review[ ~[ String ] ]
+             type Movie = box_office[ Integer ], video_sales[ Integer ]
+             type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+             type Episode = episode[ name[ String ], guest_director[ String ] ]",
+        )
+        .unwrap();
+        rel(&PSchema::try_new(schema).unwrap(), &Statistics::new())
+    }
+
+    fn sql_for(query: &str) -> String {
+        let m = imdb_mapping();
+        let q = parse_xquery(query).unwrap();
+        translate(&m, &q).unwrap().to_sql()
+    }
+
+    #[test]
+    fn lookup_query_translates_to_one_select() {
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show
+               WHERE $v/title = c1
+               RETURN $v/title, $v/year"#,
+        );
+        assert!(sql.contains("FROM Show"), "{sql}");
+        assert!(sql.contains("title = 'c1'"), "{sql}");
+        assert!(!sql.contains("IMDB"), "root table should be pruned: {sql}");
+        assert!(!sql.contains("UNION"), "{sql}");
+    }
+
+    #[test]
+    fn child_navigation_joins_via_fk() {
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show, $a IN $v/aka
+               WHERE $v/title = c1
+               RETURN $a"#,
+        );
+        assert!(sql.contains("Aka"), "{sql}");
+        assert!(sql.contains("Show_id = ") && sql.contains("parent_Show"), "{sql}");
+    }
+
+    #[test]
+    fn union_alternative_fields_join_their_table() {
+        // description only exists in the TV alternative.
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show
+               WHERE $v/title = c1
+               RETURN $v/description"#,
+        );
+        assert!(sql.contains("FROM Show"), "{sql}");
+        assert!(sql.contains("TV"), "{sql}");
+        assert!(sql.contains("description"), "{sql}");
+    }
+
+    #[test]
+    fn wildcard_step_adds_tilde_filter() {
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show, $r IN $v/review
+               WHERE $v/year = 1999
+               RETURN $r/nyt"#,
+        );
+        assert!(sql.contains("= 'nyt'"), "{sql}");
+    }
+
+    #[test]
+    fn publish_query_emits_one_statement_per_chain() {
+        let m = imdb_mapping();
+        let q = parse_xquery(r#"FOR $v IN document("x")/imdb/show RETURN $v"#).unwrap();
+        let t = translate(&m, &q).unwrap();
+        // Show itself + Aka, Review, Movie, TV, TV/Episode = 6 statements.
+        assert_eq!(t.statements.len(), 6, "{}", t.to_sql());
+        let sql = t.to_sql();
+        assert!(sql.contains("Episode"), "{sql}");
+    }
+
+    #[test]
+    fn nested_flwr_joins_into_parent() {
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show
+               RETURN $v/title, $v/year,
+                 FOR $v/episode $e
+                 WHERE $e/guest_director = c4
+                 RETURN $e/guest_director"#,
+        );
+        assert!(sql.contains("Episode"), "{sql}");
+        assert!(sql.contains("guest_director = 'c4'"), "{sql}");
+        // Chain passes through TV.
+        assert!(sql.contains("TV"), "{sql}");
+    }
+
+    #[test]
+    fn value_joins_between_variables() {
+        let schema = parse_schema(
+            "type IMDB = imdb[ Show{0,*}, Actor{0,*}, Director{0,*} ]
+             type Show = show[ title[ String ] ]
+             type Actor = actor[ name[ String ], Played{0,*} ]
+             type Played = played[ title[ String ], year[ Integer ] ]
+             type Director = director[ name[ String ], Directed{0,*} ]
+             type Directed = directed[ title[ String ], year[ Integer ] ]",
+        )
+        .unwrap();
+        let m = rel(&PSchema::try_new(schema).unwrap(), &Statistics::new());
+        let q = parse_xquery(
+            r#"FOR $i IN document("x")/imdb
+                   $a IN $i/actor,
+                   $m1 IN $a/played,
+                   $d IN $i/director
+                   $m2 IN $d/directed
+               WHERE $a/name = $d/name AND $m1/title = $m2/title
+               RETURN <result> $a/name $m1/title $m1/year </result>"#,
+        )
+        .unwrap();
+        let t = translate(&m, &q).unwrap();
+        let sql = t.to_sql();
+        assert!(sql.contains("Actor"), "{sql}");
+        assert!(sql.contains("Director"), "{sql}");
+        assert!(sql.contains(".name = ") && sql.contains(".title = "), "{sql}");
+    }
+
+    #[test]
+    fn missing_return_fields_are_skipped_not_fatal() {
+        // box_office on a TV-only path: resolvable via Movie, so fine; but
+        // a bogus field is skipped.
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show
+               WHERE $v/title = c1
+               RETURN $v/title, $v/nonexistent_field"#,
+        );
+        assert!(sql.contains("title"), "{sql}");
+    }
+
+    #[test]
+    fn unresolvable_binding_is_an_error() {
+        let m = imdb_mapping();
+        let q = parse_xquery(r#"FOR $v IN document("x")/imdb/bogus RETURN $v"#).unwrap();
+        assert!(matches!(
+            translate(&m, &q),
+            Err(TranslateError::UnresolvedBinding(_))
+        ));
+    }
+
+    #[test]
+    fn bad_document_root_is_an_error() {
+        let m = imdb_mapping();
+        let q = parse_xquery(r#"FOR $v IN document("x")/wrong/show RETURN $v"#).unwrap();
+        assert!(matches!(translate(&m, &q), Err(TranslateError::BadRoot(_))));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let m = imdb_mapping();
+        let q = parse_xquery(r#"FOR $v IN $w/show RETURN $v"#).unwrap();
+        assert!(matches!(
+            translate(&m, &q),
+            Err(TranslateError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn placeholder_on_integer_column_synthesizes_integer() {
+        let sql = sql_for(
+            r#"FOR $v IN document("x")/imdb/show
+               WHERE $v/year = c1
+               RETURN $v/title"#,
+        );
+        // mid-domain integer, not the string 'c1'
+        assert!(!sql.contains("'c1'"), "{sql}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: define a schema, statistics, and a workload; let LegoDB
+//! pick a relational configuration; print the DDL and the search
+//! trajectory.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use legodb_core::workload::Workload;
+use legodb_core::LegoDb;
+use legodb_schema::parse_schema;
+use legodb_xml::stats::Statistics;
+
+fn main() {
+    // 1. The application's XML Schema, in the type-algebra notation.
+    let schema = parse_schema(
+        "type Catalog = catalog[ Product{0,*} ]
+         type Product = product[ name[ String ], price[ Integer ],
+                                 blurb[ String ], Tag{0,*} ]
+         type Tag = tag[ String ]",
+    )
+    .expect("schema parses");
+
+    // 2. Data statistics — normally harvested from a sample document with
+    //    `Statistics::collect`, stated directly here.
+    let mut stats = Statistics::new();
+    stats
+        .set_count(&["catalog"], 1)
+        .set_count(&["catalog", "product"], 50_000)
+        .set_size(&["catalog", "product", "name"], 30.0)
+        .set_distinct(&["catalog", "product", "name"], 50_000)
+        .set_count(&["catalog", "product", "price"], 50_000)
+        .set_base(&["catalog", "product", "price"], 1, 100_000, 10_000)
+        .set_count(&["catalog", "product", "blurb"], 50_000)
+        .set_size(&["catalog", "product", "blurb"], 1_500.0)
+        .set_count(&["catalog", "product", "tag"], 120_000)
+        .set_size(&["catalog", "product", "tag"], 12.0);
+
+    // 3. The query workload, weighted by importance.
+    let workload = Workload::from_sources([
+        (
+            "price-lookup",
+            r#"FOR $p IN document("catalog")/catalog/product
+               WHERE $p/name = c1
+               RETURN $p/price"#,
+            0.8,
+        ),
+        (
+            "export-all",
+            r#"FOR $p IN document("catalog")/catalog/product RETURN $p"#,
+            0.2,
+        ),
+    ])
+    .expect("workload parses");
+
+    // 4. Search for the best storage mapping.
+    let engine = LegoDb::new(schema, stats, workload);
+    let result = engine.optimize().expect("search succeeds");
+
+    println!("=== greedy trajectory");
+    for step in &result.trajectory {
+        println!(
+            "  iteration {:2}: cost {:10.2}  {}",
+            step.iteration,
+            step.cost,
+            step.applied.as_deref().unwrap_or("(initial all-inlined configuration)")
+        );
+    }
+    println!("\n=== chosen physical schema\n{}", result.pschema.schema());
+    println!("=== generated relational schema\n{}", result.mapping.catalog.to_ddl());
+    println!("=== per-query estimated costs");
+    for (name, cost) in &result.per_query {
+        println!("  {name}: {cost:.2}");
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end: generate synthetic IMDB data, pick a mapping, shred the
+//! document into the relational engine, run a translated query through the
+//! executor, and publish a subtree back to XML.
+//!
+//! Run with `cargo run --release --example shred_and_query`.
+
+use legodb_core::workload::Workload;
+use legodb_core::LegoDb;
+use legodb_imdb::{generate_imdb, imdb_schema, ScaleConfig};
+use legodb_optimizer::{optimize_statement, OptimizerConfig};
+use legodb_pschema::publish::publish_instance;
+use legodb_pschema::{rel, shred};
+use legodb_relational::exec::run;
+use legodb_schema::TypeName;
+use legodb_xml::stats::Statistics;
+use legodb_xquery::{parse_xquery, translate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Synthesize a small IMDB dataset and harvest its statistics.
+    let mut rng = StdRng::seed_from_u64(2002);
+    let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.003));
+    let stats = Statistics::collect(&doc);
+    println!(
+        "generated {} elements ({} shows)",
+        doc.element_count(),
+        stats.count(&["imdb", "show"]).unwrap_or(0)
+    );
+
+    // 2. Choose a mapping for a small mixed workload.
+    let workload = Workload::from_sources([
+        (
+            "by-year",
+            r#"FOR $v IN document("imdbdata")/imdb/show
+               WHERE $v/year = 1999 RETURN $v/title"#,
+            0.5,
+        ),
+        ("export", r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#, 0.5),
+    ])
+    .expect("workload parses");
+    let engine = LegoDb::new(imdb_schema(), stats.clone(), workload);
+    let chosen = engine.optimize().expect("search succeeds");
+    println!("chosen configuration has {} tables", chosen.mapping.catalog.len());
+
+    // 3. Shred the document into the relational engine.
+    let mapping = rel(&chosen.pschema, &stats);
+    let db = shred(&mapping, &doc).expect("document shreds");
+    println!("loaded {} rows across {} tables", db.total_rows(), mapping.catalog.len());
+
+    // 4. Run a query end to end: XQuery → SQL → physical plan → rows.
+    let q = parse_xquery(
+        r#"FOR $v IN document("imdbdata")/imdb/show
+           WHERE $v/year = 1999
+           RETURN $v/title, $v/year"#,
+    )
+    .expect("query parses");
+    let translated = translate(&mapping, &q).expect("query translates");
+    println!("\nSQL:\n{}", translated.to_sql());
+    for statement in &translated.statements {
+        let optimized = optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
+            .expect("statement optimizes");
+        let (rows, counters) = run(&db, &optimized.plan).expect("plan executes");
+        println!(
+            "\nestimated {:.0} rows / measured {} rows, {:.1} pages read",
+            optimized.rows,
+            rows.len(),
+            counters.pages_read
+        );
+        for row in rows.iter().take(5) {
+            println!("  {row:?}");
+        }
+    }
+
+    // 5. Publish a show subtree back to XML.
+    let show_table = db.table("Show").expect("Show table exists");
+    if let Some(first) = show_table.scan().first() {
+        let element = publish_instance(&mapping, &db, &TypeName::new("Show"), first)
+            .expect("publishing succeeds")
+            .expect("an element");
+        println!("\nfirst show, republished as XML:\n{}", element.to_xml());
+    }
+}

@@ -1,0 +1,11 @@
+//! Workspace façade crate for LegoDB-rs: re-exports every crate so the
+//! repository-level integration tests and examples have one import root.
+
+pub use legodb_core as core;
+pub use legodb_imdb as imdb;
+pub use legodb_optimizer as optimizer;
+pub use legodb_pschema as pschema;
+pub use legodb_relational as relational;
+pub use legodb_schema as schema;
+pub use legodb_xml as xml;
+pub use legodb_xquery as xquery;

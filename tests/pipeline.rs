@@ -1,0 +1,215 @@
+//! End-to-end integration tests spanning every crate: schema → p-schema →
+//! mapping → shred → translate → optimize → execute → publish.
+
+use legodb_core::search::{greedy_search, SearchConfig};
+use legodb_core::transform::{apply, enumerate_candidates, Transformation, TransformationSet};
+use legodb_core::workload::Workload;
+use legodb_core::LegoDb;
+use legodb_imdb::{generate_imdb, imdb_schema, query, scaled_statistics, ScaleConfig};
+use legodb_optimizer::{optimize_statement, OptimizerConfig};
+use legodb_pschema::{derive_pschema, publish_all, rel, shred, InlineStyle, PSchema};
+use legodb_relational::exec::run;
+use legodb_relational::{Row, Value};
+use legodb_schema::TypeName;
+use legodb_xml::stats::Statistics;
+use legodb_xquery::{parse_xquery, translate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_dataset() -> (legodb_xml::Document, Statistics) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = ScaleConfig { shows: 60, directors: 15, actors: 40, ..ScaleConfig::at_scale(0.001) };
+    let doc = generate_imdb(&mut rng, &config);
+    let stats = Statistics::collect(&doc);
+    (doc, stats)
+}
+
+/// Execute a query against a database under a mapping, returning all rows
+/// across statements (sorted for comparison).
+fn run_query(
+    mapping: &legodb_pschema::Mapping,
+    db: &legodb_relational::Database,
+    src: &str,
+) -> Vec<Row> {
+    let q = parse_xquery(src).expect("query parses");
+    let t = translate(mapping, &q).expect("query translates");
+    let mut out = Vec::new();
+    for statement in &t.statements {
+        let optimized = optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
+            .expect("statement optimizes");
+        let (rows, _) = run(db, &optimized.plan).expect("plan executes");
+        out.extend(rows);
+    }
+    // An absent optional element surfaces as an all-NULL row under
+    // nullable-column configurations and as no row under join-based ones;
+    // both mean "empty content" in XQuery. Normalize.
+    out.retain(|row| !row.iter().all(Value::is_null));
+    out.sort();
+    out
+}
+
+#[test]
+fn shred_translate_execute_on_generated_imdb() {
+    let (doc, stats) = small_dataset();
+    let pschema = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+    let mapping = rel(&pschema, &stats);
+    let db = shred(&mapping, &doc).expect("document shreds");
+    assert_eq!(db.table("Show").unwrap().len(), 60);
+
+    // A selection the document can answer: find a title we know exists.
+    let rows = run_query(
+        &mapping,
+        &db,
+        r#"FOR $v IN document("x")/imdb/show
+           WHERE $v/title = "title_000000"
+           RETURN $v/title, $v/year"#,
+    );
+    assert_eq!(rows.len(), 1, "expected exactly the seeded title");
+    assert_eq!(rows[0][0], Value::str("title_000000"));
+}
+
+/// The headline semantics property: *every* transformation leaves query
+/// answers unchanged — only costs move.
+#[test]
+fn transformations_preserve_query_answers() {
+    let (doc, stats) = small_dataset();
+    let base = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+    let queries = [
+        r#"FOR $v IN document("x")/imdb/show WHERE $v/year = 1999 RETURN $v/title"#,
+        r#"FOR $v IN document("x")/imdb/show, $a IN $v/aka WHERE $v/title = "title_000003" RETURN $a"#,
+        r#"FOR $v IN document("x")/imdb/show WHERE $v/title = "title_000007" RETURN $v/description"#,
+    ];
+
+    let base_mapping = rel(&base, &stats);
+    let base_db = shred(&base_mapping, &doc).expect("base shreds");
+    let expected: Vec<Vec<Row>> =
+        queries.iter().map(|q| run_query(&base_mapping, &base_db, q)).collect();
+
+    let candidates = enumerate_candidates(&base, &TransformationSet::all(vec!["nyt".into()]));
+    assert!(!candidates.is_empty());
+    let mut checked = 0;
+    for t in &candidates {
+        // Union-to-options changes NULL-ability but not answers; all are
+        // answer-preserving.
+        let Ok(transformed) = apply(&base, t) else { continue };
+        let mapping = rel(&transformed, &stats);
+        let Ok(db) = shred(&mapping, &doc) else {
+            panic!("document no longer shreds after {t}");
+        };
+        for (qi, q) in queries.iter().enumerate() {
+            let got = run_query(&mapping, &db, q);
+            assert_eq!(
+                got, expected[qi],
+                "answers changed for query {qi} after {t}\nschema:\n{}",
+                transformed.schema()
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "only {checked} transformations checked");
+}
+
+#[test]
+fn shred_publish_round_trip_on_generated_imdb() {
+    let (doc, stats) = small_dataset();
+    for style in [InlineStyle::Inlined, InlineStyle::Outlined] {
+        let pschema = derive_pschema(&imdb_schema(), style);
+        let mapping = rel(&pschema, &stats);
+        let db = shred(&mapping, &doc).expect("document shreds");
+        let rebuilt = publish_all(&mapping, &db).expect("database publishes");
+        // Semantic round trip: re-shredding the published document yields
+        // the same tables.
+        let db2 = shred(&mapping, &rebuilt).expect("published document shreds");
+        for table in db.tables() {
+            let mut a = table.scan();
+            let mut b = db2.table(&table.def.name).unwrap().scan();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "table {} differs after round trip ({style:?})", table.def.name);
+        }
+    }
+}
+
+#[test]
+fn greedy_search_runs_on_the_real_imdb_application() {
+    let stats = scaled_statistics(0.02);
+    let workload = Workload::from_sources([
+        (
+            "lookup",
+            r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
+            0.7,
+        ),
+        ("publish", r#"FOR $v IN document("x")/imdb/show RETURN $v"#, 0.3),
+    ])
+    .unwrap();
+    let result = greedy_search(
+        &imdb_schema(),
+        &stats,
+        &workload,
+        &SearchConfig { parallel: true, max_iterations: 6, ..Default::default() },
+    )
+    .expect("search succeeds");
+    let costs: Vec<f64> = result.trajectory.iter().map(|r| r.cost).collect();
+    assert!(costs.windows(2).all(|w| w[1] <= w[0]), "non-monotone: {costs:?}");
+    assert!(!result.report.mapping.catalog.is_empty());
+}
+
+#[test]
+fn optimizer_estimates_track_executor_measurements() {
+    let (doc, stats) = small_dataset();
+    let pschema = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+    let mapping = rel(&pschema, &stats);
+    let db = shred(&mapping, &doc).expect("document shreds");
+    // Cardinality estimates for FK joins should land within 2× of truth
+    // on exact (collected) statistics.
+    let q = parse_xquery(r#"FOR $v IN document("x")/imdb/show, $a IN $v/aka RETURN $a"#).unwrap();
+    let t = translate(&mapping, &q).unwrap();
+    for statement in &t.statements {
+        let optimized =
+            optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default()).unwrap();
+        let (rows, _) = run(&db, &optimized.plan).unwrap();
+        let actual = rows.len() as f64;
+        if actual > 10.0 {
+            let ratio = optimized.rows / actual;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "estimate {:.1} vs actual {actual} (ratio {ratio:.2})",
+                optimized.rows
+            );
+        }
+    }
+}
+
+#[test]
+fn storage_maps_disagree_on_cost_but_agree_on_answers() {
+    let (doc, stats) = small_dataset();
+    let inlined = LegoDb::new(imdb_schema(), stats.clone(), Workload::new()).all_inlined_pschema();
+    let distributed: PSchema = apply(
+        &derive_pschema(&imdb_schema(), InlineStyle::Inlined),
+        &Transformation::UnionDistribute { in_type: TypeName::new("Show") },
+    )
+    .expect("union distributes");
+
+    let q = r#"FOR $v IN document("x")/imdb/show WHERE $v/year = 1999 RETURN $v/title"#;
+    let m1 = rel(&inlined, &stats);
+    let m2 = rel(&distributed, &stats);
+    let db1 = shred(&m1, &doc).expect("inlined shreds");
+    let db2 = shred(&m2, &doc).expect("distributed shreds");
+    assert_eq!(run_query(&m1, &db1, q), run_query(&m2, &db2, q));
+}
+
+#[test]
+fn appendix_queries_cost_on_searched_configuration() {
+    let stats = scaled_statistics(0.05);
+    let e = LegoDb::new(imdb_schema(), stats, legodb_imdb::lookup_workload());
+    let result = e.optimize().expect("search succeeds");
+    // Every Appendix C query must still be priceable on the chosen
+    // configuration (the mapping covers the whole schema).
+    for name in ["Q1", "Q5", "Q7", "Q12", "Q16", "Q20"] {
+        let mut w = Workload::new();
+        w.push(name, query(name), 1.0);
+        let priced = e.cost_under(&result.pschema, &w);
+        assert!(priced.is_ok(), "{name} failed: {priced:?}");
+        assert!(priced.unwrap().total > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests over randomly generated schemas and documents:
+//! the invariants that hold for *any* input, not just the IMDB fixtures.
+
+use legodb_core::transform::{apply, enumerate_candidates, TransformationSet};
+use legodb_pschema::{derive_pschema, publish_all, rel, shred, InlineStyle};
+use legodb_schema::gen::{generate, GenConfig};
+use legodb_schema::validate::validate;
+use legodb_schema::{parse_schema, Schema};
+use legodb_xml::stats::Statistics;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small pool of schema shapes exercising every construct: scalars,
+/// attributes, nesting, optionality, bounded/unbounded repetition,
+/// unions, and wildcards.
+fn schema_pool() -> Vec<&'static str> {
+    vec![
+        "type R = r[ a[ String ], b[ Integer ] ]",
+        "type R = r[ @id[ Integer ], a[ String ]?, Item{0,*} ]
+         type Item = item[ name[ String ] ]",
+        "type R = r[ x[ y[ String ], z[ Integer ] ], W{1,4} ]
+         type W = w[ String ]",
+        "type R = r[ (A | B){0,*} ]
+         type A = a[ String ]
+         type B = b[ Integer ]",
+        "type R = r[ head[ String ], (Movie | TV) ]
+         type Movie = bo[ Integer ], vs[ Integer ]
+         type TV = seasons[ Integer ], Ep{0,*}
+         type Ep = ep[ name[ String ] ]",
+        "type R = r[ Review{0,*} ]
+         type Review = review[ ~[ String ] ]",
+        "type R = r[ note[ String ]?, deep[ deeper[ deepest[ Integer ] ] ] ]",
+    ]
+}
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    (0..schema_pool().len()).prop_map(|i| parse_schema(schema_pool()[i]).expect("pool parses"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both p-schema derivations accept every document of the source
+    /// schema (language preservation).
+    #[test]
+    fn derivations_preserve_the_document_language(schema in arb_schema(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = generate(&schema, &mut rng, &GenConfig::default());
+        prop_assert!(validate(&schema, &doc).is_ok());
+        for style in [InlineStyle::Inlined, InlineStyle::Outlined] {
+            let p = derive_pschema(&schema, style);
+            prop_assert!(
+                validate(p.schema(), &doc).is_ok(),
+                "doc rejected after {:?} derivation:\n{}\n{}",
+                style, p.schema(), doc.to_xml_pretty()
+            );
+        }
+    }
+
+    /// Every enumerated transformation yields a schema that still accepts
+    /// the source schema's documents.
+    #[test]
+    fn transformations_preserve_the_document_language(schema in arb_schema(), seed in 0u64..500) {
+        let p = derive_pschema(&schema, InlineStyle::Inlined);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = generate(&schema, &mut rng, &GenConfig::default());
+        for t in enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()])) {
+            if let Ok(transformed) = apply(&p, &t) {
+                prop_assert!(
+                    validate(transformed.schema(), &doc).is_ok(),
+                    "{t} broke validation:\nbefore:\n{}\nafter:\n{}\ndoc:\n{}",
+                    p.schema(), transformed.schema(), doc.to_xml_pretty()
+                );
+            }
+        }
+    }
+
+    /// Shred → publish → shred is a fixpoint: the relational image is
+    /// stable (semantic round-trip).
+    #[test]
+    fn shred_publish_shred_is_a_fixpoint(schema in arb_schema(), seed in 0u64..500) {
+        let p = derive_pschema(&schema, InlineStyle::Inlined);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = generate(&schema, &mut rng, &GenConfig::default());
+        let mapping = rel(&p, &Statistics::collect(&doc));
+        let db = shred(&mapping, &doc).expect("generated docs shred");
+        let rebuilt = publish_all(&mapping, &db).expect("databases publish");
+        prop_assert!(validate(p.schema(), &rebuilt).is_ok(), "published doc invalid");
+        let db2 = shred(&mapping, &rebuilt).expect("published docs shred");
+        for table in db.tables() {
+            let mut a = table.scan();
+            let mut b = db2.table(&table.def.name).unwrap().scan();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "table {} unstable", &table.def.name);
+        }
+    }
+
+    /// The schema text round-trips: print ∘ parse = identity.
+    #[test]
+    fn schema_printer_round_trips(schema in arb_schema()) {
+        let printed = schema.to_string();
+        let reparsed = parse_schema(&printed).expect("printed schema parses");
+        prop_assert_eq!(schema, reparsed);
+    }
+
+    /// Harvested statistics agree with the document: the row counts of the
+    /// mapped tables equal the shredded row counts.
+    #[test]
+    fn translated_statistics_match_shredded_cardinalities(schema in arb_schema(), seed in 0u64..500) {
+        let p = derive_pschema(&schema, InlineStyle::Inlined);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = generate(&schema, &mut rng, &GenConfig::default());
+        let stats = Statistics::collect(&doc);
+        let mapping = rel(&p, &stats);
+        let db = shred(&mapping, &doc).expect("generated docs shred");
+        for table in db.tables() {
+            let estimated = mapping.catalog.table(&table.def.name).unwrap().stats.rows;
+            let actual = table.len() as f64;
+            // Element-anchored counts are exact; group-shaped types are
+            // estimated via member minima — allow slack there.
+            prop_assert!(
+                (estimated - actual).abs() <= (0.5 * actual).max(2.0),
+                "table {}: estimated {estimated} vs actual {actual}",
+                &table.def.name
+            );
+        }
+    }
+}
+
+// XML escaping round-trip under proptest-generated text.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_text_round_trips(text in "[ -~]{1,60}") {
+        // Whitespace-only text is dropped by the parser (element-content
+        // whitespace); test non-empty trimmed content.
+        prop_assume!(!text.trim().is_empty());
+        let doc = legodb_xml::Document::new(
+            legodb_xml::Element::text_leaf("t", text.trim().to_string()),
+        );
+        let reparsed = legodb_xml::parse(&doc.to_xml()).expect("serialized XML parses");
+        prop_assert_eq!(doc, reparsed);
+    }
+
+    #[test]
+    fn attribute_values_round_trip(value in "[ -~]{0,40}") {
+        let doc = legodb_xml::Document::new(
+            legodb_xml::Element::new("t").with_attr("a", value.clone()),
+        );
+        let reparsed = legodb_xml::parse(&doc.to_xml()).expect("serialized XML parses");
+        prop_assert_eq!(reparsed.root.attribute("a"), Some(value.as_str()));
+    }
+}
