@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The offline CI gate: everything here must pass with no network access.
+# Run locally before pushing; .github/workflows/ci.yml runs the same
+# script. The workspace has zero external dependencies (see crates/util),
+# so --offline is a hard requirement, not an optimization.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+# Clippy ships with rustup toolchains but not every minimal container;
+# soft-fail only when the component itself is absent.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline -- -D warnings"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lint step"
+fi
+
+echo "CI gate passed."

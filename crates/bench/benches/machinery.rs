@@ -1,9 +1,10 @@
-//! Criterion benchmarks for the LegoDB machinery itself — the moving
-//! parts whose speed bounds the search (the paper reports ~3 s per greedy
+//! Micro-benchmarks of the LegoDB machinery itself — the moving parts
+//! whose speed bounds the search (the paper reports ~3 s per greedy
 //! iteration on 2001 hardware; these benches track our per-component
-//! budgets).
+//! budgets). Runs on the `legodb_util::bench` harness: warmup + batched
+//! samples on a monotonic clock, median/p95 reporting, and JSON-lines
+//! output to `$LEGODB_BENCH_JSON` when set.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use legodb_core::cost::pschema_cost;
 use legodb_core::transform::{apply, enumerate_candidates, Transformation, TransformationSet};
 use legodb_core::workload::Workload;
@@ -13,13 +14,12 @@ use legodb_imdb::{
 use legodb_optimizer::{optimize_statement, OptimizerConfig};
 use legodb_pschema::{derive_pschema, rel, shred, InlineStyle};
 use legodb_schema::{parse_schema, TypeName};
+use legodb_util::bench::{black_box, Bench};
+use legodb_util::StdRng;
 use legodb_xml::stats::Statistics;
 use legodb_xquery::translate;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
 
-fn bench_xml_parse(c: &mut Criterion) {
+fn bench_xml_parse(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.002));
     let text = doc.to_xml();
@@ -28,7 +28,7 @@ fn bench_xml_parse(c: &mut Criterion) {
     });
 }
 
-fn bench_stats_collect(c: &mut Criterion) {
+fn bench_stats_collect(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.002));
     c.bench_function("stats_collect_imdb_0.002", |b| {
@@ -36,33 +36,43 @@ fn bench_stats_collect(c: &mut Criterion) {
     });
 }
 
-fn bench_schema_parse(c: &mut Criterion) {
+fn bench_schema_parse(c: &mut Bench) {
     c.bench_function("schema_parse_imdb", |b| {
         b.iter(|| parse_schema(black_box(legodb_imdb::schema::IMDB_SCHEMA_SRC)).unwrap())
     });
 }
 
-fn bench_derive_and_rel(c: &mut Criterion) {
+fn bench_derive_and_rel(c: &mut Bench) {
     let schema = imdb_schema();
     let stats = scaled_statistics(1.0);
     c.bench_function("derive_pschema_inlined", |b| {
         b.iter(|| derive_pschema(black_box(&schema), InlineStyle::Inlined))
     });
     let pschema = derive_pschema(&schema, InlineStyle::Inlined);
-    c.bench_function("rel_mapping_imdb", |b| b.iter(|| rel(black_box(&pschema), &stats)));
+    c.bench_function("rel_mapping_imdb", |b| {
+        b.iter(|| rel(black_box(&pschema), &stats))
+    });
 }
 
-fn bench_shred(c: &mut Criterion) {
+fn bench_shred(c: &mut Bench) {
     let mut rng = StdRng::seed_from_u64(1);
     let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.002));
     let stats = Statistics::collect(&doc);
-    let mapping = rel(&derive_pschema(&imdb_schema(), InlineStyle::Inlined), &stats);
-    c.bench_function("shred_imdb_0.002", |b| b.iter(|| shred(&mapping, black_box(&doc)).unwrap()));
+    let mapping = rel(
+        &derive_pschema(&imdb_schema(), InlineStyle::Inlined),
+        &stats,
+    );
+    c.bench_function("shred_imdb_0.002", |b| {
+        b.iter(|| shred(&mapping, black_box(&doc)).unwrap())
+    });
 }
 
-fn bench_translate_and_optimize(c: &mut Criterion) {
+fn bench_translate_and_optimize(c: &mut Bench) {
     let stats = scaled_statistics(1.0);
-    let mapping = rel(&derive_pschema(&imdb_schema(), InlineStyle::Inlined), &stats);
+    let mapping = rel(
+        &derive_pschema(&imdb_schema(), InlineStyle::Inlined),
+        &stats,
+    );
     let q13 = query("Q13");
     c.bench_function("translate_q13", |b| {
         b.iter(|| translate(&mapping, black_box(&q13)).unwrap())
@@ -78,7 +88,7 @@ fn bench_translate_and_optimize(c: &mut Criterion) {
     });
 }
 
-fn bench_get_pschema_cost(c: &mut Criterion) {
+fn bench_get_pschema_cost(c: &mut Bench) {
     let schema = imdb_schema();
     let stats = scaled_statistics(1.0);
     let pschema = derive_pschema(&schema, InlineStyle::Inlined);
@@ -89,23 +99,30 @@ fn bench_get_pschema_cost(c: &mut Criterion) {
     });
 }
 
-fn bench_transformations(c: &mut Criterion) {
+fn bench_transformations(c: &mut Bench) {
     let pschema = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
     c.bench_function("enumerate_candidates", |b| {
-        b.iter(|| enumerate_candidates(black_box(&pschema), &TransformationSet::all(vec!["nyt".into()])))
+        b.iter(|| {
+            enumerate_candidates(
+                black_box(&pschema),
+                &TransformationSet::all(vec!["nyt".into()]),
+            )
+        })
     });
     c.bench_function("apply_union_distribute", |b| {
         b.iter(|| {
             apply(
                 black_box(&pschema),
-                &Transformation::UnionDistribute { in_type: TypeName::new("Show") },
+                &Transformation::UnionDistribute {
+                    in_type: TypeName::new("Show"),
+                },
             )
             .unwrap()
         })
     });
 }
 
-fn bench_greedy_iteration(c: &mut Criterion) {
+fn bench_greedy_iteration(c: &mut Bench) {
     // One full greedy iteration: enumerate + evaluate every candidate.
     let schema = imdb_schema();
     let stats = scaled_statistics(1.0);
@@ -129,18 +146,16 @@ fn bench_greedy_iteration(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_xml_parse,
-        bench_stats_collect,
-        bench_schema_parse,
-        bench_derive_and_rel,
-        bench_shred,
-        bench_translate_and_optimize,
-        bench_get_pschema_cost,
-        bench_transformations,
-        bench_greedy_iteration
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_xml_parse(&mut bench);
+    bench_stats_collect(&mut bench);
+    bench_schema_parse(&mut bench);
+    bench_derive_and_rel(&mut bench);
+    bench_shred(&mut bench);
+    bench_translate_and_optimize(&mut bench);
+    bench_get_pschema_cost(&mut bench);
+    bench_transformations(&mut bench);
+    bench_greedy_iteration(&mut bench);
+    bench.finish();
 }
-criterion_main!(benches);

@@ -1,4 +1,8 @@
 //! Regenerates one of the paper's evaluation artifacts; see DESIGN.md §6.
+//! Wall time is recorded to `$LEGODB_BENCH_JSON` when set.
 fn main() {
-    print!("{}", legodb_bench::harness::fig14());
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment("fig14", legodb_bench::harness::fig14)
+    );
 }

@@ -1,4 +1,11 @@
 //! Regenerates one of the paper's evaluation artifacts; see DESIGN.md §6.
+//! Wall time is recorded to `$LEGODB_BENCH_JSON` when set.
 fn main() {
-    print!("{}", legodb_bench::harness::validate_cost_model());
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment(
+            "validate_cost_model",
+            legodb_bench::harness::validate_cost_model
+        )
+    );
 }

@@ -54,8 +54,13 @@ pub fn map_wildcard_materialized() -> PSchema {
 pub fn map_union_distributed() -> PSchema {
     let e = engine(Workload::new());
     let base = e.initial_pschema(StartPoint::MaximallyInlined);
-    apply(&base, &Transformation::UnionDistribute { in_type: TypeName::new("Show") })
-        .expect("show union distributes")
+    apply(
+        &base,
+        &Transformation::UnionDistribute {
+            in_type: TypeName::new("Show"),
+        },
+    )
+    .expect("show union distributes")
 }
 
 /// Unweighted cost of one query on a configuration.
@@ -78,7 +83,11 @@ pub fn workload_cost(pschema: &PSchema, stats: &Statistics, w: &Workload) -> f64
 pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", headers.join(" | "));
-    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -122,10 +131,17 @@ pub fn fig06() -> String {
         }
         rows.push(row);
     }
-    let mut out = String::from(
-        "## E1 — Figure 6: storage map comparison (costs normalized by Map 1)\n\n",
-    );
-    out.push_str(&md_table(&["Query", "Map 1 (Fig 4a)", "Map 2 (Fig 4b)", "Map 3 (Fig 4c)"], &rows));
+    let mut out =
+        String::from("## E1 — Figure 6: storage map comparison (costs normalized by Map 1)\n\n");
+    out.push_str(&md_table(
+        &[
+            "Query",
+            "Map 1 (Fig 4a)",
+            "Map 2 (Fig 4b)",
+            "Map 3 (Fig 4c)",
+        ],
+        &rows,
+    ));
     out.push_str(
         "\nPaper shape: Map 2 wins review-heavy queries (Q1/W1-style), Map 3 wins \
          lookups and W2 (union distribution narrows Show), Map 1 never wins.\n",
@@ -141,7 +157,10 @@ pub fn fig10() -> String {
     let schema = imdb_schema();
     let stats = scaled_statistics(STATS_SCALE);
     let mut out = String::from("## E2 — Figure 10: greedy convergence per iteration\n\n");
-    for (wname, workload) in [("lookup", lookup_workload()), ("publish", publish_workload())] {
+    for (wname, workload) in [
+        ("lookup", lookup_workload()),
+        ("publish", publish_workload()),
+    ] {
         let mut rows = Vec::new();
         let mut columns: Vec<Vec<f64>> = Vec::new();
         for start in [StartPoint::MaximallyOutlined, StartPoint::MaximallyInlined] {
@@ -149,7 +168,11 @@ pub fn fig10() -> String {
                 &schema,
                 &stats,
                 &workload,
-                &SearchConfig { start, parallel: true, ..Default::default() },
+                &SearchConfig {
+                    start,
+                    parallel: true,
+                    ..Default::default()
+                },
             )
             .expect("search succeeds");
             columns.push(result.trajectory.iter().map(|r| r.cost).collect());
@@ -158,8 +181,14 @@ pub fn fig10() -> String {
         for i in 0..iterations {
             rows.push(vec![
                 i.to_string(),
-                columns[0].get(i).map(|&c| fmt3(c)).unwrap_or_else(|| "—".into()),
-                columns[1].get(i).map(|&c| fmt3(c)).unwrap_or_else(|| "—".into()),
+                columns[0]
+                    .get(i)
+                    .map(|&c| fmt3(c))
+                    .unwrap_or_else(|| "—".into()),
+                columns[1]
+                    .get(i)
+                    .map(|&c| fmt3(c))
+                    .unwrap_or_else(|| "—".into()),
             ]);
         }
         let _ = writeln!(out, "### {wname} workload\n");
@@ -191,7 +220,10 @@ pub fn fig11() -> String {
             &schema,
             &stats,
             &mix,
-            &SearchConfig { parallel: true, ..Default::default() },
+            &SearchConfig {
+                parallel: true,
+                ..Default::default()
+            },
         )
         .expect("search succeeds");
         tuned.push((format!("C[{k:.2}]"), result.pschema));
@@ -210,7 +242,10 @@ pub fn fig11() -> String {
             &schema,
             &stats,
             &mix,
-            &SearchConfig { parallel: true, ..Default::default() },
+            &SearchConfig {
+                parallel: true,
+                ..Default::default()
+            },
         )
         .map(|r| r.cost)
         .unwrap_or(f64::INFINITY);
@@ -219,8 +254,15 @@ pub fn fig11() -> String {
     }
     let mut out = String::from("## E3 — Figure 11: sensitivity to workload variation\n\n");
     out.push_str("k = fraction of lookup queries in the mix; cells are workload costs.\n\n");
-    let headers: Vec<&str> =
-        ["k", "C[0.25]", "C[0.50]", "C[0.75]", "C[ALL-INLINED]", "OPT"].to_vec();
+    let headers: Vec<&str> = [
+        "k",
+        "C[0.25]",
+        "C[0.50]",
+        "C[0.75]",
+        "C[ALL-INLINED]",
+        "OPT",
+    ]
+    .to_vec();
     out.push_str(&md_table(&headers, &rows));
     out.push_str(
         "\nPaper shape: the tuned configurations hug OPT over wide regions and \
@@ -248,7 +290,10 @@ pub fn fig13() -> String {
     let mut out = String::from(
         "## E4 — Figure 13: union distribution vs all-inlined (cost as % of all-inlined)\n\n",
     );
-    out.push_str(&md_table(&["Query", "union-distributed / all-inlined"], &rows));
+    out.push_str(&md_table(
+        &["Query", "union-distributed / all-inlined"],
+        &rows,
+    ));
     out.push_str(
         "\nPaper shape: the union-transformed configuration is cheaper for every \
          query — including Q6, which touches both movie and TV fields. \
@@ -307,8 +352,13 @@ pub fn fig14() -> String {
         .expect("aka repetition splits");
         // Flatten the remaining union so the comparison isolates the
         // repetition change.
-        let split = apply(&split, &Transformation::UnionToOptions { in_type: TypeName::new("Show") })
-            .unwrap_or(split);
+        let split = apply(
+            &split,
+            &Transformation::UnionToOptions {
+                in_type: TypeName::new("Show"),
+            },
+        )
+        .unwrap_or(split);
         let price = |w: &Workload, p: &PSchema| workload_cost(p, &stats, w);
         rows.push(vec![
             total_akas.to_string(),
@@ -319,7 +369,13 @@ pub fn fig14() -> String {
         ]);
     }
     out.push_str(&md_table(
-        &["total akas", "lookup inlined", "lookup split", "publish inlined", "publish split"],
+        &[
+            "total akas",
+            "lookup inlined",
+            "lookup split",
+            "publish inlined",
+            "publish split",
+        ],
         &rows,
     ));
     out.push_str(
@@ -372,7 +428,10 @@ pub fn tab02() -> String {
             ]);
         }
     }
-    out.push_str(&md_table(&["total reviews", "NYT share", "inlined", "wildcard split"], &rows));
+    out.push_str(&md_table(
+        &["total reviews", "NYT share", "inlined", "wildcard split"],
+        &rows,
+    ));
     out.push_str(
         "\nPaper shape: the inlined cost is flat in the NYT share; the \
          materialized cost shrinks proportionally to it, and the advantage grows \
@@ -390,9 +449,8 @@ pub fn validate_cost_model() -> String {
     use legodb_imdb::{generate_imdb, ScaleConfig};
     use legodb_pschema::{rel, shred};
     use legodb_relational::exec::run;
+    use legodb_util::StdRng;
     use legodb_xquery::translate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     let schema = imdb_schema();
     let mut rng = StdRng::seed_from_u64(2002);
@@ -439,7 +497,13 @@ pub fn validate_cost_model() -> String {
         ]);
     }
     out.push_str(&md_table(
-        &["Query", "est. rows", "actual rows", "est. pages", "actual pages"],
+        &[
+            "Query",
+            "est. rows",
+            "actual rows",
+            "est. pages",
+            "actual pages",
+        ],
         &rows,
     ));
     out.push_str("\nEstimates should track measurements within a small factor.\n");
@@ -454,9 +518,36 @@ pub fn full_workload_costs() -> String {
     let mut rows = Vec::new();
     for (name, _) in QUERIES {
         let q = query(name);
-        rows.push(vec![name.to_string(), fmt3(query_cost(&inlined, &stats, name, &q))]);
+        rows.push(vec![
+            name.to_string(),
+            fmt3(query_cost(&inlined, &stats, name, &q)),
+        ]);
     }
     let mut out = String::from("## Appendix — all twenty queries on ALL-INLINED\n\n");
     out.push_str(&md_table(&["Query", "cost"], &rows));
     out
+}
+
+/// Run one experiment section on the `legodb_util::bench` monotonic
+/// clock. The rendered markdown is returned unchanged; when
+/// `LEGODB_BENCH_JSON` is set, a `{"experiment": ..., "wall_ms": ...}`
+/// record is appended to that file so CI archives experiment wall times
+/// alongside the micro-bench samples.
+pub fn timed_experiment(name: &str, f: impl FnOnce() -> String) -> String {
+    let (report, elapsed) = legodb_util::bench::time_once(f);
+    eprintln!(
+        "{name}: {}",
+        legodb_util::bench::fmt_ns(elapsed.as_nanos() as f64)
+    );
+    if let Some(path) = std::env::var_os("LEGODB_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        let line = legodb_util::json::JsonObject::new()
+            .str("experiment", name)
+            .f64("wall_ms", elapsed.as_secs_f64() * 1e3)
+            .finish();
+        if let Err(e) = legodb_util::bench::append_json_lines(&path, [line]) {
+            eprintln!("bench: cannot write {}: {e}", path.display());
+        }
+    }
+    report
 }

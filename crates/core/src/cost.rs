@@ -58,7 +58,10 @@ pub struct CostReport {
 impl CostReport {
     /// The unweighted cost of a query by name.
     pub fn query_cost(&self, name: &str) -> Option<f64> {
-        self.per_query.iter().find(|(n, _)| n == name).map(|&(_, c)| c)
+        self.per_query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
     }
 }
 
@@ -74,19 +77,30 @@ pub fn pschema_cost(
     let mut total = 0.0;
     let mut per_query = Vec::new();
     for entry in workload.queries() {
-        let translated = translate(&mapping, &entry.query).map_err(|error| {
-            CostError::Translate { query: entry.name.clone(), error }
-        })?;
+        let translated =
+            translate(&mapping, &entry.query).map_err(|error| CostError::Translate {
+                query: entry.name.clone(),
+                error,
+            })?;
         let mut query_cost = 0.0;
         for statement in &translated.statements {
-            let optimized = optimize_statement(&mapping.catalog, statement, config)
-                .map_err(|error| CostError::Optimize { query: entry.name.clone(), error })?;
+            let optimized =
+                optimize_statement(&mapping.catalog, statement, config).map_err(|error| {
+                    CostError::Optimize {
+                        query: entry.name.clone(),
+                        error,
+                    }
+                })?;
             query_cost += optimized.total;
         }
         per_query.push((entry.name.clone(), query_cost));
         total += entry.weight * query_cost;
     }
-    Ok(CostReport { total, per_query, mapping })
+    Ok(CostReport {
+        total,
+        per_query,
+        mapping,
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +133,11 @@ mod tests {
                 r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
                 0.5,
             ),
-            ("publish", r#"FOR $v IN document("x")/imdb/show RETURN $v"#, 0.5),
+            (
+                "publish",
+                r#"FOR $v IN document("x")/imdb/show RETURN $v"#,
+                0.5,
+            ),
         ])
         .unwrap();
         (pschema, stats, workload)
@@ -149,12 +167,9 @@ mod tests {
     #[test]
     fn unresolvable_query_reports_translate_error() {
         let (p, s, _) = setup();
-        let w = Workload::from_sources([(
-            "bad",
-            r#"FOR $v IN document("x")/nothing RETURN $v"#,
-            1.0,
-        )])
-        .unwrap();
+        let w =
+            Workload::from_sources([("bad", r#"FOR $v IN document("x")/nothing RETURN $v"#, 1.0)])
+                .unwrap();
         let err = pschema_cost(&p, &s, &w, &OptimizerConfig::default()).unwrap_err();
         assert!(matches!(err, CostError::Translate { .. }));
     }

@@ -52,7 +52,12 @@ impl LegoDb {
     /// Create an engine for an application (schema + statistics +
     /// workload), with default search settings.
     pub fn new(schema: Schema, stats: Statistics, workload: Workload) -> LegoDb {
-        LegoDb { schema, stats, workload, search: SearchConfig::default() }
+        LegoDb {
+            schema,
+            stats,
+            workload,
+            search: SearchConfig::default(),
+        }
     }
 
     /// Override the search configuration.

@@ -1,7 +1,7 @@
 //! The greedy search of Algorithm 4.1: iteratively apply the single
 //! transformation that lowers workload cost the most, until no candidate
 //! improves. Candidate evaluation is independent per candidate and runs on
-//! scoped threads.
+//! scoped threads (`legodb_util::scoped_map`).
 
 use crate::cost::{pschema_cost, CostError, CostReport};
 use crate::transform::{apply, enumerate_candidates, Transformation, TransformationSet};
@@ -105,8 +105,12 @@ pub fn greedy_search_from(
     let mut current = initial;
     let mut report = pschema_cost(&current, stats, workload, &config.optimizer)?;
     let mut cost = report.total;
-    let mut trajectory =
-        vec![IterationReport { iteration: 0, cost, candidates: 0, applied: None }];
+    let mut trajectory = vec![IterationReport {
+        iteration: 0,
+        cost,
+        candidates: 0,
+        applied: None,
+    }];
 
     let mut iteration = 0;
     loop {
@@ -119,7 +123,9 @@ pub fn greedy_search_from(
         let best = evaluated
             .into_iter()
             .min_by(|a, b| a.2.total.partial_cmp(&b.2.total).expect("finite costs"));
-        let Some((t, pschema, new_report)) = best else { break };
+        let Some((t, pschema, new_report)) = best else {
+            break;
+        };
         if new_report.total >= cost {
             break;
         }
@@ -138,7 +144,12 @@ pub fn greedy_search_from(
         }
     }
 
-    Ok(SearchResult { pschema: current, cost, report, trajectory })
+    Ok(SearchResult {
+        pschema: current,
+        cost,
+        report,
+        trajectory,
+    })
 }
 
 /// Evaluate all candidates, optionally in parallel. Candidates whose
@@ -159,16 +170,14 @@ fn evaluate_candidates(
     if !config.parallel || candidates.len() < 2 {
         return candidates.iter().filter_map(evaluate_one).collect();
     }
-    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
-    let chunk = candidates.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|chunk| scope.spawn(move |_| chunk.iter().filter_map(evaluate_one).collect::<Vec<_>>()))
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("candidate evaluation panicked")).collect()
-    })
-    .expect("scoped threads")
+    legodb_util::scoped_map(
+        candidates,
+        legodb_util::par::available_threads(),
+        evaluate_one,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -216,7 +225,10 @@ mod tests {
             &schema(),
             &stats(),
             &lookup_workload(),
-            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+            &SearchConfig {
+                start: StartPoint::MaximallyInlined,
+                ..Default::default()
+            },
         )
         .unwrap();
         let costs: Vec<f64> = result.trajectory.iter().map(|r| r.cost).collect();
@@ -235,17 +247,27 @@ mod tests {
             &schema(),
             &stats(),
             &lookup_workload(),
-            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+            &SearchConfig {
+                start: StartPoint::MaximallyInlined,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(result.trajectory.len() >= 2, "expected at least one outline move");
+        assert!(
+            result.trajectory.len() >= 2,
+            "expected at least one outline move"
+        );
         assert!(
             result.pschema.schema().len() > 3,
             "expected new outlined types:\n{}",
             result.pschema.schema()
         );
         let initial = result.trajectory[0].cost;
-        assert!(result.cost < 0.5 * initial, "cost {initial} -> {} too small a win", result.cost);
+        assert!(
+            result.cost < 0.5 * initial,
+            "cost {initial} -> {} too small a win",
+            result.cost
+        );
     }
 
     #[test]
@@ -264,7 +286,10 @@ mod tests {
             &schema(),
             &narrow_stats,
             &publish,
-            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+            &SearchConfig {
+                start: StartPoint::MaximallyInlined,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(
@@ -282,14 +307,20 @@ mod tests {
             &schema(),
             &stats(),
             &w,
-            &SearchConfig { start: StartPoint::MaximallyInlined, ..Default::default() },
+            &SearchConfig {
+                start: StartPoint::MaximallyInlined,
+                ..Default::default()
+            },
         )
         .unwrap();
         let so = greedy_search(
             &schema(),
             &stats(),
             &w,
-            &SearchConfig { start: StartPoint::MaximallyOutlined, ..Default::default() },
+            &SearchConfig {
+                start: StartPoint::MaximallyOutlined,
+                ..Default::default()
+            },
         )
         .unwrap();
         let ratio = si.cost / so.cost;
@@ -308,14 +339,20 @@ mod tests {
             &schema(),
             &stats(),
             &w,
-            &SearchConfig { parallel: false, ..Default::default() },
+            &SearchConfig {
+                parallel: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let par = greedy_search(
             &schema(),
             &stats(),
             &w,
-            &SearchConfig { parallel: true, ..Default::default() },
+            &SearchConfig {
+                parallel: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!((seq.cost - par.cost).abs() < 1e-9);

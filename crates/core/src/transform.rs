@@ -71,7 +71,10 @@ impl fmt::Display for Transformation {
             Transformation::RepetitionSplit { in_type, target } => {
                 write!(f, "rep-split({in_type}, {target})")
             }
-            Transformation::WildcardMaterialize { wildcard_type, name } => {
+            Transformation::WildcardMaterialize {
+                wildcard_type,
+                name,
+            } => {
                 write!(f, "wildcard({wildcard_type}, {name})")
             }
             Transformation::UnionToOptions { in_type } => write!(f, "union-to-opts({in_type})"),
@@ -132,17 +135,27 @@ pub struct TransformationSet {
 impl TransformationSet {
     /// Only inline moves — the paper's prototype greedy-si setting.
     pub fn inline_only() -> Self {
-        TransformationSet { inline: true, ..Default::default() }
+        TransformationSet {
+            inline: true,
+            ..Default::default()
+        }
     }
 
     /// Only outline moves — the greedy-so setting.
     pub fn outline_only() -> Self {
-        TransformationSet { outline: true, ..Default::default() }
+        TransformationSet {
+            outline: true,
+            ..Default::default()
+        }
     }
 
     /// Inline + outline (a richer greedy).
     pub fn inline_outline() -> Self {
-        TransformationSet { inline: true, outline: true, ..Default::default() }
+        TransformationSet {
+            inline: true,
+            outline: true,
+            ..Default::default()
+        }
     }
 
     /// Everything, with the given wildcard hints.
@@ -169,15 +182,23 @@ pub fn enumerate_candidates(pschema: &PSchema, set: &TransformationSet) -> Vec<T
         }
         if set.outline {
             for rel in outline_sites(def) {
-                out.push(Transformation::Outline { in_type: name.clone(), rel });
+                out.push(Transformation::Outline {
+                    in_type: name.clone(),
+                    rel,
+                });
             }
         }
         if set.union_distribute && union_site(def).is_some() && !schema.is_recursive(name) {
-            out.push(Transformation::UnionDistribute { in_type: name.clone() });
+            out.push(Transformation::UnionDistribute {
+                in_type: name.clone(),
+            });
         }
         if set.repetition_split {
             for target in rep_split_sites(def) {
-                out.push(Transformation::RepetitionSplit { in_type: name.clone(), target });
+                out.push(Transformation::RepetitionSplit {
+                    in_type: name.clone(),
+                    target,
+                });
             }
         }
         if !set.wildcard_names.is_empty() {
@@ -211,7 +232,9 @@ pub fn enumerate_candidates(pschema: &PSchema, set: &TransformationSet) -> Vec<T
             }
         }
         if set.union_to_options && union_to_options_applicable(schema, def) {
-            out.push(Transformation::UnionToOptions { in_type: name.clone() });
+            out.push(Transformation::UnionToOptions {
+                in_type: name.clone(),
+            });
         }
     }
     out
@@ -227,9 +250,10 @@ pub fn apply(pschema: &PSchema, t: &Transformation) -> Result<PSchema, Transform
         Transformation::RepetitionSplit { in_type, target } => {
             apply_rep_split(schema, in_type, target)?
         }
-        Transformation::WildcardMaterialize { wildcard_type, name } => {
-            apply_wildcard(schema, wildcard_type, name)?
-        }
+        Transformation::WildcardMaterialize {
+            wildcard_type,
+            name,
+        } => apply_wildcard(schema, wildcard_type, name)?,
         Transformation::UnionToOptions { in_type } => apply_union_to_options(schema, in_type)?,
     };
     Ok(PSchema::try_new(rewritten)?)
@@ -251,12 +275,15 @@ fn inlinable(schema: &Schema, name: &TypeName) -> Result<(), TransformError> {
     // The single reference must sit in the column world (not inside a
     // multi-valued repetition or union).
     let parents = schema.parents_of(name);
-    let parent = parents.first().ok_or_else(|| {
-        TransformError::NotInlinable(name.clone(), "unreachable type")
-    })?;
+    let parent = parents
+        .first()
+        .ok_or_else(|| TransformError::NotInlinable(name.clone(), "unreachable type"))?;
     let parent_def = schema.get(parent).expect("parents are defined");
     if ref_in_named_layer(parent_def, name) {
-        return Err(TransformError::NotInlinable(name.clone(), "multi-valued or union member"));
+        return Err(TransformError::NotInlinable(
+            name.clone(),
+            "multi-valued or union member",
+        ));
     }
     Ok(())
 }
@@ -270,9 +297,7 @@ fn ref_in_named_layer(ty: &Type, name: &TypeName) -> bool {
             Type::Attribute { .. } | Type::Scalar { .. } | Type::Empty => false,
             Type::Seq(items) => items.iter().any(|t| walk(t, name, in_named)),
             Type::Choice(items) => items.iter().any(|t| walk(t, name, true)),
-            Type::Rep { inner, occurs, .. } => {
-                walk(inner, name, in_named || occurs.multi_valued())
-            }
+            Type::Rep { inner, occurs, .. } => walk(inner, name, in_named || occurs.multi_valued()),
         }
     }
     walk(ty, name, false)
@@ -280,7 +305,10 @@ fn ref_in_named_layer(ty: &Type, name: &TypeName) -> bool {
 
 fn apply_inline(mut schema: Schema, name: &TypeName) -> Result<Schema, TransformError> {
     inlinable(&schema, name)?;
-    let def = schema.get(name).cloned().ok_or_else(|| TransformError::UnknownType(name.clone()))?;
+    let def = schema
+        .get(name)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(name.clone()))?;
     let parent = schema.parents_of(name).pop().expect("checked by inlinable");
     let parent_def = schema.get(&parent).cloned().expect("parents are defined");
     let replaced = parent_def.map(&mut |t| match t {
@@ -309,13 +337,18 @@ fn outline_sites(def: &Type) -> Vec<Vec<String>> {
 
 fn collect_outline_sites(ty: &Type, prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
     match ty {
-        Type::Element { name: NameTest::Name(n), content } => {
+        Type::Element {
+            name: NameTest::Name(n),
+            content,
+        } => {
             prefix.push(n.clone());
             out.push(prefix.clone());
             collect_outline_sites(content, prefix, out);
             prefix.pop();
         }
-        Type::Seq(items) => items.iter().for_each(|t| collect_outline_sites(t, prefix, out)),
+        Type::Seq(items) => items
+            .iter()
+            .for_each(|t| collect_outline_sites(t, prefix, out)),
         Type::Rep { inner, occurs, .. } if !occurs.multi_valued() => {
             collect_outline_sites(inner, prefix, out)
         }
@@ -323,7 +356,11 @@ fn collect_outline_sites(ty: &Type, prefix: &mut Vec<String>, out: &mut Vec<Vec<
     }
 }
 
-fn apply_outline(mut schema: Schema, in_type: &TypeName, rel: &[String]) -> Result<Schema, TransformError> {
+fn apply_outline(
+    mut schema: Schema,
+    in_type: &TypeName,
+    rel: &[String],
+) -> Result<Schema, TransformError> {
     let def = schema
         .get(in_type)
         .cloned()
@@ -339,13 +376,15 @@ fn apply_outline(mut schema: Schema, in_type: &TypeName, rel: &[String]) -> Resu
     let rewritten = match def {
         Type::Element { name, content } => {
             let inner = outline_at(*content, rel, &fresh, &mut extracted);
-            Type::Element { name, content: Box::new(inner) }
+            Type::Element {
+                name,
+                content: Box::new(inner),
+            }
         }
         other => outline_at(other, rel, &fresh, &mut extracted),
     };
-    let element = extracted.ok_or_else(|| {
-        TransformError::NoSite(format!("outline {in_type}/{}", rel.join("/")))
-    })?;
+    let element = extracted
+        .ok_or_else(|| TransformError::NoSite(format!("outline {in_type}/{}", rel.join("/"))))?;
     schema.set(fresh, element);
     schema.set(in_type.clone(), rewritten);
     Ok(schema)
@@ -365,14 +404,23 @@ fn outline_at(ty: Type, rel: &[String], fresh: &TypeName, extracted: &mut Option
             }
             if matches {
                 let inner = outline_at(*content, &rel[1..], fresh, extracted);
-                return Type::Element { name, content: Box::new(inner) };
+                return Type::Element {
+                    name,
+                    content: Box::new(inner),
+                };
             }
             Type::Element { name, content }
         }
         Type::Seq(items) => Type::seq(
-            items.into_iter().map(|t| outline_at(t, rel, fresh, extracted)),
+            items
+                .into_iter()
+                .map(|t| outline_at(t, rel, fresh, extracted)),
         ),
-        Type::Rep { inner, occurs, avg_count } if !occurs.multi_valued() => {
+        Type::Rep {
+            inner,
+            occurs,
+            avg_count,
+        } if !occurs.multi_valued() => {
             Type::rep_with_count(outline_at(*inner, rel, fresh, extracted), occurs, avg_count)
         }
         other => other,
@@ -407,15 +455,24 @@ fn union_site(def: &Type) -> Option<Vec<TypeName>> {
     find(content)
 }
 
-fn apply_union_distribute(mut schema: Schema, in_type: &TypeName) -> Result<Schema, TransformError> {
+fn apply_union_distribute(
+    mut schema: Schema,
+    in_type: &TypeName,
+) -> Result<Schema, TransformError> {
     let def = schema
         .get(in_type)
         .cloned()
         .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
     let alternatives =
         union_site(&def).ok_or_else(|| TransformError::NoSite(format!("union in {in_type}")))?;
-    let Type::Element { name: elem_name, content } = def else {
-        return Err(TransformError::NoSite(format!("element around union in {in_type}")));
+    let Type::Element {
+        name: elem_name,
+        content,
+    } = def
+    else {
+        return Err(TransformError::NoSite(format!(
+            "element around union in {in_type}"
+        )));
     };
 
     // Build one part per alternative: the element with the union replaced
@@ -423,11 +480,16 @@ fn apply_union_distribute(mut schema: Schema, in_type: &TypeName) -> Result<Sche
     let mut part_refs = Vec::new();
     for alt in &alternatives {
         let part_name = schema.fresh_name(&format!("{in_type}_Part"));
-        let alt_def = schema.get(alt).cloned().ok_or_else(|| TransformError::UnknownType(alt.clone()))?;
+        let alt_def = schema
+            .get(alt)
+            .cloned()
+            .ok_or_else(|| TransformError::UnknownType(alt.clone()))?;
         let shared = schema.reference_count(alt) > 1;
         let part_content = content.clone().map(&mut |t| match t {
             Type::Choice(items)
-                if items.iter().all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
+                if items
+                    .iter()
+                    .all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
             {
                 if shared {
                     Type::Ref(alt.clone())
@@ -439,7 +501,10 @@ fn apply_union_distribute(mut schema: Schema, in_type: &TypeName) -> Result<Sche
         });
         schema.set(
             part_name.clone(),
-            Type::Element { name: elem_name.clone(), content: Box::new(part_content) },
+            Type::Element {
+                name: elem_name.clone(),
+                content: Box::new(part_content),
+            },
         );
         part_refs.push(Type::Ref(part_name));
     }
@@ -482,13 +547,19 @@ fn rep_split_sites(def: &Type) -> Vec<TypeName> {
     out
 }
 
-fn apply_rep_split(mut schema: Schema, in_type: &TypeName, target: &TypeName) -> Result<Schema, TransformError> {
+fn apply_rep_split(
+    mut schema: Schema,
+    in_type: &TypeName,
+    target: &TypeName,
+) -> Result<Schema, TransformError> {
     let target_def = schema
         .get(target)
         .cloned()
         .ok_or_else(|| TransformError::UnknownType(target.clone()))?;
     if !matches!(target_def, Type::Element { .. }) {
-        return Err(TransformError::NoSite(format!("rep-split target {target} is not an element")));
+        return Err(TransformError::NoSite(format!(
+            "rep-split target {target} is not an element"
+        )));
     }
     let def = schema
         .get(in_type)
@@ -496,11 +567,14 @@ fn apply_rep_split(mut schema: Schema, in_type: &TypeName, target: &TypeName) ->
         .ok_or_else(|| TransformError::UnknownType(in_type.clone()))?;
     let mut applied = false;
     let rewritten = def.map(&mut |t| match t {
-        Type::Rep { inner, occurs, avg_count }
-            if !applied
-                && occurs.min >= 1
-                && occurs.multi_valued()
-                && matches!(inner.as_ref(), Type::Ref(n) if n == target) =>
+        Type::Rep {
+            inner,
+            occurs,
+            avg_count,
+        } if !applied
+            && occurs.min >= 1
+            && occurs.multi_valued()
+            && matches!(inner.as_ref(), Type::Ref(n) if n == target) =>
         {
             applied = true;
             let rest = Type::rep_with_count(
@@ -513,7 +587,9 @@ fn apply_rep_split(mut schema: Schema, in_type: &TypeName, target: &TypeName) ->
         other => other,
     });
     if !applied {
-        return Err(TransformError::NoSite(format!("T{{m≥1,n}} of {target} in {in_type}")));
+        return Err(TransformError::NoSite(format!(
+            "T{{m≥1,n}} of {target} in {in_type}"
+        )));
     }
     schema.set(in_type.clone(), rewritten);
     schema.garbage_collect();
@@ -540,7 +616,11 @@ fn find_inline_wildcard(def: &Type) -> Option<&NameTest> {
     find(content)
 }
 
-fn apply_wildcard(mut schema: Schema, wildcard_type: &TypeName, tag: &str) -> Result<Schema, TransformError> {
+fn apply_wildcard(
+    mut schema: Schema,
+    wildcard_type: &TypeName,
+    tag: &str,
+) -> Result<Schema, TransformError> {
     let def = schema
         .get(wildcard_type)
         .cloned()
@@ -559,7 +639,10 @@ fn apply_wildcard(mut schema: Schema, wildcard_type: &TypeName, tag: &str) -> Re
         let rewritten = match def {
             Type::Element { name, content } => {
                 let inner = outline_wildcard_at(*content, &fresh, &mut extracted);
-                Type::Element { name, content: Box::new(inner) }
+                Type::Element {
+                    name,
+                    content: Box::new(inner),
+                }
             }
             other => outline_wildcard_at(other, &fresh, &mut extracted),
         };
@@ -588,11 +671,17 @@ fn apply_wildcard(mut schema: Schema, wildcard_type: &TypeName, tag: &str) -> Re
     let rest = schema.fresh_name(&format!("Other{wildcard_type}"));
     schema.set(
         named.clone(),
-        Type::Element { name: NameTest::Name(tag.to_string()), content: content.clone() },
+        Type::Element {
+            name: NameTest::Name(tag.to_string()),
+            content: content.clone(),
+        },
     );
     schema.set(
         rest.clone(),
-        Type::Element { name: NameTest::AnyExcept(excluded), content },
+        Type::Element {
+            name: NameTest::AnyExcept(excluded),
+            content,
+        },
     );
     // Replace references to the wildcard type with the union.
     let parents = schema.parents_of(wildcard_type);
@@ -629,7 +718,10 @@ fn union_to_options_applicable(schema: &Schema, def: &Type) -> bool {
     }
 }
 
-fn apply_union_to_options(mut schema: Schema, in_type: &TypeName) -> Result<Schema, TransformError> {
+fn apply_union_to_options(
+    mut schema: Schema,
+    in_type: &TypeName,
+) -> Result<Schema, TransformError> {
     let def = schema
         .get(in_type)
         .cloned()
@@ -638,7 +730,10 @@ fn apply_union_to_options(mut schema: Schema, in_type: &TypeName) -> Result<Sche
         union_site(&def).ok_or_else(|| TransformError::NoSite(format!("union in {in_type}")))?;
     for alt in &alternatives {
         if schema.reference_count(alt) != 1 || schema.is_recursive(alt) {
-            return Err(TransformError::NotInlinable(alt.clone(), "shared or recursive union member"));
+            return Err(TransformError::NotInlinable(
+                alt.clone(),
+                "shared or recursive union member",
+            ));
         }
     }
     let optionals: Vec<Type> = alternatives
@@ -650,7 +745,9 @@ fn apply_union_to_options(mut schema: Schema, in_type: &TypeName) -> Result<Sche
         .collect();
     let rewritten = def.map(&mut |t| match t {
         Type::Choice(items)
-            if items.iter().all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
+            if items
+                .iter()
+                .all(|i| matches!(i, Type::Ref(n) if alternatives.contains(n))) =>
         {
             Type::seq(optionals.clone())
         }
@@ -674,12 +771,20 @@ fn outline_wildcard_at(ty: Type, fresh: &TypeName, extracted: &mut Option<Type>)
             *extracted = Some(Type::Element { name, content });
             Type::Ref(fresh.clone())
         }
-        Type::Seq(items) => {
-            Type::seq(items.into_iter().map(|t| outline_wildcard_at(t, fresh, extracted)))
-        }
-        Type::Rep { inner, occurs, avg_count } if !occurs.multi_valued() => {
-            Type::rep_with_count(outline_wildcard_at(*inner, fresh, extracted), occurs, avg_count)
-        }
+        Type::Seq(items) => Type::seq(
+            items
+                .into_iter()
+                .map(|t| outline_wildcard_at(t, fresh, extracted)),
+        ),
+        Type::Rep {
+            inner,
+            occurs,
+            avg_count,
+        } if !occurs.multi_valued() => Type::rep_with_count(
+            outline_wildcard_at(*inner, fresh, extracted),
+            occurs,
+            avg_count,
+        ),
         other => other,
     }
 }
@@ -699,8 +804,7 @@ mod tests {
     use legodb_schema::gen::{generate, GenConfig};
     use legodb_schema::parse_schema;
     use legodb_schema::validate::validate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use legodb_util::StdRng;
 
     fn pschema(src: &str) -> PSchema {
         PSchema::try_new(parse_schema(src).unwrap()).unwrap()
@@ -783,7 +887,10 @@ mod tests {
         let p = imdb();
         let out = apply(
             &p,
-            &Transformation::Outline { in_type: TypeName::new("Show"), rel: vec!["title".into()] },
+            &Transformation::Outline {
+                in_type: TypeName::new("Show"),
+                rel: vec!["title".into()],
+            },
         )
         .unwrap();
         assert!(out.schema().get_str("Title").is_some(), "{}", out.schema());
@@ -811,11 +918,19 @@ mod tests {
     #[test]
     fn union_distribute_creates_parts() {
         let p = imdb();
-        let out = apply(&p, &Transformation::UnionDistribute { in_type: TypeName::new("Show") })
-            .unwrap();
+        let out = apply(
+            &p,
+            &Transformation::UnionDistribute {
+                in_type: TypeName::new("Show"),
+            },
+        )
+        .unwrap();
         let s = out.schema();
         assert!(s.get_str("Show").is_none(), "{s}");
-        assert!(s.get_str("Show_Part").is_some() || s.get_str("Show_Part_1").is_some(), "{s}");
+        assert!(
+            s.get_str("Show_Part").is_some() || s.get_str("Show_Part_1").is_some(),
+            "{s}"
+        );
         // Two parts referencing show content; both validate movies/tv.
         assert_preserves_semantics(&p, &out);
         // Parts inline the union members (box_office becomes a column of
@@ -879,8 +994,13 @@ mod tests {
     #[test]
     fn union_to_options_inlines_with_optionals() {
         let p = imdb();
-        let out = apply(&p, &Transformation::UnionToOptions { in_type: TypeName::new("Show") })
-            .unwrap();
+        let out = apply(
+            &p,
+            &Transformation::UnionToOptions {
+                in_type: TypeName::new("Show"),
+            },
+        )
+        .unwrap();
         let s = out.schema();
         assert!(s.get_str("Movie").is_none(), "{s}");
         assert!(s.get_str("TV").is_none(), "{s}");
@@ -892,18 +1012,30 @@ mod tests {
     fn enumerate_respects_the_transformation_set() {
         let p = imdb();
         let inline_only = enumerate_candidates(&p, &TransformationSet::inline_only());
-        assert!(inline_only.iter().all(|t| matches!(t, Transformation::Inline(_))));
+        assert!(inline_only
+            .iter()
+            .all(|t| matches!(t, Transformation::Inline(_))));
         // Description is the only inlinable type (others are shared/
         // multi-valued/union members).
         assert_eq!(inline_only.len(), 1, "{inline_only:?}");
         let outline_only = enumerate_candidates(&p, &TransformationSet::outline_only());
         assert!(!outline_only.is_empty());
-        assert!(outline_only.iter().all(|t| matches!(t, Transformation::Outline { .. })));
+        assert!(outline_only
+            .iter()
+            .all(|t| matches!(t, Transformation::Outline { .. })));
         let all = enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()]));
-        assert!(all.iter().any(|t| matches!(t, Transformation::UnionDistribute { .. })));
-        assert!(all.iter().any(|t| matches!(t, Transformation::RepetitionSplit { .. })));
-        assert!(all.iter().any(|t| matches!(t, Transformation::WildcardMaterialize { .. })));
-        assert!(all.iter().any(|t| matches!(t, Transformation::UnionToOptions { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t, Transformation::UnionDistribute { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t, Transformation::RepetitionSplit { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t, Transformation::WildcardMaterialize { .. })));
+        assert!(all
+            .iter()
+            .any(|t| matches!(t, Transformation::UnionToOptions { .. })));
     }
 
     #[test]
@@ -920,6 +1052,10 @@ mod tests {
         let schema = imdb().into_schema();
         let outlined = derive_pschema(&schema, InlineStyle::Outlined);
         let moves = enumerate_candidates(&outlined, &TransformationSet::inline_only());
-        assert!(moves.len() >= 5, "expected many inline moves, got {}", moves.len());
+        assert!(
+            moves.len() >= 5,
+            "expected many inline moves, got {}",
+            moves.len()
+        );
     }
 }

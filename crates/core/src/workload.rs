@@ -28,7 +28,11 @@ impl Workload {
 
     /// Add a parsed query.
     pub fn push(&mut self, name: impl Into<String>, query: XQuery, weight: f64) -> &mut Self {
-        self.queries.push(WorkloadQuery { name: name.into(), query, weight });
+        self.queries.push(WorkloadQuery {
+            name: name.into(),
+            query,
+            weight,
+        });
         self
     }
 
@@ -80,7 +84,11 @@ impl Workload {
             queries: self
                 .queries
                 .iter()
-                .map(|q| WorkloadQuery { name: q.name.clone(), query: q.query.clone(), weight: q.weight * factor })
+                .map(|q| WorkloadQuery {
+                    name: q.name.clone(),
+                    query: q.query.clone(),
+                    weight: q.weight * factor,
+                })
                 .collect(),
         }
     }
@@ -136,10 +144,8 @@ mod tests {
 
     #[test]
     fn from_sources_builds_or_reports_errors() {
-        let w = Workload::from_sources([
-            ("Q1", r#"FOR $v IN document("x")/a RETURN $v"#, 0.5),
-        ])
-        .unwrap();
+        let w = Workload::from_sources([("Q1", r#"FOR $v IN document("x")/a RETURN $v"#, 0.5)])
+            .unwrap();
         assert_eq!(w.len(), 1);
         assert!(Workload::from_sources([("bad", "NOT XQUERY", 1.0)]).is_err());
     }

@@ -6,8 +6,8 @@
 //! Substitutes for the proprietary IMDB dataset — the cost pipeline only
 //! consumes path statistics, which this data reproduces.
 
+use legodb_util::Rng;
 use legodb_xml::{Document, Element};
-use rand::Rng;
 
 /// Generator scale knobs. Defaults reproduce Appendix A ratios at
 /// 1/100 scale.
@@ -58,13 +58,16 @@ impl ScaleConfig {
 pub fn generate_imdb(rng: &mut impl Rng, config: &ScaleConfig) -> Document {
     let mut imdb = Element::new("imdb");
     for i in 0..config.shows {
-        imdb.children.push(legodb_xml::Node::Element(show(rng, config, i)));
+        imdb.children
+            .push(legodb_xml::Node::Element(show(rng, config, i)));
     }
     for i in 0..config.directors {
-        imdb.children.push(legodb_xml::Node::Element(director(rng, config, i)));
+        imdb.children
+            .push(legodb_xml::Node::Element(director(rng, config, i)));
     }
     for i in 0..config.actors {
-        imdb.children.push(legodb_xml::Node::Element(actor(rng, config, i)));
+        imdb.children
+            .push(legodb_xml::Node::Element(actor(rng, config, i)));
     }
     Document::new(imdb)
 }
@@ -73,7 +76,9 @@ const REVIEW_SOURCES: [&str; 3] = ["suntimes", "variety", "guardian"];
 
 fn rand_string(rng: &mut impl Rng, len: usize) -> String {
     const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz ";
-    (0..len).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char).collect()
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
 }
 
 /// Sample a count with the given mean (rounded Bernoulli mixture: keeps
@@ -99,12 +104,16 @@ fn show(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
     let mut e = Element::new("show")
         .with_attr("type", if is_movie { "Movie" } else { "TV series" })
         .with_child(Element::text_leaf("title", title_for(i)))
-        .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()));
+        .with_child(Element::text_leaf(
+            "year",
+            rng.gen_range(1800..=2100).to_string(),
+        ));
     for _ in 0..sample_count(rng, config.akas_per_show) {
-        e.children.push(legodb_xml::Node::Element(Element::text_leaf(
-            "aka",
-            rand_string(rng, 40),
-        )));
+        e.children
+            .push(legodb_xml::Node::Element(Element::text_leaf(
+                "aka",
+                rand_string(rng, 40),
+            )));
     }
     for _ in 0..sample_count(rng, config.reviews_per_show) {
         let source = if rng.gen_bool(config.nyt_fraction.clamp(0.0, 1.0)) {
@@ -128,7 +137,10 @@ fn show(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
             ));
     } else {
         e = e
-            .with_child(Element::text_leaf("seasons", rng.gen_range(1..=30).to_string()))
+            .with_child(Element::text_leaf(
+                "seasons",
+                rng.gen_range(1..=30).to_string(),
+            ))
             .with_child(Element::text_leaf("description", rand_string(rng, 120)));
         for _ in 0..sample_count(rng, config.episodes_per_tv) {
             let episode = Element::new("episode")
@@ -144,8 +156,8 @@ fn show(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
 }
 
 fn director(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
-    let mut e = Element::new("director")
-        .with_child(Element::text_leaf("name", person_name("director", i)));
+    let mut e =
+        Element::new("director").with_child(Element::text_leaf("name", person_name("director", i)));
     // 105004 / 26251 ≈ 4 directed per director.
     for _ in 0..sample_count(rng, 4.0) {
         let mut d = Element::new("directed")
@@ -153,12 +165,16 @@ fn director(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
                 "title",
                 title_for(rng.gen_range(0..config.shows.max(1))),
             ))
-            .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()));
+            .with_child(Element::text_leaf(
+                "year",
+                rng.gen_range(1800..=2100).to_string(),
+            ));
         if rng.gen_bool(0.48) {
-            d.children.push(legodb_xml::Node::Element(Element::text_leaf(
-                "info",
-                rand_string(rng, 100),
-            )));
+            d.children
+                .push(legodb_xml::Node::Element(Element::text_leaf(
+                    "info",
+                    rand_string(rng, 100),
+                )));
         }
         e.children.push(legodb_xml::Node::Element(d));
     }
@@ -175,7 +191,10 @@ fn actor(rng: &mut impl Rng, config: &ScaleConfig, i: usize) -> Element {
                 "title",
                 title_for(rng.gen_range(0..config.shows.max(1))),
             ))
-            .with_child(Element::text_leaf("year", rng.gen_range(1800..=2100).to_string()))
+            .with_child(Element::text_leaf(
+                "year",
+                rng.gen_range(1800..=2100).to_string(),
+            ))
             .with_child(Element::text_leaf("character", rand_string(rng, 40)))
             .with_child(Element::text_leaf(
                 "order_of_appearance",
@@ -213,12 +232,16 @@ mod tests {
     use super::*;
     use crate::schema::imdb_schema;
     use legodb_schema::validate::validate;
+    use legodb_util::StdRng;
     use legodb_xml::stats::Statistics;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn tiny() -> ScaleConfig {
-        ScaleConfig { shows: 40, directors: 20, actors: 60, ..ScaleConfig::at_scale(0.001) }
+        ScaleConfig {
+            shows: 40,
+            directors: 20,
+            actors: 60,
+            ..ScaleConfig::at_scale(0.001)
+        }
     }
 
     #[test]
@@ -235,7 +258,12 @@ mod tests {
     #[test]
     fn generated_statistics_track_the_config() {
         let mut rng = StdRng::seed_from_u64(7);
-        let config = ScaleConfig { shows: 200, directors: 50, actors: 100, ..tiny() };
+        let config = ScaleConfig {
+            shows: 200,
+            directors: 50,
+            actors: 100,
+            ..tiny()
+        };
         let doc = generate_imdb(&mut rng, &config);
         let stats = Statistics::collect(&doc);
         assert_eq!(stats.count(&["imdb", "show"]), Some(200));

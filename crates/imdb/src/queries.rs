@@ -193,7 +193,10 @@ pub fn fig5_queries() -> Vec<(&'static str, XQuery)> {
                WHERE $v/year = 1999
                RETURN $v/title, $v/year, $r/nyt"#,
         ),
-        ("FQ2", r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#),
+        (
+            "FQ2",
+            r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#,
+        ),
         (
             "FQ3",
             r#"FOR $v IN document("imdbdata")/imdb/show
@@ -268,7 +271,12 @@ mod tests {
 
     #[test]
     fn workloads_have_unit_weight() {
-        for w in [lookup_workload(), publish_workload(), workload_w1(), workload_w2()] {
+        for w in [
+            lookup_workload(),
+            publish_workload(),
+            workload_w1(),
+            workload_w2(),
+        ] {
             assert!((w.total_weight() - 1.0).abs() < 1e-9);
         }
     }
@@ -276,7 +284,10 @@ mod tests {
     #[test]
     fn publish_queries_emit_multiple_statements() {
         let schema = imdb_schema();
-        let mapping = rel(&derive_pschema(&schema, InlineStyle::Inlined), &paper_statistics());
+        let mapping = rel(
+            &derive_pschema(&schema, InlineStyle::Inlined),
+            &paper_statistics(),
+        );
         let t = translate(&mapping, &query("Q16")).unwrap();
         assert!(t.statements.len() >= 4, "{}", t.to_sql());
     }

@@ -57,9 +57,10 @@ mod tests {
     fn schema_parses_with_all_types() {
         let s = imdb_schema();
         assert_eq!(s.root().as_str(), "IMDB");
-        for name in
-            ["Show", "Aka", "Review", "Movie", "TV", "Episode", "Director", "Directed", "Actor", "Played", "Award"]
-        {
+        for name in [
+            "Show", "Aka", "Review", "Movie", "TV", "Episode", "Director", "Directed", "Actor",
+            "Played", "Award",
+        ] {
             assert!(s.get_str(name).is_some(), "missing {name}");
         }
     }

@@ -82,12 +82,23 @@ pub fn scaled_statistics(scale: f64) -> Statistics {
         .set_count(&["imdb", "actor", "played", "character"], n(663_144))
         .set_size(&["imdb", "actor", "played", "character"], 40.0)
         .set_distinct(&["imdb", "actor", "played", "character"], n(300_000))
-        .set_count(&["imdb", "actor", "played", "order_of_appearance"], n(663_144))
-        .set_base(&["imdb", "actor", "played", "order_of_appearance"], 1, 300, 300)
+        .set_count(
+            &["imdb", "actor", "played", "order_of_appearance"],
+            n(663_144),
+        )
+        .set_base(
+            &["imdb", "actor", "played", "order_of_appearance"],
+            1,
+            300,
+            300,
+        )
         .set_count(&["imdb", "actor", "played", "award"], n(66_000))
         .set_count(&["imdb", "actor", "played", "award", "result"], n(66_000))
         .set_size(&["imdb", "actor", "played", "award", "result"], 3.0)
-        .set_count(&["imdb", "actor", "played", "award", "award_name"], n(66_000))
+        .set_count(
+            &["imdb", "actor", "played", "award", "award_name"],
+            n(66_000),
+        )
         .set_size(&["imdb", "actor", "played", "award", "award_name"], 40.0)
         .set_count(&["imdb", "actor", "biography"], n(20_000))
         .set_count(&["imdb", "actor", "biography", "birthday"], n(20_000))
@@ -100,7 +111,11 @@ pub fn scaled_statistics(scale: f64) -> Statistics {
 
 /// Inject the Table 2 wildcard experiment's review statistics: a total
 /// review count and the fraction tagged `nyt` (the rest use other tags).
-pub fn with_review_split(mut stats: Statistics, total_reviews: u64, nyt_fraction: f64) -> Statistics {
+pub fn with_review_split(
+    mut stats: Statistics,
+    total_reviews: u64,
+    nyt_fraction: f64,
+) -> Statistics {
     let nyt = (total_reviews as f64 * nyt_fraction).round() as u64;
     stats
         .set_count(&["imdb", "show", "review"], total_reviews)
@@ -122,7 +137,10 @@ mod tests {
         assert_eq!(s.count(&["imdb", "actor"]), Some(165_786));
         assert_eq!(s.count(&["imdb", "actor", "played"]), Some(663_144));
         let year = s.get(&["imdb", "show", "year"]).unwrap();
-        assert_eq!((year.min, year.max, year.distinct), (Some(1800), Some(2100), Some(300)));
+        assert_eq!(
+            (year.min, year.max, year.distinct),
+            (Some(1800), Some(2100), Some(300))
+        );
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { seek: 40.0, page_io: 1.0, cpu_tuple: 0.001 }
+        CostModel {
+            seek: 40.0,
+            page_io: 1.0,
+            cpu_tuple: 0.001,
+        }
     }
 }
 
@@ -52,21 +56,37 @@ pub struct Cost {
 
 impl Cost {
     /// The zero cost.
-    pub const ZERO: Cost = Cost { seeks: 0.0, pages_read: 0.0, pages_written: 0.0, cpu_tuples: 0.0 };
+    pub const ZERO: Cost = Cost {
+        seeks: 0.0,
+        pages_read: 0.0,
+        pages_written: 0.0,
+        cpu_tuples: 0.0,
+    };
 
     /// A pure-CPU cost.
     pub fn cpu(tuples: f64) -> Cost {
-        Cost { cpu_tuples: tuples, ..Cost::ZERO }
+        Cost {
+            cpu_tuples: tuples,
+            ..Cost::ZERO
+        }
     }
 
     /// A sequential read: one seek plus `pages` transfers.
     pub fn seq_read(pages: f64) -> Cost {
-        Cost { seeks: 1.0, pages_read: pages, ..Cost::ZERO }
+        Cost {
+            seeks: 1.0,
+            pages_read: pages,
+            ..Cost::ZERO
+        }
     }
 
     /// A random read of `pages` pages: one seek each.
     pub fn random_read(pages: f64) -> Cost {
-        Cost { seeks: pages, pages_read: pages, ..Cost::ZERO }
+        Cost {
+            seeks: pages,
+            pages_read: pages,
+            ..Cost::ZERO
+        }
     }
 
     /// Scale all components (e.g. per-probe cost × number of probes).
@@ -114,8 +134,17 @@ mod tests {
 
     #[test]
     fn totals_weight_components() {
-        let m = CostModel { seek: 10.0, page_io: 1.0, cpu_tuple: 0.01 };
-        let c = Cost { seeks: 2.0, pages_read: 5.0, pages_written: 3.0, cpu_tuples: 100.0 };
+        let m = CostModel {
+            seek: 10.0,
+            page_io: 1.0,
+            cpu_tuple: 0.01,
+        };
+        let c = Cost {
+            seeks: 2.0,
+            pages_read: 5.0,
+            pages_written: 3.0,
+            cpu_tuples: 100.0,
+        };
         assert!((m.total(&c) - (20.0 + 8.0 + 1.0)).abs() < 1e-9);
     }
 
@@ -133,7 +162,13 @@ mod tests {
 
     #[test]
     fn scale_multiplies_all_components() {
-        let c = Cost { seeks: 1.0, pages_read: 3.0, pages_written: 0.0, cpu_tuples: 10.0 }.scale(4.0);
+        let c = Cost {
+            seeks: 1.0,
+            pages_read: 3.0,
+            pages_written: 0.0,
+            cpu_tuples: 10.0,
+        }
+        .scale(4.0);
         assert_eq!(c.seeks, 4.0);
         assert_eq!(c.pages_read, 12.0);
         assert_eq!(c.cpu_tuples, 40.0);

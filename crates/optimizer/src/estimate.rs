@@ -29,9 +29,15 @@ pub fn filter_selectivity(catalog: &Catalog, query: &SpjQuery, filter: &FilterPr
     };
     match filter {
         FilterPred::Cmp { op, value, .. } => match op {
-            CmpOp::Eq => column.stats.distinct.map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0)),
+            CmpOp::Eq => column
+                .stats
+                .distinct
+                .map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0)),
             CmpOp::Ne => {
-                1.0 - column.stats.distinct.map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0))
+                1.0 - column
+                    .stats
+                    .distinct
+                    .map_or(DEFAULT_EQ_SELECTIVITY, |d| 1.0 / d.max(1.0))
             }
             CmpOp::Lt | CmpOp::Le => open_range_fraction(column, value, true),
             CmpOp::Gt | CmpOp::Ge => open_range_fraction(column, value, false),
@@ -44,8 +50,18 @@ pub fn filter_selectivity(catalog: &Catalog, query: &SpjQuery, filter: &FilterPr
             if span <= 0.0 {
                 return 1.0;
             }
-            let lo = range.lo.as_ref().and_then(Value::as_int).unwrap_or(min).max(min);
-            let hi = range.hi.as_ref().and_then(Value::as_int).unwrap_or(max).min(max);
+            let lo = range
+                .lo
+                .as_ref()
+                .and_then(Value::as_int)
+                .unwrap_or(min)
+                .max(min);
+            let hi = range
+                .hi
+                .as_ref()
+                .and_then(Value::as_int)
+                .unwrap_or(max)
+                .min(max);
             (((hi - lo) as f64) / span).clamp(0.0, 1.0)
         }
     }
@@ -83,7 +99,11 @@ pub fn table_selectivity(catalog: &Catalog, query: &SpjQuery, table_idx: usize) 
 
 /// Estimated rows of table `table_idx` after its filters.
 pub fn filtered_cardinality(catalog: &Catalog, query: &SpjQuery, table_idx: usize) -> f64 {
-    let Some(table) = query.tables.get(table_idx).and_then(|t| catalog.table(&t.table)) else {
+    let Some(table) = query
+        .tables
+        .get(table_idx)
+        .and_then(|t| catalog.table(&t.table))
+    else {
         return 0.0;
     };
     (table.stats.rows * table_selectivity(catalog, query, table_idx)).max(0.0)
@@ -160,13 +180,15 @@ mod tests {
         let mut aka = TableDef::new("Aka");
         aka.columns = vec![
             legodb_relational::ColumnDef::new("Aka_id", SqlType::Int),
-            legodb_relational::ColumnDef::new("parent_Show", SqlType::Int).with_stats(ColumnStats {
-                avg_width: 8.0,
-                distinct: Some(10000.0),
-                min: None,
-                max: None,
-                null_fraction: 0.0,
-            }),
+            legodb_relational::ColumnDef::new("parent_Show", SqlType::Int).with_stats(
+                ColumnStats {
+                    avg_width: 8.0,
+                    distinct: Some(10000.0),
+                    min: None,
+                    max: None,
+                    null_fraction: 0.0,
+                },
+            ),
         ];
         aka.key = Some("Aka_id".into());
         aka.stats.rows = 13641.0;
@@ -195,7 +217,10 @@ mod tests {
         let q = show_query();
         let f = FilterPred::Between {
             col: ColRef::new(0, "year"),
-            range: Range { lo: Some(Value::Int(1800)), hi: Some(Value::Int(1950)) },
+            range: Range {
+                lo: Some(Value::Int(1800)),
+                hi: Some(Value::Int(1950)),
+            },
         };
         let sel = filter_selectivity(&c, &q, &f);
         assert!((sel - 0.5).abs() < 1e-9);
@@ -243,7 +268,12 @@ mod tests {
         let c = catalog();
         let mut q = show_query();
         let aka = q.add_table("Aka", "a");
-        let sel = join_selectivity(&c, &q, &ColRef::new(0, "Show_id"), &ColRef::new(aka, "parent_Show"));
+        let sel = join_selectivity(
+            &c,
+            &q,
+            &ColRef::new(0, "Show_id"),
+            &ColRef::new(aka, "parent_Show"),
+        );
         // key side distinct = 34798 rows → join card = 34798 * 13641 / 34798 = 13641
         let join_card = 34798.0 * 13641.0 * sel;
         assert!((join_card - 13641.0).abs() < 1.0);

@@ -2,9 +2,7 @@
 //! programming over join orders, join-method selection, and final costing.
 
 use crate::cost::{Cost, CostModel};
-use crate::estimate::{
-    filter_selectivity, filtered_cardinality, join_selectivity, output_width,
-};
+use crate::estimate::{filter_selectivity, filtered_cardinality, join_selectivity, output_width};
 use crate::query::{ColRef, FilterPred, SpjQuery, Statement};
 use legodb_relational::plan::IndexKey;
 use legodb_relational::{Catalog, CmpOp, Expr, PhysicalPlan, TableDef, PAGE_SIZE};
@@ -138,7 +136,9 @@ pub fn optimize(
         }
     }
 
-    let root = best.remove(&full).expect("DP covers the full set (cross products allowed)");
+    let root = best
+        .remove(&full)
+        .expect("DP covers the full set (cross products allowed)");
     finish(catalog, query, root, config)
 }
 
@@ -163,7 +163,12 @@ pub fn optimize_statement(
                 plans.push(opt.plan);
             }
             let total = config.cost_model.total(&cost);
-            Ok(OptimizedPlan { plan: PhysicalPlan::Union { inputs: plans }, cost, rows, total })
+            Ok(OptimizedPlan {
+                plan: PhysicalPlan::Union { inputs: plans },
+                cost,
+                rows,
+                total,
+            })
         }
     }
 }
@@ -176,8 +181,9 @@ fn validate(catalog: &Catalog, query: &SpjQuery) -> Result<(), OptimizerError> {
     }
     let check_col = |col: &ColRef| -> Result<(), OptimizerError> {
         let table = &query.tables[col.table];
-        let def =
-            catalog.table(&table.table).ok_or_else(|| OptimizerError::UnknownTable(table.table.clone()))?;
+        let def = catalog
+            .table(&table.table)
+            .ok_or_else(|| OptimizerError::UnknownTable(table.table.clone()))?;
         if def.column(&col.column).is_none() {
             return Err(OptimizerError::UnknownColumn {
                 table: table.table.clone(),
@@ -276,7 +282,11 @@ fn filters_to_expr(def: &TableDef, filters: &[&FilterPred], offset: usize) -> Op
 /// most selective indexed equality/range filter.
 fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &OptimizerConfig) -> SubPlan {
     let def = catalog.table(&query.tables[i].table).expect("validated");
-    let filters: Vec<&FilterPred> = query.filters.iter().filter(|f| f.col().table == i).collect();
+    let filters: Vec<&FilterPred> = query
+        .filters
+        .iter()
+        .filter(|f| f.col().table == i)
+        .collect();
     let card = filtered_cardinality(catalog, query, i);
     let rows = def.stats.rows.max(0.0);
 
@@ -287,7 +297,12 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
         predicate: filters_to_expr(def, &filters, 0),
         projection: None,
     };
-    let mut best = SubPlan { plan: seq_plan, cost: seq_cost, card, layout: vec![i] };
+    let mut best = SubPlan {
+        plan: seq_plan,
+        cost: seq_cost,
+        card,
+        layout: vec![i],
+    };
 
     // Index scans: one candidate per indexed filter; the others become
     // residuals.
@@ -296,17 +311,25 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
             continue;
         }
         let key = match filter {
-            FilterPred::Cmp { op: CmpOp::Eq, value, .. } => IndexKey::Eq(value.clone()),
-            FilterPred::Between { range, .. } => {
-                IndexKey::Range { lo: range.lo.clone(), hi: range.hi.clone() }
-            }
+            FilterPred::Cmp {
+                op: CmpOp::Eq,
+                value,
+                ..
+            } => IndexKey::Eq(value.clone()),
+            FilterPred::Between { range, .. } => IndexKey::Range {
+                lo: range.lo.clone(),
+                hi: range.hi.clone(),
+            },
             _ => continue, // open comparisons: skip (scan handles them)
         };
         let sel = filter_selectivity(catalog, query, filter);
         let matches = rows * sel;
         // 1 seek + ~2 index pages + one random page per match (unclustered).
-        let cost = Cost { seeks: 1.0 + matches, pages_read: 2.0 + matches, ..Cost::ZERO }
-            + Cost::cpu(matches);
+        let cost = Cost {
+            seeks: 1.0 + matches,
+            pages_read: 2.0 + matches,
+            ..Cost::ZERO
+        } + Cost::cpu(matches);
         let residual: Vec<&FilterPred> = filters
             .iter()
             .enumerate()
@@ -320,7 +343,12 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
             residual: filters_to_expr(def, &residual, 0),
             projection: None,
         };
-        let candidate = SubPlan { plan, cost, card, layout: vec![i] };
+        let candidate = SubPlan {
+            plan,
+            cost,
+            card,
+            layout: vec![i],
+        };
         if config.cost_model.total(&candidate.cost) < config.cost_model.total(&best.cost) {
             best = candidate;
         }
@@ -331,7 +359,12 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
 
 /// Position of `col` within the concatenated output row of a plan whose
 /// tables appear in `layout` order.
-fn col_position(catalog: &Catalog, query: &SpjQuery, layout: &[usize], col: &ColRef) -> Option<usize> {
+fn col_position(
+    catalog: &Catalog,
+    query: &SpjQuery,
+    layout: &[usize],
+    col: &ColRef,
+) -> Option<usize> {
     let mut offset = 0;
     for &t in layout {
         let def = catalog.table(&query.tables[t].table)?;
@@ -383,7 +416,12 @@ fn join_subplans(
             right: Box::new(right.plan.clone()),
             predicate: None,
         };
-        return Some(SubPlan { plan, cost, card, layout });
+        return Some(SubPlan {
+            plan,
+            cost,
+            card,
+            layout,
+        });
     }
 
     // Hash join: build on the right, probe with the left.
@@ -409,7 +447,16 @@ fn join_subplans(
                 left_keys: lk,
                 right_keys: rk,
             };
-            replace_if_cheaper(&mut candidate, SubPlan { plan, cost, card, layout: layout.clone() }, &config.cost_model);
+            replace_if_cheaper(
+                &mut candidate,
+                SubPlan {
+                    plan,
+                    cost,
+                    card,
+                    layout: layout.clone(),
+                },
+                &config.cost_model,
+            );
         }
     }
 
@@ -418,8 +465,9 @@ fn join_subplans(
     if right.layout.len() == 1 {
         let rt = right.layout[0];
         let def = catalog.table(&query.tables[rt].table).expect("validated");
-        if let Some((probe_l, probe_r)) =
-            edges.iter().find(|(_, r)| has_index(def, &r.column, config, false))
+        if let Some((probe_l, probe_r)) = edges
+            .iter()
+            .find(|(_, r)| has_index(def, &r.column, config, false))
         {
             let left_key = col_position(catalog, query, &left.layout, probe_l)?;
             // Residual: remaining edges + right-table filters, evaluated on
@@ -427,7 +475,11 @@ fn join_subplans(
             let left_width: usize = left
                 .layout
                 .iter()
-                .map(|&t| catalog.table(&query.tables[t].table).map_or(0, |d| d.columns.len()))
+                .map(|&t| {
+                    catalog
+                        .table(&query.tables[t].table)
+                        .map_or(0, |d| d.columns.len())
+                })
                 .sum();
             let mut residual_parts = Vec::new();
             for (l, r) in &edges {
@@ -438,8 +490,11 @@ fn join_subplans(
                 let rp = def.column_index(&r.column)? + left_width;
                 residual_parts.push(Expr::col_eq_col(lp, rp));
             }
-            let right_filters: Vec<&FilterPred> =
-                query.filters.iter().filter(|f| f.col().table == rt).collect();
+            let right_filters: Vec<&FilterPred> = query
+                .filters
+                .iter()
+                .filter(|f| f.col().table == rt)
+                .collect();
             if let Some(e) = filters_to_expr(def, &right_filters, left_width) {
                 residual_parts.push(e);
             }
@@ -466,7 +521,16 @@ fn join_subplans(
                 left_key,
                 residual,
             };
-            replace_if_cheaper(&mut candidate, SubPlan { plan, cost, card, layout: layout.clone() }, &config.cost_model);
+            replace_if_cheaper(
+                &mut candidate,
+                SubPlan {
+                    plan,
+                    cost,
+                    card,
+                    layout: layout.clone(),
+                },
+                &config.cost_model,
+            );
         }
     }
 
@@ -537,7 +601,11 @@ fn hash_spill_cost(
         .sum();
     let pages = side.card * width / PAGE_SIZE;
     if pages > MEMORY_PAGES {
-        Cost { pages_read: pages, pages_written: pages, ..Cost::ZERO }
+        Cost {
+            pages_read: pages,
+            pages_written: pages,
+            ..Cost::ZERO
+        }
     } else {
         Cost::ZERO
     }
@@ -558,14 +626,27 @@ fn finish(
             .map(|c| col_position(catalog, query, &root.layout, c))
             .collect();
         let columns = columns.ok_or(OptimizerError::NoTables)?;
-        plan = PhysicalPlan::Project { input: Box::new(plan), columns };
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            columns,
+        };
     }
     // Result delivery: writing the output (paper: "amount of data written").
     let width = output_width(catalog, query);
     let out_pages = (root.card * width / PAGE_SIZE).max(0.0);
-    let cost = root.cost + Cost { pages_written: out_pages, ..Cost::ZERO } + Cost::cpu(root.card);
+    let cost = root.cost
+        + Cost {
+            pages_written: out_pages,
+            ..Cost::ZERO
+        }
+        + Cost::cpu(root.card);
     let total = config.cost_model.total(&cost);
-    Ok(OptimizedPlan { plan, cost, rows: root.card, total })
+    Ok(OptimizedPlan {
+        plan,
+        cost,
+        rows: root.card,
+        total,
+    })
 }
 
 #[cfg(test)]
@@ -663,7 +744,11 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(has_index_join(&opt.plan), "expected an index join:\n{}", opt.plan);
+        assert!(
+            has_index_join(&opt.plan),
+            "expected an index join:\n{}",
+            opt.plan
+        );
     }
 
     #[test]
@@ -680,7 +765,11 @@ mod tests {
                 _ => false,
             }
         }
-        assert!(has_hash_join(&opt.plan), "expected a hash join:\n{}", opt.plan);
+        assert!(
+            has_hash_join(&opt.plan),
+            "expected a hash join:\n{}",
+            opt.plan
+        );
     }
 
     #[test]
@@ -698,7 +787,10 @@ mod tests {
         let mut q = SpjQuery::single("Show", "s");
         q.filters.push(FilterPred::Between {
             col: ColRef::new(0, "year"),
-            range: Range { lo: Some(Value::Int(0)), hi: Some(Value::Int(500)) },
+            range: Range {
+                lo: Some(Value::Int(0)),
+                hi: Some(Value::Int(500)),
+            },
         });
         let opt = optimize(&c, &q, &default_config()).unwrap();
         assert!((opt.rows - 5000.0).abs() < 10.0);
@@ -738,7 +830,8 @@ mod tests {
             Err(OptimizerError::UnknownTable(_))
         ));
         let mut q = SpjQuery::single("Show", "s");
-        q.filters.push(FilterPred::eq(ColRef::new(0, "bogus"), 1i64));
+        q.filters
+            .push(FilterPred::eq(ColRef::new(0, "bogus"), 1i64));
         assert!(matches!(
             optimize(&c, &q, &default_config()),
             Err(OptimizerError::UnknownColumn { .. })
@@ -752,7 +845,10 @@ mod tests {
         let a = q.add_table("Aka", "a");
         q.add_join(ColRef::new(0, "Show_id"), ColRef::new(a, "parent_Show"));
         q.filters.push(FilterPred::eq(ColRef::new(0, "title"), "x"));
-        let cfg = OptimizerConfig { indexes: IndexAssumption::None, ..default_config() };
+        let cfg = OptimizerConfig {
+            indexes: IndexAssumption::None,
+            ..default_config()
+        };
         let opt = optimize(&c, &q, &cfg).unwrap();
         fn any_index(p: &PhysicalPlan) -> bool {
             match p {
@@ -775,7 +871,10 @@ mod tests {
         let c = catalog();
         let mut q = SpjQuery::single("Show", "s");
         q.filters.push(FilterPred::eq(ColRef::new(0, "title"), "x"));
-        let cfg = OptimizerConfig { indexes: IndexAssumption::AllFiltered, ..default_config() };
+        let cfg = OptimizerConfig {
+            indexes: IndexAssumption::AllFiltered,
+            ..default_config()
+        };
         let opt = optimize(&c, &q, &cfg).unwrap();
         fn has_index_scan(p: &PhysicalPlan) -> bool {
             match p {

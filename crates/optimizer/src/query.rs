@@ -30,7 +30,10 @@ pub struct ColRef {
 impl ColRef {
     /// Construct a column reference.
     pub fn new(table: usize, column: impl Into<String>) -> ColRef {
-        ColRef { table, column: column.into() }
+        ColRef {
+            table,
+            column: column.into(),
+        }
     }
 }
 
@@ -67,7 +70,11 @@ pub enum FilterPred {
 impl FilterPred {
     /// Shorthand for an equality filter.
     pub fn eq(col: ColRef, value: impl Into<Value>) -> FilterPred {
-        FilterPred::Cmp { col, op: CmpOp::Eq, value: value.into() }
+        FilterPred::Cmp {
+            col,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
     }
 
     /// The column this predicate constrains.
@@ -104,14 +111,20 @@ impl SpjQuery {
     /// A single-table query with no predicates.
     pub fn single(table: impl Into<String>, alias: impl Into<String>) -> SpjQuery {
         SpjQuery {
-            tables: vec![TableRef { alias: alias.into(), table: table.into() }],
+            tables: vec![TableRef {
+                alias: alias.into(),
+                table: table.into(),
+            }],
             ..SpjQuery::default()
         }
     }
 
     /// Add a table; returns its index for building [`ColRef`]s.
     pub fn add_table(&mut self, table: impl Into<String>, alias: impl Into<String>) -> usize {
-        self.tables.push(TableRef { alias: alias.into(), table: table.into() });
+        self.tables.push(TableRef {
+            alias: alias.into(),
+            table: table.into(),
+        });
         self.tables.len() - 1
     }
 
@@ -156,8 +169,9 @@ impl SpjQuery {
                 FilterPred::Between { col, range } => {
                     let alias = &self.tables[col.table].alias;
                     match (&range.lo, &range.hi) {
-                        (Some(lo), Some(hi)) => conditions
-                            .push(format!("{alias}.{} BETWEEN {lo} AND {hi}", col.column)),
+                        (Some(lo), Some(hi)) => {
+                            conditions.push(format!("{alias}.{} BETWEEN {lo} AND {hi}", col.column))
+                        }
                         (Some(lo), None) => {
                             conditions.push(format!("{alias}.{} >= {lo}", col.column))
                         }
@@ -243,7 +257,8 @@ mod tests {
         let mut q = SpjQuery::single("Show", "s");
         let aka = q.add_table("Aka", "a");
         q.add_join(ColRef::new(0, "Show_id"), ColRef::new(aka, "parent_Show"));
-        q.filters.push(FilterPred::eq(ColRef::new(0, "title"), "The Fugitive"));
+        q.filters
+            .push(FilterPred::eq(ColRef::new(0, "title"), "The Fugitive"));
         q.projection = vec![ColRef::new(aka, "aka")];
         q
     }
@@ -268,13 +283,19 @@ mod tests {
         let mut q = SpjQuery::single("Show", "s");
         q.filters.push(FilterPred::Between {
             col: ColRef::new(0, "year"),
-            range: Range { lo: Some(Value::Int(1990)), hi: Some(Value::Int(1999)) },
+            range: Range {
+                lo: Some(Value::Int(1990)),
+                hi: Some(Value::Int(1999)),
+            },
         });
         assert!(q.to_sql().contains("s.year BETWEEN 1990 AND 1999"));
         let mut q = SpjQuery::single("Show", "s");
         q.filters.push(FilterPred::Between {
             col: ColRef::new(0, "year"),
-            range: Range { lo: Some(Value::Int(1990)), hi: None },
+            range: Range {
+                lo: Some(Value::Int(1990)),
+                hi: None,
+            },
         });
         assert!(q.to_sql().contains("s.year >= 1990"));
     }
@@ -296,10 +317,8 @@ mod tests {
         let s = Statement::from_blocks(vec![SpjQuery::single("T", "t")]);
         assert!(matches!(s, Statement::Select(_)));
         assert_eq!(s.blocks().len(), 1);
-        let s = Statement::from_blocks(vec![
-            SpjQuery::single("A", "a"),
-            SpjQuery::single("B", "b"),
-        ]);
+        let s =
+            Statement::from_blocks(vec![SpjQuery::single("A", "a"), SpjQuery::single("B", "b")]);
         assert!(matches!(s, Statement::UnionAll(_)));
         assert_eq!(s.blocks().len(), 2);
     }

@@ -34,10 +34,17 @@ pub enum InlineStyle {
 /// by construction; the final `PSchema::try_new` is a checked assertion of
 /// that invariant.
 pub fn derive_pschema(schema: &Schema, style: InlineStyle) -> PSchema {
-    let mut d = Deriver { schema: schema.clone(), style };
+    let mut d = Deriver {
+        schema: schema.clone(),
+        style,
+    };
     let names: Vec<TypeName> = d.schema.names().cloned().collect();
     for name in names {
-        let def = d.schema.get(&name).expect("iterating existing names").clone();
+        let def = d
+            .schema
+            .get(&name)
+            .expect("iterating existing names")
+            .clone();
         let is_recursive = d.schema.is_recursive(&name);
         let rewritten = d.rewrite(def, Ctx::Top, is_recursive);
         d.schema.set(name, rewritten);
@@ -89,8 +96,11 @@ impl Deriver {
                 }
             }
             Type::Seq(items) => {
-                let rewritten =
-                    Type::seq(items.into_iter().map(|t| self.rewrite(t, Ctx::Nested, in_recursive)));
+                let rewritten = Type::seq(
+                    items
+                        .into_iter()
+                        .map(|t| self.rewrite(t, Ctx::Nested, in_recursive)),
+                );
                 if ctx == Ctx::NamedLayer {
                     self.outline(rewritten, None)
                 } else {
@@ -105,7 +115,11 @@ impl Deriver {
                     .collect();
                 Type::choice(alts)
             }
-            Type::Rep { inner, occurs, avg_count } => {
+            Type::Rep {
+                inner,
+                occurs,
+                avg_count,
+            } => {
                 if occurs.multi_valued() {
                     let inner = self.rewrite(*inner, Ctx::NamedLayer, in_recursive);
                     Type::rep_with_count(inner, occurs, avg_count)
@@ -144,7 +158,9 @@ impl Deriver {
 
     /// Create a fresh named type for `ty` and return a reference to it.
     fn outline(&mut self, ty: Type, stem_hint: Option<&str>) -> Type {
-        let stem = stem_hint.map(str::to_string).unwrap_or_else(|| name_stem(&ty));
+        let stem = stem_hint
+            .map(str::to_string)
+            .unwrap_or_else(|| name_stem(&ty));
         let name = self.schema.fresh_name(&stem);
         // The new definition's content is already rewritten; it only needs
         // registering.
@@ -157,12 +173,28 @@ impl Deriver {
 /// capitalized, `Any` for wildcards, the first element's stem for groups.
 fn name_stem(ty: &Type) -> String {
     match ty {
-        Type::Element { name: NameTest::Name(n), .. } => capitalize(n),
-        Type::Element { name: NameTest::Any, .. } => "Any".to_string(),
-        Type::Element { name: NameTest::AnyExcept(ex), .. } => {
-            format!("AnyBut{}", ex.first().map(|e| capitalize(e)).unwrap_or_default())
+        Type::Element {
+            name: NameTest::Name(n),
+            ..
+        } => capitalize(n),
+        Type::Element {
+            name: NameTest::Any,
+            ..
+        } => "Any".to_string(),
+        Type::Element {
+            name: NameTest::AnyExcept(ex),
+            ..
+        } => {
+            format!(
+                "AnyBut{}",
+                ex.first().map(|e| capitalize(e)).unwrap_or_default()
+            )
         }
-        Type::Seq(items) => items.first().map(name_stem).map(|s| format!("{s}Grp")).unwrap_or_else(|| "Grp".into()),
+        Type::Seq(items) => items
+            .first()
+            .map(name_stem)
+            .map(|s| format!("{s}Grp"))
+            .unwrap_or_else(|| "Grp".into()),
         Type::Rep { inner, .. } => name_stem(inner),
         _ => "T".to_string(),
     }
@@ -182,8 +214,7 @@ mod tests {
     use legodb_schema::gen::{generate, GenConfig};
     use legodb_schema::parse_schema;
     use legodb_schema::validate::validate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use legodb_util::StdRng;
 
     fn imdb_like() -> Schema {
         parse_schema(
@@ -282,7 +313,10 @@ mod tests {
         let mut found = false;
         for (_, ty) in p.schema().iter() {
             ty.visit(&mut |t| {
-                if let Type::Rep { avg_count: Some(c), .. } = t {
+                if let Type::Rep {
+                    avg_count: Some(c), ..
+                } = t
+                {
                     if (*c - 3.0).abs() < f64::EPSILON {
                         found = true;
                     }

@@ -20,9 +20,7 @@
 //! over, and missing optional members become null fractions.
 
 use crate::stratify::PSchema;
-use legodb_relational::{
-    Catalog, ColumnDef, ColumnStats, ForeignKey, SqlType, TableDef,
-};
+use legodb_relational::{Catalog, ColumnDef, ColumnStats, ForeignKey, SqlType, TableDef};
 use legodb_schema::{NameTest, ScalarKind, ScalarStats, Schema, Type, TypeName};
 use legodb_xml::stats::{Path, Statistics};
 use std::collections::BTreeMap;
@@ -133,7 +131,11 @@ pub fn rel(pschema: &PSchema, stats: &Statistics) -> Mapping {
         tables.insert(name.clone(), table_mapping);
     }
 
-    Mapping { pschema: pschema.clone(), catalog, tables }
+    Mapping {
+        pschema: pschema.clone(),
+        catalog,
+        tables,
+    }
 }
 
 /// The anchor step contributed by a type's top element (`None` for
@@ -171,27 +173,41 @@ fn discover_occurrences(schema: &Schema) -> BTreeMap<TypeName, Vec<Occurrence>> 
     out.entry(root).or_default().push(root_occ);
 
     while let Some((name, occ)) = queue.pop() {
-        let Some(def) = schema.get(&name) else { continue };
+        let Some(def) = schema.get(&name) else {
+            continue;
+        };
         // Walk inside the definition; the current element path starts at
         // the anchor.
-        walk_refs(def, &occ.path, true, None, &mut |child: &TypeName, path: &Path, rep_avg| {
-            let child_def = schema.get(child).expect("checked schema");
-            let child_occ = match anchor_step(child_def) {
-                Some(step) => {
-                    Occurrence { path: path.child(step), anchor: Anchor::OwnElement, rep_avg }
+        walk_refs(
+            def,
+            &occ.path,
+            true,
+            None,
+            &mut |child: &TypeName, path: &Path, rep_avg| {
+                let child_def = schema.get(child).expect("checked schema");
+                let child_occ = match anchor_step(child_def) {
+                    Some(step) => Occurrence {
+                        path: path.child(step),
+                        anchor: Anchor::OwnElement,
+                        rep_avg,
+                    },
+                    None => Occurrence {
+                        path: path.clone(),
+                        anchor: Anchor::ParentElement,
+                        rep_avg,
+                    },
+                };
+                let known = out.entry(child.clone()).or_default();
+                if !known.contains(&child_occ) {
+                    // Bound the bookkeeping on recursive schemas: beyond a few
+                    // distinct sites the extra paths add no information.
+                    if known.len() < 8 {
+                        known.push(child_occ.clone());
+                        queue.push((child.clone(), child_occ));
+                    }
                 }
-                None => Occurrence { path: path.clone(), anchor: Anchor::ParentElement, rep_avg },
-            };
-            let known = out.entry(child.clone()).or_default();
-            if !known.contains(&child_occ) {
-                // Bound the bookkeeping on recursive schemas: beyond a few
-                // distinct sites the extra paths add no information.
-                if known.len() < 8 {
-                    known.push(child_occ.clone());
-                    queue.push((child.clone(), child_occ));
-                }
-            }
-        });
+            },
+        );
     }
     out
 }
@@ -225,9 +241,9 @@ fn walk_refs(
                 walk_refs(item, path, false, rep_avg, visit);
             }
         }
-        Type::Rep { inner, avg_count, .. } => {
-            walk_refs(inner, path, false, avg_count.or(rep_avg), visit)
-        }
+        Type::Rep {
+            inner, avg_count, ..
+        } => walk_refs(inner, path, false, avg_count.or(rep_avg), visit),
         Type::Ref(name) => visit(name, path, rep_avg),
     }
 }
@@ -279,7 +295,10 @@ fn build_table(
             estimate_rows(
                 schema,
                 schema.get(parent).expect("checked schema"),
-                &discover_occurrences(schema).get(parent).cloned().unwrap_or_default(),
+                &discover_occurrences(schema)
+                    .get(parent)
+                    .cloned()
+                    .unwrap_or_default(),
                 stats,
             ),
         );
@@ -304,8 +323,17 @@ fn build_table(
     // Data columns from flattening the definition.
     let mut pending = Vec::new();
     let anchor_name = match def {
-        Type::Element { name: NameTest::Name(n), content } => {
-            flatten(content, &mut Vec::new(), &mut Vec::new(), false, &mut pending);
+        Type::Element {
+            name: NameTest::Name(n),
+            content,
+        } => {
+            flatten(
+                content,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                false,
+                &mut pending,
+            );
             Some(n.clone())
         }
         Type::Element { name: _, content } => {
@@ -317,7 +345,13 @@ fn build_table(
                 annotated: ScalarStats::none(),
                 nullable: false,
             });
-            flatten(content, &mut Vec::new(), &mut Vec::new(), false, &mut pending);
+            flatten(
+                content,
+                &mut Vec::new(),
+                &mut Vec::new(),
+                false,
+                &mut pending,
+            );
             None
         }
         other => {
@@ -352,7 +386,11 @@ fn build_table(
         table.columns.push(def);
         columns_map.insert(
             col.rel_path,
-            ColumnTarget { column: column_name, kind: col.kind, nullable: col.nullable },
+            ColumnTarget {
+                column: column_name,
+                kind: col.kind,
+                nullable: col.nullable,
+            },
         );
     }
 
@@ -446,7 +484,10 @@ fn flatten(
 fn scalar_of(ty: &Type) -> (ScalarKind, ScalarStats) {
     match ty {
         Type::Scalar { kind, stats } => (*kind, stats.clone()),
-        Type::Choice(items) => items.first().map(scalar_of).unwrap_or((ScalarKind::String, ScalarStats::none())),
+        Type::Choice(items) => items
+            .first()
+            .map(scalar_of)
+            .unwrap_or((ScalarKind::String, ScalarStats::none())),
         Type::Rep { inner, .. } => scalar_of(inner),
         _ => (ScalarKind::String, ScalarStats::none()),
     }
@@ -502,11 +543,17 @@ fn estimate_rows(
         let count = match occ.anchor {
             Anchor::OwnElement => {
                 match def {
-                    Type::Element { name: NameTest::AnyExcept(excluded), .. } => {
+                    Type::Element {
+                        name: NameTest::AnyExcept(excluded),
+                        ..
+                    } => {
                         // TILDE total minus named exclusions.
                         let tilde = path_count(stats, &occ.path);
                         tilde.map(|t| {
-                            let parent = occ.path.parent().unwrap_or_else(|| Path::new(Vec::<String>::new()));
+                            let parent = occ
+                                .path
+                                .parent()
+                                .unwrap_or_else(|| Path::new(Vec::<String>::new()));
                             let removed: f64 = excluded
                                 .iter()
                                 .filter_map(|e| path_count(stats, &parent.child(e.clone())))
@@ -514,7 +561,10 @@ fn estimate_rows(
                             (t - removed).max(0.0)
                         })
                     }
-                    Type::Element { name: NameTest::Name(_), content } => {
+                    Type::Element {
+                        name: NameTest::Name(_),
+                        content,
+                    } => {
                         // Prefer the literal path; a wildcard-materialized
                         // name (e.g. `nyt`) may be recorded under its own
                         // label even when siblings use TILDE.
@@ -590,12 +640,21 @@ fn first_level_members(schema: &Schema, def: &Type) -> Vec<String> {
     out
 }
 
-fn collect_members(schema: &Schema, ty: &Type, optional: bool, out: &mut Vec<String>, depth: usize) {
+fn collect_members(
+    schema: &Schema,
+    ty: &Type,
+    optional: bool,
+    out: &mut Vec<String>,
+    depth: usize,
+) {
     if depth > 16 {
         return;
     }
     match ty {
-        Type::Element { name: NameTest::Name(n), .. } if !optional => out.push(n.clone()),
+        Type::Element {
+            name: NameTest::Name(n),
+            ..
+        } if !optional => out.push(n.clone()),
         Type::Seq(items) => {
             for item in items {
                 collect_members(schema, item, optional, out, depth);
@@ -608,7 +667,11 @@ fn collect_members(schema: &Schema, ty: &Type, optional: bool, out: &mut Vec<Str
             // Outlined members hide behind references; a singleton ref's
             // top element is a required member.
             if let Some(def) = schema.get(name) {
-                if let Type::Element { name: NameTest::Name(n), .. } = def {
+                if let Type::Element {
+                    name: NameTest::Name(n),
+                    ..
+                } = def
+                {
                     out.push(n.clone());
                 } else {
                     collect_members(schema, def, optional, out, depth + 1);
@@ -735,7 +798,11 @@ mod tests {
         assert_eq!(m.catalog.len(), 7);
         for name in ["IMDB", "Show", "Aka", "Review", "Movie", "TV", "Episode"] {
             let t = m.catalog.table(name).unwrap();
-            assert_eq!(t.key.as_deref(), Some(format!("{name}_id").as_str()), "{name}");
+            assert_eq!(
+                t.key.as_deref(),
+                Some(format!("{name}_id").as_str()),
+                "{name}"
+            );
         }
     }
 
@@ -793,7 +860,10 @@ mod tests {
         let m = mapping();
         let tm = m.table(&TypeName::new("Review")).unwrap();
         // review[ ~[String] ]: the wildcard child is inlined → tilde + data.
-        assert!(tm.columns.keys().any(|p| p.last().map(String::as_str) == Some(TILDE_STEP)));
+        assert!(tm
+            .columns
+            .keys()
+            .any(|p| p.last().map(String::as_str) == Some(TILDE_STEP)));
         let review = m.catalog.table("Review").unwrap();
         assert!(review.columns.iter().any(|c| c.name.contains("tilde")));
     }

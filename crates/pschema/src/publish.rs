@@ -43,11 +43,17 @@ impl From<RelationalError> for PublishError {
 /// Reconstruct the whole document from the database.
 pub fn publish_all(mapping: &Mapping, db: &Database) -> Result<Document, PublishError> {
     let root = mapping.root().clone();
-    let rows = db.table(mapping.table(&root).expect("mapped root").table.as_str())?.scan();
+    let rows = db
+        .table(mapping.table(&root).expect("mapped root").table.as_str())?
+        .scan();
     if rows.len() != 1 {
         return Err(PublishError::BadRootCardinality(rows.len()));
     }
-    let p = Publisher { mapping, schema: mapping.pschema.schema(), db };
+    let p = Publisher {
+        mapping,
+        schema: mapping.pschema.schema(),
+        db,
+    };
     let mut nodes = Vec::new();
     let mut attrs = Vec::new();
     p.publish_instance(&root, &rows[0], &mut attrs, &mut nodes)?;
@@ -68,7 +74,11 @@ pub fn publish_instance(
     ty: &TypeName,
     row: &Row,
 ) -> Result<Option<Element>, PublishError> {
-    let p = Publisher { mapping, schema: mapping.pschema.schema(), db };
+    let p = Publisher {
+        mapping,
+        schema: mapping.pschema.schema(),
+        db,
+    };
     let mut nodes = Vec::new();
     let mut attrs = Vec::new();
     p.publish_instance(ty, row, &mut attrs, &mut nodes)?;
@@ -129,7 +139,10 @@ impl Publisher<'_> {
                 rel_path.push(format!("@{name}"));
                 if let Some(v) = self.column_value(tm, row, rel_path) {
                     if let Some(text) = value_text(&v) {
-                        attrs.push(Attribute { name: name.clone(), value: text });
+                        attrs.push(Attribute {
+                            name: name.clone(),
+                            value: text,
+                        });
                     }
                 }
                 rel_path.pop();
@@ -160,7 +173,16 @@ impl Publisher<'_> {
                 };
                 let mut child_attrs = Vec::new();
                 let mut child_nodes = Vec::new();
-                self.publish_type(ty, tm, content, row, rel_path, false, &mut child_attrs, &mut child_nodes)?;
+                self.publish_type(
+                    ty,
+                    tm,
+                    content,
+                    row,
+                    rel_path,
+                    false,
+                    &mut child_attrs,
+                    &mut child_nodes,
+                )?;
                 // Check emptiness against this element's own prefix before
                 // unwinding it.
                 let omittable = child_attrs.is_empty()
@@ -169,7 +191,11 @@ impl Publisher<'_> {
                 if !at_top {
                     rel_path.pop();
                 }
-                let element = Element { name: tag, attributes: child_attrs, children: child_nodes };
+                let element = Element {
+                    name: tag,
+                    attributes: child_attrs,
+                    children: child_nodes,
+                };
                 if at_top || !omittable {
                     nodes.push(Node::Element(element));
                 }
@@ -200,7 +226,11 @@ impl Publisher<'_> {
         _ty: &Type,
     ) -> bool {
         // Any column under this prefix non-null → keep the element.
-        let table = self.mapping.catalog.table(&tm.table).expect("catalog table");
+        let table = self
+            .mapping
+            .catalog
+            .table(&tm.table)
+            .expect("catalog table");
         for (path, target) in &tm.columns {
             if path.starts_with(rel_prefix) {
                 if let Some(idx) = table.column_index(&target.column) {
@@ -223,7 +253,11 @@ impl Publisher<'_> {
         attrs: &mut Vec<Attribute>,
         nodes: &mut Vec<Node>,
     ) -> Result<(), PublishError> {
-        let table = self.mapping.catalog.table(&tm.table).expect("catalog table");
+        let table = self
+            .mapping
+            .catalog
+            .table(&tm.table)
+            .expect("catalog table");
         let key_idx = table.column_index(&tm.key).expect("key column");
         let my_id = row[key_idx].clone();
 
@@ -235,12 +269,17 @@ impl Publisher<'_> {
         for alt in &alternatives {
             let child_tm = self.mapping.table(alt).expect("mapped type");
             let child_table = self.db.table(&child_tm.table)?;
-            let Some(fk) = child_tm.parent_fk.get(owner) else { continue };
+            let Some(fk) = child_tm.parent_fk.get(owner) else {
+                continue;
+            };
             child_table.create_index(fk)?;
             let rows = child_table
                 .index_lookup(fk, &my_id)
                 .expect("index just created");
-            let child_key = child_table.def.column_index(&child_tm.key).expect("key column");
+            let child_key = child_table
+                .def
+                .column_index(&child_tm.key)
+                .expect("key column");
             for r in rows {
                 let id = r[child_key].as_int().unwrap_or(0);
                 children.push((id, alt.clone(), r));
@@ -295,7 +334,10 @@ mod tests {
     use legodb_xml::stats::Statistics;
 
     fn mapping_for(src: &str) -> Mapping {
-        rel(&PSchema::try_new(parse_schema(src).unwrap()).unwrap(), &Statistics::new())
+        rel(
+            &PSchema::try_new(parse_schema(src).unwrap()).unwrap(),
+            &Statistics::new(),
+        )
     }
 
     const IMDB_SRC: &str = "type IMDB = imdb[ Show{0,*} ]
@@ -360,7 +402,10 @@ mod tests {
             "type Root = root[ a[ String ], b[ Integer ], Item{0,*} ]
              type Item = item[ name[ String ] ]",
         );
-        let doc = parse("<root><a>hi</a><b>7</b><item><name>x</name></item><item><name>y</name></item></root>").unwrap();
+        let doc = parse(
+            "<root><a>hi</a><b>7</b><item><name>x</name></item><item><name>y</name></item></root>",
+        )
+        .unwrap();
         let db = shred(&m, &doc).unwrap();
         let rebuilt = publish_all(&m, &db).unwrap();
         assert_eq!(doc, rebuilt, "rebuilt:\n{}", rebuilt.to_xml_pretty());
@@ -373,7 +418,11 @@ mod tests {
         let rebuilt = publish_all(&m, &db).unwrap();
         let show = rebuilt.root.first_child("show").unwrap();
         let review = show.first_child("review").unwrap();
-        assert!(review.first_child("nyt").is_some(), "{}", rebuilt.to_xml_pretty());
+        assert!(
+            review.first_child("nyt").is_some(),
+            "{}",
+            rebuilt.to_xml_pretty()
+        );
     }
 
     #[test]
@@ -389,7 +438,10 @@ mod tests {
     fn bad_root_cardinality_is_reported() {
         let m = mapping_for("type T = t[ a[ String ] ]");
         let db = Database::from_catalog(&m.catalog);
-        assert!(matches!(publish_all(&m, &db), Err(PublishError::BadRootCardinality(0))));
+        assert!(matches!(
+            publish_all(&m, &db),
+            Err(PublishError::BadRootCardinality(0))
+        ));
     }
 
     #[test]

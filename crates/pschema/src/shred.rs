@@ -56,11 +56,21 @@ pub fn shred(mapping: &Mapping, doc: &Document) -> Result<Database, ShredError> 
             doc.root.name
         )));
     }
-    let mut s = Shredder { mapping, schema, db: Database::from_catalog(&mapping.catalog), next_ids: HashMap::new() };
+    let mut s = Shredder {
+        mapping,
+        schema,
+        db: Database::from_catalog(&mapping.catalog),
+        next_ids: HashMap::new(),
+    };
     s.shred_instance(&root, &doc.root, None)?;
     // FK indexes for the publisher and index joins.
     for table in s.db.tables() {
-        let fks: Vec<String> = table.def.foreign_keys.iter().map(|fk| fk.column.clone()).collect();
+        let fks: Vec<String> = table
+            .def
+            .foreign_keys
+            .iter()
+            .map(|fk| fk.column.clone())
+            .collect();
         for fk in fks {
             table.create_index(&fk)?;
         }
@@ -93,13 +103,18 @@ impl Shredder<'_> {
             .expect("catalog covers mapping");
 
         let id = {
-            let n = self.next_ids.entry(table_mapping.table.clone()).or_insert(0);
+            let n = self
+                .next_ids
+                .entry(table_mapping.table.clone())
+                .or_insert(0);
             *n += 1;
             *n
         };
 
         let mut row = vec![Value::Null; table_def.columns.len()];
-        let key_idx = table_def.column_index(&table_mapping.key).expect("key column");
+        let key_idx = table_def
+            .column_index(&table_mapping.key)
+            .expect("key column");
         row[key_idx] = Value::Int(id);
         if let Some((parent_ty, parent_id)) = parent {
             if let Some(fk) = table_mapping.parent_fk.get(parent_ty) {
@@ -112,7 +127,9 @@ impl Shredder<'_> {
         // types the instance element itself.
         for (rel_path, target) in &table_mapping.columns {
             if let Some(value) = extract_value(element, rel_path, target) {
-                let idx = table_def.column_index(&target.column).expect("mapped column");
+                let idx = table_def
+                    .column_index(&target.column)
+                    .expect("mapped column");
                 row[idx] = value;
             }
         }
@@ -143,17 +160,25 @@ impl Shredder<'_> {
             return;
         }
         match ty {
-            Type::Element { name: NameTest::Name(n), .. } => {
+            Type::Element {
+                name: NameTest::Name(n),
+                ..
+            } => {
                 out.insert(n.clone());
             }
             Type::Seq(items) | Type::Choice(items) => {
-                items.iter().for_each(|t| self.collect_literal_names(t, out, depth));
+                items
+                    .iter()
+                    .for_each(|t| self.collect_literal_names(t, out, depth));
             }
             Type::Rep { inner, .. } => self.collect_literal_names(inner, out, depth),
             Type::Ref(name) => {
                 if let Some(def) = self.schema.get(name) {
                     match def {
-                        Type::Element { name: NameTest::Name(n), .. } => {
+                        Type::Element {
+                            name: NameTest::Name(n),
+                            ..
+                        } => {
                             out.insert(n.clone());
                         }
                         Type::Element { .. } => {}
@@ -280,7 +305,6 @@ fn named_alternatives(ty: &Type) -> Vec<TypeName> {
     out
 }
 
-
 /// Is an instance of a sequence-shaped type present inside `element`?
 /// Checked by requiring the group's first required member element
 /// (resolving type references), falling back to full content matching.
@@ -300,10 +324,13 @@ fn collect_required_members(schema: &Schema, ty: &Type, out: &mut Vec<String>, d
         return; // recursive type: give up, the caller falls back
     }
     match ty {
-        Type::Element { name: NameTest::Name(n), .. } => out.push(n.clone()),
-        Type::Seq(items) => {
-            items.iter().for_each(|t| collect_required_members(schema, t, out, depth))
-        }
+        Type::Element {
+            name: NameTest::Name(n),
+            ..
+        } => out.push(n.clone()),
+        Type::Seq(items) => items
+            .iter()
+            .for_each(|t| collect_required_members(schema, t, out, depth)),
         Type::Rep { inner, occurs, .. } if !occurs.nullable() => {
             collect_required_members(schema, inner, out, depth)
         }
@@ -346,7 +373,11 @@ fn extract_value(element: &Element, rel_path: &[String], target: &ColumnTarget) 
 
 fn convert(text: &str, kind: ScalarKind) -> Value {
     match kind {
-        ScalarKind::Integer => text.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+        ScalarKind::Integer => text
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or(Value::Null),
         ScalarKind::String => Value::str(text),
     }
 }
@@ -435,8 +466,7 @@ mod tests {
         let db = shred(&m, &sample_doc()).unwrap();
         let aka = db.table("Aka").unwrap();
         let fk = aka.def.column_index("parent_Show").unwrap();
-        let parents: Vec<i64> =
-            aka.scan().iter().map(|r| r[fk].as_int().unwrap()).collect();
+        let parents: Vec<i64> = aka.scan().iter().map(|r| r[fk].as_int().unwrap()).collect();
         assert_eq!(parents, vec![1, 1, 2]);
     }
 

@@ -60,13 +60,19 @@ impl fmt::Display for StratifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StratifyError::RepetitionOfAnonymousType { in_type } => {
-                write!(f, "type {in_type}: multi-valued repetition must contain only type names")
+                write!(
+                    f,
+                    "type {in_type}: multi-valued repetition must contain only type names"
+                )
             }
             StratifyError::UnionOfAnonymousType { in_type } => {
                 write!(f, "type {in_type}: union must contain only type names")
             }
             StratifyError::NonScalarAttribute { in_type, attribute } => {
-                write!(f, "type {in_type}: attribute @{attribute} must have scalar content")
+                write!(
+                    f,
+                    "type {in_type}: attribute @{attribute} must have scalar content"
+                )
             }
         }
     }
@@ -119,7 +125,9 @@ fn check_pt(in_type: &TypeName, ty: &Type) -> Result<(), StratifyError> {
             if items.iter().all(is_named_layer) {
                 Ok(())
             } else {
-                Err(StratifyError::UnionOfAnonymousType { in_type: in_type.clone() })
+                Err(StratifyError::UnionOfAnonymousType {
+                    in_type: in_type.clone(),
+                })
             }
         }
         Type::Rep { inner, occurs, .. } => {
@@ -127,7 +135,9 @@ fn check_pt(in_type: &TypeName, ty: &Type) -> Result<(), StratifyError> {
                 if is_named_layer(inner) {
                     Ok(())
                 } else {
-                    Err(StratifyError::RepetitionOfAnonymousType { in_type: in_type.clone() })
+                    Err(StratifyError::RepetitionOfAnonymousType {
+                        in_type: in_type.clone(),
+                    })
                 }
             } else {
                 // The optional layer: `pt?` stays in the column world.
@@ -178,7 +188,10 @@ mod tests {
     #[test]
     fn multi_valued_anonymous_element_is_rejected() {
         let err = check("type Show = show [ reviews[ String ]{0,*} ]").unwrap_err();
-        assert!(matches!(err, StratifyError::RepetitionOfAnonymousType { .. }));
+        assert!(matches!(
+            err,
+            StratifyError::RepetitionOfAnonymousType { .. }
+        ));
     }
 
     #[test]
@@ -189,8 +202,8 @@ mod tests {
              type TV = seasons[ Integer ]"
         )
         .is_ok());
-        let err = check("type Show = show [ (box_office[ Integer ] | seasons[ Integer ]) ]")
-            .unwrap_err();
+        let err =
+            check("type Show = show [ (box_office[ Integer ] | seasons[ Integer ]) ]").unwrap_err();
         assert!(matches!(err, StratifyError::UnionOfAnonymousType { .. }));
     }
 

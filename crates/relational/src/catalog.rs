@@ -57,7 +57,12 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A NOT NULL column with default (unknown) statistics.
     pub fn new(name: impl Into<String>, ty: SqlType) -> ColumnDef {
-        ColumnDef { name: name.into(), ty, nullable: false, stats: ColumnStats::unknown(ty) }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+            stats: ColumnStats::unknown(ty),
+        }
     }
 
     /// Builder-style: mark nullable.
@@ -164,7 +169,10 @@ impl TableDef {
             lines.push(line);
         }
         for fk in &self.foreign_keys {
-            lines.push(format!("  FOREIGN KEY ({}) REFERENCES {}", fk.column, fk.parent_table));
+            lines.push(format!(
+                "  FOREIGN KEY ({}) REFERENCES {}",
+                fk.column, fk.parent_table
+            ));
         }
         format!("CREATE TABLE {} (\n{}\n);", self.name, lines.join(",\n"))
     }
@@ -283,7 +291,10 @@ mod tests {
     #[test]
     fn ddl_contains_keys_and_fks() {
         let mut t = show_table();
-        t.foreign_keys.push(ForeignKey { column: "parent_IMDB".into(), parent_table: "IMDB".into() });
+        t.foreign_keys.push(ForeignKey {
+            column: "parent_IMDB".into(),
+            parent_table: "IMDB".into(),
+        });
         let ddl = t.to_ddl();
         assert!(ddl.contains("CREATE TABLE Show"));
         assert!(ddl.contains("Show_id INT NOT NULL PRIMARY KEY"));
@@ -317,7 +328,11 @@ mod tests {
         let mut t = TableDef::new("T");
         let mut stats = ColumnStats::unknown(SqlType::Char(100));
         stats.null_fraction = 0.5;
-        t.columns.push(ColumnDef::new("c", SqlType::Char(100)).nullable().with_stats(stats));
+        t.columns.push(
+            ColumnDef::new("c", SqlType::Char(100))
+                .nullable()
+                .with_stats(stats),
+        );
         // 16 overhead + 0.5*100 + 0.5*1 = 66.5
         assert!((t.row_width() - 66.5).abs() < 1e-9);
     }

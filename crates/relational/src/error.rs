@@ -10,9 +10,17 @@ pub enum RelationalError {
     /// A referenced column does not exist in the named table.
     UnknownColumn { table: String, column: String },
     /// A row's arity does not match the table definition.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// A value does not inhabit the declared column type.
-    TypeMismatch { table: String, column: String, value: String },
+    TypeMismatch {
+        table: String,
+        column: String,
+        value: String,
+    },
     /// NULL inserted into a NOT NULL column.
     NullViolation { table: String, column: String },
     /// A table with this name already exists.
@@ -30,10 +38,18 @@ impl fmt::Display for RelationalError {
             RelationalError::UnknownColumn { table, column } => {
                 write!(f, "unknown column {table}.{column}")
             }
-            RelationalError::ArityMismatch { table, expected, got } => {
+            RelationalError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table {table} expects {expected} columns, row has {got}")
             }
-            RelationalError::TypeMismatch { table, column, value } => {
+            RelationalError::TypeMismatch {
+                table,
+                column,
+                value,
+            } => {
                 write!(f, "value {value} does not fit column {table}.{column}")
             }
             RelationalError::NullViolation { table, column } => {
@@ -41,7 +57,10 @@ impl fmt::Display for RelationalError {
             }
             RelationalError::DuplicateTable(t) => write!(f, "table {t} already exists"),
             RelationalError::ColumnOutOfRange { index, width } => {
-                write!(f, "column index {index} out of range for row of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of range for row of width {width}"
+                )
             }
             RelationalError::BadPlan(msg) => write!(f, "malformed plan: {msg}"),
         }
@@ -56,9 +75,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = RelationalError::UnknownColumn { table: "Show".into(), column: "year".into() };
+        let e = RelationalError::UnknownColumn {
+            table: "Show".into(),
+            column: "year".into(),
+        };
         assert!(e.to_string().contains("Show.year"));
-        let e = RelationalError::ArityMismatch { table: "T".into(), expected: 3, got: 2 };
+        let e = RelationalError::ArityMismatch {
+            table: "T".into(),
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

@@ -47,7 +47,10 @@ impl ExecCounters {
 
 /// Execute `plan` against `db`, returning the result rows and the work
 /// counters.
-pub fn run(db: &Database, plan: &PhysicalPlan) -> Result<(Vec<Row>, ExecCounters), RelationalError> {
+pub fn run(
+    db: &Database,
+    plan: &PhysicalPlan,
+) -> Result<(Vec<Row>, ExecCounters), RelationalError> {
     let mut counters = ExecCounters::default();
     let rows = execute(db, plan, &mut counters)?;
     counters.tuples_output = rows.len() as u64;
@@ -60,7 +63,11 @@ fn execute(
     counters: &mut ExecCounters,
 ) -> Result<Vec<Row>, RelationalError> {
     match plan {
-        PhysicalPlan::SeqScan { table, predicate, projection } => {
+        PhysicalPlan::SeqScan {
+            table,
+            predicate,
+            projection,
+        } => {
             let t = db.table(table)?;
             counters.seeks += 1;
             // A sequential scan touches every page of the table.
@@ -92,7 +99,13 @@ fn execute(
             }
             Ok(out)
         }
-        PhysicalPlan::IndexScan { table, column, key, residual, projection } => {
+        PhysicalPlan::IndexScan {
+            table,
+            column,
+            key,
+            residual,
+            projection,
+        } => {
             let t = db.table(table)?;
             let matches = probe_index(db, table, column, key)?;
             counters.seeks += 1;
@@ -133,16 +146,22 @@ fn execute(
                     columns
                         .iter()
                         .map(|&i| {
-                            row.get(i).cloned().ok_or(RelationalError::ColumnOutOfRange {
-                                index: i,
-                                width: row.len(),
-                            })
+                            row.get(i)
+                                .cloned()
+                                .ok_or(RelationalError::ColumnOutOfRange {
+                                    index: i,
+                                    width: row.len(),
+                                })
                         })
                         .collect()
                 })
                 .collect()
         }
-        PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
             let left_rows = execute(db, left, counters)?;
             let right_rows = execute(db, right, counters)?;
             let mut out = Vec::new();
@@ -162,7 +181,12 @@ fn execute(
             }
             Ok(out)
         }
-        PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
             if left_keys.len() != right_keys.len() || left_keys.is_empty() {
                 return Err(RelationalError::BadPlan(
                     "hash join requires equal-length, non-empty key lists".into(),
@@ -177,10 +201,12 @@ fn execute(
                 let key: Vec<Value> = right_keys
                     .iter()
                     .map(|&i| {
-                        row.get(i).cloned().ok_or(RelationalError::ColumnOutOfRange {
-                            index: i,
-                            width: row.len(),
-                        })
+                        row.get(i)
+                            .cloned()
+                            .ok_or(RelationalError::ColumnOutOfRange {
+                                index: i,
+                                width: row.len(),
+                            })
                     })
                     .collect::<Result<_, _>>()?;
                 // SQL equality: NULL keys never join.
@@ -214,14 +240,23 @@ fn execute(
             }
             Ok(out)
         }
-        PhysicalPlan::IndexJoin { left, table, column, left_key, residual } => {
+        PhysicalPlan::IndexJoin {
+            left,
+            table,
+            column,
+            left_key,
+            residual,
+        } => {
             let left_rows = execute(db, left, counters)?;
             let mut out = Vec::new();
             for l in &left_rows {
-                let key = l.get(*left_key).cloned().ok_or(RelationalError::ColumnOutOfRange {
-                    index: *left_key,
-                    width: l.len(),
-                })?;
+                let key = l
+                    .get(*left_key)
+                    .cloned()
+                    .ok_or(RelationalError::ColumnOutOfRange {
+                        index: *left_key,
+                        width: l.len(),
+                    })?;
                 counters.index_probes += 1;
                 counters.seeks += 1;
                 if key.is_null() {
@@ -292,7 +327,10 @@ fn probe_index(
 fn apply_projection(row: &Row, projection: &Option<Vec<usize>>) -> Row {
     match projection {
         None => row.clone(),
-        Some(cols) => cols.iter().map(|&i| row.get(i).cloned().unwrap_or(Value::Null)).collect(),
+        Some(cols) => cols
+            .iter()
+            .map(|&i| row.get(i).cloned().unwrap_or(Value::Null))
+            .collect(),
     }
 }
 
@@ -319,15 +357,27 @@ mod tests {
             ColumnDef::new("parent_Show", SqlType::Int),
         ];
         db.create_table(aka).unwrap();
-        for (id, title, year) in
-            [(1, "The Fugitive", 1993), (2, "X Files", 1993), (3, "ER", 1994)]
-        {
-            db.insert("Show", vec![Value::Int(id), Value::str(title), Value::Int(year)]).unwrap();
+        for (id, title, year) in [
+            (1, "The Fugitive", 1993),
+            (2, "X Files", 1993),
+            (3, "ER", 1994),
+        ] {
+            db.insert(
+                "Show",
+                vec![Value::Int(id), Value::str(title), Value::Int(year)],
+            )
+            .unwrap();
         }
-        for (id, aka, parent) in
-            [(1, "Auf der Flucht", 1), (2, "Le Fugitif", 1), (3, "Aux frontieres", 2)]
-        {
-            db.insert("Aka", vec![Value::Int(id), Value::str(aka), Value::Int(parent)]).unwrap();
+        for (id, aka, parent) in [
+            (1, "Auf der Flucht", 1),
+            (2, "Le Fugitif", 1),
+            (3, "Aux frontieres", 2),
+        ] {
+            db.insert(
+                "Aka",
+                vec![Value::Int(id), Value::str(aka), Value::Int(parent)],
+            )
+            .unwrap();
         }
         db
     }
@@ -372,7 +422,10 @@ mod tests {
         let plan = PhysicalPlan::IndexScan {
             table: "Show".into(),
             column: "year".into(),
-            key: IndexKey::Range { lo: Some(Value::Int(1993)), hi: Some(Value::Int(1993)) },
+            key: IndexKey::Range {
+                lo: Some(Value::Int(1993)),
+                hi: Some(Value::Int(1993)),
+            },
             residual: None,
             projection: None,
         };

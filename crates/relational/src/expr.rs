@@ -123,7 +123,10 @@ impl Expr {
             Expr::Column(i) => row
                 .get(*i)
                 .cloned()
-                .ok_or(RelationalError::ColumnOutOfRange { index: *i, width: row.len() }),
+                .ok_or(RelationalError::ColumnOutOfRange {
+                    index: *i,
+                    width: row.len(),
+                }),
             Expr::Literal(v) => Ok(v.clone()),
             _ => unreachable!("boolean expressions handled by eval_truth"),
         }
@@ -287,8 +290,12 @@ mod tests {
 
     #[test]
     fn is_null_detects_nulls() {
-        assert!(Expr::IsNull(Box::new(Expr::Column(2))).accepts(&row()).unwrap());
-        assert!(!Expr::IsNull(Box::new(Expr::Column(0))).accepts(&row()).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::Column(2)))
+            .accepts(&row())
+            .unwrap());
+        assert!(!Expr::IsNull(Box::new(Expr::Column(0)))
+            .accepts(&row())
+            .unwrap());
     }
 
     #[test]
@@ -297,11 +304,17 @@ mod tests {
         let true_cmp = Expr::cmp(CmpOp::Eq, 0, 1993i64);
         let false_cmp = Expr::cmp(CmpOp::Eq, 0, 0i64);
         // UNKNOWN AND TRUE = UNKNOWN (rejected)
-        assert!(!Expr::And(vec![null_cmp.clone(), true_cmp.clone()]).accepts(&row()).unwrap());
+        assert!(!Expr::And(vec![null_cmp.clone(), true_cmp.clone()])
+            .accepts(&row())
+            .unwrap());
         // UNKNOWN OR TRUE = TRUE
-        assert!(Expr::Or(vec![null_cmp.clone(), true_cmp]).accepts(&row()).unwrap());
+        assert!(Expr::Or(vec![null_cmp.clone(), true_cmp])
+            .accepts(&row())
+            .unwrap());
         // UNKNOWN OR FALSE = UNKNOWN (rejected)
-        assert!(!Expr::Or(vec![null_cmp.clone(), false_cmp]).accepts(&row()).unwrap());
+        assert!(!Expr::Or(vec![null_cmp.clone(), false_cmp])
+            .accepts(&row())
+            .unwrap());
         // NOT UNKNOWN = UNKNOWN (rejected)
         assert!(!Expr::Not(Box::new(null_cmp)).accepts(&row()).unwrap());
     }
@@ -329,7 +342,10 @@ mod tests {
 
     #[test]
     fn referenced_columns_deduplicates() {
-        let e = Expr::And(vec![Expr::cmp(CmpOp::Eq, 1, 1i64), Expr::cmp(CmpOp::Lt, 1, 9i64)]);
+        let e = Expr::And(vec![
+            Expr::cmp(CmpOp::Eq, 1, 1i64),
+            Expr::cmp(CmpOp::Lt, 1, 9i64),
+        ]);
         assert_eq!(e.referenced_columns(), vec![1]);
     }
 }

@@ -105,7 +105,11 @@ pub enum PhysicalPlan {
 impl PhysicalPlan {
     /// Convenience: an unfiltered full-table scan.
     pub fn scan(table: impl Into<String>) -> PhysicalPlan {
-        PhysicalPlan::SeqScan { table: table.into(), predicate: None, projection: None }
+        PhysicalPlan::SeqScan {
+            table: table.into(),
+            predicate: None,
+            projection: None,
+        }
     }
 
     /// All table names this plan touches (with repetition).
@@ -143,7 +147,11 @@ impl PhysicalPlan {
     fn explain_into(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
         let pad = "  ".repeat(depth);
         match self {
-            PhysicalPlan::SeqScan { table, predicate, projection } => {
+            PhysicalPlan::SeqScan {
+                table,
+                predicate,
+                projection,
+            } => {
                 write!(f, "{pad}SeqScan {table}")?;
                 if let Some(p) = predicate {
                     write!(f, " filter={p:?}")?;
@@ -153,7 +161,9 @@ impl PhysicalPlan {
                 }
                 writeln!(f)
             }
-            PhysicalPlan::IndexScan { table, column, key, .. } => {
+            PhysicalPlan::IndexScan {
+                table, column, key, ..
+            } => {
                 writeln!(f, "{pad}IndexScan {table}.{column} key={key:?}")
             }
             PhysicalPlan::Filter { input, predicate } => {
@@ -164,17 +174,32 @@ impl PhysicalPlan {
                 writeln!(f, "{pad}Project {columns:?}")?;
                 input.explain_into(f, depth + 1)
             }
-            PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
                 writeln!(f, "{pad}NestedLoopJoin pred={predicate:?}")?;
                 left.explain_into(f, depth + 1)?;
                 right.explain_into(f, depth + 1)
             }
-            PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
                 writeln!(f, "{pad}HashJoin l={left_keys:?} r={right_keys:?}")?;
                 left.explain_into(f, depth + 1)?;
                 right.explain_into(f, depth + 1)
             }
-            PhysicalPlan::IndexJoin { left, table, column, left_key, .. } => {
+            PhysicalPlan::IndexJoin {
+                left,
+                table,
+                column,
+                left_key,
+                ..
+            } => {
                 writeln!(f, "{pad}IndexJoin {table}.{column} probe=col{left_key}")?;
                 left.explain_into(f, depth + 1)
             }

@@ -1,14 +1,15 @@
 //! The in-memory storage engine: heap tables with optional ordered
 //! (B-tree) secondary indexes.
 //!
-//! Tables are internally locked with `parking_lot::RwLock` so a shared
-//! `&Database` can be read from multiple threads — the LegoDB greedy search
-//! evaluates candidate configurations in parallel.
+//! Tables are internally locked with `legodb_util::RwLock` (a
+//! poison-tolerant wrapper over `std::sync::RwLock` with direct-guard
+//! acquisition) so a shared `&Database` can be read from multiple threads —
+//! the LegoDB greedy search evaluates candidate configurations in parallel.
 
 use crate::catalog::{Catalog, ColumnStats, TableDef};
 use crate::error::RelationalError;
 use crate::types::Value;
-use parking_lot::RwLock;
+use legodb_util::RwLock;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
 
@@ -27,7 +28,11 @@ pub struct Table {
 impl Table {
     /// An empty table for a definition.
     pub fn new(def: TableDef) -> Table {
-        Table { def, rows: RwLock::new(Vec::new()), indexes: RwLock::new(HashMap::new()) }
+        Table {
+            def,
+            rows: RwLock::new(Vec::new()),
+            indexes: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Number of rows currently stored.
@@ -68,7 +73,10 @@ impl Table {
         let row_id = rows.len();
         let mut indexes = self.indexes.write();
         for (column, index) in indexes.iter_mut() {
-            let ci = self.def.column_index(column).expect("index on existing column");
+            let ci = self
+                .def
+                .column_index(column)
+                .expect("index on existing column");
             index.entry(row[ci].clone()).or_default().push(row_id);
         }
         rows.push(row);
@@ -77,10 +85,13 @@ impl Table {
 
     /// Build an ordered secondary index on `column` (idempotent).
     pub fn create_index(&self, column: &str) -> Result<(), RelationalError> {
-        let ci = self.def.column_index(column).ok_or_else(|| RelationalError::UnknownColumn {
-            table: self.def.name.clone(),
-            column: column.to_string(),
-        })?;
+        let ci = self
+            .def
+            .column_index(column)
+            .ok_or_else(|| RelationalError::UnknownColumn {
+                table: self.def.name.clone(),
+                column: column.to_string(),
+            })?;
         let mut indexes = self.indexes.write();
         if indexes.contains_key(column) {
             return Ok(());
@@ -127,7 +138,12 @@ impl Table {
 
     /// Rows whose `column` lies in `[lo, hi]` (inclusive bounds; `None` is
     /// unbounded), via the index.
-    pub fn index_range(&self, column: &str, lo: Option<&Value>, hi: Option<&Value>) -> Option<Vec<Row>> {
+    pub fn index_range(
+        &self,
+        column: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Row>> {
         let indexes = self.indexes.read();
         let index = indexes.get(column)?;
         let rows = self.rows.read();
@@ -171,7 +187,11 @@ impl Table {
             }
             let non_null = n - nulls;
             col.stats = ColumnStats {
-                avg_width: if non_null > 0 { width_sum / non_null as f64 } else { 1.0 },
+                avg_width: if non_null > 0 {
+                    width_sum / non_null as f64
+                } else {
+                    1.0
+                },
                 distinct: Some(distinct.len() as f64),
                 min,
                 max,
@@ -214,12 +234,16 @@ impl Database {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table, RelationalError> {
-        self.tables.get(name).ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
     }
 
     /// Mutable lookup (for `analyze`).
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, RelationalError> {
-        self.tables.get_mut(name).ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownTable(name.to_string()))
     }
 
     /// Insert into a named table.
@@ -268,9 +292,16 @@ mod tests {
 
     fn loaded_table() -> Table {
         let t = Table::new(show_def());
-        t.insert(vec![Value::Int(1), Value::str("The Fugitive"), Value::Int(1993)]).unwrap();
-        t.insert(vec![Value::Int(2), Value::str("X Files"), Value::Int(1993)]).unwrap();
-        t.insert(vec![Value::Int(3), Value::str("Twin Peaks"), Value::Null]).unwrap();
+        t.insert(vec![
+            Value::Int(1),
+            Value::str("The Fugitive"),
+            Value::Int(1993),
+        ])
+        .unwrap();
+        t.insert(vec![Value::Int(2), Value::str("X Files"), Value::Int(1993)])
+            .unwrap();
+        t.insert(vec![Value::Int(3), Value::str("Twin Peaks"), Value::Null])
+            .unwrap();
         t
     }
 
@@ -285,23 +316,35 @@ mod tests {
     fn arity_is_enforced() {
         let t = Table::new(show_def());
         let err = t.insert(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { expected: 3, got: 1, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::ArityMismatch {
+                expected: 3,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn types_are_enforced() {
         let t = Table::new(show_def());
-        let err = t.insert(vec![Value::str("x"), Value::str("t"), Value::Int(1)]).unwrap_err();
+        let err = t
+            .insert(vec![Value::str("x"), Value::str("t"), Value::Int(1)])
+            .unwrap_err();
         assert!(matches!(err, RelationalError::TypeMismatch { .. }));
     }
 
     #[test]
     fn not_null_is_enforced() {
         let t = Table::new(show_def());
-        let err = t.insert(vec![Value::Null, Value::str("t"), Value::Int(1)]).unwrap_err();
+        let err = t
+            .insert(vec![Value::Null, Value::str("t"), Value::Int(1)])
+            .unwrap_err();
         assert!(matches!(err, RelationalError::NullViolation { .. }));
         // but the nullable column accepts NULL
-        t.insert(vec![Value::Int(1), Value::str("t"), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1), Value::str("t"), Value::Null])
+            .unwrap();
     }
 
     #[test]
@@ -319,7 +362,8 @@ mod tests {
     fn index_stays_current_across_inserts() {
         let t = loaded_table();
         t.create_index("year").unwrap();
-        t.insert(vec![Value::Int(4), Value::str("ER"), Value::Int(1993)]).unwrap();
+        t.insert(vec![Value::Int(4), Value::str("ER"), Value::Int(1993)])
+            .unwrap();
         assert_eq!(t.index_lookup("year", &Value::Int(1993)).unwrap().len(), 3);
     }
 
@@ -327,9 +371,13 @@ mod tests {
     fn index_range_scans_inclusive_bounds() {
         let t = loaded_table();
         t.create_index("Show_id").unwrap();
-        let rows = t.index_range("Show_id", Some(&Value::Int(2)), Some(&Value::Int(3))).unwrap();
+        let rows = t
+            .index_range("Show_id", Some(&Value::Int(2)), Some(&Value::Int(3)))
+            .unwrap();
         assert_eq!(rows.len(), 2);
-        let rows = t.index_range("Show_id", None, Some(&Value::Int(1))).unwrap();
+        let rows = t
+            .index_range("Show_id", None, Some(&Value::Int(1)))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         let all = t.index_range("Show_id", None, None).unwrap();
         assert_eq!(all.len(), 3);
@@ -366,7 +414,8 @@ mod tests {
             db.create_table(show_def()),
             Err(RelationalError::DuplicateTable(_))
         ));
-        db.insert("Show", vec![Value::Int(1), Value::str("t"), Value::Null]).unwrap();
+        db.insert("Show", vec![Value::Int(1), Value::str("t"), Value::Null])
+            .unwrap();
         assert_eq!(db.table("Show").unwrap().len(), 1);
         assert!(db.table("Nope").is_err());
         assert_eq!(db.total_rows(), 1);

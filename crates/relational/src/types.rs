@@ -175,14 +175,20 @@ mod tests {
         assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
         assert_eq!(Value::Null.sql_cmp(&Value::Int(2)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::str("a")), None);
-        assert_eq!(Value::str("a").sql_cmp(&Value::str("a")), Some(Ordering::Equal));
+        assert_eq!(
+            Value::str("a").sql_cmp(&Value::str("a")),
+            Some(Ordering::Equal)
+        );
     }
 
     #[test]
     fn total_order_ranks_null_lowest() {
         let mut vals = vec![Value::str("b"), Value::Int(3), Value::Null, Value::Int(1)];
         vals.sort();
-        assert_eq!(vals, vec![Value::Null, Value::Int(1), Value::Int(3), Value::str("b")]);
+        assert_eq!(
+            vals,
+            vec![Value::Null, Value::Int(1), Value::Int(3), Value::str("b")]
+        );
     }
 
     #[test]

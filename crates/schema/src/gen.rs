@@ -9,8 +9,8 @@
 use crate::name::{NameTest, TypeName};
 use crate::schema::Schema;
 use crate::ty::{ScalarKind, ScalarStats, Type};
+use legodb_util::Rng;
 use legodb_xml::{Attribute, Document, Element, Node};
-use rand::Rng;
 
 /// Generation knobs.
 #[derive(Debug, Clone)]
@@ -47,7 +47,11 @@ impl Default for GenConfig {
 pub fn generate(schema: &Schema, rng: &mut impl Rng, config: &GenConfig) -> Document {
     let root_ty = schema.root_type();
     let mut items = Vec::new();
-    let mut gen = Gen { schema, rng, config };
+    let mut gen = Gen {
+        schema,
+        rng,
+        config,
+    };
     gen.emit(root_ty, 0, &mut items);
     let root = items
         .into_iter()
@@ -83,7 +87,10 @@ impl<R: Rng> Gen<'_, R> {
             }
             Type::Attribute { name, content } => {
                 let value = self.scalar_value_of(content);
-                out.push(Item::Attr(Attribute { name: name.clone(), value }));
+                out.push(Item::Attr(Attribute {
+                    name: name.clone(),
+                    value,
+                }));
             }
             Type::Element { name, content } => {
                 let tag = self.pick_name(name);
@@ -115,7 +122,11 @@ impl<R: Rng> Gen<'_, R> {
                 };
                 self.emit(&alternatives[pick], depth, out);
             }
-            Type::Rep { inner, occurs, avg_count } => {
+            Type::Rep {
+                inner,
+                occurs,
+                avg_count,
+            } => {
                 let count = self.sample_count(occurs.min, occurs.max, *avg_count, depth);
                 for _ in 0..count {
                     self.emit(inner, depth, out);
@@ -180,7 +191,10 @@ impl<R: Rng> Gen<'_, R> {
                 }
             }
             ScalarKind::String => {
-                let len = stats.size.map(|s| s.round() as usize).unwrap_or(self.config.default_string_len);
+                let len = stats
+                    .size
+                    .map(|s| s.round() as usize)
+                    .unwrap_or(self.config.default_string_len);
                 match stats.distinct {
                     Some(d) if d > 0 => {
                         let k = self.rng.gen_range(0..d);
@@ -270,8 +284,7 @@ mod tests {
     use super::*;
     use crate::parse::parse_schema;
     use crate::validate::validate;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use legodb_util::StdRng;
 
     fn show_schema() -> Schema {
         parse_schema(
@@ -306,7 +319,10 @@ mod tests {
     fn recursive_schemas_terminate() {
         let schema = parse_schema("type AnyElement = ~[ (AnyElement | String)* ]").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let config = GenConfig { max_depth: 6, ..GenConfig::default() };
+        let config = GenConfig {
+            max_depth: 6,
+            ..GenConfig::default()
+        };
         for _ in 0..20 {
             let doc = generate(&schema, &mut rng, &config);
             assert!(validate(&schema, &doc).is_ok());
@@ -330,7 +346,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..30 {
             let doc = generate(&schema, &mut rng, &GenConfig::default());
-            let y: i64 = doc.root.first_child("year").unwrap().text().parse().unwrap();
+            let y: i64 = doc
+                .root
+                .first_child("year")
+                .unwrap()
+                .text()
+                .parse()
+                .unwrap();
             assert!((1990..=1999).contains(&y));
         }
     }
@@ -376,6 +398,9 @@ mod tests {
             })
             .sum();
         let mean = total as f64 / 200.0;
-        assert!((7.0..=13.0).contains(&mean), "mean {mean} should be near 10");
+        assert!(
+            (7.0..=13.0).contains(&mean),
+            "mean {mean} should be near 10"
+        );
     }
 }

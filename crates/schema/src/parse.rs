@@ -99,7 +99,10 @@ impl<'a> P<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> SchemaParseError {
-        SchemaParseError::Syntax { offset: self.pos, message: message.into() }
+        SchemaParseError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn eof(&self) -> bool {
@@ -178,7 +181,9 @@ impl<'a> P<'a> {
         if end == 0 {
             return Err(self.err("expected a number"));
         }
-        let n = r[..end].parse::<u32>().map_err(|e| self.err(format!("bad number: {e}")))?;
+        let n = r[..end]
+            .parse::<u32>()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
         self.pos += end;
         Ok(n)
     }
@@ -195,7 +200,9 @@ impl<'a> P<'a> {
         if end == 0 {
             return Err(self.err("expected a number"));
         }
-        let n = r[..end].parse::<f64>().map_err(|e| self.err(format!("bad number: {e}")))?;
+        let n = r[..end]
+            .parse::<f64>()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
         self.pos += end;
         Ok(n)
     }
@@ -227,7 +234,11 @@ impl<'a> P<'a> {
         } else if self.eat("{") {
             let min = self.number_u32()?;
             self.token(",")?;
-            let max = if self.eat("*") { None } else { Some(self.number_u32()?) };
+            let max = if self.eat("*") {
+                None
+            } else {
+                Some(self.number_u32()?)
+            };
             self.token("}")?;
             Some(Occurs::new(min, max))
         } else {
@@ -298,13 +309,20 @@ impl<'a> P<'a> {
                 self.token("[")?;
                 let content = self.parse_type()?;
                 self.token("]")?;
-                Ok(Type::Element { name, content: Box::new(content) })
+                Ok(Type::Element {
+                    name,
+                    content: Box::new(content),
+                })
             }
             Some(c) if is_name_char(c) && !c.is_ascii_digit() => {
                 let name = self.ident()?;
                 match name.as_str() {
                     "String" | "Integer" => {
-                        let kind = if name == "String" { ScalarKind::String } else { ScalarKind::Integer };
+                        let kind = if name == "String" {
+                            ScalarKind::String
+                        } else {
+                            ScalarKind::Integer
+                        };
                         let stats = self.parse_scalar_stats(kind)?;
                         Ok(Type::Scalar { kind, stats })
                     }
@@ -369,7 +387,9 @@ mod tests {
         assert_eq!(schema.root().as_str(), "Show");
         assert_eq!(schema.len(), 5);
         let show = schema.get_str("Show").unwrap();
-        let Type::Element { name, content } = show else { panic!("Show should be an element") };
+        let Type::Element { name, content } = show else {
+            panic!("Show should be an element")
+        };
         assert_eq!(name.literal(), Some("show"));
         let items = content.seq_items();
         assert_eq!(items.len(), 6);
@@ -382,8 +402,16 @@ mod tests {
     #[test]
     fn parses_scalar_statistics() {
         let t = parse_type("year[ Integer<#4,#1800,#2100,#300> ]").unwrap();
-        let Type::Element { content, .. } = t else { panic!() };
-        let Type::Scalar { kind: ScalarKind::Integer, stats } = *content else { panic!() };
+        let Type::Element { content, .. } = t else {
+            panic!()
+        };
+        let Type::Scalar {
+            kind: ScalarKind::Integer,
+            stats,
+        } = *content
+        else {
+            panic!()
+        };
         assert_eq!(stats.size, Some(4.0));
         assert_eq!(stats.min, Some(1800));
         assert_eq!(stats.max, Some(2100));
@@ -393,7 +421,13 @@ mod tests {
     #[test]
     fn parses_string_statistics() {
         let t = parse_type("String<#50,#34798>").unwrap();
-        let Type::Scalar { kind: ScalarKind::String, stats } = t else { panic!() };
+        let Type::Scalar {
+            kind: ScalarKind::String,
+            stats,
+        } = t
+        else {
+            panic!()
+        };
         assert_eq!(stats.size, Some(50.0));
         assert_eq!(stats.distinct, Some(34798));
     }
@@ -401,7 +435,9 @@ mod tests {
     #[test]
     fn parses_repetition_count_annotation() {
         let t = parse_type("Review*<#10>").unwrap();
-        let Type::Rep { avg_count, .. } = t else { panic!() };
+        let Type::Rep { avg_count, .. } = t else {
+            panic!()
+        };
         assert_eq!(avg_count, Some(10.0));
     }
 
@@ -422,19 +458,25 @@ mod tests {
     #[test]
     fn parses_wildcards() {
         let t = parse_type("~[ String ]").unwrap();
-        assert!(matches!(t, Type::Element { name: NameTest::Any, .. }));
+        assert!(matches!(
+            t,
+            Type::Element {
+                name: NameTest::Any,
+                ..
+            }
+        ));
         let t = parse_type("~!nyt[ String ]").unwrap();
         assert!(matches!(t, Type::Element { name: NameTest::AnyExcept(ex), .. } if ex == ["nyt"]));
         let t = parse_type("~!nyt,suntimes[ String ]").unwrap();
-        assert!(
-            matches!(t, Type::Element { name: NameTest::AnyExcept(ex), .. } if ex.len() == 2)
-        );
+        assert!(matches!(t, Type::Element { name: NameTest::AnyExcept(ex), .. } if ex.len() == 2));
     }
 
     #[test]
     fn union_binds_looser_than_sequence() {
         let t = parse_type("a[()], b[()] | c[()]").unwrap();
-        let Type::Choice(alts) = t else { panic!("expected a choice") };
+        let Type::Choice(alts) = t else {
+            panic!("expected a choice")
+        };
         assert_eq!(alts.len(), 2);
         assert!(matches!(&alts[0], Type::Seq(items) if items.len() == 2));
     }
@@ -442,7 +484,9 @@ mod tests {
     #[test]
     fn parens_group_unions() {
         let t = parse_type("a[()], (b[()] | c[()])").unwrap();
-        let Type::Seq(items) = t else { panic!("expected a sequence") };
+        let Type::Seq(items) = t else {
+            panic!("expected a sequence")
+        };
         assert!(matches!(&items[1], Type::Choice(_)));
     }
 
@@ -472,6 +516,9 @@ mod tests {
     #[test]
     fn dangling_refs_become_schema_errors() {
         let err = parse_schema("type A = a[ B ]").unwrap_err();
-        assert!(matches!(err, SchemaParseError::Schema(SchemaError::UndefinedType { .. })));
+        assert!(matches!(
+            err,
+            SchemaParseError::Schema(SchemaError::UndefinedType { .. })
+        ));
     }
 }

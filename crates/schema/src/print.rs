@@ -81,7 +81,11 @@ fn write_type(f: &mut fmt::Formatter<'_>, t: &Type, prec: Prec) -> fmt::Result {
             }
             Ok(())
         }
-        Type::Rep { inner, occurs, avg_count } => {
+        Type::Rep {
+            inner,
+            occurs,
+            avg_count,
+        } => {
             write_type(f, inner, Prec::Postfix)?;
             match (occurs.min, occurs.max) {
                 (0, None) => f.write_str("*")?,
@@ -99,7 +103,11 @@ fn write_type(f: &mut fmt::Formatter<'_>, t: &Type, prec: Prec) -> fmt::Result {
     }
 }
 
-fn write_scalar_stats(f: &mut fmt::Formatter<'_>, kind: ScalarKind, stats: &ScalarStats) -> fmt::Result {
+fn write_scalar_stats(
+    f: &mut fmt::Formatter<'_>,
+    kind: ScalarKind,
+    stats: &ScalarStats,
+) -> fmt::Result {
     if stats.is_empty() {
         return Ok(());
     }
@@ -151,7 +159,10 @@ mod tests {
         let t1 = parse_type(src).unwrap();
         let printed = t1.to_string();
         let t2 = parse_type(&printed).unwrap_or_else(|e| panic!("re-parse of {printed:?}: {e}"));
-        assert_eq!(t1, t2, "round trip failed:\n  src: {src}\n  printed: {printed}");
+        assert_eq!(
+            t1, t2,
+            "round trip failed:\n  src: {src}\n  printed: {printed}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct Schema {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
     /// A `Ref` points to a type with no definition.
-    UndefinedType { referrer: TypeName, missing: TypeName },
+    UndefinedType {
+        referrer: TypeName,
+        missing: TypeName,
+    },
     /// Two `type X = ...` declarations share a name.
     DuplicateType(TypeName),
     /// The declared root has no definition.
@@ -222,8 +225,11 @@ impl Schema {
     /// Is `name` involved in a reference cycle (recursive type)?
     pub fn is_recursive(&self, name: &TypeName) -> bool {
         // DFS from `name` looking for a path back to `name`.
-        let mut stack: Vec<TypeName> =
-            self.types.get(name).map(|t| t.referenced_types()).unwrap_or_default();
+        let mut stack: Vec<TypeName> = self
+            .types
+            .get(name)
+            .map(|t| t.referenced_types())
+            .unwrap_or_default();
         let mut seen = BTreeSet::new();
         while let Some(n) = stack.pop() {
             if &n == name {
@@ -277,7 +283,10 @@ mod tests {
                 ),
             ),
             (TypeName::new("Aka"), Type::element("aka", Type::string())),
-            (TypeName::new("Review"), Type::element("review", Type::string())),
+            (
+                TypeName::new("Review"),
+                Type::element("review", Type::string()),
+            ),
         ])
         .unwrap()
     }
@@ -331,7 +340,10 @@ mod tests {
     #[test]
     fn parents_and_reference_counts() {
         let s = imdb_fragment();
-        assert_eq!(s.parents_of(&TypeName::new("Aka")), vec![TypeName::new("Show")]);
+        assert_eq!(
+            s.parents_of(&TypeName::new("Aka")),
+            vec![TypeName::new("Show")]
+        );
         assert_eq!(s.reference_count(&TypeName::new("Show")), 1);
         assert_eq!(s.reference_count(&TypeName::new("IMDB")), 0);
     }
@@ -339,7 +351,10 @@ mod tests {
     #[test]
     fn reachability_and_gc() {
         let mut s = imdb_fragment();
-        s.set(TypeName::new("Orphan"), Type::element("orphan", Type::Empty));
+        s.set(
+            TypeName::new("Orphan"),
+            Type::element("orphan", Type::Empty),
+        );
         assert_eq!(s.len(), 5);
         s.garbage_collect();
         assert_eq!(s.len(), 4);
@@ -356,12 +371,10 @@ mod tests {
 
     #[test]
     fn recursion_detection() {
-        let s = Schema::new([
-            (
-                TypeName::new("AnyElement"),
-                Type::wildcard(Type::star(Type::reference("AnyElement"))),
-            ),
-        ])
+        let s = Schema::new([(
+            TypeName::new("AnyElement"),
+            Type::wildcard(Type::star(Type::reference("AnyElement"))),
+        )])
         .unwrap();
         assert!(s.is_recursive(&TypeName::new("AnyElement")));
         let t = imdb_fragment();

@@ -30,7 +30,12 @@ pub struct ScalarStats {
 impl ScalarStats {
     /// No statistics known.
     pub const fn none() -> Self {
-        ScalarStats { size: None, min: None, max: None, distinct: None }
+        ScalarStats {
+            size: None,
+            min: None,
+            max: None,
+            distinct: None,
+        }
     }
 
     /// True when no component is recorded (so the printer can elide `<#...>`).
@@ -55,7 +60,10 @@ impl Occurs {
     /// `{1,*}` — one or more.
     pub const PLUS: Occurs = Occurs { min: 1, max: None };
     /// `{0,1}` — optional.
-    pub const OPT: Occurs = Occurs { min: 0, max: Some(1) };
+    pub const OPT: Occurs = Occurs {
+        min: 0,
+        max: Some(1),
+    };
 
     /// An arbitrary bounded or unbounded range.
     pub const fn new(min: u32, max: Option<u32>) -> Self {
@@ -75,7 +83,10 @@ impl Occurs {
     /// The bounds after consuming one occurrence
     /// (`a{2,5}` → `a{1,4}`, `a*` → `a*`).
     pub fn decrement(&self) -> Occurs {
-        Occurs { min: self.min.saturating_sub(1), max: self.max.map(|m| m.saturating_sub(1)) }
+        Occurs {
+            min: self.min.saturating_sub(1),
+            max: self.max.map(|m| m.saturating_sub(1)),
+        }
     }
 
     /// Is the range empty (`{0,0}`)?
@@ -137,27 +148,42 @@ pub enum Type {
 impl Type {
     /// A plain string scalar without statistics.
     pub fn string() -> Type {
-        Type::Scalar { kind: ScalarKind::String, stats: ScalarStats::none() }
+        Type::Scalar {
+            kind: ScalarKind::String,
+            stats: ScalarStats::none(),
+        }
     }
 
     /// A plain integer scalar without statistics.
     pub fn integer() -> Type {
-        Type::Scalar { kind: ScalarKind::Integer, stats: ScalarStats::none() }
+        Type::Scalar {
+            kind: ScalarKind::Integer,
+            stats: ScalarStats::none(),
+        }
     }
 
     /// An element with a literal name.
     pub fn element(name: impl Into<String>, content: Type) -> Type {
-        Type::Element { name: NameTest::Name(name.into()), content: Box::new(content) }
+        Type::Element {
+            name: NameTest::Name(name.into()),
+            content: Box::new(content),
+        }
     }
 
     /// A wildcard element `~[ content ]`.
     pub fn wildcard(content: Type) -> Type {
-        Type::Element { name: NameTest::Any, content: Box::new(content) }
+        Type::Element {
+            name: NameTest::Any,
+            content: Box::new(content),
+        }
     }
 
     /// An attribute.
     pub fn attribute(name: impl Into<String>, content: Type) -> Type {
-        Type::Attribute { name: name.into(), content: Box::new(content) }
+        Type::Attribute {
+            name: name.into(),
+            content: Box::new(content),
+        }
     }
 
     /// A reference to a named type.
@@ -214,7 +240,11 @@ impl Type {
         if occurs.min == 1 && occurs.max == Some(1) {
             return inner;
         }
-        Type::Rep { inner: Box::new(inner), occurs, avg_count }
+        Type::Rep {
+            inner: Box::new(inner),
+            occurs,
+            avg_count,
+        }
     }
 
     /// `t?` — optional.
@@ -265,17 +295,21 @@ impl Type {
     /// is applied to the rebuilt node. Smart constructors re-normalize.
     pub fn map(self, f: &mut impl FnMut(Type) -> Type) -> Type {
         let rebuilt = match self {
-            Type::Attribute { name, content } => {
-                Type::Attribute { name, content: Box::new(content.map(f)) }
-            }
-            Type::Element { name, content } => {
-                Type::Element { name, content: Box::new(content.map(f)) }
-            }
+            Type::Attribute { name, content } => Type::Attribute {
+                name,
+                content: Box::new(content.map(f)),
+            },
+            Type::Element { name, content } => Type::Element {
+                name,
+                content: Box::new(content.map(f)),
+            },
             Type::Seq(items) => Type::seq(items.into_iter().map(|t| t.map(f))),
             Type::Choice(items) => Type::choice(items.into_iter().map(|t| t.map(f))),
-            Type::Rep { inner, occurs, avg_count } => {
-                Type::rep_with_count(inner.map(f), occurs, avg_count)
-            }
+            Type::Rep {
+                inner,
+                occurs,
+                avg_count,
+            } => Type::rep_with_count(inner.map(f), occurs, avg_count),
             leaf => leaf,
         };
         f(rebuilt)
@@ -303,7 +337,11 @@ mod tests {
 
     #[test]
     fn seq_smart_constructor_flattens_and_collapses() {
-        let t = Type::seq([Type::Empty, Type::seq([Type::string(), Type::integer()]), Type::string()]);
+        let t = Type::seq([
+            Type::Empty,
+            Type::seq([Type::string(), Type::integer()]),
+            Type::string(),
+        ]);
         match &t {
             Type::Seq(items) => assert_eq!(items.len(), 3),
             other => panic!("expected Seq, got {other:?}"),
@@ -326,8 +364,14 @@ mod tests {
 
     #[test]
     fn rep_collapses_trivial_bounds() {
-        assert_eq!(Type::rep(Type::string(), Occurs::new(1, Some(1))), Type::string());
-        assert_eq!(Type::rep(Type::string(), Occurs::new(0, Some(0))), Type::Empty);
+        assert_eq!(
+            Type::rep(Type::string(), Occurs::new(1, Some(1))),
+            Type::string()
+        );
+        assert_eq!(
+            Type::rep(Type::string(), Occurs::new(0, Some(0))),
+            Type::Empty
+        );
         assert!(matches!(Type::star(Type::string()), Type::Rep { .. }));
     }
 
@@ -368,14 +412,24 @@ mod tests {
         // Replace every Integer with String.
         let t = Type::element("show", Type::seq([Type::integer(), Type::string()]));
         let t = t.map(&mut |node| match node {
-            Type::Scalar { kind: ScalarKind::Integer, stats } => {
-                Type::Scalar { kind: ScalarKind::String, stats }
-            }
+            Type::Scalar {
+                kind: ScalarKind::Integer,
+                stats,
+            } => Type::Scalar {
+                kind: ScalarKind::String,
+                stats,
+            },
             other => other,
         });
         let mut ints = 0;
         t.visit(&mut |n| {
-            if matches!(n, Type::Scalar { kind: ScalarKind::Integer, .. }) {
+            if matches!(
+                n,
+                Type::Scalar {
+                    kind: ScalarKind::Integer,
+                    ..
+                }
+            ) {
                 ints += 1;
             }
         });
@@ -386,6 +440,11 @@ mod tests {
     fn seq_items_views() {
         assert_eq!(Type::Empty.seq_items().len(), 0);
         assert_eq!(Type::string().seq_items().len(), 1);
-        assert_eq!(Type::seq([Type::string(), Type::integer()]).seq_items().len(), 2);
+        assert_eq!(
+            Type::seq([Type::string(), Type::integer()])
+                .seq_items()
+                .len(),
+            2
+        );
     }
 }

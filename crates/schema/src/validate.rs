@@ -32,7 +32,12 @@ pub struct ValidationError {
 
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "validation error at /{}: {}", self.path.join("/"), self.message)
+        write!(
+            f,
+            "validation error at /{}: {}",
+            self.path.join("/"),
+            self.message
+        )
     }
 }
 
@@ -41,12 +46,17 @@ impl std::error::Error for ValidationError {}
 /// Validate `doc` against the root type of `schema`.
 pub fn validate(schema: &Schema, doc: &Document) -> Result<(), ValidationError> {
     let mut path = Vec::new();
-    match_item(schema, &ItemRef::Child(&Node::Element(doc.root.clone())), schema.root_type(), &mut path)
-        .then_some(())
-        .ok_or_else(|| ValidationError {
-            path: vec![doc.root.name.clone()],
-            message: format!("document root does not match type {}", schema.root()),
-        })?;
+    match_item(
+        schema,
+        &ItemRef::Child(&Node::Element(doc.root.clone())),
+        schema.root_type(),
+        &mut path,
+    )
+    .then_some(())
+    .ok_or_else(|| ValidationError {
+        path: vec![doc.root.name.clone()],
+        message: format!("document root does not match type {}", schema.root()),
+    })?;
     // Re-run with error tracking for a useful message on failure paths.
     Ok(())
 }
@@ -184,14 +194,14 @@ fn nullable(schema: &Schema, ty: &Type, visiting: &mut BTreeSet<TypeName>) -> bo
         Type::Attribute { .. } | Type::Element { .. } => false,
         Type::Seq(items) => items.iter().all(|t| nullable(schema, t, visiting)),
         Type::Choice(items) => items.iter().any(|t| nullable(schema, t, visiting)),
-        Type::Rep { inner, occurs, .. } => {
-            occurs.nullable() || nullable(schema, inner, visiting)
-        }
+        Type::Rep { inner, occurs, .. } => occurs.nullable() || nullable(schema, inner, visiting),
         Type::Ref(name) => {
             if !visiting.insert(name.clone()) {
                 return false; // cycle: assume non-nullable
             }
-            let result = schema.get(name).is_some_and(|def| nullable(schema, def, visiting));
+            let result = schema
+                .get(name)
+                .is_some_and(|def| nullable(schema, def, visiting));
             visiting.remove(name);
             result
         }
@@ -209,17 +219,22 @@ fn deriv(schema: &Schema, ty: &Type, item: &ItemRef<'_>, path: &mut Vec<String>)
         Type::Ref(name) => {
             // Atoms: a ref used as an item position. Match the item against
             // the definition (consuming exactly this one item).
-            match_item(schema, item, ty, path).then_some(Type::Empty).or_else(|| {
-                // A ref may also name a *sequence* type (e.g. `type Movie =
-                // box_office[...], video_sales[...]` used inline): derive
-                // through the definition.
-                let def = schema.get(name)?;
-                if matches!(def, Type::Element { .. } | Type::Attribute { .. } | Type::Scalar { .. }) {
-                    None // already tried as an atom
-                } else {
-                    deriv(schema, def, item, path)
-                }
-            })
+            match_item(schema, item, ty, path)
+                .then_some(Type::Empty)
+                .or_else(|| {
+                    // A ref may also name a *sequence* type (e.g. `type Movie =
+                    // box_office[...], video_sales[...]` used inline): derive
+                    // through the definition.
+                    let def = schema.get(name)?;
+                    if matches!(
+                        def,
+                        Type::Element { .. } | Type::Attribute { .. } | Type::Scalar { .. }
+                    ) {
+                        None // already tried as an atom
+                    } else {
+                        deriv(schema, def, item, path)
+                    }
+                })
         }
         Type::Seq(items) => {
             let (first, rest) = items.split_first().expect("Seq invariant: non-empty");
@@ -240,8 +255,10 @@ fn deriv(schema: &Schema, ty: &Type, item: &ItemRef<'_>, path: &mut Vec<String>)
             }
         }
         Type::Choice(items) => {
-            let alternatives: Vec<Type> =
-                items.iter().filter_map(|t| deriv(schema, t, item, path)).collect();
+            let alternatives: Vec<Type> = items
+                .iter()
+                .filter_map(|t| deriv(schema, t, item, path))
+                .collect();
             if alternatives.is_empty() {
                 None
             } else {
@@ -253,7 +270,10 @@ fn deriv(schema: &Schema, ty: &Type, item: &ItemRef<'_>, path: &mut Vec<String>)
                 return None;
             }
             let d = deriv(schema, inner, item, path)?;
-            Some(Type::seq([d, Type::rep((**inner).clone(), occurs.decrement())]))
+            Some(Type::seq([
+                d,
+                Type::rep((**inner).clone(), occurs.decrement()),
+            ]))
         }
     }
 }
@@ -309,7 +329,10 @@ mod tests {
     fn rejects_missing_required_children() {
         let s = show_schema();
         // no aka (min 1), no Movie/TV tail
-        assert!(!check(&s, r#"<show type="Movie"><title>T</title><year>1993</year></show>"#));
+        assert!(!check(
+            &s,
+            r#"<show type="Movie"><title>T</title><year>1993</year></show>"#
+        ));
     }
 
     #[test]
@@ -357,10 +380,7 @@ mod tests {
 
     #[test]
     fn recursive_any_element_type_validates_arbitrary_documents() {
-        let s = parse_schema(
-            "type AnyElement = ~[ (AnyElement | String)* ]",
-        )
-        .unwrap();
+        let s = parse_schema("type AnyElement = ~[ (AnyElement | String)* ]").unwrap();
         assert!(check(&s, "<a><b>text</b><c><d/></c>tail</a>"));
     }
 
@@ -391,7 +411,10 @@ mod tests {
             &s,
             "<t><title>x</title><box_office>1</box_office><video_sales>2</video_sales></t>"
         ));
-        assert!(!check(&s, "<t><title>x</title><box_office>1</box_office></t>"));
+        assert!(!check(
+            &s,
+            "<t><title>x</title><box_office>1</box_office></t>"
+        ));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! A tiny JSON *writer* — just enough to emit the bench harness's
+//! JSON-lines records without an external serialization crate. There is
+//! deliberately no parser: nothing in the workspace reads JSON back.
+
+use std::fmt::Write as _;
+
+/// Builder for one flat JSON object, rendered in field-insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(name));
+        &mut self.buf
+    }
+
+    /// Add a string field (escaped).
+    pub fn str(mut self, name: &str, value: &str) -> JsonObject {
+        let escaped = escape(value);
+        let _ = write!(self.key(name), "\"{escaped}\"");
+        self
+    }
+
+    /// Add an integer field.
+    pub fn u64(mut self, name: &str, value: u64) -> JsonObject {
+        let _ = write!(self.key(name), "{value}");
+        self
+    }
+
+    /// Add a float field. Non-finite values become `null` (JSON has no
+    /// NaN/Infinity).
+    pub fn f64(mut self, name: &str, value: f64) -> JsonObject {
+        if value.is_finite() {
+            let _ = write!(self.key(name), "{value}");
+        } else {
+            let _ = write!(self.key(name), "null");
+        }
+        self
+    }
+
+    /// Render the object as one line (no trailing newline).
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fields_in_order() {
+        let line = JsonObject::new()
+            .str("name", "xml_parse")
+            .u64("samples", 30)
+            .f64("median_ns", 1234.5)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"name":"xml_parse","samples":30,"median_ns":1234.5}"#
+        );
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let line = JsonObject::new().str("k", "va\"lue").finish();
+        assert_eq!(line, r#"{"k":"va\"lue"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = JsonObject::new().f64("x", f64::NAN).f64("y", 2.0).finish();
+        assert_eq!(line, r#"{"x":null,"y":2}"#);
+    }
+}

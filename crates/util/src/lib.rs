@@ -1,0 +1,30 @@
+//! # legodb-util
+//!
+//! Std-only runtime support for the LegoDB workspace. This crate exists
+//! so the whole workspace builds **fully offline**: it replaces every
+//! external dependency the repository used to declare with small,
+//! purpose-built equivalents.
+//!
+//! | Module | Replaces | Provides |
+//! |---|---|---|
+//! | [`rng`] | `rand` | seedable SplitMix64 / xoshiro256++ PRNG, `Rng` trait (`gen_range`, `gen_bool`, `shuffle`, `sample`) |
+//! | [`par`] | `crossbeam::thread::scope` | [`par::scoped_map`] order-preserving parallel map on `std::thread::scope` |
+//! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API |
+//! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
+//! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
+//! | [`json`] | `serde` | minimal JSON writer for the bench records |
+//!
+//! Everything here is deterministic where it matters (seeded streams are
+//! stable across platforms) and dependency-free by policy: see the
+//! README's "Building offline" section.
+
+pub mod bench;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;
+pub mod sync;
+
+pub use par::scoped_map;
+pub use rng::{Rng, SampleRange, SampleUniform, SplitMix64, StdRng};
+pub use sync::RwLock;

@@ -1,0 +1,98 @@
+//! Scoped parallel helpers on `std::thread::scope` — the std-only
+//! replacement for `crossbeam::thread::scope` in the greedy-search
+//! candidate evaluation.
+
+/// Map `f` over `items` on up to `max_threads` scoped threads, returning
+/// the results in input order.
+///
+/// The slice is split into contiguous chunks, one per thread, so results
+/// concatenate back into input order with no per-item synchronization.
+/// A panic in `f` is propagated to the caller with its original payload.
+/// With an empty input, one item, or `max_threads <= 1`, no threads are
+/// spawned.
+pub fn scoped_map<T, U, F>(items: &[T], max_threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if items.len() <= 1 || max_threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = max_threads.min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// The machine's available parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 3, 8, 64, 1000] {
+            let out = scoped_map(&items, threads, |&x| x * 2);
+            assert_eq!(
+                out,
+                items.iter().map(|x| x * 2).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(scoped_map(&[] as &[u8], 4, |&x| x), Vec::<u8>::new());
+        assert_eq!(scoped_map(&[7], 4, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = scoped_map(&items, 7, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            scoped_map(&items, 4, |&x| {
+                if x == 11 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("expected propagation");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "boom at 11");
+    }
+}

@@ -1,0 +1,475 @@
+//! A minimal property-testing harness: the std-only replacement for
+//! `proptest` in this workspace.
+//!
+//! [`prop_check!`] declares a `#[test]` that draws each argument from an
+//! integer range, runs the body for a configurable number of cases, and
+//! on failure *shrinks* the inputs — first by halving each argument's
+//! offset from its range start, then by decrementing — before reporting
+//! the minimal failing input together with the seed needed to replay it.
+//!
+//! ```
+//! use legodb_util::{prop_check, prop_assert};
+//!
+//! prop_check! {
+//!     cases = 64,
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert!(a + b == b + a, "{a} + {b}");
+//!     }
+//! }
+//! ```
+//!
+//! Environment overrides: `LEGODB_PROP_CASES` (case count) and
+//! `LEGODB_PROP_SEED` (stream seed, for replaying a reported failure).
+
+use crate::rng::{Rng, StdRng};
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one property-case execution. Returned by the body closure
+/// that [`prop_check!`] wraps around the test block; the `prop_assert*`
+/// macros construct the non-`Pass` variants via early `return`.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// The property held for this input.
+    Pass,
+    /// The input was rejected by `prop_assume!`; draw another.
+    Discard,
+    /// The property failed, with an explanation.
+    Fail(String),
+}
+
+/// Harness configuration, normally built by [`PropConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct PropConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Seed of the case-generation stream.
+    pub seed: u64,
+    /// Upper bound on shrink-candidate evaluations after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl PropConfig {
+    /// `default_cases` cases, overridable via `LEGODB_PROP_CASES` and
+    /// `LEGODB_PROP_SEED`.
+    pub fn from_env(default_cases: u32) -> PropConfig {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok().and_then(|v| v.parse().ok())
+        }
+        PropConfig {
+            cases: parse("LEGODB_PROP_CASES").unwrap_or(default_cases),
+            seed: parse("LEGODB_PROP_SEED").unwrap_or(0x001E_60DB),
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// A failed property after shrinking: the offsets reconstruct the minimal
+/// failing input via [`PropRange::value_at`].
+#[derive(Debug)]
+pub struct Failure {
+    /// Per-argument offsets of the minimal failing input.
+    pub offsets: Vec<u64>,
+    /// The failure message (assertion text or panic payload).
+    pub message: String,
+    /// How many cases passed before this one.
+    pub case: u32,
+    /// The stream seed, for replay.
+    pub seed: u64,
+    /// Shrink candidates evaluated.
+    pub shrink_steps: u32,
+}
+
+/// An argument source for [`prop_check!`]: draws values as `u64` offsets
+/// from the range start so the shrinker can operate uniformly.
+pub trait PropRange {
+    /// The value type produced.
+    type Value: std::fmt::Debug + Copy;
+    /// Draw a uniform offset in `[0, span]`.
+    fn draw_offset(&self, rng: &mut StdRng) -> u64;
+    /// Reconstruct a value from an offset (clamped to the range).
+    fn value_at(&self, offset: u64) -> Self::Value;
+}
+
+macro_rules! impl_prop_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl PropRange for Range<$t> {
+            type Value = $t;
+            fn draw_offset(&self, rng: &mut StdRng) -> u64 {
+                assert!(self.start < self.end, "prop_check: empty range");
+                rng.gen_range(0..=(self.end as i128 - 1 - self.start as i128) as u64)
+            }
+            fn value_at(&self, offset: u64) -> $t {
+                let span = (self.end as i128 - 1 - self.start as i128) as u64;
+                (self.start as i128 + offset.min(span) as i128) as $t
+            }
+        }
+        impl PropRange for RangeInclusive<$t> {
+            type Value = $t;
+            fn draw_offset(&self, rng: &mut StdRng) -> u64 {
+                assert!(self.start() <= self.end(), "prop_check: empty range");
+                rng.gen_range(0..=(*self.end() as i128 - *self.start() as i128) as u64)
+            }
+            fn value_at(&self, offset: u64) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                (*self.start() as i128 + offset.min(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_prop_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+fn protected(eval: impl Fn(&[u64]) -> CaseResult, offsets: &[u64]) -> CaseResult {
+    match catch_unwind(AssertUnwindSafe(|| eval(offsets))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panicked with a non-string payload".to_string());
+            CaseResult::Fail(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Drive one property: draw offset vectors with `draw`, evaluate them
+/// with `eval`, shrink on the first failure. Returns the number of
+/// passing cases, or the shrunk [`Failure`].
+///
+/// This is the engine behind [`prop_check!`]; it is public so the
+/// harness can be tested (and reused) directly.
+pub fn run_raw(
+    config: &PropConfig,
+    mut draw: impl FnMut(&mut StdRng) -> Vec<u64>,
+    eval: impl Fn(&[u64]) -> CaseResult,
+) -> Result<u32, Failure> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut passed = 0u32;
+    let mut draws = 0u32;
+    let max_draws = config.cases.saturating_mul(16).max(64);
+    while passed < config.cases && draws < max_draws {
+        draws += 1;
+        let offsets = draw(&mut rng);
+        match protected(&eval, &offsets) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Discard => {}
+            CaseResult::Fail(message) => {
+                return Err(shrink(config, offsets, message, passed, &eval));
+            }
+        }
+    }
+    assert!(
+        passed >= config.cases / 2,
+        "prop_check: only {passed}/{} cases survived prop_assume! filtering",
+        config.cases
+    );
+    Ok(passed)
+}
+
+/// Shrink a failing offset vector: repeatedly halve each component while
+/// the property still fails, then refine by unit decrements. Offsets
+/// shrink toward zero, i.e. values shrink toward their range start.
+fn shrink(
+    config: &PropConfig,
+    mut best: Vec<u64>,
+    mut message: String,
+    case: u32,
+    eval: &impl Fn(&[u64]) -> CaseResult,
+) -> Failure {
+    let mut iters = 0u32;
+    loop {
+        let mut improved = false;
+        for i in 0..best.len() {
+            for step in [Step::Halve, Step::Decrement] {
+                while best[i] > 0 && iters < config.max_shrink_iters {
+                    let mut candidate = best.clone();
+                    candidate[i] = match step {
+                        Step::Halve => candidate[i] / 2,
+                        Step::Decrement => candidate[i] - 1,
+                    };
+                    iters += 1;
+                    match protected(eval, &candidate) {
+                        CaseResult::Fail(m) => {
+                            best = candidate;
+                            message = m;
+                            improved = true;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        if !improved || iters >= config.max_shrink_iters {
+            break;
+        }
+    }
+    Failure {
+        offsets: best,
+        message,
+        case,
+        seed: config.seed,
+        shrink_steps: iters,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Step {
+    Halve,
+    Decrement,
+}
+
+/// Declare a property test. See the [module docs](self) for syntax and
+/// behavior; arguments are drawn from integer `lo..hi` / `lo..=hi`
+/// ranges, and the body uses [`prop_assert!`](crate::prop_assert),
+/// [`prop_assert_eq!`](crate::prop_assert_eq), and
+/// [`prop_assume!`](crate::prop_assume) (plain `assert!`/panics are also
+/// caught, at the cost of noisier output during shrinking).
+#[macro_export]
+macro_rules! prop_check {
+    (fn $name:ident($($arg:ident in $range:expr),+ $(,)?) $body:block) => {
+        $crate::prop_check!(cases = 32, fn $name($($arg in $range),+) $body);
+    };
+    (cases = $cases:expr, fn $name:ident($($arg:ident in $range:expr),+ $(,)?) $body:block) => {
+        #[test]
+        fn $name() {
+            use $crate::prop::PropRange as _;
+            let __config = $crate::prop::PropConfig::from_env($cases);
+            let __draw = |__rng: &mut $crate::StdRng| -> ::std::vec::Vec<u64> {
+                ::std::vec![$(($range).draw_offset(__rng)),+]
+            };
+            let __eval = |__offsets: &[u64]| -> $crate::prop::CaseResult {
+                let mut __i = 0usize;
+                $(
+                    let $arg = ($range).value_at(__offsets[__i]);
+                    __i += 1;
+                )+
+                let _ = __i;
+                let __body = || -> $crate::prop::CaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    $crate::prop::CaseResult::Pass
+                };
+                __body()
+            };
+            if let ::std::result::Result::Err(__failure) =
+                $crate::prop::run_raw(&__config, __draw, __eval)
+            {
+                let mut __inputs = ::std::string::String::new();
+                let mut __i = 0usize;
+                $(
+                    __inputs.push_str(&::std::format!(
+                        "  {} = {:?}\n",
+                        ::std::stringify!($arg),
+                        ($range).value_at(__failure.offsets[__i]),
+                    ));
+                    __i += 1;
+                )+
+                let _ = __i;
+                ::std::panic!(
+                    "property `{}` failed at case {} ({} shrink steps)\n\
+                     minimal failing input:\n{}cause: {}\n\
+                     replay with LEGODB_PROP_SEED={}",
+                    ::std::stringify!($name),
+                    __failure.case,
+                    __failure.shrink_steps,
+                    __inputs,
+                    __failure.message,
+                    __failure.seed,
+                );
+            }
+        }
+    };
+}
+
+/// Property-test assertion: on failure the current case returns
+/// [`CaseResult::Fail`] (no panic, so shrinking stays quiet).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::prop::CaseResult::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::prop::CaseResult::Fail(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion for property tests; reports both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return $crate::prop::CaseResult::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                __l,
+                __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l != __r {
+            return $crate::prop::CaseResult::Fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r,
+            ));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds (the case does not count
+/// toward the target; excessive discarding fails the run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::prop::CaseResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(cases: u32) -> PropConfig {
+        PropConfig {
+            cases,
+            seed: 99,
+            max_shrink_iters: 1024,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let passed = run_raw(
+            &config(50),
+            |rng| vec![rng.gen_range(0..=1000u64)],
+            |ks| {
+                assert!(ks[0] <= 1000);
+                CaseResult::Pass
+            },
+        )
+        .expect("property holds");
+        assert_eq!(passed, 50);
+    }
+
+    #[test]
+    fn shrinking_reports_the_minimal_failing_case() {
+        // Fails iff k >= 317: halving alone cannot land on the boundary,
+        // so this checks the decrement refinement too.
+        let failure = run_raw(
+            &config(200),
+            |rng| vec![rng.gen_range(0..=100_000u64)],
+            |ks| {
+                if ks[0] >= 317 {
+                    CaseResult::Fail(format!("{} too big", ks[0]))
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(
+            failure.offsets,
+            vec![317],
+            "shrink should reach the boundary"
+        );
+        assert_eq!(failure.message, "317 too big");
+    }
+
+    #[test]
+    fn shrinking_is_component_wise() {
+        // Fails iff a >= 10 && b >= 20; minimum is (10, 20).
+        let failure = run_raw(
+            &config(500),
+            |rng| vec![rng.gen_range(0..=5000u64), rng.gen_range(0..=5000u64)],
+            |ks| {
+                if ks[0] >= 10 && ks[1] >= 20 {
+                    CaseResult::Fail("both big".into())
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(failure.offsets, vec![10, 20]);
+    }
+
+    #[test]
+    fn panics_in_the_body_are_failures_and_shrink() {
+        let failure = run_raw(
+            &config(100),
+            |rng| vec![rng.gen_range(0..=1000u64)],
+            |ks| {
+                assert!(ks[0] < 64, "boom {}", ks[0]);
+                CaseResult::Pass
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(failure.offsets, vec![64]);
+        assert!(failure.message.contains("boom 64"), "{}", failure.message);
+    }
+
+    #[test]
+    fn discarded_cases_do_not_count() {
+        let evaluated = std::cell::Cell::new(0u32);
+        let passed = run_raw(
+            &config(10),
+            |rng| vec![rng.gen_range(0..=1u64)],
+            |ks| {
+                evaluated.set(evaluated.get() + 1);
+                if ks[0] == 0 {
+                    CaseResult::Discard
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        )
+        .expect("property holds");
+        assert_eq!(passed, 10);
+        assert!(evaluated.get() > 10, "discards must force extra draws");
+    }
+
+    #[test]
+    fn failures_replay_under_the_same_seed() {
+        let run = || {
+            run_raw(
+                &config(100),
+                |rng| vec![rng.gen_range(0..=10_000u64)],
+                |ks| {
+                    if ks[0] >= 1234 {
+                        CaseResult::Fail("big".into())
+                    } else {
+                        CaseResult::Pass
+                    }
+                },
+            )
+        };
+        let (a, b) = (run().expect_err("fails"), run().expect_err("fails"));
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.case, b.case);
+    }
+
+    // The macro itself, exercised end to end on a passing property.
+    crate::prop_check! {
+        cases = 40,
+        fn macro_generated_test_passes(a in 0usize..7, b in -3i64..=3) {
+            crate::prop_assume!(b != 0);
+            crate::prop_assert!(a < 7);
+            crate::prop_assert_eq!(b.signum() * b.signum(), 1);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Deterministic, seedable pseudo-random number generation with a
+//! `rand`-like API.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the standard
+//! pairing recommended by the xoshiro authors. Streams are fully
+//! determined by the seed and stable across platforms and releases, which
+//! the test suite relies on (`generate_imdb` with a fixed seed must
+//! produce the same document everywhere).
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds into
+/// xoshiro256++ state. Usable on its own when stream quality does not
+/// matter (it passes BigCrush but has a 64-bit period).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's default generator: xoshiro256++ (named for the role
+/// `rand::rngs::StdRng` used to play here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seed the full 256-bit state from one `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = sm.next_u64();
+        }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot emit four zero words in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that can be drawn uniformly from an interval; implemented for
+/// the primitive integers and `f64`.
+pub trait SampleUniform: Sized {
+    /// One uniform draw from `lo..hi` (exclusive upper bound).
+    fn sample_exclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// One uniform draw from `lo..=hi` (inclusive upper bound).
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Uniform sampling of a value from a range; the argument type of
+/// [`Rng::gen_range`]. Blanket-implemented for `Range<T>` and
+/// `RangeInclusive<T>` over every [`SampleUniform`] type, so the element
+/// type is inferred from the range literal exactly as with `rand`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// A source of random `u64`s plus the derived sampling API.
+///
+/// Only [`Rng::next_u64`] is required; everything else has a default
+/// implementation. `&mut R` implements `Rng` whenever `R` does, so
+/// generators can be passed down call chains freely.
+pub trait Rng {
+    /// The next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value from `range`. Panics on an empty range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = bounded(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    fn sample<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T>
+    where
+        Self: Sized,
+    {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[bounded(self, slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An unbiased uniform draw from `[0, n)` by rejection sampling.
+fn bounded<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Reject draws from the final partial block so every residue is
+    // equally likely; at worst half the range is rejected.
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let v = rng.next_u64();
+        if v >= threshold {
+            return v % n;
+        }
+    }
+}
+
+/// One uniform draw from the inclusive interval `[lo, hi]`, computed in
+/// `i128` so a single code path serves every primitive integer width.
+fn sample_int<R: Rng>(rng: &mut R, lo: i128, hi: i128) -> i128 {
+    let span = (hi - lo) as u128;
+    if span >= u64::MAX as u128 {
+        // The full 64-bit domain: every raw output is a valid draw.
+        return lo + rng.next_u64() as i128;
+    }
+    lo + bounded(rng, span as u64 + 1) as i128
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: Rng>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                sample_int(rng, lo as i128, hi as i128 - 1) as $t
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                sample_int(rng, lo as i128, hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "gen_range: empty range");
+        let v = lo + rng.next_f64() * (hi - lo);
+        // Rounding can land exactly on the excluded endpoint; pull back.
+        if v < hi {
+            v
+        } else {
+            hi.next_down().max(lo)
+        }
+    }
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_is_stable_across_releases() {
+        // Pinned expected values: a change here breaks every seeded test
+        // in the workspace, so it must be deliberate.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            [
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330,
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let v = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let v = rng.gen_range(0.0..1.5);
+            assert!((0.0..1.5).contains(&v));
+            let v = rng.gen_range(3usize..4);
+            assert_eq!(v, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn extreme_integer_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let v = rng.gen_range(i64::MAX - 1..i64::MAX);
+        assert_eq!(v, i64::MAX - 1);
+        let v = rng.gen_range(u64::MAX..=u64::MAX);
+        assert_eq!(v, u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..=3300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn sample_picks_every_element_eventually() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*rng.sample(&items).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(rng.sample::<u8>(&[]).is_none());
+    }
+
+    #[test]
+    fn rng_works_through_mut_references() {
+        fn takes_rng(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = takes_rng(&mut rng);
+        assert!(v < 100);
+    }
+}

@@ -1,0 +1,84 @@
+//! A poison-tolerant reader–writer lock with the `parking_lot` calling
+//! convention (`read()`/`write()` return guards directly).
+//!
+//! The storage engine takes table locks around operations that never
+//! intentionally panic; if one does, the data is a plain `Vec`/`BTreeMap`
+//! left in a consistent state by Rust's unwinding rules, so propagating
+//! std's poison flag would only turn one test failure into a cascade.
+//! Lock acquisition therefore shrugs off poison and returns the guard.
+
+use std::sync::{PoisonError, RwLockReadGuard, RwLockWriteGuard};
+
+/// A thin wrapper over [`std::sync::RwLock`] that ignores poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+        assert_eq!(lock.into_inner(), 42);
+    }
+
+    #[test]
+    fn concurrent_readers_coexist() {
+        let lock = RwLock::new(7);
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn survives_a_poisoning_panic() {
+        let lock = RwLock::new(vec![1, 2, 3]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock.write();
+            panic!("poison");
+        }));
+        assert!(result.is_err());
+        // A std RwLock would now refuse access; ours recovers the data.
+        assert_eq!(*lock.read(), vec![1, 2, 3]);
+        *lock.write() = vec![4];
+        assert_eq!(lock.into_inner(), vec![4]);
+    }
+}

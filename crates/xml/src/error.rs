@@ -16,7 +16,11 @@ pub struct Position {
 impl Position {
     /// The position of the first byte of the input.
     pub const fn start() -> Self {
-        Position { offset: 0, line: 1, column: 1 }
+        Position {
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
     }
 }
 
@@ -65,7 +69,10 @@ impl fmt::Display for ParseError {
                 write!(f, "unexpected character {found:?}, expected {expected}")
             }
             ParseErrorKind::MismatchedClosingTag { open, close } => {
-                write!(f, "closing tag </{close}> does not match opening tag <{open}>")
+                write!(
+                    f,
+                    "closing tag </{close}> does not match opening tag <{open}>"
+                )
             }
             ParseErrorKind::TrailingContent => write!(f, "content after the document element"),
             ParseErrorKind::MissingRoot => write!(f, "document has no root element"),
@@ -84,7 +91,11 @@ mod tests {
 
     #[test]
     fn position_displays_line_and_column() {
-        let p = Position { offset: 10, line: 2, column: 5 };
+        let p = Position {
+            offset: 10,
+            line: 2,
+            column: 5,
+        };
         assert_eq!(p.to_string(), "2:5");
     }
 
@@ -92,7 +103,10 @@ mod tests {
     fn error_display_mentions_position_and_kind() {
         let e = ParseError {
             position: Position::start(),
-            kind: ParseErrorKind::MismatchedClosingTag { open: "a".into(), close: "b".into() },
+            kind: ParseErrorKind::MismatchedClosingTag {
+                open: "a".into(),
+                close: "b".into(),
+            },
         };
         let s = e.to_string();
         assert!(s.contains("1:1"));

@@ -14,7 +14,9 @@ pub fn escape_attribute(s: &str) -> Cow<'_, str> {
 }
 
 fn escape_with(s: &str, attr: bool) -> Cow<'_, str> {
-    let needs = s.bytes().any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && b == b'"'));
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'<' | b'>' | b'&') || (attr && b == b'"'));
     if !needs {
         return Cow::Borrowed(s);
     }
@@ -43,7 +45,10 @@ pub fn resolve_entity(name: &str) -> Option<char> {
         "quot" => Some('"'),
         _ => {
             let digits = name.strip_prefix('#')?;
-            let code = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+            let code = if let Some(hex) = digits
+                .strip_prefix('x')
+                .or_else(|| digits.strip_prefix('X'))
+            {
                 u32::from_str_radix(hex, 16).ok()?
             } else {
                 digits.parse::<u32>().ok()?

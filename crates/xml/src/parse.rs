@@ -35,15 +35,28 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { input: src.as_bytes(), src, pos: 0, line: 1, col: 1 }
+        Parser {
+            input: src.as_bytes(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn position(&self) -> Position {
-        Position { offset: self.pos, line: self.line, column: self.col }
+        Position {
+            offset: self.pos,
+            line: self.line,
+            column: self.col,
+        }
     }
 
     fn error(&self, kind: ParseErrorKind) -> ParseError {
-        ParseError { position: self.position(), kind }
+        ParseError {
+            position: self.position(),
+            kind,
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -107,7 +120,10 @@ impl<'a> Parser<'a> {
                     return;
                 }
             } else if self.starts_with("<?") {
-                if self.skip_until("?>", "reading a processing instruction").is_err() {
+                if self
+                    .skip_until("?>", "reading a processing instruction")
+                    .is_err()
+                {
                     return;
                 }
             } else {
@@ -201,7 +217,9 @@ impl<'a> Parser<'a> {
                         expected: "attribute name, '>', or '/>'",
                     }))
                 }
-                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading a start tag"))),
+                None => {
+                    return Err(self.error(ParseErrorKind::UnexpectedEof("reading a start tag")))
+                }
             }
         }
     }
@@ -239,7 +257,11 @@ impl<'a> Parser<'a> {
                     let c = self.next_char()?;
                     value.push(c);
                 }
-                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading an attribute value"))),
+                None => {
+                    return Err(
+                        self.error(ParseErrorKind::UnexpectedEof("reading an attribute value"))
+                    )
+                }
             }
         }
         Ok(Attribute { name, value })
@@ -250,7 +272,9 @@ impl<'a> Parser<'a> {
         let mut text = String::new();
         loop {
             match self.peek() {
-                None => return Err(self.error(ParseErrorKind::UnexpectedEof("reading element content"))),
+                None => {
+                    return Err(self.error(ParseErrorKind::UnexpectedEof("reading element content")))
+                }
                 Some(b'<') => {
                     if self.starts_with("</") {
                         flush_text(&mut text, element);
@@ -313,7 +337,9 @@ impl<'a> Parser<'a> {
             }
             self.bump();
         }
-        Err(self.error(ParseErrorKind::BadEntity(self.src[start..self.pos].to_string())))
+        Err(self.error(ParseErrorKind::BadEntity(
+            self.src[start..self.pos].to_string(),
+        )))
     }
 
     /// Consume one full (possibly multi-byte) character.
@@ -398,7 +424,10 @@ mod tests {
     #[test]
     fn mismatched_tags_are_rejected() {
         let err = parse("<a><b></a></b>").unwrap_err();
-        assert!(matches!(err.kind, ParseErrorKind::MismatchedClosingTag { .. }));
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MismatchedClosingTag { .. }
+        ));
     }
 
     #[test]

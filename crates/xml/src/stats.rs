@@ -118,7 +118,11 @@ impl Statistics {
     }
 
     /// Record a distinct-value count for a (string-valued) path.
-    pub fn set_distinct<S: Into<String> + Clone>(&mut self, path: &[S], distinct: u64) -> &mut Self {
+    pub fn set_distinct<S: Into<String> + Clone>(
+        &mut self,
+        path: &[S],
+        distinct: u64,
+    ) -> &mut Self {
         self.entry(path).distinct = Some(distinct);
         self
     }
@@ -256,7 +260,9 @@ fn walk(e: &Element, path: &mut Vec<String>, acc: &mut BTreeMap<Path, Accum>) {
     if e.is_leaf() {
         let text = e.text();
         if !text.is_empty() {
-            acc.get_mut(&Path(path.clone())).expect("just inserted").observe_value(&text);
+            acc.get_mut(&Path(path.clone()))
+                .expect("just inserted")
+                .observe_value(&text);
         }
     }
     for a in &e.attributes {
@@ -359,7 +365,10 @@ mod tests {
         assert_eq!(s.count(&["imdb", "show"]), Some(34798));
         assert_eq!(s.avg_size(&["imdb", "show", "title"]), Some(50.0));
         let y = s.get(&["imdb", "show", "year"]).unwrap();
-        assert_eq!((y.min, y.max, y.distinct), (Some(1800), Some(2100), Some(300)));
+        assert_eq!(
+            (y.min, y.max, y.distinct),
+            (Some(1800), Some(2100), Some(300))
+        );
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl Node {
 impl Element {
     /// An element with no attributes or children.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style: an element whose only child is a text node.
@@ -87,7 +91,10 @@ impl Element {
 
     /// Builder-style: add an attribute.
     pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attributes.push(Attribute { name: name.into(), value: value.into() });
+        self.attributes.push(Attribute {
+            name: name.into(),
+            value: value.into(),
+        });
         self
     }
 
@@ -120,7 +127,10 @@ impl Element {
 
     /// The value of the named attribute, if present.
     pub fn attribute(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|a| a.name == name).map(|a| a.value.as_str())
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
     }
 
     /// The concatenation of all *direct* text children (not descendants),
@@ -178,7 +188,10 @@ mod tests {
 
     #[test]
     fn text_concatenates_and_trims_direct_text() {
-        let e = Element::new("x").with_text("  a ").with_child(Element::new("y")).with_text("b  ");
+        let e = Element::new("x")
+            .with_text("  a ")
+            .with_child(Element::new("y"))
+            .with_text("b  ");
         assert_eq!(e.text(), "a b");
     }
 

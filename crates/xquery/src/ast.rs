@@ -122,7 +122,10 @@ mod tests {
     fn path_display() {
         let p = PathExpr::var("v", ["title"]);
         assert_eq!(p.to_string(), "$v/title");
-        let p = PathExpr { root: PathRoot::Document, steps: vec!["imdb".into(), "show".into()] };
+        let p = PathExpr {
+            root: PathRoot::Document,
+            steps: vec!["imdb".into(), "show".into()],
+        };
         assert_eq!(p.to_string(), "document(\"…\")/imdb/show");
     }
 }

@@ -20,7 +20,11 @@ pub struct XQueryParseError {
 
 impl fmt::Display for XQueryParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XQuery syntax error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XQuery syntax error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -44,7 +48,10 @@ struct P<'a> {
 
 impl P<'_> {
     fn err(&self, message: impl Into<String>) -> XQueryParseError {
-        XQueryParseError { offset: self.pos, message: message.into() }
+        XQueryParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn eof(&self) -> bool {
@@ -137,7 +144,11 @@ impl P<'_> {
             return Err(self.err("expected RETURN"));
         }
         let returns = self.parse_return_items()?;
-        Ok(Flwr { bindings, predicates, returns })
+        Ok(Flwr {
+            bindings,
+            predicates,
+            returns,
+        })
     }
 
     fn parse_binding(&mut self) -> Result<BindingDef, XQueryParseError> {
@@ -320,7 +331,10 @@ mod tests {
         assert_eq!(q.flwr.bindings[0].var, "v");
         assert_eq!(q.flwr.bindings[0].source.steps, ["imdb", "show"]);
         assert_eq!(q.flwr.predicates.len(), 1);
-        assert!(matches!(q.flwr.predicates[0].right, Operand::Placeholder(_)));
+        assert!(matches!(
+            q.flwr.predicates[0].right,
+            Operand::Placeholder(_)
+        ));
         assert_eq!(q.flwr.returns.len(), 3);
     }
 
@@ -342,9 +356,7 @@ mod tests {
     fn parses_publish_all() {
         let q = parse_xquery(r#"FOR $v IN document("x")/imdb/show RETURN $v"#).unwrap();
         assert!(q.flwr.predicates.is_empty());
-        assert!(
-            matches!(&q.flwr.returns[0], ReturnItem::Path(p) if p.steps.is_empty())
-        );
+        assert!(matches!(&q.flwr.returns[0], ReturnItem::Path(p) if p.steps.is_empty()));
     }
 
     #[test]
@@ -363,8 +375,10 @@ mod tests {
         assert_eq!(q.flwr.bindings.len(), 5);
         assert_eq!(q.flwr.predicates.len(), 2);
         assert!(matches!(&q.flwr.predicates[0].right, Operand::Path(_)));
-        assert!(matches!(&q.flwr.returns[0], ReturnItem::Element { name, items }
-            if name == "result" && items.len() == 3));
+        assert!(
+            matches!(&q.flwr.returns[0], ReturnItem::Element { name, items }
+            if name == "result" && items.len() == 3)
+        );
     }
 
     #[test]
@@ -397,7 +411,9 @@ mod tests {
                </result>"#,
         )
         .unwrap();
-        let ReturnItem::Element { items, .. } = &q.flwr.returns[0] else { panic!() };
+        let ReturnItem::Element { items, .. } = &q.flwr.returns[0] else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         assert!(matches!(items[1], ReturnItem::Nested(_)));
     }
@@ -407,18 +423,14 @@ mod tests {
         assert!(parse_xquery("WHERE x RETURN y").is_err());
         assert!(parse_xquery("FOR $v IN document(\"x\")/a WHERE RETURN $v").is_err());
         assert!(parse_xquery("FOR $v IN document(\"x\")/a RETURN").is_err());
-        assert!(parse_xquery(
-            "FOR $v IN document(\"x\")/a RETURN <r> $v </wrong>"
-        )
-        .is_err());
+        assert!(parse_xquery("FOR $v IN document(\"x\")/a RETURN <r> $v </wrong>").is_err());
     }
 
     #[test]
     fn keywords_are_case_insensitive() {
-        let q = parse_xquery(
-            r#"for $v in document("x")/imdb/show where $v/year = 1 return $v/title"#,
-        )
-        .unwrap();
+        let q =
+            parse_xquery(r#"for $v in document("x")/imdb/show where $v/year = 1 return $v/title"#)
+                .unwrap();
         assert_eq!(q.flwr.bindings.len(), 1);
     }
 }

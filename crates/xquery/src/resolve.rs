@@ -37,7 +37,9 @@ pub fn term_at<'a>(owner_def: &'a Type, rel: &[String]) -> Option<&'a Type> {
         } else {
             find_element(term, &|nt| nt.literal() == Some(step.as_str()))?
         };
-        let Type::Element { content, .. } = element else { return None };
+        let Type::Element { content, .. } = element else {
+            return None;
+        };
         term = content;
     }
     Some(term)
@@ -59,9 +61,7 @@ fn find_element<'a>(term: &'a Type, pred: &dyn Fn(&NameTest) -> bool) -> Option<
 fn ref_sites(term: &Type, out: &mut Vec<TypeName>) {
     match term {
         Type::Ref(n) => out.push(n.clone()),
-        Type::Seq(items) | Type::Choice(items) => {
-            items.iter().for_each(|t| ref_sites(t, out))
-        }
+        Type::Seq(items) | Type::Choice(items) => items.iter().for_each(|t| ref_sites(t, out)),
         Type::Rep { inner, .. } => ref_sites(inner, out),
         _ => {}
     }
@@ -81,15 +81,23 @@ fn step_from_guarded(
     step: &str,
     visiting: &mut BTreeSet<TypeName>,
 ) -> Vec<StepTarget> {
-    let Some(owner_def) = schema.get(owner) else { return Vec::new() };
-    let Some(term) = term_at(owner_def, rel) else { return Vec::new() };
+    let Some(owner_def) = schema.get(owner) else {
+        return Vec::new();
+    };
+    let Some(term) = term_at(owner_def, rel) else {
+        return Vec::new();
+    };
     let mut targets = Vec::new();
 
     // 1. Inlined element with this literal name.
     if find_element(term, &|nt| nt.literal() == Some(step)).is_some() {
         let mut new_rel = rel.to_vec();
         new_rel.push(step.to_string());
-        targets.push(StepTarget { chain: Vec::new(), rel: new_rel, tag_filter: None });
+        targets.push(StepTarget {
+            chain: Vec::new(),
+            rel: new_rel,
+            tag_filter: None,
+        });
     }
     // 2. Inlined wildcard element admitting this name.
     if find_element(term, &|nt| nt.is_wildcard() && nt.matches(step)).is_some() {
@@ -108,10 +116,19 @@ fn step_from_guarded(
     let mut refs = Vec::new();
     ref_sites(term, &mut refs);
     for ct in refs {
-        let Some(ct_def) = schema.get(&ct) else { continue };
+        let Some(ct_def) = schema.get(&ct) else {
+            continue;
+        };
         match ct_def {
-            Type::Element { name: NameTest::Name(n), .. } if n == step => {
-                targets.push(StepTarget { chain: vec![ct.clone()], rel: Vec::new(), tag_filter: None });
+            Type::Element {
+                name: NameTest::Name(n),
+                ..
+            } if n == step => {
+                targets.push(StepTarget {
+                    chain: vec![ct.clone()],
+                    rel: Vec::new(),
+                    tag_filter: None,
+                });
             }
             Type::Element { name, .. } if name.is_wildcard() && name.matches(step) => {
                 targets.push(StepTarget {
@@ -128,7 +145,11 @@ fn step_from_guarded(
                     for sub in step_from_guarded(schema, &ct, &[], step, visiting) {
                         let mut chain = vec![ct.clone()];
                         chain.extend(sub.chain);
-                        targets.push(StepTarget { chain, rel: sub.rel, tag_filter: sub.tag_filter });
+                        targets.push(StepTarget {
+                            chain,
+                            rel: sub.rel,
+                            tag_filter: sub.tag_filter,
+                        });
                     }
                     visiting.remove(&ct);
                 }
@@ -145,12 +166,7 @@ pub fn descendant_chains(schema: &Schema, ty: &TypeName) -> Vec<Vec<TypeName>> {
     const MAX_DEPTH: usize = 8;
     let mut out = Vec::new();
     let mut path = Vec::new();
-    fn dfs(
-        schema: &Schema,
-        ty: &TypeName,
-        path: &mut Vec<TypeName>,
-        out: &mut Vec<Vec<TypeName>>,
-    ) {
+    fn dfs(schema: &Schema, ty: &TypeName, path: &mut Vec<TypeName>, out: &mut Vec<Vec<TypeName>>) {
         if path.len() >= MAX_DEPTH {
             return;
         }
@@ -220,7 +236,10 @@ mod tests {
         // episode is two levels deep: TV, then Episode.
         let t = step("Show", &[], "episode");
         assert_eq!(t.len(), 1);
-        assert_eq!(t[0].chain, vec![TypeName::new("TV"), TypeName::new("Episode")]);
+        assert_eq!(
+            t[0].chain,
+            vec![TypeName::new("TV"), TypeName::new("Episode")]
+        );
     }
 
     #[test]

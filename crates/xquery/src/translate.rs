@@ -36,7 +36,9 @@ impl fmt::Display for TranslateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranslateError::UnresolvedBinding(p) => write!(f, "cannot resolve binding path {p}"),
-            TranslateError::BadRoot(s) => write!(f, "path does not start at the document root: {s}"),
+            TranslateError::BadRoot(s) => {
+                write!(f, "path does not start at the document root: {s}")
+            }
             TranslateError::UnresolvedPredicate(p) => {
                 write!(f, "WHERE path {p} does not resolve to a column")
             }
@@ -117,7 +119,9 @@ impl Translator<'_> {
         for binding in &flwr.bindings {
             let next = self.resolve_path_in_worlds(worlds, &binding.source, true)?;
             if next.is_empty() {
-                return Err(TranslateError::UnresolvedBinding(binding.source.to_string()));
+                return Err(TranslateError::UnresolvedBinding(
+                    binding.source.to_string(),
+                ));
             }
             *worlds = next
                 .into_iter()
@@ -336,8 +340,10 @@ impl Translator<'_> {
             // No RETURN item resolved anywhere: the bindings and filters
             // still execute (a real engine must enumerate the matches), so
             // cost the bare blocks.
-            let blocks: Vec<SpjQuery> =
-                worlds.iter().filter_map(|w| self.world_to_block(w, None)).collect();
+            let blocks: Vec<SpjQuery> = worlds
+                .iter()
+                .filter_map(|w| self.world_to_block(w, None))
+                .collect();
             if blocks.is_empty() {
                 return Err(TranslateError::Empty);
             }
@@ -359,7 +365,10 @@ impl Translator<'_> {
             publish_tables.push(*anchor);
             let mut cur = *anchor;
             for ct in chain {
-                instances.push(Inst { ty: ct.clone(), parent: Some(cur) });
+                instances.push(Inst {
+                    ty: ct.clone(),
+                    parent: Some(cur),
+                });
                 cur = instances.len() - 1;
                 publish_tables.push(cur);
             }
@@ -459,7 +468,11 @@ impl Translator<'_> {
             }
             let col = self.col_ref(&instances, &from_index, pos)?;
             let value = self.operand_value(&instances[pos.0].ty, &pos.1, operand);
-            q.filters.push(FilterPred::Cmp { col, op: *op, value });
+            q.filters.push(FilterPred::Cmp {
+                col,
+                op: *op,
+                value,
+            });
         }
         // Value joins.
         for (a, b) in &world.value_joins {
@@ -487,16 +500,19 @@ impl Translator<'_> {
                 // tables above it contribute only their keys (enough to
                 // stitch results back into a tree). Parent *data* columns
                 // are emitted once, by the anchor's own statement.
-                let (&leaf, ancestors) =
-                    publish_tables.split_last().expect("publish chain is non-empty");
+                let (&leaf, ancestors) = publish_tables
+                    .split_last()
+                    .expect("publish chain is non-empty");
                 for &i in ancestors {
                     let tm = self.mapping.table(&instances[i].ty)?;
-                    q.projection.push(ColRef::new(from_index[i], tm.key.clone()));
+                    q.projection
+                        .push(ColRef::new(from_index[i], tm.key.clone()));
                 }
                 let tm = self.mapping.table(&instances[leaf].ty)?;
                 let table = self.mapping.catalog.table(&tm.table)?;
                 for col in &table.columns {
-                    q.projection.push(ColRef::new(from_index[leaf], col.name.clone()));
+                    q.projection
+                        .push(ColRef::new(from_index[leaf], col.name.clone()));
                 }
             }
         }
@@ -595,7 +611,10 @@ mod tests {
                RETURN $a"#,
         );
         assert!(sql.contains("Aka"), "{sql}");
-        assert!(sql.contains("Show_id = ") && sql.contains("parent_Show"), "{sql}");
+        assert!(
+            sql.contains("Show_id = ") && sql.contains("parent_Show"),
+            "{sql}"
+        );
     }
 
     #[test]
@@ -673,7 +692,10 @@ mod tests {
         let sql = t.to_sql();
         assert!(sql.contains("Actor"), "{sql}");
         assert!(sql.contains("Director"), "{sql}");
-        assert!(sql.contains(".name = ") && sql.contains(".title = "), "{sql}");
+        assert!(
+            sql.contains(".name = ") && sql.contains(".title = "),
+            "{sql}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ fn main() {
 
     println!("searching a configuration for the lookup workload (Q8, Q9, Q11, Q12, Q13)...");
     let result = engine.optimize().expect("search succeeds");
-    println!("converged to cost {:.2} in {} iterations\n", result.cost, result.trajectory.len() - 1);
+    println!(
+        "converged to cost {:.2} in {} iterations\n",
+        result.cost,
+        result.trajectory.len() - 1
+    );
     println!("=== relational design\n{}", result.mapping.catalog.to_ddl());
 
     // Show the SQL a site query turns into under the chosen mapping.
@@ -31,5 +35,8 @@ fn main() {
     )
     .expect("query parses");
     let translated = translate(&result.mapping, &site_query).expect("query translates");
-    println!("=== 'show description by title' translates to\n{}", translated.to_sql());
+    println!(
+        "=== 'show description by title' translates to\n{}",
+        translated.to_sql()
+    );
 }

@@ -10,9 +10,12 @@ use legodb_imdb::{imdb_schema, scaled_statistics, workload_w1, workload_w2};
 
 fn main() {
     let stats = scaled_statistics(0.1); // 1/10-scale IMDB
-    let engine = LegoDb::new(imdb_schema(), stats, workload_w1()).with_search_config(
-        SearchConfig { start: StartPoint::MaximallyInlined, parallel: true, ..Default::default() },
-    );
+    let engine =
+        LegoDb::new(imdb_schema(), stats, workload_w1()).with_search_config(SearchConfig {
+            start: StartPoint::MaximallyInlined,
+            parallel: true,
+            ..Default::default()
+        });
 
     println!("searching a configuration for W1 (publishing-heavy: 0.4/0.4/0.1/0.1)...");
     let publish_tuned = engine.optimize().expect("search succeeds");
@@ -27,9 +30,14 @@ fn main() {
     // vice versa — the paper's point: one size does not fit all.
     let w2_engine = engine.clone().with_workload(workload_w2());
     let lookup_tuned = w2_engine.optimize().expect("search succeeds");
-    let publish_under_w2 =
-        w2_engine.cost_of(&publish_tuned.pschema).expect("costing succeeds").total;
-    let lookup_under_w1 = engine.cost_of(&lookup_tuned.pschema).expect("costing succeeds").total;
+    let publish_under_w2 = w2_engine
+        .cost_of(&publish_tuned.pschema)
+        .expect("costing succeeds")
+        .total;
+    let lookup_under_w1 = engine
+        .cost_of(&lookup_tuned.pschema)
+        .expect("costing succeeds")
+        .total;
 
     println!("=== cross-workload comparison");
     println!("                     under W1      under W2");

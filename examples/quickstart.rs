@@ -61,11 +61,16 @@ fn main() {
             "  iteration {:2}: cost {:10.2}  {}",
             step.iteration,
             step.cost,
-            step.applied.as_deref().unwrap_or("(initial all-inlined configuration)")
+            step.applied
+                .as_deref()
+                .unwrap_or("(initial all-inlined configuration)")
         );
     }
     println!("\n=== chosen physical schema\n{}", result.pschema.schema());
-    println!("=== generated relational schema\n{}", result.mapping.catalog.to_ddl());
+    println!(
+        "=== generated relational schema\n{}",
+        result.mapping.catalog.to_ddl()
+    );
     println!("=== per-query estimated costs");
     for (name, cost) in &result.per_query {
         println!("  {name}: {cost:.2}");

@@ -12,10 +12,9 @@ use legodb_pschema::publish::publish_instance;
 use legodb_pschema::{rel, shred};
 use legodb_relational::exec::run;
 use legodb_schema::TypeName;
+use legodb_util::StdRng;
 use legodb_xml::stats::Statistics;
 use legodb_xquery::{parse_xquery, translate};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. Synthesize a small IMDB dataset and harvest its statistics.
@@ -36,17 +35,28 @@ fn main() {
                WHERE $v/year = 1999 RETURN $v/title"#,
             0.5,
         ),
-        ("export", r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#, 0.5),
+        (
+            "export",
+            r#"FOR $v IN document("imdbdata")/imdb/show RETURN $v"#,
+            0.5,
+        ),
     ])
     .expect("workload parses");
     let engine = LegoDb::new(imdb_schema(), stats.clone(), workload);
     let chosen = engine.optimize().expect("search succeeds");
-    println!("chosen configuration has {} tables", chosen.mapping.catalog.len());
+    println!(
+        "chosen configuration has {} tables",
+        chosen.mapping.catalog.len()
+    );
 
     // 3. Shred the document into the relational engine.
     let mapping = rel(&chosen.pschema, &stats);
     let db = shred(&mapping, &doc).expect("document shreds");
-    println!("loaded {} rows across {} tables", db.total_rows(), mapping.catalog.len());
+    println!(
+        "loaded {} rows across {} tables",
+        db.total_rows(),
+        mapping.catalog.len()
+    );
 
     // 4. Run a query end to end: XQuery → SQL → physical plan → rows.
     let q = parse_xquery(
@@ -58,8 +68,9 @@ fn main() {
     let translated = translate(&mapping, &q).expect("query translates");
     println!("\nSQL:\n{}", translated.to_sql());
     for statement in &translated.statements {
-        let optimized = optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
-            .expect("statement optimizes");
+        let optimized =
+            optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
+                .expect("statement optimizes");
         let (rows, counters) = run(&db, &optimized.plan).expect("plan executes");
         println!(
             "\nestimated {:.0} rows / measured {} rows, {:.1} pages read",

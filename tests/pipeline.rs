@@ -11,14 +11,18 @@ use legodb_pschema::{derive_pschema, publish_all, rel, shred, InlineStyle, PSche
 use legodb_relational::exec::run;
 use legodb_relational::{Row, Value};
 use legodb_schema::TypeName;
+use legodb_util::StdRng;
 use legodb_xml::stats::Statistics;
 use legodb_xquery::{parse_xquery, translate};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn small_dataset() -> (legodb_xml::Document, Statistics) {
     let mut rng = StdRng::seed_from_u64(42);
-    let config = ScaleConfig { shows: 60, directors: 15, actors: 40, ..ScaleConfig::at_scale(0.001) };
+    let config = ScaleConfig {
+        shows: 60,
+        directors: 15,
+        actors: 40,
+        ..ScaleConfig::at_scale(0.001)
+    };
     let doc = generate_imdb(&mut rng, &config);
     let stats = Statistics::collect(&doc);
     (doc, stats)
@@ -35,8 +39,9 @@ fn run_query(
     let t = translate(mapping, &q).expect("query translates");
     let mut out = Vec::new();
     for statement in &t.statements {
-        let optimized = optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
-            .expect("statement optimizes");
+        let optimized =
+            optimize_statement(&mapping.catalog, statement, &OptimizerConfig::default())
+                .expect("statement optimizes");
         let (rows, _) = run(db, &optimized.plan).expect("plan executes");
         out.extend(rows);
     }
@@ -82,8 +87,10 @@ fn transformations_preserve_query_answers() {
 
     let base_mapping = rel(&base, &stats);
     let base_db = shred(&base_mapping, &doc).expect("base shreds");
-    let expected: Vec<Vec<Row>> =
-        queries.iter().map(|q| run_query(&base_mapping, &base_db, q)).collect();
+    let expected: Vec<Vec<Row>> = queries
+        .iter()
+        .map(|q| run_query(&base_mapping, &base_db, q))
+        .collect();
 
     let candidates = enumerate_candidates(&base, &TransformationSet::all(vec!["nyt".into()]));
     assert!(!candidates.is_empty());
@@ -91,7 +98,9 @@ fn transformations_preserve_query_answers() {
     for t in &candidates {
         // Union-to-options changes NULL-ability but not answers; all are
         // answer-preserving.
-        let Ok(transformed) = apply(&base, t) else { continue };
+        let Ok(transformed) = apply(&base, t) else {
+            continue;
+        };
         let mapping = rel(&transformed, &stats);
         let Ok(db) = shred(&mapping, &doc) else {
             panic!("document no longer shreds after {t}");
@@ -99,7 +108,8 @@ fn transformations_preserve_query_answers() {
         for (qi, q) in queries.iter().enumerate() {
             let got = run_query(&mapping, &db, q);
             assert_eq!(
-                got, expected[qi],
+                got,
+                expected[qi],
                 "answers changed for query {qi} after {t}\nschema:\n{}",
                 transformed.schema()
             );
@@ -125,7 +135,11 @@ fn shred_publish_round_trip_on_generated_imdb() {
             let mut b = db2.table(&table.def.name).unwrap().scan();
             a.sort();
             b.sort();
-            assert_eq!(a, b, "table {} differs after round trip ({style:?})", table.def.name);
+            assert_eq!(
+                a, b,
+                "table {} differs after round trip ({style:?})",
+                table.def.name
+            );
         }
     }
 }
@@ -139,18 +153,29 @@ fn greedy_search_runs_on_the_real_imdb_application() {
             r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
             0.7,
         ),
-        ("publish", r#"FOR $v IN document("x")/imdb/show RETURN $v"#, 0.3),
+        (
+            "publish",
+            r#"FOR $v IN document("x")/imdb/show RETURN $v"#,
+            0.3,
+        ),
     ])
     .unwrap();
     let result = greedy_search(
         &imdb_schema(),
         &stats,
         &workload,
-        &SearchConfig { parallel: true, max_iterations: 6, ..Default::default() },
+        &SearchConfig {
+            parallel: true,
+            max_iterations: 6,
+            ..Default::default()
+        },
     )
     .expect("search succeeds");
     let costs: Vec<f64> = result.trajectory.iter().map(|r| r.cost).collect();
-    assert!(costs.windows(2).all(|w| w[1] <= w[0]), "non-monotone: {costs:?}");
+    assert!(
+        costs.windows(2).all(|w| w[1] <= w[0]),
+        "non-monotone: {costs:?}"
+    );
     assert!(!result.report.mapping.catalog.is_empty());
 }
 
@@ -186,7 +211,9 @@ fn storage_maps_disagree_on_cost_but_agree_on_answers() {
     let inlined = LegoDb::new(imdb_schema(), stats.clone(), Workload::new()).all_inlined_pschema();
     let distributed: PSchema = apply(
         &derive_pschema(&imdb_schema(), InlineStyle::Inlined),
-        &Transformation::UnionDistribute { in_type: TypeName::new("Show") },
+        &Transformation::UnionDistribute {
+            in_type: TypeName::new("Show"),
+        },
     )
     .expect("union distributes");
 

@@ -1,15 +1,18 @@
 //! Property-based tests over randomly generated schemas and documents:
 //! the invariants that hold for *any* input, not just the IMDB fixtures.
+//!
+//! Runs on `legodb_util`'s `prop_check!` harness: each argument is drawn
+//! from its range for N cases, and a failure is shrunk (halving, then
+//! decrement) toward the range start before being reported with the seed
+//! needed to replay it.
 
 use legodb_core::transform::{apply, enumerate_candidates, TransformationSet};
 use legodb_pschema::{derive_pschema, publish_all, rel, shred, InlineStyle};
 use legodb_schema::gen::{generate, GenConfig};
 use legodb_schema::validate::validate;
 use legodb_schema::{parse_schema, Schema};
+use legodb_util::{prop_assert, prop_assert_eq, prop_assume, prop_check, Rng, StdRng};
 use legodb_xml::stats::Statistics;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// A small pool of schema shapes exercising every construct: scalars,
 /// attributes, nesting, optionality, bounded/unbounded repetition,
@@ -34,17 +37,16 @@ fn schema_pool() -> Vec<&'static str> {
     ]
 }
 
-fn arb_schema() -> impl Strategy<Value = Schema> {
-    (0..schema_pool().len()).prop_map(|i| parse_schema(schema_pool()[i]).expect("pool parses"))
+fn pool_schema(index: usize) -> Schema {
+    parse_schema(schema_pool()[index]).expect("pool parses")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Both p-schema derivations accept every document of the source
-    /// schema (language preservation).
-    #[test]
-    fn derivations_preserve_the_document_language(schema in arb_schema(), seed in 0u64..1000) {
+prop_check! {
+    cases = 24,
+    // Both p-schema derivations accept every document of the source
+    // schema (language preservation).
+    fn derivations_preserve_the_document_language(pool in 0..schema_pool().len(), seed in 0u64..1000) {
+        let schema = pool_schema(pool);
         let mut rng = StdRng::seed_from_u64(seed);
         let doc = generate(&schema, &mut rng, &GenConfig::default());
         prop_assert!(validate(&schema, &doc).is_ok());
@@ -57,11 +59,14 @@ proptest! {
             );
         }
     }
+}
 
-    /// Every enumerated transformation yields a schema that still accepts
-    /// the source schema's documents.
-    #[test]
-    fn transformations_preserve_the_document_language(schema in arb_schema(), seed in 0u64..500) {
+prop_check! {
+    cases = 24,
+    // Every enumerated transformation yields a schema that still accepts
+    // the source schema's documents.
+    fn transformations_preserve_the_document_language(pool in 0..schema_pool().len(), seed in 0u64..500) {
+        let schema = pool_schema(pool);
         let p = derive_pschema(&schema, InlineStyle::Inlined);
         let mut rng = StdRng::seed_from_u64(seed);
         let doc = generate(&schema, &mut rng, &GenConfig::default());
@@ -75,11 +80,14 @@ proptest! {
             }
         }
     }
+}
 
-    /// Shred → publish → shred is a fixpoint: the relational image is
-    /// stable (semantic round-trip).
-    #[test]
-    fn shred_publish_shred_is_a_fixpoint(schema in arb_schema(), seed in 0u64..500) {
+prop_check! {
+    cases = 24,
+    // Shred → publish → shred is a fixpoint: the relational image is
+    // stable (semantic round-trip).
+    fn shred_publish_shred_is_a_fixpoint(pool in 0..schema_pool().len(), seed in 0u64..500) {
+        let schema = pool_schema(pool);
         let p = derive_pschema(&schema, InlineStyle::Inlined);
         let mut rng = StdRng::seed_from_u64(seed);
         let doc = generate(&schema, &mut rng, &GenConfig::default());
@@ -96,19 +104,25 @@ proptest! {
             prop_assert_eq!(a, b, "table {} unstable", &table.def.name);
         }
     }
+}
 
-    /// The schema text round-trips: print ∘ parse = identity.
-    #[test]
-    fn schema_printer_round_trips(schema in arb_schema()) {
+prop_check! {
+    cases = 24,
+    // The schema text round-trips: print ∘ parse = identity.
+    fn schema_printer_round_trips(pool in 0..schema_pool().len()) {
+        let schema = pool_schema(pool);
         let printed = schema.to_string();
         let reparsed = parse_schema(&printed).expect("printed schema parses");
         prop_assert_eq!(schema, reparsed);
     }
+}
 
-    /// Harvested statistics agree with the document: the row counts of the
-    /// mapped tables equal the shredded row counts.
-    #[test]
-    fn translated_statistics_match_shredded_cardinalities(schema in arb_schema(), seed in 0u64..500) {
+prop_check! {
+    cases = 24,
+    // Harvested statistics agree with the document: the row counts of the
+    // mapped tables equal the shredded row counts.
+    fn translated_statistics_match_shredded_cardinalities(pool in 0..schema_pool().len(), seed in 0u64..500) {
+        let schema = pool_schema(pool);
         let p = derive_pschema(&schema, InlineStyle::Inlined);
         let mut rng = StdRng::seed_from_u64(seed);
         let doc = generate(&schema, &mut rng, &GenConfig::default());
@@ -129,12 +143,19 @@ proptest! {
     }
 }
 
-// XML escaping round-trip under proptest-generated text.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random printable-ASCII text of `len` characters, drawn from `rng`.
+fn printable_text(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| rng.gen_range(0x20u32..=0x7E) as u8 as char)
+        .collect()
+}
 
-    #[test]
-    fn xml_text_round_trips(text in "[ -~]{1,60}") {
+// XML escaping round-trips under harness-generated text.
+
+prop_check! {
+    cases = 64,
+    fn xml_text_round_trips(len in 1usize..=60, seed in 0u64..10_000) {
+        let text = printable_text(&mut StdRng::seed_from_u64(seed), len);
         // Whitespace-only text is dropped by the parser (element-content
         // whitespace); test non-empty trimmed content.
         prop_assume!(!text.trim().is_empty());
@@ -144,9 +165,12 @@ proptest! {
         let reparsed = legodb_xml::parse(&doc.to_xml()).expect("serialized XML parses");
         prop_assert_eq!(doc, reparsed);
     }
+}
 
-    #[test]
-    fn attribute_values_round_trip(value in "[ -~]{0,40}") {
+prop_check! {
+    cases = 64,
+    fn attribute_values_round_trip(len in 0usize..=40, seed in 0u64..10_000) {
+        let value = printable_text(&mut StdRng::seed_from_u64(seed), len);
         let doc = legodb_xml::Document::new(
             legodb_xml::Element::new("t").with_attr("a", value.clone()),
         );
