@@ -17,6 +17,21 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
+# Fault-injection pass: LEGODB_FAULT_SEED activates the deterministic
+# failpoints (crates/util/src/fault.rs); candidate evaluations fail or
+# panic for a fixed fraction of (site, key) pairs and the suite must
+# still pass — proving the fault-isolation layer contains them.
+echo "==> fault-injection test pass (LEGODB_FAULT_SEED=1)"
+LEGODB_FAULT_SEED=1 cargo test -q --offline --workspace
+
+# Hardened pass: optimized code with debug assertions and integer
+# overflow checks re-enabled, in a separate target dir so the plain
+# release cache stays valid.
+echo "==> hardened test pass (release + debug-assertions + overflow-checks)"
+RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+CARGO_TARGET_DIR=target/hardened \
+cargo test -q --offline --workspace --release
+
 # Clippy ships with rustup toolchains but not every minimal container;
 # soft-fail only when the component itself is absent.
 if cargo clippy --version >/dev/null 2>&1; then

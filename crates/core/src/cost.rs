@@ -29,6 +29,14 @@ pub enum CostError {
         /// Inner error.
         error: OptimizerError,
     },
+    /// A cost computed to NaN or infinity. A configuration that cannot be
+    /// priced to a finite number cannot seed or win a search.
+    NonFiniteCost {
+        /// What was being priced (query name or "initial configuration").
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -38,6 +46,9 @@ impl fmt::Display for CostError {
                 write!(f, "translating {query}: {error}")
             }
             CostError::Optimize { query, error } => write!(f, "optimizing {query}: {error}"),
+            CostError::NonFiniteCost { context, value } => {
+                write!(f, "non-finite cost {value} for {context}")
+            }
         }
     }
 }

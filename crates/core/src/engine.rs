@@ -4,12 +4,13 @@
 //! touch relational artifacts except through the resulting mapping.
 
 use crate::cost::{pschema_cost, CostError, CostReport};
-use crate::search::{greedy_search_from, SearchConfig, SearchResult, StartPoint};
+use crate::search::{greedy_search_from, SearchConfig, SearchOutcome, SearchResult, StartPoint};
 use crate::transform::{apply, Transformation};
 use crate::workload::Workload;
 use legodb_optimizer::OptimizerConfig;
 use legodb_pschema::{derive_pschema, InlineStyle, Mapping, PSchema};
 use legodb_schema::Schema;
+use legodb_util::governor::Budget;
 use legodb_xml::stats::Statistics;
 
 /// The LegoDB mapping engine.
@@ -34,6 +35,12 @@ pub struct EngineResult {
     pub per_query: Vec<(String, f64)>,
     /// The greedy trajectory.
     pub trajectory: Vec<crate::search::IterationReport>,
+    /// Whether the search converged or stopped on a budget limit (the
+    /// configuration is best-so-far either way).
+    pub outcome: SearchOutcome,
+    /// Candidates dropped across the search (panics, pricing failures,
+    /// non-finite costs).
+    pub dropped_candidates: u64,
 }
 
 impl From<SearchResult> for EngineResult {
@@ -44,6 +51,8 @@ impl From<SearchResult> for EngineResult {
             cost: r.cost,
             per_query: r.report.per_query,
             trajectory: r.trajectory,
+            outcome: r.outcome,
+            dropped_candidates: r.dropped_candidates,
         }
     }
 }
@@ -63,6 +72,15 @@ impl LegoDb {
     /// Override the search configuration.
     pub fn with_search_config(mut self, search: SearchConfig) -> LegoDb {
         self.search = search;
+        self
+    }
+
+    /// Bound the search by a resource budget (deadline, evaluations,
+    /// memory estimate); on exhaustion [`LegoDb::optimize`] returns its
+    /// best-so-far configuration with the corresponding
+    /// [`SearchOutcome`].
+    pub fn with_budget(mut self, budget: Budget) -> LegoDb {
+        self.search.budget = Some(budget);
         self
     }
 
@@ -209,6 +227,19 @@ mod tests {
         let show = report.mapping.catalog.table("Show").unwrap();
         let bo = show.column("box_office").expect("inlined column");
         assert!(bo.nullable);
+    }
+
+    #[test]
+    fn optimize_surfaces_the_search_outcome() {
+        let converged = engine().optimize().unwrap();
+        assert_eq!(converged.outcome, SearchOutcome::Converged);
+        let deadline = engine()
+            .with_budget(Budget::none().with_deadline(std::time::Duration::ZERO))
+            .optimize()
+            .unwrap();
+        assert_eq!(deadline.outcome, SearchOutcome::DeadlineExceeded);
+        assert!(deadline.cost > 0.0);
+        assert!(!deadline.mapping.catalog.is_empty());
     }
 
     #[test]

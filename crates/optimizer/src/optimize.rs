@@ -555,7 +555,9 @@ fn greedy_join_order(
         .min_by(|&a, &b| {
             let ca = access[&(1u64 << a)].card;
             let cb = access[&(1u64 << b)].card;
-            ca.partial_cmp(&cb).expect("finite cards")
+            // total_cmp: a NaN cardinality (corrupt stats) must order
+            // last, not panic the join-ordering pass.
+            ca.total_cmp(&cb)
         })
         .expect("n >= 1");
     remaining.retain(|&i| i != seed);

@@ -43,6 +43,6 @@ pub mod ty;
 pub mod validate;
 
 pub use name::{NameTest, TypeName};
-pub use parse::{parse_schema, SchemaParseError};
+pub use parse::{parse_schema, parse_schema_with_limits, SchemaLimits, SchemaParseError};
 pub use schema::{Schema, SchemaError};
 pub use ty::{Occurs, ScalarKind, ScalarStats, Type};

@@ -31,6 +31,26 @@ use crate::schema::{Schema, SchemaError};
 use crate::ty::{Occurs, ScalarKind, ScalarStats, Type};
 use std::fmt;
 
+/// Hard input limits for the schema parser: nested type expressions are
+/// parsed by recursive descent, so depth must be bounded to keep hostile
+/// inputs from overflowing the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemaLimits {
+    /// Maximum nesting depth of type expressions.
+    pub max_depth: usize,
+    /// Maximum input length in bytes (checked before parsing starts).
+    pub max_input_bytes: usize,
+}
+
+impl Default for SchemaLimits {
+    fn default() -> Self {
+        SchemaLimits {
+            max_depth: 128,
+            max_input_bytes: 64 << 20,
+        }
+    }
+}
+
 /// An error from [`parse_schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchemaParseError {
@@ -38,6 +58,10 @@ pub enum SchemaParseError {
     Syntax { offset: usize, message: String },
     /// The declarations parsed but the schema is not well-formed.
     Schema(SchemaError),
+    /// Type expressions nested deeper than the configured limit.
+    TooDeep { offset: usize, limit: usize },
+    /// The input is larger than the configured byte limit.
+    InputTooLarge { limit: usize, actual: usize },
 }
 
 impl fmt::Display for SchemaParseError {
@@ -47,6 +71,18 @@ impl fmt::Display for SchemaParseError {
                 write!(f, "schema syntax error at byte {offset}: {message}")
             }
             SchemaParseError::Schema(e) => write!(f, "schema error: {e}"),
+            SchemaParseError::TooDeep { offset, limit } => {
+                write!(
+                    f,
+                    "schema type nesting at byte {offset} exceeds the depth limit of {limit}"
+                )
+            }
+            SchemaParseError::InputTooLarge { limit, actual } => {
+                write!(
+                    f,
+                    "schema input of {actual} bytes exceeds the limit of {limit}"
+                )
+            }
         }
     }
 }
@@ -59,10 +95,18 @@ impl From<SchemaError> for SchemaParseError {
     }
 }
 
-/// Parse a schema in the algebra notation. The first declared type is the
-/// root.
+/// Parse a schema in the algebra notation under the default
+/// [`SchemaLimits`]. The first declared type is the root.
 pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
-    let mut p = P::new(src);
+    parse_schema_with_limits(src, &SchemaLimits::default())
+}
+
+/// Parse a schema under explicit [`SchemaLimits`].
+pub fn parse_schema_with_limits(
+    src: &str,
+    limits: &SchemaLimits,
+) -> Result<Schema, SchemaParseError> {
+    let mut p = P::new(src, *limits)?;
     let mut defs = Vec::new();
     p.ws();
     while !p.eof() {
@@ -79,7 +123,7 @@ pub fn parse_schema(src: &str) -> Result<Schema, SchemaParseError> {
 /// Parse a single type expression (without the `type X =` header). Useful
 /// in tests and for building types programmatically from snippets.
 pub fn parse_type(src: &str) -> Result<Type, SchemaParseError> {
-    let mut p = P::new(src);
+    let mut p = P::new(src, SchemaLimits::default())?;
     let t = p.parse_type()?;
     p.ws();
     if !p.eof() {
@@ -91,11 +135,24 @@ pub fn parse_type(src: &str) -> Result<Type, SchemaParseError> {
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    limits: SchemaLimits,
+    depth: usize,
 }
 
 impl<'a> P<'a> {
-    fn new(src: &'a str) -> Self {
-        P { src, pos: 0 }
+    fn new(src: &'a str, limits: SchemaLimits) -> Result<Self, SchemaParseError> {
+        if src.len() > limits.max_input_bytes {
+            return Err(SchemaParseError::InputTooLarge {
+                limit: limits.max_input_bytes,
+                actual: src.len(),
+            });
+        }
+        Ok(P {
+            src,
+            pos: 0,
+            limits,
+            depth: 0,
+        })
     }
 
     fn err(&self, message: impl Into<String>) -> SchemaParseError {
@@ -208,10 +265,20 @@ impl<'a> P<'a> {
     }
 
     fn parse_type(&mut self) -> Result<Type, SchemaParseError> {
+        // All recursion (parens, element/attribute/wildcard content)
+        // funnels back through parse_type, so depth is enforced here.
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(SchemaParseError::TooDeep {
+                offset: self.pos,
+                limit: self.limits.max_depth,
+            });
+        }
         let mut alternatives = vec![self.parse_seq()?];
         while self.eat("|") {
             alternatives.push(self.parse_seq()?);
         }
+        self.depth -= 1;
         Ok(Type::choice(alternatives))
     }
 
@@ -511,6 +578,38 @@ mod tests {
         assert!(matches!(err, SchemaParseError::Syntax { .. }));
         let err = parse_type("a[ String").unwrap_err();
         assert!(matches!(err, SchemaParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn deep_type_nesting_is_rejected_not_overflowed() {
+        let depth = 10_000;
+        let src = format!("type A = {}(){}", "a[ ".repeat(depth), " ]".repeat(depth));
+        let err = parse_schema(&src).unwrap_err();
+        assert!(matches!(err, SchemaParseError::TooDeep { limit: 128, .. }));
+    }
+
+    #[test]
+    fn nesting_under_the_limit_parses() {
+        let limits = SchemaLimits::default();
+        // Each `a[ ... ]` level consumes one parse_type frame; stay a
+        // frame under the limit to cover the outer declaration.
+        let depth = limits.max_depth - 1;
+        let src = format!("type A = {}(){}", "a[ ".repeat(depth), " ]".repeat(depth));
+        assert!(parse_schema_with_limits(&src, &limits).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_upfront() {
+        let limits = SchemaLimits {
+            max_input_bytes: 32,
+            ..Default::default()
+        };
+        let src = format!("type A = a[ String ] // {}", "x".repeat(64));
+        let err = parse_schema_with_limits(&src, &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            SchemaParseError::InputTooLarge { limit: 32, .. }
+        ));
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl Bencher {
             .iter()
             .map(|&t| t as f64 / self.batch as f64)
             .collect();
-        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        per_iter.sort_by(f64::total_cmp);
         let n = per_iter.len();
         Summary {
             name: name.to_string(),

@@ -1,0 +1,272 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Instrumented call sites declare a *failpoint*: a site name plus a
+//! stable per-item key. Whether a given `(site, key)` fires — and whether
+//! it fires as an `Err` or as a panic — is a **pure function** of the
+//! active seed, independent of call order, thread interleaving, and
+//! repetition. Sequential and parallel executions of the same work
+//! therefore inject *identical* faults, which the search equivalence
+//! properties rely on.
+//!
+//! Activation, in precedence order:
+//!
+//! 1. A programmatic override installed with [`override_for_test`]
+//!    (tests; process-global, serialized by an internal mutex).
+//! 2. The `LEGODB_FAULT_SEED` environment variable (CI fault pass), with
+//!    optional `LEGODB_FAULT_RATE` (default 0.02) and
+//!    `LEGODB_FAULT_MODE` (`error` | `panic` | `mixed`, default `mixed`).
+//!
+//! With neither present, [`failpoint`] is a single relaxed atomic load.
+
+use crate::rng::{Rng, SplitMix64};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// How an activated failpoint manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fire as a recoverable `Err` only.
+    Error,
+    /// Fire as a panic only.
+    Panic,
+    /// A deterministic per-key coin picks `Err` or panic.
+    Mixed,
+}
+
+/// Fault-injection settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the decision function.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any given `(site, key)` fires.
+    pub rate: f64,
+    /// How fired faults manifest.
+    pub mode: FaultMode,
+}
+
+impl FaultConfig {
+    /// A config that fires every failpoint (`rate = 1`).
+    pub fn always(seed: u64, mode: FaultMode) -> FaultConfig {
+        FaultConfig {
+            seed,
+            rate: 1.0,
+            mode,
+        }
+    }
+}
+
+/// The error returned by a failpoint firing in error mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The instrumented site.
+    pub site: String,
+    /// The per-item key.
+    pub key: String,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {} ({})", self.site, self.key)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Fast-path flag: false means "no override and no env activation", so
+/// failpoints can return immediately without locking.
+static ANY_ACTIVE: AtomicBool = AtomicBool::new(false);
+static OVERRIDE: Mutex<Option<FaultConfig>> = Mutex::new(None);
+/// Serializes tests that install overrides (held for the guard's life).
+static OVERRIDE_OWNER: Mutex<()> = Mutex::new(());
+
+fn env_config() -> Option<FaultConfig> {
+    static CONFIG: OnceLock<Option<FaultConfig>> = OnceLock::new();
+    *CONFIG.get_or_init(|| {
+        let seed: u64 = std::env::var("LEGODB_FAULT_SEED").ok()?.parse().ok()?;
+        let rate = std::env::var("LEGODB_FAULT_RATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.02f64)
+            .clamp(0.0, 1.0);
+        let mode = match std::env::var("LEGODB_FAULT_MODE").as_deref() {
+            Ok("error") => FaultMode::Error,
+            Ok("panic") => FaultMode::Panic,
+            _ => FaultMode::Mixed,
+        };
+        Some(FaultConfig { seed, rate, mode })
+    })
+}
+
+/// True when fault injection was activated via the environment
+/// (`LEGODB_FAULT_SEED`). Tests asserting strict quantitative outcomes
+/// (exact cost wins, trajectory shapes) may relax themselves under the CI
+/// fault pass by consulting this.
+pub fn env_enabled() -> bool {
+    env_config().is_some()
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The active config, if any. Override wins over environment.
+pub fn active() -> Option<FaultConfig> {
+    if !ANY_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    if let Some(over) = *lock(&OVERRIDE) {
+        return Some(over);
+    }
+    env_config()
+}
+
+/// RAII guard for a test-installed fault config. Dropping restores the
+/// environment-driven behavior. Guards serialize on an internal mutex so
+/// concurrent `#[test]`s cannot observe each other's overrides.
+pub struct OverrideGuard {
+    _owner: MutexGuard<'static, ()>,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        *lock(&OVERRIDE) = None;
+        ANY_ACTIVE.store(env_config().is_some(), Ordering::Relaxed);
+    }
+}
+
+/// Install `config` as the process-wide fault config until the returned
+/// guard drops. Blocks while another override is alive.
+pub fn override_for_test(config: FaultConfig) -> OverrideGuard {
+    let owner = lock(&OVERRIDE_OWNER);
+    *lock(&OVERRIDE) = Some(config);
+    ANY_ACTIVE.store(true, Ordering::Relaxed);
+    OverrideGuard { _owner: owner }
+}
+
+/// One-time initialization of the fast-path flag from the environment.
+/// Called lazily by [`failpoint`]; cheap after the first call.
+fn ensure_env_flag() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        if env_config().is_some() {
+            ANY_ACTIVE.store(true, Ordering::Relaxed);
+        }
+    });
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The pure decision: does `(site, key)` fire under `config`, and how?
+fn decide(config: &FaultConfig, site: &str, key: &str) -> Option<FaultMode> {
+    let mixed = config
+        .seed
+        .wrapping_add(fnv1a(site).rotate_left(17))
+        .wrapping_add(fnv1a(key).rotate_left(41));
+    let mut rng = SplitMix64::new(mixed);
+    let draw = rng.next_u64();
+    // Top 53 bits → uniform f64 in [0, 1).
+    let uniform = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    if uniform >= config.rate {
+        return None;
+    }
+    Some(match config.mode {
+        FaultMode::Error => FaultMode::Error,
+        FaultMode::Panic => FaultMode::Panic,
+        FaultMode::Mixed => {
+            if rng.next_u64() & 1 == 1 {
+                FaultMode::Panic
+            } else {
+                FaultMode::Error
+            }
+        }
+    })
+}
+
+/// The failpoint: returns `Ok(())` normally; under an active config,
+/// deterministically returns `Err(FaultError)` or panics for the
+/// configured fraction of `(site, key)` pairs.
+pub fn failpoint(site: &str, key: &str) -> Result<(), FaultError> {
+    ensure_env_flag();
+    let Some(config) = active() else {
+        return Ok(());
+    };
+    match decide(&config, site, key) {
+        None => Ok(()),
+        Some(FaultMode::Panic) => panic!("injected fault (panic) at {site} ({key})"),
+        Some(FaultMode::Error | FaultMode::Mixed) => Err(FaultError {
+            site: site.to_string(),
+            key: key.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_failpoints_pass() {
+        // No override installed here; unless the environment activates
+        // injection, every failpoint passes.
+        if env_enabled() {
+            return;
+        }
+        for i in 0..100 {
+            assert!(failpoint("util.test", &i.to_string()).is_ok());
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_order_independent() {
+        let cfg = FaultConfig {
+            seed: 7,
+            rate: 0.5,
+            mode: FaultMode::Mixed,
+        };
+        let forward: Vec<_> = (0..64).map(|i| decide(&cfg, "s", &i.to_string())).collect();
+        let mut backward: Vec<_> = (0..64)
+            .rev()
+            .map(|i| decide(&cfg, "s", &i.to_string()))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        // Roughly half fire at rate 0.5.
+        let fired = forward.iter().filter(|d| d.is_some()).count();
+        assert!((16..=48).contains(&fired), "fired {fired}/64");
+    }
+
+    #[test]
+    fn rate_one_error_mode_always_errors() {
+        let _guard = override_for_test(FaultConfig::always(1, FaultMode::Error));
+        for i in 0..16 {
+            let err = failpoint("util.rate1", &i.to_string()).unwrap_err();
+            assert_eq!(err.site, "util.rate1");
+        }
+    }
+
+    #[test]
+    fn panic_mode_panics_with_site_in_message() {
+        let _guard = override_for_test(FaultConfig::always(1, FaultMode::Panic));
+        let caught = std::panic::catch_unwind(|| failpoint("util.boom", "k"));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("util.boom"), "{msg}");
+    }
+
+    #[test]
+    fn override_guard_restores_prior_behavior() {
+        {
+            let _guard = override_for_test(FaultConfig::always(1, FaultMode::Error));
+            assert!(failpoint("util.guard", "k").is_err());
+        }
+        assert_eq!(active().is_some(), env_enabled());
+    }
+}

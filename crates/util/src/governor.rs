@@ -1,0 +1,267 @@
+//! Resource governor: wall-clock deadlines, evaluation budgets, and
+//! memory-estimate caps for long-running engine work.
+//!
+//! The paper's greedy search (Algorithm 4.1) "can take minutes" on real
+//! schemas; a production engine must be able to stop early and return the
+//! best configuration found so far. [`Budget`] declares the limits,
+//! [`Budget::start`] turns them into a running [`Governor`], and hot loops
+//! call [`Governor::checkpoint`] — a few atomic loads plus one monotonic
+//! clock read — to learn whether to keep going.
+//!
+//! The governor is shared by reference across scoped worker threads; all
+//! counters are atomic, and the first limit to trip is latched so every
+//! caller observes the same exhaustion reason.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Declarative resource limits for one engine run. All limits are
+/// optional; [`Budget::none`] (and `Default`) is unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock allowance, measured from [`Budget::start`] on a
+    /// monotonic clock.
+    pub deadline: Option<Duration>,
+    /// Maximum number of unit evaluations (e.g. candidate costings).
+    pub max_evaluations: Option<u64>,
+    /// Maximum *estimated* bytes of transient materializations. This is a
+    /// work proxy accumulated via [`Governor::note_memory`], not an
+    /// allocator measurement.
+    pub max_memory_bytes: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn none() -> Budget {
+        Budget::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Budget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the evaluation cap.
+    pub fn with_max_evaluations(mut self, max: u64) -> Budget {
+        self.max_evaluations = Some(max);
+        self
+    }
+
+    /// Set the memory-estimate cap.
+    pub fn with_max_memory_bytes(mut self, max: u64) -> Budget {
+        self.max_memory_bytes = Some(max);
+        self
+    }
+
+    /// True when no limit is set (every checkpoint passes).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_evaluations.is_none() && self.max_memory_bytes.is_none()
+    }
+
+    /// Start the clock: produce a running [`Governor`] for this budget.
+    pub fn start(&self) -> Governor {
+        Governor {
+            budget: self.clone(),
+            started: Instant::now(),
+            evaluations: AtomicU64::new(0),
+            memory_bytes: AtomicU64::new(0),
+            tripped: AtomicU8::new(TRIPPED_NONE),
+        }
+    }
+}
+
+/// Which limit a [`Governor`] ran out of first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The evaluation cap was reached.
+    Evaluations,
+    /// The memory-estimate cap was reached.
+    Memory,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Deadline => write!(f, "wall-clock deadline exceeded"),
+            BudgetExceeded::Evaluations => write!(f, "evaluation budget exhausted"),
+            BudgetExceeded::Memory => write!(f, "memory-estimate budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+const TRIPPED_NONE: u8 = 0;
+const TRIPPED_DEADLINE: u8 = 1;
+const TRIPPED_EVALUATIONS: u8 = 2;
+const TRIPPED_MEMORY: u8 = 3;
+
+fn decode(tripped: u8) -> Option<BudgetExceeded> {
+    match tripped {
+        TRIPPED_DEADLINE => Some(BudgetExceeded::Deadline),
+        TRIPPED_EVALUATIONS => Some(BudgetExceeded::Evaluations),
+        TRIPPED_MEMORY => Some(BudgetExceeded::Memory),
+        _ => None,
+    }
+}
+
+/// A running budget: the live counters behind [`Budget`]. Shared by
+/// reference across worker threads (all state is atomic).
+#[derive(Debug)]
+pub struct Governor {
+    budget: Budget,
+    started: Instant,
+    evaluations: AtomicU64,
+    memory_bytes: AtomicU64,
+    tripped: AtomicU8,
+}
+
+impl Governor {
+    /// The budget this governor enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Time elapsed since [`Budget::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Evaluations recorded so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes recorded so far.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` unit evaluations.
+    pub fn note_evaluations(&self, n: u64) {
+        self.evaluations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `bytes` of estimated transient materialization.
+    pub fn note_memory(&self, bytes: u64) {
+        self.memory_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Latch `reason` as the exhaustion cause if none is latched yet, and
+    /// return the (possibly earlier) latched reason.
+    fn trip(&self, reason: u8) -> BudgetExceeded {
+        match self.tripped.compare_exchange(
+            TRIPPED_NONE,
+            reason,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => decode(reason).expect("trip called with a valid reason"),
+            Err(prior) => decode(prior).expect("latched value is a valid reason"),
+        }
+    }
+
+    /// Cheap go/no-go check: `Ok(())` while within budget, `Err` with the
+    /// first limit that tripped otherwise. Once a limit trips, every
+    /// subsequent checkpoint (on any thread) reports the same reason.
+    pub fn checkpoint(&self) -> Result<(), BudgetExceeded> {
+        if let Some(reason) = decode(self.tripped.load(Ordering::Relaxed)) {
+            return Err(reason);
+        }
+        if let Some(max) = self.budget.max_evaluations {
+            if self.evaluations.load(Ordering::Relaxed) >= max {
+                return Err(self.trip(TRIPPED_EVALUATIONS));
+            }
+        }
+        if let Some(max) = self.budget.max_memory_bytes {
+            if self.memory_bytes.load(Ordering::Relaxed) >= max {
+                return Err(self.trip(TRIPPED_MEMORY));
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.started.elapsed() >= deadline {
+                return Err(self.trip(TRIPPED_DEADLINE));
+            }
+        }
+        Ok(())
+    }
+
+    /// The latched exhaustion reason, if any checkpoint has failed.
+    pub fn exceeded(&self) -> Option<BudgetExceeded> {
+        decode(self.tripped.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_passes() {
+        let g = Budget::none().start();
+        g.note_evaluations(1_000_000);
+        g.note_memory(u64::MAX / 2);
+        assert!(g.checkpoint().is_ok());
+        assert!(g.exceeded().is_none());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let g = Budget::none().with_deadline(Duration::ZERO).start();
+        assert_eq!(g.checkpoint(), Err(BudgetExceeded::Deadline));
+        assert_eq!(g.exceeded(), Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn evaluation_cap_trips_at_the_limit() {
+        let g = Budget::none().with_max_evaluations(10).start();
+        g.note_evaluations(9);
+        assert!(g.checkpoint().is_ok());
+        g.note_evaluations(1);
+        assert_eq!(g.checkpoint(), Err(BudgetExceeded::Evaluations));
+    }
+
+    #[test]
+    fn memory_cap_trips_at_the_limit() {
+        let g = Budget::none().with_max_memory_bytes(1024).start();
+        g.note_memory(1023);
+        assert!(g.checkpoint().is_ok());
+        g.note_memory(1);
+        assert_eq!(g.checkpoint(), Err(BudgetExceeded::Memory));
+    }
+
+    #[test]
+    fn first_tripped_reason_is_latched() {
+        let g = Budget::none()
+            .with_max_evaluations(1)
+            .with_deadline(Duration::ZERO)
+            .start();
+        g.note_evaluations(5);
+        let first = g.checkpoint().unwrap_err();
+        // Whatever tripped first keeps being reported, even though both
+        // limits are now exceeded.
+        for _ in 0..3 {
+            assert_eq!(g.checkpoint(), Err(first));
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_shareable_across_threads() {
+        let g = Budget::none().with_max_evaluations(1000).start();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        g.note_evaluations(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.evaluations(), 1000);
+        assert_eq!(g.checkpoint(), Err(BudgetExceeded::Evaluations));
+    }
+}

@@ -8,7 +8,9 @@
 //! | Module | Replaces | Provides |
 //! |---|---|---|
 //! | [`rng`] | `rand` | seedable SplitMix64 / xoshiro256++ PRNG, `Rng` trait (`gen_range`, `gen_bool`, `shuffle`, `sample`) |
-//! | [`par`] | `crossbeam::thread::scope` | [`par::scoped_map`] order-preserving parallel map on `std::thread::scope` |
+//! | [`par`] | `crossbeam::thread::scope` | [`par::scoped_map`] / [`par::scoped_map_catch`] order-preserving (fault-isolated) parallel map on `std::thread::scope` |
+//! | [`governor`] | — | [`governor::Budget`] deadlines / evaluation / memory-estimate budgets with a cheap `checkpoint()` |
+//! | [`fault`] | `fail` | deterministic, order-independent fault injection (`LEGODB_FAULT_SEED`) |
 //! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API |
 //! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
 //! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
@@ -19,12 +21,16 @@
 //! README's "Building offline" section.
 
 pub mod bench;
+pub mod fault;
+pub mod governor;
 pub mod json;
 pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod sync;
 
-pub use par::scoped_map;
+pub use fault::{failpoint, FaultConfig, FaultError, FaultMode};
+pub use governor::{Budget, BudgetExceeded, Governor};
+pub use par::{scoped_map, scoped_map_catch};
 pub use rng::{Rng, SampleRange, SampleUniform, SplitMix64, StdRng};
 pub use sync::RwLock;

@@ -37,6 +37,61 @@ where
     })
 }
 
+/// A panic payload captured by [`scoped_map_catch`].
+pub type CaughtPanic = Box<dyn std::any::Any + Send + 'static>;
+
+/// Describe a caught panic payload (the `&str`/`String` message when the
+/// payload carries one, a placeholder otherwise).
+pub fn panic_message(payload: &CaughtPanic) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Like [`scoped_map`], but fault-isolated: a panic in `f` is caught
+/// *per item* and surfaced as that item's `Err(payload)` instead of
+/// tearing down the whole map. Results stay in input order. The
+/// single-threaded paths (`items.len() <= 1` or `max_threads <= 1`) get
+/// the same per-item isolation, so callers behave identically with and
+/// without parallelism.
+pub fn scoped_map_catch<T, U, F>(
+    items: &[T],
+    max_threads: usize,
+    f: F,
+) -> Vec<Result<U, CaughtPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let run = |item: &T| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
+    if items.len() <= 1 || max_threads <= 1 {
+        return items.iter().map(run).collect();
+    }
+    let threads = max_threads.min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(run).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                // `run` catches panics from `f`; a join error can only be
+                // a harness-level failure, which we do propagate.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
 /// The machine's available parallelism (1 when it cannot be determined).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -78,6 +133,41 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn catch_variant_isolates_panics_per_item() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [1, 4, 16] {
+            let out = scoped_map_catch(&items, threads, |&x| {
+                if x % 7 == 3 {
+                    panic!("poisoned {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 64, "threads={threads}");
+            for (i, r) in out.iter().enumerate() {
+                let x = i as u32;
+                match r {
+                    Ok(v) => {
+                        assert_ne!(x % 7, 3);
+                        assert_eq!(*v, x * 2);
+                    }
+                    Err(payload) => {
+                        assert_eq!(x % 7, 3);
+                        assert_eq!(panic_message(payload), format!("poisoned {x}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_variant_handles_empty_and_singleton() {
+        assert!(scoped_map_catch(&[] as &[u8], 4, |&x| x).is_empty());
+        let out = scoped_map_catch(&[1u8], 4, |_| panic!("lone"));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_err());
     }
 
     #[test]

@@ -58,6 +58,23 @@ pub enum ParseErrorKind {
     BadName,
     /// The same attribute appears twice on one element.
     DuplicateAttribute(String),
+    /// Element nesting exceeded the configured depth limit.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The input is larger than the configured byte limit.
+    InputTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+        /// The actual input length in bytes.
+        actual: usize,
+    },
+    /// More entity references than the configured limit.
+    TooManyEntities {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -79,6 +96,15 @@ impl fmt::Display for ParseError {
             ParseErrorKind::BadEntity(e) => write!(f, "bad entity reference &{e};"),
             ParseErrorKind::BadName => write!(f, "invalid element or attribute name"),
             ParseErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            ParseErrorKind::TooDeep { limit } => {
+                write!(f, "element nesting exceeds the depth limit of {limit}")
+            }
+            ParseErrorKind::InputTooLarge { limit, actual } => {
+                write!(f, "input of {actual} bytes exceeds the limit of {limit}")
+            }
+            ParseErrorKind::TooManyEntities { limit } => {
+                write!(f, "more than {limit} entity references")
+            }
         }
     }
 }

@@ -29,6 +29,6 @@ pub mod stats;
 pub mod tree;
 pub mod write;
 
-pub use error::{ParseError, Position};
-pub use parse::parse;
+pub use error::{ParseError, ParseErrorKind, Position};
+pub use parse::{parse, parse_with_limits, ParseLimits};
 pub use tree::{Attribute, Document, Element, Node};

@@ -10,9 +10,49 @@ use crate::error::{ParseError, ParseErrorKind, Position};
 use crate::escape::resolve_entity;
 use crate::tree::{Attribute, Document, Element, Node};
 
-/// Parse a complete XML document from a string.
+/// Hard input limits enforced while parsing — the defense against hostile
+/// documents (stack-overflow nesting, entity floods, oversized payloads).
+/// Violations surface as structured [`ParseError`]s, never as crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum element nesting depth.
+    pub max_depth: usize,
+    /// Maximum input length in bytes (checked before parsing starts).
+    pub max_input_bytes: usize,
+    /// Maximum number of entity references in the document.
+    pub max_entity_expansions: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            // Deep enough for any real document; shallow enough that the
+            // recursive descent fits comfortably in a small thread stack.
+            max_depth: 256,
+            max_input_bytes: 256 << 20,
+            max_entity_expansions: 1 << 20,
+        }
+    }
+}
+
+/// Parse a complete XML document from a string, under the default
+/// [`ParseLimits`].
 pub fn parse(input: &str) -> Result<Document, ParseError> {
-    let mut p = Parser::new(input);
+    parse_with_limits(input, &ParseLimits::default())
+}
+
+/// Parse a complete XML document under explicit [`ParseLimits`].
+pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, ParseError> {
+    if input.len() > limits.max_input_bytes {
+        return Err(ParseError {
+            position: Position::start(),
+            kind: ParseErrorKind::InputTooLarge {
+                limit: limits.max_input_bytes,
+                actual: input.len(),
+            },
+        });
+    }
+    let mut p = Parser::new(input, *limits);
     p.skip_prolog()?;
     let root = match p.parse_element()? {
         Some(root) => root,
@@ -31,16 +71,22 @@ struct Parser<'a> {
     pos: usize,
     line: u32,
     col: u32,
+    limits: ParseLimits,
+    depth: usize,
+    entities: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a str, limits: ParseLimits) -> Self {
         Parser {
             input: src.as_bytes(),
             src,
             pos: 0,
             line: 1,
             col: 1,
+            limits,
+            depth: 0,
+            entities: 0,
         }
     }
 
@@ -182,6 +228,12 @@ impl<'a> Parser<'a> {
         if self.peek() != Some(b'<') {
             return Ok(None);
         }
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(self.error(ParseErrorKind::TooDeep {
+                limit: self.limits.max_depth,
+            }));
+        }
         self.bump(); // consume '<'
         let name = self.parse_name()?;
         let mut element = Element::new(name);
@@ -191,6 +243,7 @@ impl<'a> Parser<'a> {
                 Some(b'>') => {
                     self.bump();
                     self.parse_content(&mut element)?;
+                    self.depth -= 1;
                     return Ok(Some(element));
                 }
                 Some(b'/') => {
@@ -202,6 +255,7 @@ impl<'a> Parser<'a> {
                         }));
                     }
                     self.bump();
+                    self.depth -= 1;
                     return Ok(Some(element));
                 }
                 Some(b) if is_name_start(b) => {
@@ -323,6 +377,12 @@ impl<'a> Parser<'a> {
 
     fn parse_entity(&mut self) -> Result<char, ParseError> {
         debug_assert_eq!(self.peek(), Some(b'&'));
+        self.entities += 1;
+        if self.entities > self.limits.max_entity_expansions {
+            return Err(self.error(ParseErrorKind::TooManyEntities {
+                limit: self.limits.max_entity_expansions,
+            }));
+        }
         self.bump();
         let start = self.pos;
         while let Some(b) = self.peek() {
@@ -464,6 +524,52 @@ mod tests {
     fn line_and_column_are_tracked() {
         let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
         assert_eq!(err.position.line, 2);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let depth = 10_000;
+        let src = "<a>".repeat(depth) + &"</a>".repeat(depth);
+        let err = parse(&src).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TooDeep { limit: 256 }));
+    }
+
+    #[test]
+    fn nesting_under_the_limit_parses() {
+        let limits = ParseLimits::default();
+        let depth = limits.max_depth;
+        let src = "<a>".repeat(depth) + &"</a>".repeat(depth);
+        assert!(parse_with_limits(&src, &limits).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_upfront() {
+        let limits = ParseLimits {
+            max_input_bytes: 64,
+            ..Default::default()
+        };
+        let src = format!("<a>{}</a>", "x".repeat(100));
+        let err = parse_with_limits(&src, &limits).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::InputTooLarge { limit: 64, .. }
+        ));
+    }
+
+    #[test]
+    fn entity_flood_is_rejected() {
+        let limits = ParseLimits {
+            max_entity_expansions: 10,
+            ..Default::default()
+        };
+        let src = format!("<a>{}</a>", "&amp;".repeat(11));
+        let err = parse_with_limits(&src, &limits).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::TooManyEntities { limit: 10 }
+        ));
+        let ok = format!("<a>{}</a>", "&amp;".repeat(10));
+        assert!(parse_with_limits(&ok, &limits).is_ok());
     }
 
     #[test]

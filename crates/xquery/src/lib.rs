@@ -35,5 +35,7 @@ pub mod resolve;
 pub mod translate;
 
 pub use ast::{Flwr, PathExpr, Predicate, ReturnItem, XQuery};
-pub use parse::{parse_xquery, XQueryParseError};
+pub use parse::{
+    parse_xquery, parse_xquery_with_limits, XQueryErrorKind, XQueryLimits, XQueryParseError,
+};
 pub use translate::{translate, TranslateError, TranslatedQuery};

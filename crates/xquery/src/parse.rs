@@ -9,6 +9,45 @@ use crate::ast::{BindingDef, Flwr, Operand, PathExpr, PathRoot, Predicate, Retur
 use legodb_relational::CmpOp;
 use std::fmt;
 
+/// Hard input limits for the XQuery parser: nested FLWR expressions and
+/// element constructors recurse, so depth must be bounded to keep hostile
+/// queries from overflowing the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XQueryLimits {
+    /// Maximum nesting depth of FLWR expressions and constructors.
+    pub max_depth: usize,
+    /// Maximum input length in bytes (checked before parsing starts).
+    pub max_input_bytes: usize,
+}
+
+impl Default for XQueryLimits {
+    fn default() -> Self {
+        XQueryLimits {
+            max_depth: 64,
+            max_input_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What kind of parse failure occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XQueryErrorKind {
+    /// Lexical or grammatical failure.
+    Syntax,
+    /// Nesting exceeded the configured depth limit.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The input is larger than the configured byte limit.
+    InputTooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+        /// The actual input length in bytes.
+        actual: usize,
+    },
+}
+
 /// A parse failure with an offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XQueryParseError {
@@ -16,6 +55,8 @@ pub struct XQueryParseError {
     pub offset: usize,
     /// Explanation.
     pub message: String,
+    /// Structured failure class.
+    pub kind: XQueryErrorKind,
 }
 
 impl fmt::Display for XQueryParseError {
@@ -30,9 +71,36 @@ impl fmt::Display for XQueryParseError {
 
 impl std::error::Error for XQueryParseError {}
 
-/// Parse one query.
+/// Parse one query under the default [`XQueryLimits`].
 pub fn parse_xquery(src: &str) -> Result<XQuery, XQueryParseError> {
-    let mut p = P { src, pos: 0 };
+    parse_xquery_with_limits(src, &XQueryLimits::default())
+}
+
+/// Parse one query under explicit [`XQueryLimits`].
+pub fn parse_xquery_with_limits(
+    src: &str,
+    limits: &XQueryLimits,
+) -> Result<XQuery, XQueryParseError> {
+    if src.len() > limits.max_input_bytes {
+        return Err(XQueryParseError {
+            offset: 0,
+            message: format!(
+                "input of {} bytes exceeds the limit of {}",
+                src.len(),
+                limits.max_input_bytes
+            ),
+            kind: XQueryErrorKind::InputTooLarge {
+                limit: limits.max_input_bytes,
+                actual: src.len(),
+            },
+        });
+    }
+    let mut p = P {
+        src,
+        pos: 0,
+        limits: *limits,
+        depth: 0,
+    };
     let flwr = p.parse_flwr()?;
     p.ws();
     if !p.eof() {
@@ -44,6 +112,8 @@ pub fn parse_xquery(src: &str) -> Result<XQuery, XQueryParseError> {
 struct P<'a> {
     src: &'a str,
     pos: usize,
+    limits: XQueryLimits,
+    depth: usize,
 }
 
 impl P<'_> {
@@ -51,7 +121,31 @@ impl P<'_> {
         XQueryParseError {
             offset: self.pos,
             message: message.into(),
+            kind: XQueryErrorKind::Syntax,
         }
+    }
+
+    /// Enter one nesting level (FLWR or constructor); errors when the
+    /// depth limit is exceeded. Callers must pair with `leave`.
+    fn enter(&mut self) -> Result<(), XQueryParseError> {
+        self.depth += 1;
+        if self.depth > self.limits.max_depth {
+            return Err(XQueryParseError {
+                offset: self.pos,
+                message: format!(
+                    "nesting exceeds the depth limit of {}",
+                    self.limits.max_depth
+                ),
+                kind: XQueryErrorKind::TooDeep {
+                    limit: self.limits.max_depth,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn eof(&self) -> bool {
@@ -110,6 +204,7 @@ impl P<'_> {
     }
 
     fn parse_flwr(&mut self) -> Result<Flwr, XQueryParseError> {
+        self.enter()?;
         if !self.eat_keyword("FOR") {
             return Err(self.err("expected FOR"));
         }
@@ -144,6 +239,7 @@ impl P<'_> {
             return Err(self.err("expected RETURN"));
         }
         let returns = self.parse_return_items()?;
+        self.leave();
         Ok(Flwr {
             bindings,
             predicates,
@@ -293,6 +389,7 @@ impl P<'_> {
     }
 
     fn parse_constructor(&mut self) -> Result<ReturnItem, XQueryParseError> {
+        self.enter()?;
         if !self.eat("<") {
             return Err(self.err("expected <"));
         }
@@ -311,6 +408,7 @@ impl P<'_> {
         if !self.eat(">") {
             return Err(self.err("expected > in closing tag"));
         }
+        self.leave();
         Ok(ReturnItem::Element { name, items })
     }
 }
@@ -424,6 +522,56 @@ mod tests {
         assert!(parse_xquery("FOR $v IN document(\"x\")/a WHERE RETURN $v").is_err());
         assert!(parse_xquery("FOR $v IN document(\"x\")/a RETURN").is_err());
         assert!(parse_xquery("FOR $v IN document(\"x\")/a RETURN <r> $v </wrong>").is_err());
+    }
+
+    #[test]
+    fn deep_flwr_nesting_is_rejected_not_overflowed() {
+        let depth = 10_000;
+        let src = format!("{}$v", "FOR $v IN document(\"x\")/a RETURN ".repeat(depth));
+        let err = parse_xquery(&src).unwrap_err();
+        assert!(matches!(err.kind, XQueryErrorKind::TooDeep { limit: 64 }));
+    }
+
+    #[test]
+    fn deep_constructor_nesting_is_rejected() {
+        let depth = 10_000;
+        let src = format!(
+            "FOR $v IN document(\"x\")/a RETURN {}$v{}",
+            "<r> ".repeat(depth),
+            " </r>".repeat(depth)
+        );
+        let err = parse_xquery(&src).unwrap_err();
+        assert!(matches!(err.kind, XQueryErrorKind::TooDeep { limit: 64 }));
+    }
+
+    #[test]
+    fn nesting_under_the_limit_parses() {
+        let limits = XQueryLimits::default();
+        // The outer FLWR takes one level; constructors take the rest.
+        let depth = limits.max_depth - 1;
+        let src = format!(
+            "FOR $v IN document(\"x\")/a RETURN {}$v{}",
+            "<r> ".repeat(depth),
+            " </r>".repeat(depth)
+        );
+        assert!(parse_xquery_with_limits(&src, &limits).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_upfront() {
+        let limits = XQueryLimits {
+            max_input_bytes: 32,
+            ..Default::default()
+        };
+        let src = format!(
+            "FOR $v IN document(\"x\")/a WHERE $v/t = \"{}\" RETURN $v",
+            "x".repeat(64)
+        );
+        let err = parse_xquery_with_limits(&src, &limits).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            XQueryErrorKind::InputTooLarge { limit: 32, .. }
+        ));
     }
 
     #[test]

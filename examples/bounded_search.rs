@@ -1,0 +1,92 @@
+//! Bounded search: run the greedy search under resource budgets and
+//! observe the best-so-far behavior, the search outcome, and the hard
+//! parser limits that guard the front door.
+//!
+//! Run with `cargo run --example bounded_search`. Set
+//! `LEGODB_FAULT_SEED` (and optionally `LEGODB_FAULT_RATE`,
+//! `LEGODB_FAULT_MODE`) to also watch fault-isolated candidate drops.
+
+use legodb_core::workload::Workload;
+use legodb_core::{Budget, LegoDb};
+use legodb_schema::parse_schema;
+use legodb_xml::stats::Statistics;
+use std::time::Duration;
+
+fn engine() -> LegoDb {
+    let schema = parse_schema(
+        "type Catalog = catalog[ Product{0,*} ]
+         type Product = product[ name[ String ], price[ Integer ],
+                                 blurb[ String ], Tag{0,*} ]
+         type Tag = tag[ String ]",
+    )
+    .expect("schema parses");
+    let mut stats = Statistics::new();
+    stats
+        .set_count(&["catalog"], 1)
+        .set_count(&["catalog", "product"], 50_000)
+        .set_size(&["catalog", "product", "name"], 30.0)
+        .set_distinct(&["catalog", "product", "name"], 50_000)
+        .set_count(&["catalog", "product", "price"], 50_000)
+        .set_base(&["catalog", "product", "price"], 1, 100_000, 10_000)
+        .set_count(&["catalog", "product", "blurb"], 50_000)
+        .set_size(&["catalog", "product", "blurb"], 1_500.0)
+        .set_count(&["catalog", "product", "tag"], 120_000)
+        .set_size(&["catalog", "product", "tag"], 12.0);
+    let workload = Workload::from_sources([(
+        "price-lookup",
+        r#"FOR $p IN document("catalog")/catalog/product
+           WHERE $p/name = c1
+           RETURN $p/price"#,
+        1.0,
+    )])
+    .expect("workload parses");
+    LegoDb::new(schema, stats, workload)
+}
+
+fn main() {
+    // Budgets bound the search; exhaustion returns best-so-far, not Err.
+    let budgets = [
+        ("unlimited", Budget::none()),
+        ("deadline 0ms", Budget::none().with_deadline(Duration::ZERO)),
+        ("3 evaluations", Budget::none().with_max_evaluations(3)),
+        (
+            "64 KiB estimate",
+            Budget::none().with_max_memory_bytes(64 << 10),
+        ),
+    ];
+    println!("=== search under budgets");
+    for (label, budget) in budgets {
+        let result = engine()
+            .with_budget(budget)
+            .optimize()
+            .expect("budgeted search still returns best-so-far");
+        println!(
+            "  {label:16} -> outcome {:?}, cost {:10.2}, {} iterations, {} tables, {} dropped",
+            result.outcome,
+            result.cost,
+            result.trajectory.len(),
+            result.mapping.catalog.len(),
+            result.dropped_candidates,
+        );
+    }
+
+    // The parsers refuse pathological inputs with structured errors
+    // instead of overflowing the stack.
+    println!("\n=== parser hard limits");
+    let depth = 10_000;
+    let bomb = "<a>".repeat(depth) + &"</a>".repeat(depth);
+    match legodb_xml::parse(&bomb) {
+        Ok(_) => println!("  10k-deep document: unexpectedly parsed"),
+        Err(e) => println!("  10k-deep document: {e}"),
+    }
+    let flood = format!("<a>{}</a>", "&#65;".repeat(2_000_000));
+    match legodb_xml::parse(&flood) {
+        Ok(_) => println!("  2M entity flood: unexpectedly parsed"),
+        Err(e) => println!("  2M entity flood: {e}"),
+    }
+    let deep_query = format!("{}$v", "FOR $v IN document(\"x\")/a RETURN ".repeat(10_000));
+    match legodb_xquery::parse_xquery(&deep_query) {
+        Ok(_) => println!("  10k-deep query: unexpectedly parsed"),
+        Err(e) => println!("  10k-deep query: {e}"),
+    }
+}

@@ -1,0 +1,307 @@
+//! Robustness suite: adversarial inputs against the three parsers and
+//! fault-injected / budget-bounded greedy searches.
+//!
+//! The parser tests prove the hard input limits bind *before* the stack
+//! does: the over-limit cases run inside a deliberately small
+//! `std::thread::Builder` stack, where an unguarded recursive descent
+//! would overflow instead of returning the structured error.
+//!
+//! The search properties prove the fault-isolation layer: with injected
+//! candidate panics and failures (deterministic per seed, order- and
+//! thread-independent), the search still returns a configuration no
+//! worse than its starting point, and parallel and sequential runs agree.
+
+use legodb_core::{greedy_search, Budget, SearchConfig, SearchOutcome, StartPoint, Workload};
+use legodb_schema::{
+    parse_schema, parse_schema_with_limits, Schema, SchemaLimits, SchemaParseError,
+};
+use legodb_util::fault::{override_for_test, FaultConfig, FaultMode};
+use legodb_util::{prop_assert, prop_check};
+use legodb_xml::stats::Statistics;
+use legodb_xml::{parse, parse_with_limits, ParseErrorKind, ParseLimits};
+use legodb_xquery::{parse_xquery, parse_xquery_with_limits, XQueryErrorKind, XQueryLimits};
+use std::time::Duration;
+
+/// Run `f` on a thread with a small, explicit stack: if a parser's depth
+/// limit fails to bind, the overflow aborts the process and the test
+/// fails loudly instead of silently relying on the 8 MiB main stack.
+/// 2 MiB holds every parser at its default limit even in debug builds
+/// (measured: the schema parser's 4-frames-per-level descent is the
+/// hungriest); an unguarded 10k-deep parse needs well over 32 MiB.
+fn on_small_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    std::thread::Builder::new()
+        .name("small-stack-parse".into())
+        .stack_size(2 * 1024 * 1024)
+        .spawn(f)
+        .expect("spawn small-stack thread")
+        .join()
+        .expect("small-stack parse must return, not overflow")
+}
+
+// ---------------------------------------------------------------- XML --
+
+#[test]
+fn xml_depth_limit_binds_on_a_small_stack() {
+    let err = on_small_stack(|| {
+        let depth = 10_000;
+        let src = "<a>".repeat(depth) + &"</a>".repeat(depth);
+        parse(&src).unwrap_err()
+    });
+    assert!(matches!(err.kind, ParseErrorKind::TooDeep { limit: 256 }));
+}
+
+#[test]
+fn xml_unterminated_tags_error_cleanly() {
+    for src in [
+        "<a><b>text",
+        "<a",
+        "<a href=",
+        "<a><![CDATA[x",
+        "<!-- never closed",
+    ] {
+        let err = parse(src).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ParseErrorKind::UnexpectedEof(_)
+                    | ParseErrorKind::MissingRoot
+                    | ParseErrorKind::UnexpectedChar { .. }
+            ),
+            "{src:?} gave {err}"
+        );
+    }
+}
+
+#[test]
+fn xml_entity_flood_is_bounded() {
+    let limits = ParseLimits {
+        max_entity_expansions: 1_000,
+        ..Default::default()
+    };
+    let src = format!("<a>{}</a>", "&#65;".repeat(1_001));
+    let err = parse_with_limits(&src, &limits).unwrap_err();
+    assert!(matches!(
+        err.kind,
+        ParseErrorKind::TooManyEntities { limit: 1_000 }
+    ));
+}
+
+#[test]
+fn xml_oversized_input_is_rejected_before_parsing() {
+    let limits = ParseLimits {
+        max_input_bytes: 1 << 10,
+        ..Default::default()
+    };
+    let src = format!("<a>{}</a>", "y".repeat(1 << 11));
+    let err = parse_with_limits(&src, &limits).unwrap_err();
+    assert!(matches!(err.kind, ParseErrorKind::InputTooLarge { .. }));
+}
+
+// ------------------------------------------------------------- schema --
+
+#[test]
+fn schema_depth_limit_binds_on_a_small_stack() {
+    let err = on_small_stack(|| {
+        let depth = 10_000;
+        let src = format!("type A = {}(){}", "a[ ".repeat(depth), " ]".repeat(depth));
+        parse_schema(&src).unwrap_err()
+    });
+    assert!(matches!(err, SchemaParseError::TooDeep { limit: 128, .. }));
+}
+
+#[test]
+fn schema_truncated_inputs_error_cleanly() {
+    for src in ["type A = a[", "type A = a[ String", "type A = (", "type"] {
+        assert!(
+            matches!(parse_schema(src), Err(SchemaParseError::Syntax { .. })),
+            "{src:?}"
+        );
+    }
+}
+
+#[test]
+fn schema_oversized_input_is_rejected_before_parsing() {
+    let limits = SchemaLimits {
+        max_input_bytes: 128,
+        ..Default::default()
+    };
+    let src = format!("type A = a[ String ] // {}", "pad ".repeat(100));
+    assert!(matches!(
+        parse_schema_with_limits(&src, &limits),
+        Err(SchemaParseError::InputTooLarge { limit: 128, .. })
+    ));
+}
+
+// ------------------------------------------------------------- xquery --
+
+#[test]
+fn xquery_depth_limit_binds_on_a_small_stack() {
+    let err = on_small_stack(|| {
+        let depth = 10_000;
+        let src = format!("{}$v", "FOR $v IN document(\"x\")/a RETURN ".repeat(depth));
+        parse_xquery(&src).unwrap_err()
+    });
+    assert!(matches!(err.kind, XQueryErrorKind::TooDeep { limit: 64 }));
+}
+
+#[test]
+fn xquery_truncated_inputs_error_cleanly() {
+    for src in [
+        "FOR",
+        "FOR $v IN",
+        "FOR $v IN document(\"x",
+        "FOR $v IN document(\"x\")/a WHERE",
+        "FOR $v IN document(\"x\")/a RETURN <r> $v",
+    ] {
+        let err = parse_xquery(src).unwrap_err();
+        assert_eq!(err.kind, XQueryErrorKind::Syntax, "{src:?}");
+    }
+}
+
+#[test]
+fn xquery_oversized_input_is_rejected_before_parsing() {
+    let limits = XQueryLimits {
+        max_input_bytes: 64,
+        ..Default::default()
+    };
+    let src = format!(
+        "FOR $v IN document(\"x\")/a WHERE $v/t = \"{}\" RETURN $v",
+        "z".repeat(256)
+    );
+    let err = parse_xquery_with_limits(&src, &limits).unwrap_err();
+    assert!(matches!(err.kind, XQueryErrorKind::InputTooLarge { .. }));
+}
+
+// ------------------------------------------------- search under faults --
+
+fn search_fixture() -> (Schema, Statistics, Workload) {
+    let schema = parse_schema(
+        "type IMDB = imdb[ Show{0,*} ]
+         type Show = show [ title[ String ], year[ Integer ],
+                            description[ String ], Aka{0,*}, ( Movie | TV ) ]
+         type Movie = box_office[ Integer ]
+         type TV = seasons[ Integer ]
+         type Aka = aka[ String ]",
+    )
+    .unwrap();
+    let mut stats = Statistics::new();
+    stats
+        .set_count(&["imdb"], 1)
+        .set_count(&["imdb", "show"], 20000)
+        .set_size(&["imdb", "show", "title"], 50.0)
+        .set_distinct(&["imdb", "show", "title"], 20000)
+        .set_count(&["imdb", "show", "year"], 20000)
+        .set_base(&["imdb", "show", "year"], 1900, 2000, 100)
+        .set_count(&["imdb", "show", "description"], 20000)
+        .set_size(&["imdb", "show", "description"], 2000.0)
+        .set_count(&["imdb", "show", "aka"], 60000)
+        .set_size(&["imdb", "show", "aka"], 40.0)
+        .set_count(&["imdb", "show", "box_office"], 14000)
+        .set_count(&["imdb", "show", "seasons"], 6000);
+    let workload = Workload::from_sources([(
+        "lookup",
+        r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
+        1.0,
+    )])
+    .unwrap();
+    (schema, stats, workload)
+}
+
+prop_check! {
+    cases = 12,
+    // Fault isolation: under injected candidate panics and failures the
+    // greedy search still returns Ok, never does worse than its starting
+    // configuration, and parallel/sequential runs agree (fault decisions
+    // are pure functions of (seed, site, key), not of scheduling).
+    fn faulty_search_returns_best_so_far_and_parallel_agrees(seed in 0u64..1_000_000) {
+        let (schema, stats, workload) = search_fixture();
+        let _guard = override_for_test(FaultConfig {
+            seed,
+            rate: 0.4,
+            mode: FaultMode::Mixed,
+        });
+        let mut costs = Vec::new();
+        for parallel in [false, true] {
+            let result = greedy_search(
+                &schema,
+                &stats,
+                &workload,
+                &SearchConfig {
+                    start: StartPoint::MaximallyInlined,
+                    parallel,
+                    ..Default::default()
+                },
+            )
+            .expect("fault-isolated search must not error");
+            let initial = result.trajectory[0].cost;
+            prop_assert!(
+                result.cost <= initial,
+                "seed {seed} parallel {parallel}: cost {} worse than start {}",
+                result.cost,
+                initial
+            );
+            prop_assert!(
+                result
+                    .trajectory
+                    .windows(2)
+                    .all(|w| w[1].cost <= w[0].cost),
+                "seed {seed}: non-monotonic trajectory"
+            );
+            costs.push(result.cost);
+        }
+        prop_assert!(
+            (costs[0] - costs[1]).abs() < 1e-9,
+            "seed {seed}: sequential {} != parallel {}",
+            costs[0],
+            costs[1]
+        );
+    }
+}
+
+#[test]
+fn all_candidates_panicking_still_returns_the_start() {
+    let (schema, stats, workload) = search_fixture();
+    let _guard = override_for_test(FaultConfig::always(42, FaultMode::Panic));
+    let result = greedy_search(&schema, &stats, &workload, &SearchConfig::default()).unwrap();
+    assert!(result.dropped_candidates > 0);
+    assert_eq!(result.trajectory.len(), 1);
+    assert_eq!(result.cost, result.trajectory[0].cost);
+}
+
+#[test]
+fn zero_deadline_still_yields_a_usable_configuration() {
+    let (schema, stats, workload) = search_fixture();
+    let result = greedy_search(
+        &schema,
+        &stats,
+        &workload,
+        &SearchConfig {
+            budget: Some(Budget::none().with_deadline(Duration::ZERO)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.outcome, SearchOutcome::DeadlineExceeded);
+    assert!(result.cost.is_finite() && result.cost > 0.0);
+    assert!(!result.report.mapping.catalog.is_empty());
+}
+
+#[test]
+fn budgeted_search_is_never_better_than_unbudgeted() {
+    let (schema, stats, workload) = search_fixture();
+    let free = greedy_search(&schema, &stats, &workload, &SearchConfig::default()).unwrap();
+    for max_evals in [1, 2, 4, 8, 64] {
+        let bounded = greedy_search(
+            &schema,
+            &stats,
+            &workload,
+            &SearchConfig {
+                budget: Some(Budget::none().with_max_evaluations(max_evals)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(bounded.cost >= free.cost, "max_evals={max_evals}");
+        assert!(bounded.cost <= bounded.trajectory[0].cost);
+    }
+}
