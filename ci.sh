@@ -32,6 +32,35 @@ RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
 CARGO_TARGET_DIR=target/hardened \
 cargo test -q --offline --workspace --release
 
+# The incremental-costing equivalence property (DESIGN.md §11) must hold
+# under injected faults and under debug assertions (which arm the
+# in-evaluator from-scratch oracle). The workspace passes above include
+# it; these targeted runs keep the guarantee explicit even if the suite's
+# test layout changes.
+echo "==> incremental-costing equivalence property (fault + hardened)"
+LEGODB_FAULT_SEED=1 cargo test -q --offline \
+    --test properties incremental_costing_matches_the_oracle
+RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+CARGO_TARGET_DIR=target/hardened \
+cargo test -q --offline --release \
+    --test properties incremental_costing_matches_the_oracle
+
+# The search_incremental bench must show the memo machinery actually
+# engaging: a zero cache hit rate means footprint/fingerprint
+# invalidation has regressed to recosting everything.
+echo "==> incremental-costing bench gate (nonzero cache hit rate)"
+rm -f target/BENCH_search.json
+LEGODB_BENCH_JSON=target/BENCH_search.json ./target/release/search_incremental >/dev/null
+hit_rate=$(awk -F'"hit_rate":' '/"memoize":"on"/ {split($2, a, "[,}]"); print a[1]}' \
+    target/BENCH_search.json)
+speedup=$(awk -F'"speedup":' '/"speedup":/ {split($2, a, "[,}]"); print a[1]}' \
+    target/BENCH_search.json)
+echo "    hit_rate=${hit_rate:-missing} speedup=${speedup:-missing}x"
+awk -v h="${hit_rate:-0}" 'BEGIN { exit (h > 0 ? 0 : 1) }' || {
+    echo "search_incremental: cache hit rate is zero" >&2
+    exit 1
+}
+
 # Clippy ships with rustup toolchains but not every minimal container;
 # soft-fail only when the component itself is absent.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -138,7 +138,7 @@ fn bench_greedy_iteration(c: &mut Bench) {
         b.iter(|| {
             let candidates = enumerate_candidates(&pschema, &TransformationSet::outline_only());
             for t in &candidates {
-                if let Ok(p) = apply(&pschema, t) {
+                if let Ok((p, _)) = apply(&pschema, t) {
                     let _ = black_box(pschema_cost(&p, &stats, &workload, &cfg));
                 }
             }

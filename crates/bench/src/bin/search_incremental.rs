@@ -1,0 +1,13 @@
+//! The incremental-costing experiment: greedy-si with memoization on vs.
+//! off (DESIGN.md §11). JSON-lines records — wall clock, counters, cache
+//! hit rate, speedup — land in `BENCH_search.json`, or the path in
+//! `$LEGODB_BENCH_JSON` when set.
+fn main() {
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment(
+            "search_incremental",
+            legodb_bench::harness::search_incremental
+        )
+    );
+}

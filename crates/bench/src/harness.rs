@@ -47,6 +47,7 @@ pub fn map_wildcard_materialized() -> PSchema {
         },
     )
     .expect("review wildcard materializes")
+    .0
 }
 
 /// Storage Map 3 (Figure 4(c)): the Show union distributed into
@@ -61,6 +62,7 @@ pub fn map_union_distributed() -> PSchema {
         },
     )
     .expect("show union distributes")
+    .0
 }
 
 /// Unweighted cost of one query on a configuration.
@@ -349,7 +351,8 @@ pub fn fig14() -> String {
                 target: TypeName::new("Aka"),
             },
         )
-        .expect("aka repetition splits");
+        .expect("aka repetition splits")
+        .0;
         // Flatten the remaining union so the comparison isolates the
         // repetition change.
         let split = apply(
@@ -358,6 +361,7 @@ pub fn fig14() -> String {
                 in_type: TypeName::new("Show"),
             },
         )
+        .map(|(p, _)| p)
         .unwrap_or(split);
         let price = |w: &Workload, p: &PSchema| workload_cost(p, &stats, w);
         rows.push(vec![
@@ -419,7 +423,8 @@ pub fn tab02() -> String {
                     name: "nyt".into(),
                 },
             )
-            .expect("review wildcard materializes");
+            .expect("review wildcard materializes")
+            .0;
             rows.push(vec![
                 total.to_string(),
                 format!("{:.1}%", pct * 100.0),
@@ -525,6 +530,115 @@ pub fn full_workload_costs() -> String {
     }
     let mut out = String::from("## Appendix — all twenty queries on ALL-INLINED\n\n");
     out.push_str(&md_table(&["Query", "cost"], &rows));
+    out
+}
+
+// ------------------------------------------------------------------ E7
+
+/// `search_incremental` (DESIGN.md §11): greedy-si over the IMDB
+/// application — the §5.2 lookup + publish mix — with incremental
+/// costing and memoization on vs. off. The off arm reprices every
+/// candidate from scratch (exactly the pre-incremental pipeline), so
+/// the two wall clocks measure what the `CostEvaluator` saves, and the
+/// final costs must agree bit-for-bit. Records are appended as
+/// JSON-lines to `$LEGODB_BENCH_JSON`, or `BENCH_search.json` when
+/// unset, so CI can assert a nonzero cache hit rate.
+pub fn search_incremental() -> String {
+    let schema = imdb_schema();
+    let stats = scaled_statistics(STATS_SCALE);
+    // The branch-balanced mix of Appendix C lookups: every query whose
+    // footprint spans at most four types, covering each schema branch
+    // (Show, TV, Movie, Episode, Actor, Played, Director, Directed,
+    // Award), equally weighted. Each candidate transformation touches
+    // one branch, so this workload exhibits the footprint structure
+    // incremental costing exploits; an all-publish workload whose every
+    // query reads every table would show the memo floor instead.
+    let names = [
+        "Q1", "Q2", "Q3", "Q4", "Q5", "Q7", "Q8", "Q9", "Q10", "Q11", "Q15", "Q17", "Q18", "Q20",
+    ];
+    let mut workload = Workload::new();
+    for name in names {
+        workload.push(name.to_string(), query(name), 1.0 / names.len() as f64);
+    }
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut wall_ms = [0.0f64; 2];
+    let mut costs = [0.0f64; 2];
+    for (idx, memoize) in [false, true].into_iter().enumerate() {
+        // Sequential candidate evaluation: with parallel workers the
+        // iteration wall clock is set by the slowest candidate (which
+        // must recost everything it touched in both arms), hiding the
+        // work the evaluator avoids. The sequential arms compare total
+        // evaluation work apples-to-apples.
+        let config = SearchConfig {
+            start: StartPoint::MaximallyInlined,
+            parallel: false,
+            memoize,
+            ..Default::default()
+        };
+        let (result, elapsed) = legodb_util::bench::time_once(|| {
+            greedy_search(&schema, &stats, &workload, &config).expect("search succeeds")
+        });
+        let eval = result.eval;
+        wall_ms[idx] = elapsed.as_secs_f64() * 1e3;
+        costs[idx] = result.cost;
+        rows.push(vec![
+            if memoize { "on" } else { "off" }.to_string(),
+            format!("{:.1}", wall_ms[idx]),
+            eval.reused.to_string(),
+            eval.memo_hits.to_string(),
+            eval.recosted.to_string(),
+            format!("{:.0}%", eval.hit_rate() * 100.0),
+            fmt3(result.cost),
+        ]);
+        records.push(
+            legodb_util::json::JsonObject::new()
+                .str("experiment", "search_incremental")
+                .str("memoize", if memoize { "on" } else { "off" })
+                .f64("wall_ms", wall_ms[idx])
+                .f64("cost", result.cost)
+                .u64("reused", eval.reused)
+                .u64("memo_hits", eval.memo_hits)
+                .u64("recosted", eval.recosted)
+                .f64("hit_rate", eval.hit_rate())
+                .finish(),
+        );
+    }
+    let speedup = wall_ms[0] / wall_ms[1].max(1e-9);
+    records.push(
+        legodb_util::json::JsonObject::new()
+            .str("experiment", "search_incremental")
+            .f64("speedup", speedup)
+            .finish(),
+    );
+    let path = std::env::var_os("LEGODB_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_search.json"));
+    if let Err(e) = legodb_util::bench::append_json_lines(&path, records) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+    }
+    let mut out = String::from("## E7 — incremental candidate costing: memoization on vs. off\n\n");
+    out.push_str(&md_table(
+        &[
+            "Memoization",
+            "wall ms",
+            "reused",
+            "memo hits",
+            "recosted",
+            "avoided",
+            "final cost",
+        ],
+        &rows,
+    ));
+    let _ = writeln!(
+        out,
+        "\nSpeedup: {speedup:.2}x; final costs bit-identical: {}.",
+        if costs[0].to_bits() == costs[1].to_bits() {
+            "yes"
+        } else {
+            "NO — INVESTIGATE"
+        },
+    );
     out
 }
 

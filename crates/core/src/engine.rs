@@ -41,6 +41,11 @@ pub struct EngineResult {
     /// Candidates dropped across the search (panics, pricing failures,
     /// non-finite costs).
     pub dropped_candidates: u64,
+    /// One diagnostic line per dropped candidate, naming the move.
+    pub dropped_diagnostics: Vec<String>,
+    /// Incremental-costing counters (reused / memo-served / recomputed
+    /// query pricings) across the search.
+    pub eval: crate::cost::EvalStats,
 }
 
 impl From<SearchResult> for EngineResult {
@@ -49,10 +54,12 @@ impl From<SearchResult> for EngineResult {
             pschema: r.pschema,
             mapping: r.report.mapping.clone(),
             cost: r.cost,
-            per_query: r.report.per_query,
+            per_query: r.report.per_query(),
             trajectory: r.trajectory,
             outcome: r.outcome,
             dropped_candidates: r.dropped_candidates,
+            dropped_diagnostics: r.dropped_diagnostics,
+            eval: r.eval,
         }
     }
 }
@@ -138,7 +145,7 @@ impl LegoDb {
             );
             let Some(t) = candidates.first() else { break };
             match apply(&current, t) {
-                Ok(next) => current = next,
+                Ok((next, _)) => current = next,
                 Err(_) => break,
             }
         }
@@ -168,7 +175,7 @@ impl LegoDb {
         pschema: &PSchema,
         t: &Transformation,
     ) -> Result<PSchema, crate::transform::TransformError> {
-        apply(pschema, t)
+        apply(pschema, t).map(|(pschema, _)| pschema)
     }
 
     /// The optimizer configuration used for costing.

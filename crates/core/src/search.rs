@@ -8,7 +8,7 @@
 //! exhaustion the search returns its best-so-far configuration tagged
 //! with a [`SearchOutcome`] instead of an error.
 
-use crate::cost::{pschema_cost, CostError, CostReport};
+use crate::cost::{CostError, CostEvaluator, CostReport, EvalStats};
 use crate::transform::{apply, enumerate_candidates, Transformation, TransformationSet};
 use crate::workload::Workload;
 use legodb_optimizer::OptimizerConfig;
@@ -29,7 +29,7 @@ pub enum StartPoint {
 }
 
 /// Search knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Starting configuration.
     pub start: StartPoint,
@@ -50,6 +50,25 @@ pub struct SearchConfig {
     /// exhausted mid-search the best configuration found so far is
     /// returned with a non-[`SearchOutcome::Converged`] outcome.
     pub budget: Option<Budget>,
+    /// Price candidates incrementally against their parent, with a shared
+    /// memo cache (default). Off = every candidate is priced from scratch
+    /// (the pre-incremental behavior; costs are bit-identical either way).
+    pub memoize: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            start: StartPoint::default(),
+            transformations: None,
+            optimizer: OptimizerConfig::default(),
+            max_iterations: 0,
+            parallel: false,
+            improvement_threshold: 0.0,
+            budget: None,
+            memoize: true,
+        }
+    }
 }
 
 impl SearchConfig {
@@ -79,6 +98,9 @@ pub struct IterationReport {
     pub dropped: usize,
     /// The transformation applied (`None` for the initial configuration).
     pub applied: Option<String>,
+    /// Evaluator counters for this iteration (how many query pricings
+    /// were reused, memo-served, or recomputed).
+    pub eval: EvalStats,
 }
 
 /// How a search run ended.
@@ -121,6 +143,11 @@ pub struct SearchResult {
     /// costing failures, non-finite costs) — including iterations that
     /// did not improve and are absent from `trajectory`.
     pub dropped_candidates: u64,
+    /// One line per dropped candidate, naming the move and why it was
+    /// dropped (e.g. `optimizing publish (candidate inline(Aka)): ...`).
+    pub dropped_diagnostics: Vec<String>,
+    /// Cumulative evaluator counters across the whole run.
+    pub eval: EvalStats,
 }
 
 /// Run Algorithm 4.1 from an arbitrary source schema.
@@ -145,8 +172,9 @@ pub fn greedy_search_from(
     config: &SearchConfig,
 ) -> Result<SearchResult, CostError> {
     let set = config.transformation_set();
+    let evaluator = CostEvaluator::with_memoize(config.optimizer, config.memoize);
     let mut current = initial;
-    let mut report = pschema_cost(&current, stats, workload, &config.optimizer)?;
+    let mut report = evaluator.evaluate_full(&current, stats, workload)?;
     let mut cost = report.total;
     if !cost.is_finite() {
         return Err(CostError::NonFiniteCost {
@@ -154,17 +182,20 @@ pub fn greedy_search_from(
             value: cost,
         });
     }
+    let mut eval_snapshot = evaluator.stats();
     let mut trajectory = vec![IterationReport {
         iteration: 0,
         cost,
         candidates: 0,
         dropped: 0,
         applied: None,
+        eval: eval_snapshot,
     }];
 
     let governor = config.budget.as_ref().map(Budget::start);
     let mut outcome = SearchOutcome::Converged;
     let mut dropped_candidates: u64 = 0;
+    let mut dropped_diagnostics: Vec<String> = Vec::new();
     let mut iteration = 0;
     loop {
         iteration += 1;
@@ -176,15 +207,18 @@ pub fn greedy_search_from(
             break;
         }
         let candidates = enumerate_candidates(&current, &set);
-        let (evaluated, dropped) = evaluate_candidates(
+        let (evaluated, diagnostics, dropped) = evaluate_candidates(
             &current,
+            &report,
             &candidates,
             stats,
             workload,
+            &evaluator,
             config,
             governor.as_ref(),
         );
         dropped_candidates += dropped as u64;
+        dropped_diagnostics.extend(diagnostics);
         let best = evaluated
             .into_iter()
             .min_by(|a, b| a.2.total.total_cmp(&b.2.total));
@@ -205,13 +239,16 @@ pub fn greedy_search_from(
         current = pschema;
         cost = new_report.total;
         report = new_report;
+        let now = evaluator.stats();
         trajectory.push(IterationReport {
             iteration,
             cost,
             candidates: candidates.len(),
             dropped,
             applied: Some(t.to_string()),
+            eval: now.since(&eval_snapshot),
         });
+        eval_snapshot = now;
         if config.improvement_threshold > 0.0 && improvement < config.improvement_threshold {
             break;
         }
@@ -228,6 +265,8 @@ pub fn greedy_search_from(
         trajectory,
         outcome,
         dropped_candidates,
+        dropped_diagnostics,
+        eval: evaluator.stats(),
     })
 }
 
@@ -248,7 +287,8 @@ enum Eval {
     /// the enum (and the per-candidate result vectors) small.
     Priced(Transformation, PSchema, Box<CostReport>),
     /// Failed to apply/price, hit an injected fault, or priced non-finite.
-    Dropped,
+    /// Carries a diagnostic naming the move and the reason, when known.
+    Dropped(Option<String>),
     /// Not evaluated: the budget was already exhausted.
     Skipped,
 }
@@ -257,15 +297,24 @@ enum Eval {
 /// fault isolation: a candidate that panics, fails to apply or price, or
 /// prices to a non-finite cost is dropped and counted (a candidate that
 /// cannot be priced cannot be chosen — and must not abort the search).
-/// Returns the priced survivors and the dropped count.
+/// Candidates are priced incrementally against the parent's report
+/// through the shared evaluator. Returns the priced survivors, one
+/// diagnostic per dropped candidate, and the dropped count.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_candidates(
     current: &PSchema,
+    parent: &CostReport,
     candidates: &[Transformation],
     stats: &Statistics,
     workload: &Workload,
+    evaluator: &CostEvaluator,
     config: &SearchConfig,
     governor: Option<&Governor>,
-) -> (Vec<(Transformation, PSchema, CostReport)>, usize) {
+) -> (
+    Vec<(Transformation, PSchema, CostReport)>,
+    Vec<String>,
+    usize,
+) {
     let evaluate_one = |t: &Transformation| -> Eval {
         if let Some(g) = governor {
             if g.checkpoint().is_err() {
@@ -274,16 +323,19 @@ fn evaluate_candidates(
             g.note_evaluations(1);
         }
         if fault::failpoint("core.search.candidate", &t.to_string()).is_err() {
-            return Eval::Dropped;
+            return Eval::Dropped(Some(format!("{t}: injected fault")));
         }
-        let Ok(pschema) = apply(current, t) else {
-            return Eval::Dropped;
+        let (pschema, delta) = match apply(current, t) {
+            Ok(applied) => applied,
+            Err(e) => return Eval::Dropped(Some(format!("{t}: {e}"))),
         };
-        let Ok(report) = pschema_cost(&pschema, stats, workload, &config.optimizer) else {
-            return Eval::Dropped;
+        let report = match evaluator.evaluate_incremental(&pschema, stats, workload, parent, &delta)
+        {
+            Ok(report) => report,
+            Err(e) => return Eval::Dropped(Some(e.with_transformation(t).to_string())),
         };
         if !report.total.is_finite() {
-            return Eval::Dropped;
+            return Eval::Dropped(Some(format!("{t}: non-finite cost {}", report.total)));
         }
         if let Some(g) = governor {
             g.note_memory(estimate_candidate_bytes(&pschema));
@@ -296,15 +348,24 @@ fn evaluate_candidates(
         1
     };
     let mut priced = Vec::new();
+    let mut diagnostics = Vec::new();
     let mut dropped = 0;
-    for result in scoped_map_catch(candidates, threads, evaluate_one) {
+    let results = scoped_map_catch(candidates, threads, evaluate_one);
+    for (t, result) in candidates.iter().zip(results) {
         match result {
             Ok(Eval::Priced(t, pschema, report)) => priced.push((t, pschema, *report)),
-            Ok(Eval::Dropped) | Err(_) => dropped += 1,
+            Ok(Eval::Dropped(msg)) => {
+                dropped += 1;
+                diagnostics.push(msg.unwrap_or_else(|| format!("{t}: dropped")));
+            }
+            Err(_) => {
+                dropped += 1;
+                diagnostics.push(format!("{t}: panicked during evaluation"));
+            }
             Ok(Eval::Skipped) => {}
         }
     }
-    (priced, dropped)
+    (priced, diagnostics, dropped)
 }
 
 #[cfg(test)]
@@ -577,6 +638,96 @@ mod tests {
             assert_eq!(result.trajectory.len(), 1);
             assert_eq!(result.cost, result.trajectory[0].cost);
         }
+    }
+
+    #[test]
+    fn memoization_does_not_change_the_search() {
+        // Two independent branches: moves in one branch can reuse the
+        // other branch's query pricing.
+        let two_branch = parse_schema(
+            "type IMDB = imdb[ Show{0,*}, Studio{0,*} ]
+             type Show = show [ title[ String ], year[ Integer ],
+                                description[ String ], Aka{0,*} ]
+             type Aka = aka[ String ]
+             type Studio = studio[ sname[ String ],
+                                   addr[ street[ String ], city[ String ] ] ]",
+        )
+        .unwrap();
+        let mut s = stats();
+        s.set_count(&["imdb", "studio"], 500)
+            .set_size(&["imdb", "studio", "sname"], 30.0)
+            .set_distinct(&["imdb", "studio", "sname"], 500)
+            .set_size(&["imdb", "studio", "addr", "street"], 2000.0)
+            .set_size(&["imdb", "studio", "addr", "city"], 20.0);
+        let w = Workload::from_sources([
+            (
+                "lookup",
+                r#"FOR $v IN document("x")/imdb/show WHERE $v/title = c1 RETURN $v/year"#,
+                0.5,
+            ),
+            (
+                "studios",
+                r#"FOR $u IN document("x")/imdb/studio WHERE $u/sname = c2 RETURN $u/sname"#,
+                0.5,
+            ),
+        ])
+        .unwrap();
+        let on = greedy_search(&two_branch, &s, &w, &SearchConfig::default()).unwrap();
+        let off = greedy_search(
+            &two_branch,
+            &s,
+            &w,
+            &SearchConfig {
+                memoize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Bit-identical trajectory and final cost either way.
+        assert_eq!(on.cost.to_bits(), off.cost.to_bits());
+        assert_eq!(on.trajectory.len(), off.trajectory.len());
+        for (a, b) in on.trajectory.iter().zip(&off.trajectory) {
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.applied, b.applied);
+        }
+        // The control arm never reuses; the incremental arm does real work
+        // avoidance once the search moves past the first iteration.
+        assert_eq!(off.eval.reused + off.eval.memo_hits, 0, "{}", off.eval);
+        assert!(off.eval.recosted > 0);
+        if !fault::env_enabled() {
+            assert!(
+                on.eval.reused + on.eval.memo_hits > 0,
+                "expected some avoided pricings: {}",
+                on.eval
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_candidates_are_named_in_diagnostics() {
+        let _guard =
+            fault::override_for_test(fault::FaultConfig::always(7, fault::FaultMode::Error));
+        let result = greedy_search(
+            &schema(),
+            &stats(),
+            &lookup_workload(),
+            &SearchConfig::default(),
+        )
+        .unwrap();
+        assert!(result.dropped_candidates > 0);
+        assert_eq!(
+            result.dropped_diagnostics.len() as u64,
+            result.dropped_candidates
+        );
+        // Every diagnostic names the move (inlined start => outline moves).
+        assert!(
+            result
+                .dropped_diagnostics
+                .iter()
+                .all(|d| d.contains("outline(")),
+            "{:?}",
+            result.dropped_diagnostics
+        );
     }
 
     #[test]

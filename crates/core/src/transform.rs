@@ -115,6 +115,72 @@ impl From<StratifyError> for TransformError {
     }
 }
 
+/// The named types a transformation touched, computed by diffing the
+/// schema before and after [`apply`]. This is the seam incremental
+/// costing hangs off: a candidate's cost can only differ from its
+/// parent's where the delta (plus the fingerprint cascade it induces —
+/// parents of a removed type, children of a rewritten one) reaches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransformDelta {
+    /// Types present after but not before.
+    pub created: Vec<TypeName>,
+    /// Types present before but not after.
+    pub removed: Vec<TypeName>,
+    /// Types present in both whose definition changed.
+    pub rewritten: Vec<TypeName>,
+}
+
+impl TransformDelta {
+    /// Diff two schemas into a delta (declaration order).
+    pub fn between(before: &Schema, after: &Schema) -> TransformDelta {
+        let mut delta = TransformDelta::default();
+        for (name, old_def) in before.iter() {
+            match after.get(name) {
+                None => delta.removed.push(name.clone()),
+                Some(new_def) if new_def != old_def => delta.rewritten.push(name.clone()),
+                Some(_) => {}
+            }
+        }
+        for (name, _) in after.iter() {
+            if before.get(name).is_none() {
+                delta.created.push(name.clone());
+            }
+        }
+        delta
+    }
+
+    /// True when the transformation was a no-op on the schema.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty() && self.removed.is_empty() && self.rewritten.is_empty()
+    }
+
+    /// All touched type names (created ∪ removed ∪ rewritten).
+    pub fn touched(&self) -> impl Iterator<Item = &TypeName> {
+        self.created
+            .iter()
+            .chain(self.removed.iter())
+            .chain(self.rewritten.iter())
+    }
+}
+
+impl fmt::Display for TransformDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |v: &[TypeName]| {
+            v.iter()
+                .map(TypeName::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(
+            f,
+            "+[{}] -[{}] ~[{}]",
+            join(&self.created),
+            join(&self.removed),
+            join(&self.rewritten)
+        )
+    }
+}
+
 /// Which transformation kinds the search may use.
 #[derive(Debug, Clone, Default)]
 pub struct TransformationSet {
@@ -237,11 +303,29 @@ pub fn enumerate_candidates(pschema: &PSchema, set: &TransformationSet) -> Vec<T
             });
         }
     }
+    // Different walk paths can surface the same move twice (e.g. repeated
+    // wildcard hints, or a repetition of the same target at two sites
+    // collapsing to one (in_type, target) pair); evaluating a duplicate
+    // wastes a full costing pass. Deduplicate preserving first-seen order.
+    let mut seen: Vec<Transformation> = Vec::with_capacity(out.len());
+    out.retain(|t| {
+        if seen.contains(t) {
+            false
+        } else {
+            seen.push(t.clone());
+            true
+        }
+    });
     out
 }
 
-/// Apply one transformation, returning the rewritten p-schema.
-pub fn apply(pschema: &PSchema, t: &Transformation) -> Result<PSchema, TransformError> {
+/// Apply one transformation, returning the rewritten p-schema together
+/// with the [`TransformDelta`] naming the types it created, removed, or
+/// rewrote (the input to incremental re-costing).
+pub fn apply(
+    pschema: &PSchema,
+    t: &Transformation,
+) -> Result<(PSchema, TransformDelta), TransformError> {
     let schema = pschema.schema().clone();
     let rewritten = match t {
         Transformation::Inline(name) => apply_inline(schema, name)?,
@@ -256,7 +340,8 @@ pub fn apply(pschema: &PSchema, t: &Transformation) -> Result<PSchema, Transform
         } => apply_wildcard(schema, wildcard_type, name)?,
         Transformation::UnionToOptions { in_type } => apply_union_to_options(schema, in_type)?,
     };
-    Ok(PSchema::try_new(rewritten)?)
+    let delta = TransformDelta::between(pschema.schema(), &rewritten);
+    Ok((PSchema::try_new(rewritten)?, delta))
 }
 
 // ---------------------------------------------------------------- inline
@@ -844,8 +929,12 @@ mod tests {
     fn inline_description_into_tv() {
         // The paper's §4.1 inlining example.
         let p = imdb();
-        let out = apply(&p, &Transformation::Inline(TypeName::new("Description"))).unwrap();
+        let (out, delta) =
+            apply(&p, &Transformation::Inline(TypeName::new("Description"))).unwrap();
         assert!(out.schema().get_str("Description").is_none());
+        assert_eq!(delta.removed, vec![TypeName::new("Description")]);
+        assert_eq!(delta.rewritten, vec![TypeName::new("TV")]);
+        assert!(delta.created.is_empty(), "{delta}");
         let tv = out.schema().get_str("TV").unwrap();
         let mut found = false;
         tv.visit(&mut |t| {
@@ -885,7 +974,7 @@ mod tests {
     #[test]
     fn outline_title_from_show() {
         let p = imdb();
-        let out = apply(
+        let (out, delta) = apply(
             &p,
             &Transformation::Outline {
                 in_type: TypeName::new("Show"),
@@ -894,16 +983,18 @@ mod tests {
         )
         .unwrap();
         assert!(out.schema().get_str("Title").is_some(), "{}", out.schema());
+        assert_eq!(delta.created, vec![TypeName::new("Title")]);
+        assert_eq!(delta.rewritten, vec![TypeName::new("Show")]);
         assert_preserves_semantics(&p, &out);
         // Inlining it back restores a type-count equilibrium.
-        let back = apply(&out, &Transformation::Inline(TypeName::new("Title"))).unwrap();
+        let (back, _) = apply(&out, &Transformation::Inline(TypeName::new("Title"))).unwrap();
         assert_eq!(back.schema().len(), p.schema().len());
     }
 
     #[test]
     fn outline_nested_element() {
         let p = pschema("type A = a[ b[ c[ String ], d[ Integer ] ] ]");
-        let out = apply(
+        let (out, _) = apply(
             &p,
             &Transformation::Outline {
                 in_type: TypeName::new("A"),
@@ -918,7 +1009,7 @@ mod tests {
     #[test]
     fn union_distribute_creates_parts() {
         let p = imdb();
-        let out = apply(
+        let (out, delta) = apply(
             &p,
             &Transformation::UnionDistribute {
                 in_type: TypeName::new("Show"),
@@ -936,12 +1027,16 @@ mod tests {
         // Parts inline the union members (box_office becomes a column of
         // part 1 — the member types are gone).
         assert!(s.get_str("Movie").is_none(), "{s}");
+        // The delta names the removals and the fresh part types.
+        assert!(delta.removed.contains(&TypeName::new("Show")), "{delta}");
+        assert!(delta.removed.contains(&TypeName::new("Movie")), "{delta}");
+        assert_eq!(delta.created.len(), 2, "{delta}");
     }
 
     #[test]
     fn repetition_split_unrolls_one_occurrence() {
         let p = imdb();
-        let out = apply(
+        let (out, _) = apply(
             &p,
             &Transformation::RepetitionSplit {
                 in_type: TypeName::new("Show"),
@@ -976,7 +1071,7 @@ mod tests {
             "type Show = show[ title[ String ], AnyReview{0,*} ]
              type AnyReview = ~[ String ]",
         );
-        let out = apply(
+        let (out, _) = apply(
             &p,
             &Transformation::WildcardMaterialize {
                 wildcard_type: TypeName::new("AnyReview"),
@@ -994,7 +1089,7 @@ mod tests {
     #[test]
     fn union_to_options_inlines_with_optionals() {
         let p = imdb();
-        let out = apply(
+        let (out, _) = apply(
             &p,
             &Transformation::UnionToOptions {
                 in_type: TypeName::new("Show"),
@@ -1044,6 +1139,30 @@ mod tests {
         for t in enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()])) {
             let result = apply(&p, &t);
             assert!(result.is_ok(), "candidate {t} failed: {result:?}");
+        }
+    }
+
+    #[test]
+    fn enumerated_candidates_are_duplicate_free() {
+        // Duplicate wildcard hints used to surface the same materialize
+        // move once per hint; any duplicate costs a full evaluation.
+        let p = imdb();
+        let set = TransformationSet::all(vec!["nyt".into(), "nyt".into(), "nyt".into()]);
+        let all = enumerate_candidates(&p, &set);
+        for (i, t) in all.iter().enumerate() {
+            assert!(
+                !all[i + 1..].contains(t),
+                "duplicate candidate {t} in {all:?}"
+            );
+        }
+        assert!(all
+            .iter()
+            .any(|t| matches!(t, Transformation::WildcardMaterialize { .. })));
+        // Outlined starts enumerate the most moves; still no duplicates.
+        let outlined = derive_pschema(&imdb().into_schema(), InlineStyle::Outlined);
+        let many = enumerate_candidates(&outlined, &TransformationSet::all(vec!["nyt".into()]));
+        for (i, t) in many.iter().enumerate() {
+            assert!(!many[i + 1..].contains(t), "duplicate candidate {t}");
         }
     }
 

@@ -36,7 +36,7 @@ pub mod shred;
 pub mod stratify;
 
 pub use derive::{derive_pschema, InlineStyle};
-pub use mapping::{rel, ColumnTarget, Mapping, TableMapping};
+pub use mapping::{rel, rel_incremental, ColumnTarget, Mapping, TableMapping};
 pub use publish::publish_all;
 pub use shred::shred;
 pub use stratify::{PSchema, StratifyError};

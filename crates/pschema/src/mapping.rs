@@ -22,8 +22,10 @@
 use crate::stratify::PSchema;
 use legodb_relational::{Catalog, ColumnDef, ColumnStats, ForeignKey, SqlType, TableDef};
 use legodb_schema::{NameTest, ScalarKind, ScalarStats, Schema, Type, TypeName};
+use legodb_util::StableHasher;
 use legodb_xml::stats::{Path, Statistics};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Write as _};
 
 /// The pseudo path step for the content of a wildcard element. Translated
 /// to `TILDE` (the paper's Appendix A convention) for statistics lookups.
@@ -101,6 +103,12 @@ pub struct Mapping {
     pub catalog: Catalog,
     /// Per-type mapping detail, keyed by type name.
     pub tables: BTreeMap<TypeName, TableMapping>,
+    /// Per-type derivation fingerprints: a stable hash over everything
+    /// [`build_table`] reads for the type (its definition, occurrence
+    /// sites, parents, shallow reference closure, and the statistics).
+    /// Equal fingerprints guarantee identical table definitions, which is
+    /// what lets [`rel_incremental`] reuse tables from a parent mapping.
+    pub fingerprints: BTreeMap<TypeName, u64>,
 }
 
 impl Mapping {
@@ -113,29 +121,205 @@ impl Mapping {
     pub fn root(&self) -> &TypeName {
         self.pschema.root()
     }
+
+    /// Table names whose derivation differs between `self` and `parent`:
+    /// types created or removed, plus types whose fingerprint changed
+    /// (definition rewritten, parents or occurrence sites shifted, or
+    /// statistics swapped).
+    pub fn changed_tables(&self, parent: &Mapping) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for (name, fp) in &self.fingerprints {
+            if parent.fingerprints.get(name) != Some(fp) {
+                out.insert(name.to_string());
+            }
+        }
+        for name in parent.fingerprints.keys() {
+            if !self.fingerprints.contains_key(name) {
+                out.insert(name.to_string());
+            }
+        }
+        out
+    }
 }
 
 /// Apply the fixed mapping to a p-schema, translating `stats` into the
 /// relational catalog.
 pub fn rel(pschema: &PSchema, stats: &Statistics) -> Mapping {
+    build_mapping(pschema, stats, None)
+}
+
+/// Like [`rel`], but reuses per-type tables from `parent` wherever the
+/// type's derivation fingerprint is unchanged. The result is **identical**
+/// to `rel(pschema, stats)` — reuse is a pure optimization, valid because
+/// equal fingerprints imply bitwise-equal table definitions.
+pub fn rel_incremental(pschema: &PSchema, stats: &Statistics, parent: &Mapping) -> Mapping {
+    build_mapping(pschema, stats, Some(parent))
+}
+
+fn build_mapping(pschema: &PSchema, stats: &Statistics, parent: Option<&Mapping>) -> Mapping {
     let schema = pschema.schema();
     let occurrences = discover_occurrences(schema);
+    let stats_fp = stats_fingerprint(stats);
+    let parents_index = parents_index(schema);
+    let no_parents = Vec::new();
+
+    // Per-type shallow fingerprints (definition + occurrence sites) and
+    // reference-closure fingerprints, computed once and combined below.
+    // Without this pass a type's definition is re-hashed once per child
+    // type, since parents contribute to every child's fingerprint.
+    let mut shallow = BTreeMap::new();
+    let mut refs = BTreeMap::new();
+    for name in schema.names() {
+        let def = schema.get(name).expect("iterating names");
+        let mut h = StableHasher::new();
+        hash_debug(&mut h, def);
+        hash_debug(&mut h, &occurrences.get(name));
+        shallow.insert(name.clone(), h.finish());
+        let mut h = StableHasher::new();
+        hash_ref_deps(schema, def, &mut h, 0);
+        refs.insert(name.clone(), h.finish());
+    }
+
     let mut catalog = Catalog::new();
     let mut tables = BTreeMap::new();
+    let mut fingerprints = BTreeMap::new();
 
     for name in schema.names() {
         let def = schema.get(name).expect("iterating names");
-        let occs = occurrences.get(name).cloned().unwrap_or_default();
-        let (table_def, table_mapping) = build_table(schema, name, def, &occs, stats);
+        let parents = parents_index.get(name).unwrap_or(&no_parents);
+        let fp = type_fingerprint(name, parents, &shallow, &refs, stats_fp);
+        let reused = parent.and_then(|pm| {
+            if pm.fingerprints.get(name) != Some(&fp) {
+                return None;
+            }
+            let table_def = pm.catalog.table(name.as_str())?.clone();
+            let table_mapping = pm.tables.get(name)?.clone();
+            Some((table_def, table_mapping))
+        });
+        let (table_def, table_mapping) = match reused {
+            Some(pair) => pair,
+            None => {
+                let occs = occurrences.get(name).cloned().unwrap_or_default();
+                build_table(schema, name, def, parents, &occs, &occurrences, stats)
+            }
+        };
         catalog.add(table_def);
         tables.insert(name.clone(), table_mapping);
+        fingerprints.insert(name.clone(), fp);
     }
 
     Mapping {
         pschema: pschema.clone(),
         catalog,
         tables,
+        fingerprints,
     }
+}
+
+/// Streams `Debug` formatting straight into a [`StableHasher`],
+/// avoiding the intermediate `String` a `format!` would allocate.
+struct HashWriter<'a>(&'a mut StableHasher);
+
+impl fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.write_str(s);
+        Ok(())
+    }
+}
+
+fn hash_debug(h: &mut StableHasher, value: &impl fmt::Debug) {
+    let _ = write!(HashWriter(h), "{value:?}");
+}
+
+/// One fingerprint over all recorded statistics. Within a single search
+/// the statistics never change, so this collapses to a constant; across
+/// searches it keeps fingerprints from colliding between stat sets.
+fn stats_fingerprint(stats: &Statistics) -> u64 {
+    let mut h = StableHasher::new();
+    for (path, stat) in stats.iter() {
+        hash_debug(&mut h, path);
+        hash_debug(&mut h, stat);
+    }
+    h.finish()
+}
+
+/// All parent lists in one walk over every definition, instead of
+/// [`Schema::parents_of`]'s per-type scan of the whole schema. Produces
+/// the same lists in the same order (referencing types in schema order,
+/// each listed once).
+fn parents_index(schema: &Schema) -> BTreeMap<TypeName, Vec<TypeName>> {
+    let mut index: BTreeMap<TypeName, Vec<TypeName>> = BTreeMap::new();
+    for name in schema.names() {
+        let def = schema.get(name).expect("iterating names");
+        let mut seen = BTreeSet::new();
+        def.visit(&mut |t| {
+            if let Type::Ref(child) = t {
+                if seen.insert(child.clone()) {
+                    index.entry(child.clone()).or_default().push(name.clone());
+                }
+            }
+        });
+    }
+    index
+}
+
+/// Hash the *shallow reference closure* of a definition: for each type
+/// referenced from `def`, its name plus — for element-shaped targets —
+/// the top-level name test (all `build_table` reads of a referenced
+/// element is its anchor name), or — for group-shaped targets — a
+/// recursive descent (member counting in [`collect_members`] walks
+/// through group refs). Depth-bounded like `collect_members` itself.
+fn hash_ref_deps(schema: &Schema, def: &Type, h: &mut StableHasher, depth: usize) {
+    if depth > 16 {
+        return;
+    }
+    def.visit(&mut |t| {
+        if let Type::Ref(name) = t {
+            h.write_str(name.as_str());
+            match schema.get(name) {
+                Some(Type::Element { name: nt, .. }) => {
+                    h.write_str("elem:");
+                    hash_debug(h, nt);
+                }
+                Some(group) => {
+                    h.write_str("group");
+                    hash_ref_deps(schema, group, h, depth + 1);
+                }
+                None => {
+                    h.write_str("dangling");
+                }
+            }
+        }
+    });
+}
+
+/// The derivation fingerprint of one type: everything [`build_table`]
+/// reads to produce the type's `TableDef` + `TableMapping`, combined
+/// from the precomputed per-type `shallow` (definition + occurrences)
+/// and `refs` (reference closure) hashes. Equal fingerprints (for the
+/// same statistics) imply identical outputs.
+fn type_fingerprint(
+    name: &TypeName,
+    parents: &[TypeName],
+    shallow: &BTreeMap<TypeName, u64>,
+    refs: &BTreeMap<TypeName, u64>,
+    stats_fp: u64,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(stats_fp);
+    h.write_str(name.as_str());
+    h.write_u64(shallow.get(name).copied().unwrap_or(0));
+    h.write_u64(refs.get(name).copied().unwrap_or(0));
+    // Parents contribute FK columns (in declaration order) and their row
+    // estimates read the parent's own definition, occurrences, and member
+    // closure.
+    h.write_u64(parents.len() as u64);
+    for parent in parents {
+        h.write_str(parent.as_str());
+        h.write_u64(shallow.get(parent).copied().unwrap_or(0));
+        h.write_u64(refs.get(parent).copied().unwrap_or(0));
+    }
+    h.finish()
 }
 
 /// The anchor step contributed by a type's top element (`None` for
@@ -257,12 +441,16 @@ struct PendingColumn {
     nullable: bool,
 }
 
-/// Build one table definition + mapping for a type.
+/// Build one table definition + mapping for a type. `occurrence_map` is
+/// the full per-type occurrence index (computed once per mapping), used
+/// to estimate parent cardinalities for FK column statistics.
 fn build_table(
     schema: &Schema,
     name: &TypeName,
     def: &Type,
+    parents: &[TypeName],
     occurrences: &[Occurrence],
+    occurrence_map: &BTreeMap<TypeName, Vec<Occurrence>>,
     stats: &Statistics,
 ) -> (TableDef, TableMapping) {
     let mut table = TableDef::new(name.as_str());
@@ -284,10 +472,9 @@ fn build_table(
     table.key = Some(key.clone());
 
     // Foreign keys to parents.
-    let parents = schema.parents_of(name);
     let multi_parent = parents.len() > 1;
     let mut parent_fk = BTreeMap::new();
-    for parent in &parents {
+    for parent in parents {
         let fk_name = format!("parent_{parent}");
         let parent_rows = 1.0_f64.max(
             // Parents may not be built yet; estimate from their own
@@ -295,10 +482,7 @@ fn build_table(
             estimate_rows(
                 schema,
                 schema.get(parent).expect("checked schema"),
-                &discover_occurrences(schema)
-                    .get(parent)
-                    .cloned()
-                    .unwrap_or_default(),
+                occurrence_map.get(parent).map(Vec::as_slice).unwrap_or(&[]),
                 stats,
             ),
         );
@@ -992,5 +1176,82 @@ mod tests {
         let ddl = m.catalog.to_ddl();
         assert!(ddl.contains("CREATE TABLE Show"));
         assert!(ddl.contains("FOREIGN KEY (parent_Show) REFERENCES Show"));
+    }
+
+    #[test]
+    fn fingerprints_cover_every_type_and_are_stable() {
+        let a = mapping();
+        let b = mapping();
+        assert_eq!(a.fingerprints.len(), a.catalog.len());
+        assert_eq!(a.fingerprints, b.fingerprints);
+        assert!(a.changed_tables(&b).is_empty());
+    }
+
+    #[test]
+    fn incremental_rebuild_is_identical_to_from_scratch() {
+        let p = PSchema::try_new(imdb_schema()).unwrap();
+        let stats = imdb_stats();
+        let parent = rel(&p, &stats);
+        let incremental = rel_incremental(&p, &stats, &parent);
+        // Same pschema → everything reused, and the result is bitwise
+        // identical to a from-scratch derivation.
+        assert!(incremental.changed_tables(&parent).is_empty());
+        assert_eq!(
+            format!("{:?}", incremental.catalog),
+            format!("{:?}", parent.catalog)
+        );
+        assert_eq!(
+            format!("{:?}", incremental.tables),
+            format!("{:?}", parent.tables)
+        );
+    }
+
+    #[test]
+    fn statistics_changes_invalidate_fingerprints() {
+        let p = PSchema::try_new(imdb_schema()).unwrap();
+        let base = rel(&p, &imdb_stats());
+        let mut richer = imdb_stats();
+        richer.set_count(&["imdb", "show", "aka"], 99999);
+        let shifted = rel_incremental(&p, &richer, &base);
+        // Coarse whole-stats fingerprinting: a stats change invalidates
+        // every table (the incremental path falls back to full rebuild).
+        assert_eq!(shifted.changed_tables(&base).len(), base.catalog.len());
+        assert_eq!(shifted.catalog.table("Aka").unwrap().stats.rows, 99999.0);
+    }
+
+    #[test]
+    fn local_schema_edit_keeps_unrelated_fingerprints() {
+        let p1 = PSchema::try_new(imdb_schema()).unwrap();
+        // Same IMDB but with Episode's content widened: only Episode (and
+        // types whose derivation reads Episode) may change.
+        let p2 = PSchema::try_new(
+            parse_schema(
+                "type IMDB = imdb[ Show{0,*} ]
+                 type Show = show [ @type[ String ], title[ String ], year[ Integer ],
+                                    Aka{1,10}, Review{0,*}, ( Movie | TV ) ]
+                 type Aka = aka[ String ]
+                 type Review = review[ ~[ String ] ]
+                 type Movie = box_office[ Integer ], video_sales[ Integer ]
+                 type TV = seasons[ Integer ], description[ String ], Episode{0,*}
+                 type Episode = episode[ name[ String ], guest_director[ String ],
+                                         length[ Integer ] ]",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let stats = imdb_stats();
+        let parent = rel(&p1, &stats);
+        let child = rel_incremental(&p2, &stats, &parent);
+        let changed = child.changed_tables(&parent);
+        assert!(changed.contains("Episode"), "{changed:?}");
+        for untouched in ["IMDB", "Show", "Aka", "Review", "Movie"] {
+            assert!(!changed.contains(untouched), "{changed:?}");
+        }
+        // The incremental result still matches a from-scratch derivation.
+        let scratch = rel(&p2, &stats);
+        assert_eq!(
+            format!("{:?}", child.catalog),
+            format!("{:?}", scratch.catalog)
+        );
     }
 }

@@ -12,6 +12,7 @@
 //! | [`governor`] | — | [`governor::Budget`] deadlines / evaluation / memory-estimate budgets with a cheap `checkpoint()` |
 //! | [`fault`] | `fail` | deterministic, order-independent fault injection (`LEGODB_FAULT_SEED`) |
 //! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API |
+//! | [`hash`] | — | [`hash::StableHasher`]: seeded, platform-stable FNV-1a fingerprints |
 //! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
 //! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
 //! | [`json`] | `serde` | minimal JSON writer for the bench records |
@@ -23,6 +24,7 @@
 pub mod bench;
 pub mod fault;
 pub mod governor;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod prop;
@@ -31,6 +33,7 @@ pub mod sync;
 
 pub use fault::{failpoint, FaultConfig, FaultError, FaultMode};
 pub use governor::{Budget, BudgetExceeded, Governor};
+pub use hash::StableHasher;
 pub use par::{scoped_map, scoped_map_catch};
 pub use rng::{Rng, SampleRange, SampleUniform, SplitMix64, StdRng};
 pub use sync::RwLock;

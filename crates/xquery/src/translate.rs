@@ -14,7 +14,8 @@ use legodb_optimizer::{ColRef, FilterPred, SpjQuery, Statement};
 use legodb_pschema::Mapping;
 use legodb_relational::{CmpOp, Value};
 use legodb_schema::TypeName;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Translation failure.
@@ -57,6 +58,14 @@ pub struct TranslatedQuery {
     /// The statements (a lookup query is usually one; a publish query is
     /// one per subtree chain).
     pub statements: Vec<Statement>,
+    /// Every named type instantiated while translating, recorded *before*
+    /// world pruning — including union forks later dropped and publish
+    /// chains. This is the query's invalidation footprint: if none of
+    /// these types' tables changed between two mappings, re-translating
+    /// the query yields the same statements over the same table
+    /// definitions (pruned pass-through types can still fork worlds, so
+    /// statement tables alone would be an unsound footprint).
+    pub footprint: BTreeSet<String>,
 }
 
 impl TranslatedQuery {
@@ -100,7 +109,10 @@ impl World {
 
 /// Translate a query against a mapping.
 pub fn translate(mapping: &Mapping, query: &XQuery) -> Result<TranslatedQuery, TranslateError> {
-    let mut t = Translator { mapping };
+    let mut t = Translator {
+        mapping,
+        touched: RefCell::new(BTreeSet::new()),
+    };
     let mut worlds = vec![World::default()];
     t.process_flwr(&query.flwr, &mut worlds)?;
     t.finish(worlds)
@@ -108,11 +120,18 @@ pub fn translate(mapping: &Mapping, query: &XQuery) -> Result<TranslatedQuery, T
 
 struct Translator<'a> {
     mapping: &'a Mapping,
+    /// Types instantiated in any world so far (pre-pruning) — becomes
+    /// [`TranslatedQuery::footprint`].
+    touched: RefCell<BTreeSet<String>>,
 }
 
 impl Translator<'_> {
     fn schema(&self) -> &legodb_schema::Schema {
         self.mapping.pschema.schema()
+    }
+
+    fn touch(&self, ty: &TypeName) {
+        self.touched.borrow_mut().insert(ty.to_string());
     }
 
     fn process_flwr(&mut self, flwr: &Flwr, worlds: &mut Vec<World>) -> Result<(), TranslateError> {
@@ -255,6 +274,7 @@ impl Translator<'_> {
                     return Err(TranslateError::BadRoot(path.to_string()));
                 }
                 let mut w = world;
+                self.touch(&root_ty);
                 let inst = w.add_instance(root_ty, None);
                 (vec![(w, (inst, Vec::new()))], &path.steps[1..])
             }
@@ -276,6 +296,7 @@ impl Translator<'_> {
                     let mut w = world.clone();
                     let mut cur = inst;
                     for ct in &target.chain {
+                        self.touch(ct);
                         cur = w.add_instance(ct.clone(), Some(cur));
                     }
                     if let Some((tilde_rel, tag)) = &target.tag_filter {
@@ -349,7 +370,10 @@ impl Translator<'_> {
             }
             statements.push(Statement::from_blocks(blocks));
         }
-        Ok(TranslatedQuery { statements })
+        Ok(TranslatedQuery {
+            statements,
+            footprint: self.touched.borrow().clone(),
+        })
     }
 
     /// Render one world (+ optional publish chain) as an SPJ block.
@@ -365,6 +389,7 @@ impl Translator<'_> {
             publish_tables.push(*anchor);
             let mut cur = *anchor;
             for ct in chain {
+                self.touch(ct);
                 instances.push(Inst {
                     ty: ct.clone(),
                     parent: Some(cur),
@@ -735,6 +760,31 @@ mod tests {
             translate(&m, &q),
             Err(TranslateError::UnboundVariable(_))
         ));
+    }
+
+    #[test]
+    fn footprint_includes_pruned_and_publish_types() {
+        let m = imdb_mapping();
+        // The IMDB root table is pruned out of the SQL but must stay in
+        // the footprint: a transformation rewriting it can change how
+        // worlds fork even though it never appears in the statements.
+        let q = parse_xquery(
+            r#"FOR $v IN document("x")/imdb/show
+               WHERE $v/title = c1
+               RETURN $v/description"#,
+        )
+        .unwrap();
+        let t = translate(&m, &q).unwrap();
+        assert!(!t.to_sql().contains("IMDB"), "{}", t.to_sql());
+        assert!(t.footprint.contains("IMDB"), "{:?}", t.footprint);
+        assert!(t.footprint.contains("Show"), "{:?}", t.footprint);
+        assert!(t.footprint.contains("TV"), "{:?}", t.footprint);
+        // Publish queries record every descendant chain they emit.
+        let q = parse_xquery(r#"FOR $v IN document("x")/imdb/show RETURN $v"#).unwrap();
+        let t = translate(&m, &q).unwrap();
+        for ty in ["Show", "Aka", "Review", "Movie", "TV", "Episode"] {
+            assert!(t.footprint.contains(ty), "missing {ty}: {:?}", t.footprint);
+        }
     }
 
     #[test]

@@ -98,7 +98,7 @@ fn transformations_preserve_query_answers() {
     for t in &candidates {
         // Union-to-options changes NULL-ability but not answers; all are
         // answer-preserving.
-        let Ok(transformed) = apply(&base, t) else {
+        let Ok((transformed, _)) = apply(&base, t) else {
             continue;
         };
         let mapping = rel(&transformed, &stats);
@@ -215,7 +215,8 @@ fn storage_maps_disagree_on_cost_but_agree_on_answers() {
             in_type: TypeName::new("Show"),
         },
     )
-    .expect("union distributes");
+    .expect("union distributes")
+    .0;
 
     let q = r#"FOR $v IN document("x")/imdb/show WHERE $v/year = 1999 RETURN $v/title"#;
     let m1 = rel(&inlined, &stats);

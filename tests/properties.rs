@@ -71,7 +71,7 @@ prop_check! {
         let mut rng = StdRng::seed_from_u64(seed);
         let doc = generate(&schema, &mut rng, &GenConfig::default());
         for t in enumerate_candidates(&p, &TransformationSet::all(vec!["nyt".into()])) {
-            if let Ok(transformed) = apply(&p, &t) {
+            if let Ok((transformed, _)) = apply(&p, &t) {
                 prop_assert!(
                     validate(transformed.schema(), &doc).is_ok(),
                     "{t} broke validation:\nbefore:\n{}\nafter:\n{}\ndoc:\n{}",
@@ -139,6 +139,65 @@ prop_check! {
                 "table {}: estimated {estimated} vs actual {actual}",
                 &table.def.name
             );
+        }
+    }
+}
+
+prop_check! {
+    cases = 8,
+    // Incremental candidate costing is bit-identical to the from-scratch
+    // oracle along random transformation chains over the IMDB schema.
+    // This also runs under the CI fault pass (`LEGODB_FAULT_SEED=1`),
+    // where the `core.cost.reuse` failpoint forces recompute paths: an
+    // injected `Err` must leave the total untouched, and an injected
+    // panic only skips that step's comparison.
+    fn incremental_costing_matches_the_oracle(seed in 0u64..200, steps in 1usize..5) {
+        use legodb_core::{pschema_cost, CostEvaluator, Workload};
+        use legodb_optimizer::OptimizerConfig;
+        let stats = legodb_imdb::scaled_statistics(0.05);
+        let workload: Workload = legodb_imdb::workload_w1();
+        let cfg = OptimizerConfig::default();
+        let evaluator = CostEvaluator::new(cfg);
+        let mut current = derive_pschema(&legodb_imdb::imdb_schema(), InlineStyle::Inlined);
+        let mut parent = evaluator
+            .evaluate_full(&current, &stats, &workload)
+            .expect("initial configuration prices");
+        let oracle0 = pschema_cost(&current, &stats, &workload, &cfg).expect("oracle prices");
+        prop_assert_eq!(parent.total.to_bits(), oracle0.total.to_bits());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let candidates = enumerate_candidates(&current, &TransformationSet::all(vec!["nyt".into()]));
+            if candidates.is_empty() {
+                break;
+            }
+            let t = candidates[rng.gen_range(0..candidates.len())].clone();
+            let Ok((child, delta)) = apply(&current, &t) else { continue };
+            // Candidates the oracle itself cannot price (translation or
+            // optimizer rejection) are dropped by the search; skip them.
+            let Ok(oracle) = pschema_cost(&child, &stats, &workload, &cfg) else { continue };
+            let incr = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                evaluator.evaluate_incremental(&child, &stats, &workload, &parent, &delta)
+            }));
+            match incr {
+                Ok(Ok(incr)) => {
+                    prop_assert_eq!(
+                        incr.total.to_bits(),
+                        oracle.total.to_bits(),
+                        "chain step {}: incremental {} vs oracle {}",
+                        t, incr.total, oracle.total
+                    );
+                    parent = incr;
+                }
+                Ok(Err(e)) => prop_assert!(
+                    false,
+                    "incremental pricing failed where the oracle succeeded at {}: {}",
+                    t, e
+                ),
+                // An injected panic from the reuse failpoint under the CI
+                // fault pass: skip this step's comparison, keep walking.
+                Err(_) => parent = oracle,
+            }
+            current = child;
         }
     }
 }
