@@ -14,6 +14,13 @@ cargo fmt --check
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+# Static analysis gate (DESIGN.md §12): the workspace must lint clean
+# before anything else runs. Exit is non-zero on any diagnostic; the
+# JSON-lines report is left in target/ for tooling.
+echo "==> legodb-lint (static analysis gate)"
+cargo run --release --offline -q -p legodb-lint -- \
+    --json target/LINT_report.jsonl
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
@@ -31,6 +38,12 @@ echo "==> hardened test pass (release + debug-assertions + overflow-checks)"
 RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
 CARGO_TARGET_DIR=target/hardened \
 cargo test -q --offline --workspace --release
+
+# The lint gate itself must build (and stay clean) under the hardened
+# flags — the gate is only trustworthy if it survives its own CI.
+RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+CARGO_TARGET_DIR=target/hardened \
+cargo run --release --offline -q -p legodb-lint
 
 # The incremental-costing equivalence property (DESIGN.md §11) must hold
 # under injected faults and under debug assertions (which arm the

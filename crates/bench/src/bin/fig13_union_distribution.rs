@@ -1,5 +1,7 @@
 //! Regenerates one of the paper's evaluation artifacts; see DESIGN.md §6.
 //! Wall time is recorded to `$LEGODB_BENCH_JSON` when set.
+
+#![forbid(unsafe_code)]
 fn main() {
     print!(
         "{}",

@@ -2,6 +2,8 @@
 //! off (DESIGN.md §11). JSON-lines records — wall clock, counters, cache
 //! hit rate, speedup — land in `BENCH_search.json`, or the path in
 //! `$LEGODB_BENCH_JSON` when set.
+
+#![forbid(unsafe_code)]
 fn main() {
     print!(
         "{}",

@@ -46,6 +46,7 @@ pub fn map_wildcard_materialized() -> PSchema {
             name: "nyt".into(),
         },
     )
+    // lint: allow(no-unwrap-in-lib) — fixture transform on the compiled-in IMDB schema; a failure is a harness bug
     .expect("review wildcard materializes")
     .0
 }
@@ -61,6 +62,7 @@ pub fn map_union_distributed() -> PSchema {
             in_type: TypeName::new("Show"),
         },
     )
+    // lint: allow(no-unwrap-in-lib) — fixture transform on the compiled-in IMDB schema; a failure is a harness bug
     .expect("show union distributes")
     .0
 }
@@ -176,6 +178,7 @@ pub fn fig10() -> String {
                     ..Default::default()
                 },
             )
+            // lint: allow(no-unwrap-in-lib) — experiment harness: abort on a failed search is the right failure mode
             .expect("search succeeds");
             columns.push(result.trajectory.iter().map(|r| r.cost).collect());
         }
@@ -227,6 +230,7 @@ pub fn fig11() -> String {
                 ..Default::default()
             },
         )
+        // lint: allow(no-unwrap-in-lib) — experiment harness: abort on a failed search is the right failure mode
         .expect("search succeeds");
         tuned.push((format!("C[{k:.2}]"), result.pschema));
     }
@@ -321,12 +325,14 @@ pub fn fig14() -> String {
            RETURN $a"#,
         1.0,
     )])
+    // lint: allow(no-unwrap-in-lib) — appendix query literal; parse failure is a harness bug
     .expect("query parses");
     let publish_shows = Workload::from_sources([(
         "publish-shows",
         r#"FOR $s IN document("imdbdata")/imdb/show RETURN $s"#,
         1.0,
     )])
+    // lint: allow(no-unwrap-in-lib) — appendix query literal; parse failure is a harness bug
     .expect("query parses");
 
     let mut out = String::from("## E5 — Figure 14: all-inlined vs repetition-split over #akas\n\n");
@@ -339,6 +345,7 @@ pub fn fig14() -> String {
         let avg = total_akas as f64 / 34_798.0;
         let schema_src = legodb_imdb::schema::IMDB_SCHEMA_SRC
             .replace("Aka{0,10}", &format!("Aka{{1,20}}<#{avg:.3}>"));
+        // lint: allow(no-unwrap-in-lib) — schema variant built from the compiled-in constant; parse failure is a harness bug
         let schema = legodb_schema::parse_schema(&schema_src).expect("variant schema parses");
         let mut stats = scaled_statistics(STATS_SCALE);
         stats.set_count(&["imdb", "show", "aka"], total_akas);
@@ -351,6 +358,7 @@ pub fn fig14() -> String {
                 target: TypeName::new("Aka"),
             },
         )
+        // lint: allow(no-unwrap-in-lib) — fixture transform on the compiled-in IMDB schema; a failure is a harness bug
         .expect("aka repetition splits")
         .0;
         // Flatten the remaining union so the comparison isolates the
@@ -406,6 +414,7 @@ pub fn tab02() -> String {
            RETURN $v/title, $r/nyt"#,
         1.0,
     )])
+    // lint: allow(no-unwrap-in-lib) — appendix query literal; parse failure is a harness bug
     .expect("query parses");
     let mut out = String::from(
         "## E6 — Table 2: all-inlined vs wildcard-materialized (NYT review lookup)\n\n",
@@ -423,6 +432,7 @@ pub fn tab02() -> String {
                     name: "nyt".into(),
                 },
             )
+            // lint: allow(no-unwrap-in-lib) — fixture transform on the compiled-in IMDB schema; a failure is a harness bug
             .expect("review wildcard materializes")
             .0;
             rows.push(vec![
@@ -465,6 +475,7 @@ pub fn validate_cost_model() -> String {
     let e = LegoDb::new(schema, measured_stats.clone(), Workload::new());
     let pschema = e.initial_pschema(StartPoint::MaximallyInlined);
     let mapping = rel(&pschema, &measured_stats);
+    // lint: allow(no-unwrap-in-lib) — generator output matches its own schema; abort on mismatch is the right failure mode
     let db = shred(&mapping, &doc).expect("generated data shreds");
 
     let mut out = String::from(
@@ -475,6 +486,7 @@ pub fn validate_cost_model() -> String {
     let mut rows = Vec::new();
     for name in ["Q1", "Q3", "Q7", "Q16", "Q19"] {
         let q = query(name);
+        // lint: allow(no-unwrap-in-lib) — appendix queries translate under every mapping the harness builds
         let t = translate(&mapping, &q).expect("query translates");
         let mut est_rows = 0.0;
         let mut est_pages = 0.0;
@@ -486,9 +498,11 @@ pub fn validate_cost_model() -> String {
                 statement,
                 &OptimizerConfig::default(),
             )
+            // lint: allow(no-unwrap-in-lib) — experiment harness: abort on an optimizer failure is the right failure mode
             .expect("statement optimizes");
             est_rows += opt.rows;
             est_pages += opt.cost.pages_read;
+            // lint: allow(no-unwrap-in-lib) — experiment harness: abort on an executor failure is the right failure mode
             let (result, counters) = run(&db, &opt.plan).expect("plan executes");
             got_rows += result.len() as u64;
             got_pages += counters.pages_read;
@@ -577,6 +591,7 @@ pub fn search_incremental() -> String {
             ..Default::default()
         };
         let (result, elapsed) = legodb_util::bench::time_once(|| {
+            // lint: allow(no-unwrap-in-lib) — experiment harness: abort on a failed search is the right failure mode
             greedy_search(&schema, &stats, &workload, &config).expect("search succeeds")
         });
         let eval = result.eval;

@@ -4,4 +4,6 @@
 //! `src/bin/`), shared helpers here, and Criterion benches for the
 //! machinery itself under `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;

@@ -28,7 +28,7 @@ use legodb_pschema::{rel, rel_incremental, Mapping, PSchema};
 use legodb_util::{fault, RwLock, StableHasher};
 use legodb_xml::stats::Statistics;
 use legodb_xquery::{translate, TranslateError, TranslatedQuery};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -290,7 +290,11 @@ fn statement_tables_fingerprint(mapping: &Mapping, statement: &Statement) -> u64
 pub struct CostEvaluator {
     config: OptimizerConfig,
     memoize: bool,
-    cache: RwLock<HashMap<(String, u64), f64>>,
+    /// BTreeMap, not HashMap: the memo cache is iterated nowhere today,
+    /// but it sits on the fingerprint path and the deterministic-
+    /// collections invariant (DESIGN.md §12) bans hash-randomized
+    /// containers here outright.
+    cache: RwLock<BTreeMap<(String, u64), f64>>,
     reused: AtomicU64,
     memo_hits: AtomicU64,
     recosted: AtomicU64,
@@ -308,7 +312,7 @@ impl CostEvaluator {
         CostEvaluator {
             config,
             memoize,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(BTreeMap::new()),
             reused: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             recosted: AtomicU64::new(0),

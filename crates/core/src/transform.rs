@@ -363,7 +363,9 @@ fn inlinable(schema: &Schema, name: &TypeName) -> Result<(), TransformError> {
     let parent = parents
         .first()
         .ok_or_else(|| TransformError::NotInlinable(name.clone(), "unreachable type"))?;
-    let parent_def = schema.get(parent).expect("parents are defined");
+    let parent_def = schema
+        .get(parent)
+        .ok_or_else(|| TransformError::UnknownType(parent.clone()))?;
     if ref_in_named_layer(parent_def, name) {
         return Err(TransformError::NotInlinable(
             name.clone(),
@@ -394,8 +396,14 @@ fn apply_inline(mut schema: Schema, name: &TypeName) -> Result<Schema, Transform
         .get(name)
         .cloned()
         .ok_or_else(|| TransformError::UnknownType(name.clone()))?;
-    let parent = schema.parents_of(name).pop().expect("checked by inlinable");
-    let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+    let parent = schema
+        .parents_of(name)
+        .pop()
+        .ok_or_else(|| TransformError::NotInlinable(name.clone(), "unreachable type"))?;
+    let parent_def = schema
+        .get(&parent)
+        .cloned()
+        .ok_or_else(|| TransformError::UnknownType(parent.clone()))?;
     let replaced = parent_def.map(&mut |t| match t {
         Type::Ref(n) if &n == name => def.clone(),
         other => other,
@@ -600,7 +608,10 @@ fn apply_union_distribute(
         if schema.get(in_type).map(|_| ()).is_none() {
             break;
         }
-        let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+        let parent_def = schema
+            .get(&parent)
+            .cloned()
+            .ok_or_else(|| TransformError::UnknownType(parent.clone()))?;
         let replaced = parent_def.map(&mut |t| match t {
             Type::Ref(n) if &n == in_type => Type::choice(part_refs.clone()),
             other => other,
@@ -731,7 +742,9 @@ fn apply_wildcard(
             }
             other => outline_wildcard_at(other, &fresh, &mut extracted),
         };
-        let element = extracted.expect("find_inline_wildcard found one");
+        let element = extracted.ok_or_else(|| {
+            TransformError::NoSite(format!("{wildcard_type} has no wildcard to materialize"))
+        })?;
         schema.set(fresh.clone(), element);
         schema.set(wildcard_type.clone(), rewritten);
         return apply_wildcard(schema, &fresh, tag);
@@ -774,7 +787,10 @@ fn apply_wildcard(
         if parent == named || parent == rest {
             continue;
         }
-        let parent_def = schema.get(&parent).cloned().expect("parents are defined");
+        let parent_def = schema
+            .get(&parent)
+            .cloned()
+            .ok_or_else(|| TransformError::UnknownType(parent.clone()))?;
         let replaced = parent_def.map(&mut |t| match t {
             Type::Ref(n) if &n == wildcard_type => {
                 Type::choice([Type::Ref(named.clone()), Type::Ref(rest.clone())])
@@ -821,13 +837,14 @@ fn apply_union_to_options(
             ));
         }
     }
-    let optionals: Vec<Type> = alternatives
-        .iter()
-        .map(|alt| {
-            let alt_def = schema.get(alt).cloned().expect("checked above");
-            Type::optional(alt_def)
-        })
-        .collect();
+    let mut optionals: Vec<Type> = Vec::with_capacity(alternatives.len());
+    for alt in &alternatives {
+        let alt_def = schema
+            .get(alt)
+            .cloned()
+            .ok_or_else(|| TransformError::UnknownType(alt.clone()))?;
+        optionals.push(Type::optional(alt_def));
+    }
     let rewritten = def.map(&mut |t| match t {
         Type::Choice(items)
             if items

@@ -10,6 +10,8 @@
 //! which is sufficient because every cost estimate in the paper is driven
 //! only by those statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod queries;
 pub mod schema;

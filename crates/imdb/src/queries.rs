@@ -160,6 +160,7 @@ pub fn query(name: &str) -> XQuery {
         .iter()
         .find(|(n, _)| *n == name)
         .unwrap_or_else(|| panic!("unknown query {name}"));
+    // lint: allow(no-unwrap-in-lib) — appendix queries are compile-time constants validated by tests
     parse_xquery(src).expect("appendix queries parse")
 }
 
@@ -214,6 +215,7 @@ pub fn fig5_queries() -> Vec<(&'static str, XQuery)> {
     ];
     sources
         .into_iter()
+        // lint: allow(no-unwrap-in-lib) — figure 5 queries are compile-time constants validated by tests
         .map(|(n, src)| (n, parse_xquery(src).expect("figure 5 queries parse")))
         .collect()
 }

@@ -45,6 +45,7 @@ type Award = award[ result[ String<#3> ], award_name[ String<#40> ] ]
 /// # Panics
 /// Never: the source is a compile-time constant checked by tests.
 pub fn imdb_schema() -> Schema {
+    // lint: allow(no-unwrap-in-lib) — compile-time schema constant validated by tests
     parse_schema(IMDB_SCHEMA_SRC).expect("the IMDB schema constant parses")
 }
 

@@ -1,0 +1,446 @@
+//! A small, self-contained Rust lexer — just enough syntax awareness for
+//! the lint rules to tell code from comments and literals.
+//!
+//! It understands the token shapes that defeat naive `grep`-style
+//! scanning: line comments, *nested* block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences, byte and raw byte
+//! strings, char literals (including `'\''` and `'\u{1F600}'`), and the
+//! lifetime-vs-char ambiguity (`'a` vs `'a'`). Everything else becomes an
+//! identifier, a number, or single-character punctuation; the rules only
+//! need token kinds, text, and positions.
+
+/// What a token is. Comment tokens are kept in the stream — the allow
+/// directive (`// lint: allow(...)`) lives inside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Char literal (`'x'`, `'\n'`), or byte literal (`b'x'`).
+    Char,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br##"…"##`.
+    Str,
+    /// Numeric literal (lexed loosely; suffixes are part of the token).
+    Num,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */`, nesting respected (includes `/** … */`).
+    BlockComment,
+}
+
+/// One lexed token. `line` and `col` are 1-based and point at the first
+/// character of the token.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// Is this token punctuation equal to `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Is this token an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a comment of either flavor?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Lex a whole source file into tokens. The lexer never fails: malformed
+/// input (an unterminated string, say) is absorbed into the current token
+/// so the rules still see everything up to the problem.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(tok) = lx.next_token() {
+        out.push(tok);
+    }
+    out
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advance one char, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if !(0x80..0xC0).contains(&b) {
+                // count a UTF-8 sequence's lead byte as one column
+                self.col += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Tok<'a>> {
+        // skip whitespace
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+        let b = self.peek()?;
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let kind = match b {
+            b'/' if self.peek_at(1) == Some(b'/') => {
+                while !matches!(self.peek(), None | Some(b'\n')) {
+                    self.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if self.peek_at(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.bump_n(2);
+                        }
+                        (Some(_), _) => self.bump(),
+                        (None, _) => break, // unterminated: absorb to EOF
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'r' | b'b' if self.raw_or_byte_literal() => self.classify_prefixed(start),
+            // raw identifier `r#match` — an ident, not a raw string
+            b'r' if self.peek_at(1) == Some(b'#')
+                && matches!(self.peek_at(2), Some(c) if ident_start(c)) =>
+            {
+                self.bump_n(2);
+                while matches!(self.peek(), Some(c) if ident_continue(c)) {
+                    self.bump();
+                }
+                TokKind::Ident
+            }
+            b'\'' => self.char_or_lifetime(),
+            b'"' => {
+                self.string_body();
+                TokKind::Str
+            }
+            b'0'..=b'9' => {
+                // loose number: digits, idents chars, and `.` followed by a
+                // digit (so `1.0` is one token but `x.max` keeps `.` punct)
+                self.bump();
+                loop {
+                    match self.peek() {
+                        Some(c) if ident_continue(c) => self.bump(),
+                        Some(b'.') if matches!(self.peek_at(1), Some(b'0'..=b'9')) => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                TokKind::Num
+            }
+            c if ident_start(c) => {
+                self.bump();
+                while matches!(self.peek(), Some(c) if ident_continue(c)) {
+                    self.bump();
+                }
+                TokKind::Ident
+            }
+            _ => {
+                self.bump();
+                TokKind::Punct
+            }
+        };
+        Some(Tok {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+            col,
+        })
+    }
+
+    /// At an `r` or `b`: if this starts a raw/byte string or byte char,
+    /// consume the whole literal and return true. `r#ident` (raw ident)
+    /// returns false and is lexed as a normal identifier by the caller.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let b0 = self.peek().unwrap_or(0);
+        // determine the literal shape by lookahead
+        let mut off = 1usize;
+        if b0 == b'b' && self.peek_at(1) == Some(b'r') {
+            off = 2;
+        }
+        match (b0, self.peek_at(off)) {
+            // b'x' byte char
+            (b'b', Some(b'\'')) if off == 1 => {
+                self.bump(); // b
+                self.char_body();
+                true
+            }
+            // b"..." byte string
+            (b'b', Some(b'"')) if off == 1 => {
+                self.bump();
+                self.string_body();
+                true
+            }
+            // r"..." / r#"..."# / br#"..."#
+            (_, Some(b'"')) | (_, Some(b'#')) => {
+                // count fence hashes after the prefix
+                let mut fences = 0usize;
+                while self.peek_at(off + fences) == Some(b'#') {
+                    fences += 1;
+                }
+                if self.peek_at(off + fences) != Some(b'"') {
+                    return false; // r#ident (raw identifier), not a string
+                }
+                self.bump_n(off + fences + 1); // prefix + fences + opening quote
+                loop {
+                    match self.peek() {
+                        None => break, // unterminated
+                        Some(b'"') => {
+                            let mut k = 0usize;
+                            while k < fences && self.peek_at(1 + k) == Some(b'#') {
+                                k += 1;
+                            }
+                            if k == fences {
+                                self.bump_n(1 + fences);
+                                break;
+                            }
+                            self.bump();
+                        }
+                        Some(_) => self.bump(),
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn classify_prefixed(&self, start: usize) -> TokKind {
+        // raw_or_byte_literal already consumed it; decide Str vs Char by
+        // looking at the prefix shape.
+        let text = &self.src[start..self.pos];
+        if text.starts_with("b'") {
+            TokKind::Char
+        } else {
+            TokKind::Str
+        }
+    }
+
+    /// At a `'`: char literal or lifetime?
+    fn char_or_lifetime(&mut self) -> TokKind {
+        // `'\…'` is always a char; `'x'` is a char; `'x` (no closing quote
+        // right after one ident char) is a lifetime, as is `'abc`.
+        let c1 = self.peek_at(1);
+        let is_lifetime = match c1 {
+            Some(b'\\') => false,
+            Some(c) if ident_start(c) => {
+                // scan the ident run; lifetime iff it is not followed by `'`
+                let mut off = 2usize;
+                while matches!(self.peek_at(off), Some(c) if ident_continue(c)) {
+                    off += 1;
+                }
+                self.peek_at(off) != Some(b'\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            while matches!(self.peek(), Some(c) if ident_continue(c)) {
+                self.bump();
+            }
+            TokKind::Lifetime
+        } else {
+            self.char_body();
+            TokKind::Char
+        }
+    }
+
+    /// Consume `'…'` including escapes; assumes positioned at the `'`.
+    fn char_body(&mut self) {
+        self.bump(); // opening '
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => break, // malformed; don't eat the file
+                Some(b'\\') => self.bump_n(2),
+                Some(b'\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consume `"…"` including escapes; assumes positioned at the `"`.
+    fn string_body(&mut self) {
+        self.bump(); // opening "
+        loop {
+            match self.peek() {
+                None => break, // unterminated
+                Some(b'\\') => self.bump_n(2),
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* outer /* inner */ still outer */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_absorbs_to_eof() {
+        let toks = kinds("x /* never closed");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let toks = kinds("// one\nident // two");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::LineComment, "// one"),
+                (TokKind::Ident, "ident"),
+                (TokKind::LineComment, "// two"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r####"r"plain" r#"one "quote" fence"# r##"uses "# inside"## x"####);
+        assert_eq!(toks[0], (TokKind::Str, r#"r"plain""#));
+        assert_eq!(toks[1], (TokKind::Str, r###"r#"one "quote" fence"#"###));
+        assert_eq!(toks[2], (TokKind::Str, r####"r##"uses "# inside"##"####));
+        assert_eq!(toks[3], (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let toks = kinds("r#match r#fn");
+        assert_eq!(toks[0], (TokKind::Ident, "r#match"));
+        assert_eq!(toks[1], (TokKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r###"b"bytes" br#"raw "bytes""# b'x' b'\n'"###);
+        assert_eq!(toks[0], (TokKind::Str, r#"b"bytes""#));
+        assert_eq!(toks[1], (TokKind::Str, r##"br#"raw "bytes""#"##));
+        assert_eq!(toks[2], (TokKind::Char, "b'x'"));
+        assert_eq!(toks[3], (TokKind::Char, r"b'\n'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("'a 'static 'a' '\\'' '\\u{1F600}' ' '");
+        assert_eq!(toks[0], (TokKind::Lifetime, "'a"));
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static"));
+        assert_eq!(toks[2], (TokKind::Char, "'a'"));
+        assert_eq!(toks[3], (TokKind::Char, "'\\''"));
+        assert_eq!(toks[4], (TokKind::Char, "'\\u{1F600}'"));
+        assert_eq!(toks[5], (TokKind::Char, "' '"));
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak() {
+        // The `.unwrap()` lives inside a string literal — it must lex as
+        // one Str token, not as idents a rule could trip on.
+        let toks = kinds(r#"let s = "call .unwrap() \" here"; done"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains(".unwrap()")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_keep_dots_and_suffixes() {
+        let toks = kinds("1.0 2e10 0xFF_u32 3usize x.max(0.0)");
+        assert_eq!(toks[0], (TokKind::Num, "1.0"));
+        assert_eq!(toks[1], (TokKind::Num, "2e10"));
+        assert_eq!(toks[2], (TokKind::Num, "0xFF_u32"));
+        assert_eq!(toks[3], (TokKind::Num, "3usize"));
+        // `x.max(0.0)`: the dot between x and max stays punctuation
+        let rest: Vec<_> = toks[4..].iter().map(|(_, t)| *t).collect();
+        assert_eq!(rest, vec!["x", ".", "max", "(", "0.0", ")"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,46 @@
+//! # legodb-lint
+//!
+//! The in-repo static analysis gate. The engine's headline guarantees
+//! are *invariant-shaped*: deterministic fault injection and incremental
+//! costing (DESIGN.md §10–11) are only correct while the code stays free
+//! of ambient clocks, hash-randomized iteration on fingerprint paths,
+//! and NaN-unsafe float ordering — and the robustness story only holds
+//! while library code returns typed errors instead of panicking. Nothing
+//! in the compiler checks any of that, so this crate does: a small Rust
+//! lexer ([`lexer`]) feeds a rule engine ([`rules`]) that walks every
+//! workspace source file ([`walk`]) and emits structured diagnostics.
+//!
+//! Run it with `cargo run --release -p legodb-lint`; `ci.sh` runs it as
+//! a hard gate before the test suite. Rules, rationale, and the
+//! `// lint: allow(<rule>) — <why>` escape hatch are documented in
+//! DESIGN.md §12.
+//!
+//! Zero dependencies beyond `legodb-util` (for JSON-lines output), per
+//! the offline-build policy.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_source, Diagnostic, FileKind, RULES};
+pub use walk::{classify, collect_workspace, FileEntry};
+
+use std::io;
+use std::path::Path;
+
+/// Lint every covered file under the workspace root. Diagnostics come
+/// back sorted by (path, line, col) — a deterministic report.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = collect_workspace(root)?;
+    let mut diags = Vec::new();
+    for f in &files {
+        let src = std::fs::read_to_string(&f.path)?;
+        diags.extend(lint_source(&f.rel, f.kind, &src));
+    }
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(diags)
+}

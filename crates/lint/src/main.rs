@@ -1,0 +1,77 @@
+//! `legodb-lint` — the workspace's static analysis gate.
+//!
+//! ```text
+//! legodb-lint [--root <dir>] [--json <file>]
+//! ```
+//!
+//! Walks every covered source file under the workspace root (default:
+//! the current directory, which is the workspace root under
+//! `cargo run -p legodb-lint`), prints human-readable diagnostics to
+//! stdout, optionally mirrors them as JSON-lines, and exits non-zero if
+//! anything is flagged.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: legodb-lint [--root <dir>] [--json <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let diags = match legodb_lint::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("legodb-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if let Some(path) = json_path {
+        let mut buf = String::new();
+        for d in &diags {
+            buf.push_str(&d.to_json());
+            buf.push('\n');
+        }
+        if let Err(e) = std::fs::write(&path, buf) {
+            eprintln!("legodb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut err = std::io::stderr();
+    if diags.is_empty() {
+        let _ = writeln!(err, "legodb-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        let _ = writeln!(err, "legodb-lint: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("legodb-lint: {msg}\nusage: legodb-lint [--root <dir>] [--json <file>]");
+    ExitCode::from(2)
+}

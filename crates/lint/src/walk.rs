@@ -1,0 +1,116 @@
+//! Workspace file discovery: every Rust source the lint gate covers,
+//! classified by [`FileKind`], in a deterministic (sorted) order.
+
+use crate::rules::FileKind;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to lint: absolute path plus the workspace-relative path
+/// (always `/`-separated — rule scoping matches on it).
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    pub path: PathBuf,
+    pub rel: String,
+    pub kind: FileKind,
+}
+
+/// Directories never scanned: build output, VCS, and the lint crate's
+/// own deliberately-bad golden fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "lint_fixtures"];
+
+/// Collect every `.rs` file the gate covers, relative to the workspace
+/// root: `crates/*/{src,tests,benches,examples}`, plus the façade
+/// crate's `src/`, `tests/`, and `examples/`.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<FileEntry>> {
+    let mut out = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect_dir(root, &root.join(top), &mut out)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect_dir(root, &member.join(sub), &mut out)?;
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn collect_dir(root: &Path, dir: &Path, out: &mut Vec<FileEntry>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                collect_dir(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = rel_unix(root, &path);
+            let kind = classify(&rel);
+            out.push(FileEntry { path, rel, kind });
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Classify a workspace-relative path into the [`FileKind`] that decides
+/// rule applicability.
+pub fn classify(rel: &str) -> FileKind {
+    let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
+    if in_dir("tests") || in_dir("benches") {
+        FileKind::Test
+    } else if in_dir("examples") {
+        FileKind::Example
+    } else if rel.ends_with("/main.rs") || rel == "src/main.rs" || rel.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Lib);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(
+            classify("crates/bench/src/bin/all_experiments.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("tests/pipeline.rs"), FileKind::Test);
+        assert_eq!(classify("crates/xml/tests/adversarial.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/machinery.rs"),
+            FileKind::Test
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/demo/src/util.rs
+// Deliberately-bad fixture: malformed allow directives. Never compiled
+// — lexed and linted by tests/golden.rs.
+
+// lint: allow(no-such-rule) — misspelled rule id
+pub fn f() {}
+
+// lint: allow(crate-hygiene — the closing paren is missing here
+pub fn g() {}

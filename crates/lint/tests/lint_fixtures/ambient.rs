@@ -1,0 +1,31 @@
+//@ path: crates/core/src/engine.rs
+// Deliberately-bad fixture: ambient authority (clocks, env, threads)
+// outside crates/util and crates/bench. Never compiled — lexed and
+// linted by tests/golden.rs.
+
+pub fn flagged_env() -> Option<String> {
+    std::env::var("LEGODB_SEED").ok()
+}
+
+pub fn flagged_clocks() -> bool {
+    let _start = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    true
+}
+
+pub fn flagged_spawn() {
+    std::thread::spawn(|| {});
+}
+
+pub fn suppressed() -> Option<String> {
+    // lint: allow(no-ambient-authority) — fixture: documented escape hatch
+    std::env::var("PATH").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_clocks() {
+        let _ = std::time::Instant::now();
+    }
+}

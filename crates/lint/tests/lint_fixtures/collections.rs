@@ -1,0 +1,15 @@
+//@ path: crates/pschema/src/shred.rs
+// Deliberately-bad fixture: hash-randomized collections on a
+// fingerprint path. Never compiled — lexed and linted by
+// tests/golden.rs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn flagged() {
+    let _names: HashMap<String, u32> = HashMap::new();
+}
+
+// lint: allow(deterministic-collections) — fixture: iterated via a pre-sorted key list
+pub type Suppressed = HashSet<u32>;
+
+pub type Fine = BTreeMap<String, u32>;

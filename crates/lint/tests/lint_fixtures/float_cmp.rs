@@ -1,0 +1,33 @@
+//@ path: crates/core/src/cost.rs
+// Deliberately-bad fixture: NaN-unsafe float ordering on a cost path.
+// Never compiled — lexed and linted by tests/golden.rs.
+
+pub fn flagged_partial_cmp(a: f64, b: f64) -> f64 {
+    if a.partial_cmp(&b) == Some(std::cmp::Ordering::Less) {
+        b
+    } else {
+        a
+    }
+}
+
+pub fn flagged_computed_max(a: f64, b: f64) -> f64 {
+    a.max(b)
+}
+
+pub fn constant_clamps_are_fine(a: f64) -> f64 {
+    a.max(0.0).min(1000000.0).max(f64::MIN_POSITIVE).max(-1.0)
+}
+
+pub fn suppressed(a: f64, b: f64) -> f64 {
+    // lint: allow(float-total-cmp) — fixture: both operands proven finite above
+    a.min(b)
+}
+
+pub struct Wrapper(f64);
+
+impl PartialOrd for Wrapper {
+    // a `fn partial_cmp` definition (a PartialOrd impl) is exempt
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}

@@ -1,0 +1,6 @@
+//@ path: crates/demo/src/lib.rs
+//! Deliberately-bad fixture: a crate root missing
+//! `#![forbid(unsafe_code)]`. Never compiled — lexed and linted by
+//! tests/golden.rs.
+
+pub fn noop() {}

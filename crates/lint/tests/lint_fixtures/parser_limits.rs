@@ -1,0 +1,27 @@
+//@ path: crates/xml/src/parse.rs
+// Deliberately-bad fixture: an unlimited public parser entry point in a
+// limit-guarded crate. Never compiled — lexed and linted by
+// tests/golden.rs.
+
+pub struct Limits;
+pub struct Doc;
+
+pub fn parse(input: &str) -> Doc {
+    run(input)
+}
+
+pub fn parse_document(input: &str) -> Doc {
+    parse_document_with_limits(input, &Limits)
+}
+
+pub fn parse_document_with_limits(_input: &str, _limits: &Limits) -> Doc {
+    Doc
+}
+
+pub(crate) fn parse_fragment(input: &str) -> Doc {
+    run(input)
+}
+
+fn run(_input: &str) -> Doc {
+    Doc
+}

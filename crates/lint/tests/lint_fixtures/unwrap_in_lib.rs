@@ -1,0 +1,39 @@
+//@ path: crates/demo/src/engine.rs
+// Deliberately-bad fixture: `.unwrap()` / `.expect()` in library code.
+// Never compiled — lexed and linted by tests/golden.rs.
+
+pub fn flagged(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn also_flagged(x: Option<u8>) -> u8 {
+    x.expect("boom")
+}
+
+pub fn suppressed(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwrap-in-lib) — fixture: reason provided, so no diagnostic
+    x.unwrap()
+}
+
+pub fn bad_allow(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwrap-in-lib)
+    x.unwrap()
+}
+
+pub fn not_code() -> &'static str {
+    // a comment mentioning .unwrap() is not a violation
+    ".unwrap() inside a string is not a violation"
+}
+
+pub fn unwrap_or_is_fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        Some(1u8).unwrap();
+        None::<u8>.expect("fine in tests");
+    }
+}

@@ -1,0 +1,20 @@
+//! The real workspace must lint clean: this is the same scan `ci.sh`
+//! gates on, run as a test so `cargo test` alone catches a regression.
+
+use legodb_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let diags = lint_workspace(root).expect("workspace sources are readable");
+    let report: String = diags.iter().map(|d| format!("  {d}\n")).collect();
+    assert!(
+        diags.is_empty(),
+        "the workspace must lint clean; {} diagnostic(s):\n{report}",
+        diags.len()
+    );
+}

@@ -55,12 +55,14 @@ pub fn filter_selectivity(catalog: &Catalog, query: &SpjQuery, filter: &FilterPr
                 .as_ref()
                 .and_then(Value::as_int)
                 .unwrap_or(min)
+                // lint: allow(float-total-cmp) — i64 clamp on integer column bounds
                 .max(min);
             let hi = range
                 .hi
                 .as_ref()
                 .and_then(Value::as_int)
                 .unwrap_or(max)
+                // lint: allow(float-total-cmp) — i64 clamp on integer column bounds
                 .min(max);
             (((hi - lo) as f64) / span).clamp(0.0, 1.0)
         }
@@ -126,7 +128,11 @@ pub fn join_selectivity(catalog: &Catalog, query: &SpjQuery, left: &ColRef, righ
             })
             .unwrap_or(10.0)
     };
-    1.0 / d(left).max(d(right)).max(1.0)
+    // Pick the larger distinct count with a *total* order: f64::max would
+    // silently drop a NaN operand instead of surfacing it downstream.
+    let (dl, dr) = (d(left), d(right));
+    let dmax = if dl.total_cmp(&dr).is_ge() { dl } else { dr };
+    1.0 / dmax.max(1.0)
 }
 
 /// Output row width (bytes) of the query's projection; with an empty

@@ -25,6 +25,8 @@
 //! executor's observed counters (the analogue of the paper's ±10%
 //! SQL Server check).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod estimate;
 pub mod optimize;

@@ -138,6 +138,7 @@ pub fn optimize(
 
     let root = best
         .remove(&full)
+        // lint: allow(no-unwrap-in-lib) — the DP table always covers the full join set — cross products keep it reachable
         .expect("DP covers the full set (cross products allowed)");
     finish(catalog, query, root, config)
 }
@@ -281,6 +282,7 @@ fn filters_to_expr(def: &TableDef, filters: &[&FilterPred], offset: usize) -> Op
 /// Best access path for one table: sequential scan vs. index scan on the
 /// most selective indexed equality/range filter.
 fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &OptimizerConfig) -> SubPlan {
+    // lint: allow(no-unwrap-in-lib) — table names validated against the catalog before planning
     let def = catalog.table(&query.tables[i].table).expect("validated");
     let filters: Vec<&FilterPred> = query
         .filters
@@ -464,6 +466,7 @@ fn join_subplans(
     // an index on the join column; remaining edges/filters become residuals.
     if right.layout.len() == 1 {
         let rt = right.layout[0];
+        // lint: allow(no-unwrap-in-lib) — table names validated against the catalog before planning
         let def = catalog.table(&query.tables[rt].table).expect("validated");
         if let Some((probe_l, probe_r)) = edges
             .iter()
@@ -559,6 +562,7 @@ fn greedy_join_order(
             // last, not panic the join-ordering pass.
             ca.total_cmp(&cb)
         })
+        // lint: allow(no-unwrap-in-lib) — min over the block's tables, non-empty by construction
         .expect("n >= 1");
     remaining.retain(|&i| i != seed);
     let mut current = access[&(1u64 << seed)].clone();
@@ -579,6 +583,7 @@ fn greedy_join_order(
                 best = Some((i, joined));
             }
         }
+        // lint: allow(no-unwrap-in-lib) — cross products keep the join graph connected, so a best pair always exists
         let (picked, joined) = best.expect("cross products keep the graph joinable");
         remaining.retain(|&i| i != picked);
         current = joined;

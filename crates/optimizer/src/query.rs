@@ -224,6 +224,7 @@ impl Statement {
     /// Normalize: a union of one block is a plain select.
     pub fn from_blocks(mut blocks: Vec<SpjQuery>) -> Statement {
         if blocks.len() == 1 {
+            // lint: allow(no-unwrap-in-lib) — len == 1 checked on the previous line
             Statement::Select(blocks.pop().expect("len checked"))
         } else {
             Statement::UnionAll(blocks)

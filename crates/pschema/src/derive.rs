@@ -43,6 +43,7 @@ pub fn derive_pschema(schema: &Schema, style: InlineStyle) -> PSchema {
         let def = d
             .schema
             .get(&name)
+            // lint: allow(no-unwrap-in-lib) — iterating names snapshotted from this schema; the lookup cannot miss
             .expect("iterating existing names")
             .clone();
         let is_recursive = d.schema.is_recursive(&name);
@@ -51,6 +52,7 @@ pub fn derive_pschema(schema: &Schema, style: InlineStyle) -> PSchema {
     }
     let mut schema = d.schema;
     schema.garbage_collect();
+    // lint: allow(no-unwrap-in-lib) — the deriver only emits the stratified grammar; a failure here is a derivation bug
     PSchema::try_new(schema).expect("derivation yields a stratified schema")
 }
 
@@ -148,6 +150,7 @@ impl Deriver {
                     {
                         Type::Ref(name)
                     } else {
+                        // lint: allow(no-unwrap-in-lib) — presence in the schema checked by the branch above
                         let def = self.schema.get(&name).expect("checked schema").clone();
                         self.rewrite(def, ctx, in_recursive)
                     }

@@ -29,6 +29,8 @@
 //! under all of LegoDB's semantics-preserving schema transformations, so
 //! one statistics set prices every candidate configuration.
 
+#![forbid(unsafe_code)]
+
 pub mod derive;
 pub mod mapping;
 pub mod publish;

@@ -170,6 +170,7 @@ fn build_mapping(pschema: &PSchema, stats: &Statistics, parent: Option<&Mapping>
     let mut shallow = BTreeMap::new();
     let mut refs = BTreeMap::new();
     for name in schema.names() {
+        // lint: allow(no-unwrap-in-lib) — iterating names owned by this schema; the lookup cannot miss
         let def = schema.get(name).expect("iterating names");
         let mut h = StableHasher::new();
         hash_debug(&mut h, def);
@@ -185,6 +186,7 @@ fn build_mapping(pschema: &PSchema, stats: &Statistics, parent: Option<&Mapping>
     let mut fingerprints = BTreeMap::new();
 
     for name in schema.names() {
+        // lint: allow(no-unwrap-in-lib) — iterating names owned by this schema; the lookup cannot miss
         let def = schema.get(name).expect("iterating names");
         let parents = parents_index.get(name).unwrap_or(&no_parents);
         let fp = type_fingerprint(name, parents, &shallow, &refs, stats_fp);
@@ -250,6 +252,7 @@ fn stats_fingerprint(stats: &Statistics) -> u64 {
 fn parents_index(schema: &Schema) -> BTreeMap<TypeName, Vec<TypeName>> {
     let mut index: BTreeMap<TypeName, Vec<TypeName>> = BTreeMap::new();
     for name in schema.names() {
+        // lint: allow(no-unwrap-in-lib) — iterating names owned by this schema; the lookup cannot miss
         let def = schema.get(name).expect("iterating names");
         let mut seen = BTreeSet::new();
         def.visit(&mut |t| {
@@ -368,6 +371,7 @@ fn discover_occurrences(schema: &Schema) -> BTreeMap<TypeName, Vec<Occurrence>> 
             true,
             None,
             &mut |child: &TypeName, path: &Path, rep_avg| {
+                // lint: allow(no-unwrap-in-lib) — walk_occurrences only visits types defined in the schema
                 let child_def = schema.get(child).expect("checked schema");
                 let child_occ = match anchor_step(child_def) {
                     Some(step) => Occurrence {
@@ -481,6 +485,7 @@ fn build_table(
             // occurrence statistics on demand.
             estimate_rows(
                 schema,
+                // lint: allow(no-unwrap-in-lib) — occurrence map keys come from the schema's own names
                 schema.get(parent).expect("checked schema"),
                 occurrence_map.get(parent).map(Vec::as_slice).unwrap_or(&[]),
                 stats,

@@ -19,6 +19,11 @@ pub enum PublishError {
     BadRootCardinality(usize),
     /// Storage-level failure.
     Storage(RelationalError),
+    /// The mapping, schema, and catalog disagree — a type the mapping
+    /// references is undefined, a column or index is missing. Only
+    /// reachable with a hand-assembled [`Mapping`]; `rel(ps)` never
+    /// produces one.
+    Inconsistent(String),
 }
 
 impl fmt::Display for PublishError {
@@ -28,6 +33,7 @@ impl fmt::Display for PublishError {
                 write!(f, "expected exactly one root instance, found {n}")
             }
             PublishError::Storage(e) => write!(f, "storage error while publishing: {e}"),
+            PublishError::Inconsistent(m) => write!(f, "mapping/schema inconsistency: {m}"),
         }
     }
 }
@@ -40,12 +46,19 @@ impl From<RelationalError> for PublishError {
     }
 }
 
+/// The typed error for a mapping/schema/catalog lookup that only fails
+/// when the caller assembled inconsistent inputs.
+fn inconsistent(what: &str, name: &dyn fmt::Display) -> PublishError {
+    PublishError::Inconsistent(format!("{what} `{name}` is missing"))
+}
+
 /// Reconstruct the whole document from the database.
 pub fn publish_all(mapping: &Mapping, db: &Database) -> Result<Document, PublishError> {
     let root = mapping.root().clone();
-    let rows = db
-        .table(mapping.table(&root).expect("mapped root").table.as_str())?
-        .scan();
+    let root_tm = mapping
+        .table(&root)
+        .ok_or_else(|| inconsistent("table mapping for root type", &root))?;
+    let rows = db.table(root_tm.table.as_str())?.scan();
     if rows.len() != 1 {
         return Err(PublishError::BadRootCardinality(rows.len()));
     }
@@ -105,8 +118,14 @@ impl Publisher<'_> {
         attrs: &mut Vec<Attribute>,
         nodes: &mut Vec<Node>,
     ) -> Result<(), PublishError> {
-        let def = self.schema.get(ty).expect("defined type");
-        let tm = self.mapping.table(ty).expect("mapped type");
+        let def = self
+            .schema
+            .get(ty)
+            .ok_or_else(|| inconsistent("type definition", ty))?;
+        let tm = self
+            .mapping
+            .table(ty)
+            .ok_or_else(|| inconsistent("table mapping for type", ty))?;
         let mut rel_path: Vec<String> = Vec::new();
         self.publish_type(ty, tm, def, row, &mut rel_path, true, attrs, nodes)
     }
@@ -187,7 +206,7 @@ impl Publisher<'_> {
                 // unwinding it.
                 let omittable = child_attrs.is_empty()
                     && child_nodes.is_empty()
-                    && self.element_is_omittable(tm, row, rel_path, node_ty);
+                    && self.element_is_omittable(tm, row, rel_path, node_ty)?;
                 if !at_top {
                     rel_path.pop();
                 }
@@ -224,23 +243,23 @@ impl Publisher<'_> {
         row: &Row,
         rel_prefix: &[String],
         _ty: &Type,
-    ) -> bool {
+    ) -> Result<bool, PublishError> {
         // Any column under this prefix non-null → keep the element.
         let table = self
             .mapping
             .catalog
             .table(&tm.table)
-            .expect("catalog table");
+            .ok_or_else(|| inconsistent("catalog table", &tm.table))?;
         for (path, target) in &tm.columns {
             if path.starts_with(rel_prefix) {
                 if let Some(idx) = table.column_index(&target.column) {
                     if !row[idx].is_null() {
-                        return false;
+                        return Ok(false);
                     }
                 }
             }
         }
-        true
+        Ok(true)
     }
 
     /// Fetch and publish the child rows of a named-layer site.
@@ -257,8 +276,10 @@ impl Publisher<'_> {
             .mapping
             .catalog
             .table(&tm.table)
-            .expect("catalog table");
-        let key_idx = table.column_index(&tm.key).expect("key column");
+            .ok_or_else(|| inconsistent("catalog table", &tm.table))?;
+        let key_idx = table
+            .column_index(&tm.key)
+            .ok_or_else(|| inconsistent("key column", &tm.key))?;
         let my_id = row[key_idx].clone();
 
         let mut alternatives = Vec::new();
@@ -267,7 +288,10 @@ impl Publisher<'_> {
         // by id to approximate document order within this site.
         let mut children: Vec<(i64, TypeName, Row)> = Vec::new();
         for alt in &alternatives {
-            let child_tm = self.mapping.table(alt).expect("mapped type");
+            let child_tm = self
+                .mapping
+                .table(alt)
+                .ok_or_else(|| inconsistent("table mapping for type", alt))?;
             let child_table = self.db.table(&child_tm.table)?;
             let Some(fk) = child_tm.parent_fk.get(owner) else {
                 continue;
@@ -275,11 +299,11 @@ impl Publisher<'_> {
             child_table.create_index(fk)?;
             let rows = child_table
                 .index_lookup(fk, &my_id)
-                .expect("index just created");
+                .ok_or_else(|| inconsistent("freshly created index", fk))?;
             let child_key = child_table
                 .def
                 .column_index(&child_tm.key)
-                .expect("key column");
+                .ok_or_else(|| inconsistent("key column", &child_tm.key))?;
             for r in rows {
                 let id = r[child_key].as_int().unwrap_or(0);
                 children.push((id, alt.clone(), r));

@@ -13,7 +13,7 @@ use legodb_relational::{Database, RelationalError, Value};
 use legodb_schema::validate::{content_matches, element_matches};
 use legodb_schema::{NameTest, ScalarKind, Schema, Type, TypeName};
 use legodb_xml::{Document, Element};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A shredding failure.
@@ -23,6 +23,10 @@ pub enum ShredError {
     Invalid(String),
     /// A storage-level failure (should not occur for valid inputs).
     Storage(RelationalError),
+    /// The mapping, schema, and catalog disagree — a type the mapping
+    /// references is undefined, or a column is missing. Only reachable
+    /// with a hand-assembled [`Mapping`]; `rel(ps)` never produces one.
+    Inconsistent(String),
 }
 
 impl fmt::Display for ShredError {
@@ -30,11 +34,18 @@ impl fmt::Display for ShredError {
         match self {
             ShredError::Invalid(m) => write!(f, "document does not match the p-schema: {m}"),
             ShredError::Storage(e) => write!(f, "storage error while shredding: {e}"),
+            ShredError::Inconsistent(m) => write!(f, "mapping/schema inconsistency: {m}"),
         }
     }
 }
 
 impl std::error::Error for ShredError {}
+
+/// The typed error for a mapping/schema/catalog lookup that only fails
+/// when the caller assembled inconsistent inputs.
+fn inconsistent(what: &str, name: &dyn fmt::Display) -> ShredError {
+    ShredError::Inconsistent(format!("{what} `{name}` is missing"))
+}
 
 impl From<RelationalError> for ShredError {
     fn from(e: RelationalError) -> Self {
@@ -49,7 +60,9 @@ impl From<RelationalError> for ShredError {
 pub fn shred(mapping: &Mapping, doc: &Document) -> Result<Database, ShredError> {
     let schema = mapping.pschema.schema();
     let root = mapping.root().clone();
-    let root_def = schema.get(&root).expect("root defined");
+    let root_def = schema
+        .get(&root)
+        .ok_or_else(|| inconsistent("root type", &root))?;
     if !element_matches(schema, &doc.root, root_def) {
         return Err(ShredError::Invalid(format!(
             "root element <{}> does not match type {root}",
@@ -60,7 +73,7 @@ pub fn shred(mapping: &Mapping, doc: &Document) -> Result<Database, ShredError> 
         mapping,
         schema,
         db: Database::from_catalog(&mapping.catalog),
-        next_ids: HashMap::new(),
+        next_ids: BTreeMap::new(),
     };
     s.shred_instance(&root, &doc.root, None)?;
     // FK indexes for the publisher and index joins.
@@ -82,7 +95,10 @@ struct Shredder<'a> {
     mapping: &'a Mapping,
     schema: &'a Schema,
     db: Database,
-    next_ids: HashMap<String, i64>,
+    /// Per-table id counters. BTreeMap, not HashMap: shredding must stay
+    /// deterministic end-to-end so fingerprint-adjacent paths never see
+    /// hash-randomized order.
+    next_ids: BTreeMap<String, i64>,
 }
 
 impl Shredder<'_> {
@@ -94,13 +110,19 @@ impl Shredder<'_> {
         element: &Element,
         parent: Option<(&TypeName, i64)>,
     ) -> Result<i64, ShredError> {
-        let table_mapping = self.mapping.table(ty).expect("mapped type");
-        let def = self.schema.get(ty).expect("defined type");
+        let table_mapping = self
+            .mapping
+            .table(ty)
+            .ok_or_else(|| inconsistent("table mapping for type", ty))?;
+        let def = self
+            .schema
+            .get(ty)
+            .ok_or_else(|| inconsistent("type definition", ty))?;
         let table_def = self
             .mapping
             .catalog
             .table(&table_mapping.table)
-            .expect("catalog covers mapping");
+            .ok_or_else(|| inconsistent("catalog table", &table_mapping.table))?;
 
         let id = {
             let n = self
@@ -114,11 +136,13 @@ impl Shredder<'_> {
         let mut row = vec![Value::Null; table_def.columns.len()];
         let key_idx = table_def
             .column_index(&table_mapping.key)
-            .expect("key column");
+            .ok_or_else(|| inconsistent("key column", &table_mapping.key))?;
         row[key_idx] = Value::Int(id);
         if let Some((parent_ty, parent_id)) = parent {
             if let Some(fk) = table_mapping.parent_fk.get(parent_ty) {
-                let fk_idx = table_def.column_index(fk).expect("fk column");
+                let fk_idx = table_def
+                    .column_index(fk)
+                    .ok_or_else(|| inconsistent("foreign-key column", fk))?;
                 row[fk_idx] = Value::Int(parent_id);
             }
         }
@@ -129,7 +153,7 @@ impl Shredder<'_> {
             if let Some(value) = extract_value(element, rel_path, target) {
                 let idx = table_def
                     .column_index(&target.column)
-                    .expect("mapped column");
+                    .ok_or_else(|| inconsistent("mapped column", &target.column))?;
                 row[idx] = value;
             }
         }
@@ -149,13 +173,13 @@ impl Shredder<'_> {
     /// Literal child-element names claimed by named sites in a content
     /// model. Wildcard alternatives must not shred children carrying these
     /// names — they belong to their literal sites.
-    fn literal_names(&self, ty: &Type) -> HashSet<String> {
-        let mut out = HashSet::new();
+    fn literal_names(&self, ty: &Type) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
         self.collect_literal_names(ty, &mut out, 0);
         out
     }
 
-    fn collect_literal_names(&self, ty: &Type, out: &mut HashSet<String>, depth: usize) {
+    fn collect_literal_names(&self, ty: &Type, out: &mut BTreeSet<String>, depth: usize) {
         if depth > 16 {
             return;
         }
@@ -198,7 +222,7 @@ impl Shredder<'_> {
         element: &Element,
         owner: &TypeName,
         owner_id: i64,
-        reserved: &HashSet<String>,
+        reserved: &BTreeSet<String>,
     ) -> Result<(), ShredError> {
         match ty {
             Type::Empty | Type::Scalar { .. } | Type::Attribute { .. } => Ok(()),
@@ -245,7 +269,7 @@ impl Shredder<'_> {
         element: &Element,
         owner: &TypeName,
         owner_id: i64,
-        reserved: &HashSet<String>,
+        reserved: &BTreeSet<String>,
     ) -> Result<(), ShredError> {
         // Element-anchored alternatives claim matching child elements;
         // sequence-anchored alternatives claim the anchor element itself
@@ -253,7 +277,10 @@ impl Shredder<'_> {
         let mut any_sequence_claimed = false;
         for child in element.child_elements() {
             for alt in alternatives {
-                let def = self.schema.get(alt).expect("defined type");
+                let def = self
+                    .schema
+                    .get(alt)
+                    .ok_or_else(|| inconsistent("alternative type", alt))?;
                 if let Type::Element { name, .. } = def {
                     // A wildcard alternative must not steal children that
                     // literal-named sites in this content model own.
@@ -268,7 +295,10 @@ impl Shredder<'_> {
             }
         }
         for alt in alternatives {
-            let def = self.schema.get(alt).expect("defined type");
+            let def = self
+                .schema
+                .get(alt)
+                .ok_or_else(|| inconsistent("alternative type", alt))?;
             if matches!(def, Type::Element { .. }) {
                 continue;
             }

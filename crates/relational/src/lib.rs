@@ -18,6 +18,8 @@
 //! Page geometry is fixed at [`PAGE_SIZE`] bytes; table width is derived
 //! from column statistics, matching how the cost model reasons.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod error;
 pub mod exec;

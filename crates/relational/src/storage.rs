@@ -73,10 +73,13 @@ impl Table {
         let row_id = rows.len();
         let mut indexes = self.indexes.write();
         for (column, index) in indexes.iter_mut() {
-            let ci = self
-                .def
-                .column_index(column)
-                .expect("index on existing column");
+            let ci =
+                self.def
+                    .column_index(column)
+                    .ok_or_else(|| RelationalError::UnknownColumn {
+                        table: self.def.name.clone(),
+                        column: column.clone(),
+                    })?;
             index.entry(row[ci].clone()).or_default().push(row_id);
         }
         rows.push(row);

@@ -243,6 +243,7 @@ impl<R: Rng> Gen<'_, R> {
                     }
                     pick -= w;
                 }
+                // lint: allow(no-unwrap-in-lib) — allowed is non-empty — checked before the weighted pick
                 allowed.last().expect("non-empty checked").0.clone()
             }
         }

@@ -34,6 +34,8 @@
 //! assert!(validate(&schema, &doc).is_ok());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod name;
 pub mod parse;

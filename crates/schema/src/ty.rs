@@ -204,6 +204,7 @@ impl Type {
         }
         match out.len() {
             0 => Type::Empty,
+            // lint: allow(no-unwrap-in-lib) — len == 1 matched by this arm
             1 => out.pop().expect("len checked"),
             _ => Type::Seq(out),
         }
@@ -221,6 +222,7 @@ impl Type {
         }
         match out.len() {
             0 => Type::Empty,
+            // lint: allow(no-unwrap-in-lib) — len == 1 matched by this arm
             1 => out.pop().expect("len checked"),
             _ => Type::Choice(out),
         }

@@ -237,6 +237,7 @@ fn deriv(schema: &Schema, ty: &Type, item: &ItemRef<'_>, path: &mut Vec<String>)
                 })
         }
         Type::Seq(items) => {
+            // lint: allow(no-unwrap-in-lib) — Type::seq normalizes, so a Seq node is never empty
             let (first, rest) = items.split_first().expect("Seq invariant: non-empty");
             let rest_ty = Type::seq(rest.iter().cloned());
             let mut alternatives = Vec::new();

@@ -160,7 +160,9 @@ impl Governor {
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
+            // lint: allow(no-unwrap-in-lib) — the latched value is only ever written through encode(), which decode() inverts
             Ok(_) => decode(reason).expect("trip called with a valid reason"),
+            // lint: allow(no-unwrap-in-lib) — the latched value is only ever written through encode(), which decode() inverts
             Err(prior) => decode(prior).expect("latched value is a valid reason"),
         }
     }

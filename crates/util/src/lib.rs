@@ -21,6 +21,8 @@
 //! stable across platforms) and dependency-free by policy: see the
 //! README's "Building offline" section.
 
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod fault;
 pub mod governor;

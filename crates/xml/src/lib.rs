@@ -22,6 +22,8 @@
 //! assert_eq!(stats.count(&["imdb", "show"]), Some(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod escape;
 pub mod parse;

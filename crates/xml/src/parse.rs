@@ -362,6 +362,7 @@ impl<'a> Parser<'a> {
                         flush_text(&mut text, element);
                         let child = self
                             .parse_element()?
+                            // lint: allow(no-unwrap-in-lib) — the peeked '<' guarantees parse_element yields an element
                             .expect("peeked '<' guarantees an element start");
                         element.children.push(Node::Element(child));
                     }

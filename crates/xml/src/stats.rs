@@ -261,6 +261,7 @@ fn walk(e: &Element, path: &mut Vec<String>, acc: &mut BTreeMap<Path, Accum>) {
         let text = e.text();
         if !text.is_empty() {
             acc.get_mut(&Path(path.clone()))
+                // lint: allow(no-unwrap-in-lib) — entry inserted a few lines above
                 .expect("just inserted")
                 .observe_value(&text);
         }

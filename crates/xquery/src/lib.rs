@@ -29,6 +29,8 @@
 //! descendant-table chain; the statement set's cost is the sum over
 //! blocks.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod parse;
 pub mod resolve;

@@ -336,6 +336,7 @@ impl P<'_> {
             return Ok(Operand::Path(self.parse_path()?));
         }
         if r.starts_with('"') || r.starts_with('\'') {
+            // lint: allow(no-unwrap-in-lib) — starts_with ensured the string is non-empty
             let quote = r.chars().next().expect("nonempty");
             self.pos += 1;
             match self.rest().find(quote) {

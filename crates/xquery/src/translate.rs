@@ -261,7 +261,10 @@ impl Translator<'_> {
         let (mut states, steps): (Vec<(World, Pos)>, &[String]) = match &path.root {
             PathRoot::Document => {
                 let root_ty = self.mapping.root().clone();
-                let root_def = self.schema().get(&root_ty).expect("root defined");
+                let root_def = self
+                    .schema()
+                    .get(&root_ty)
+                    .ok_or_else(|| TranslateError::BadRoot(format!("{root_ty} is undefined")))?;
                 // The first step must name the root element.
                 let Some(first) = path.steps.first() else {
                     return Err(TranslateError::BadRoot(path.to_string()));
@@ -527,6 +530,7 @@ impl Translator<'_> {
                 // are emitted once, by the anchor's own statement.
                 let (&leaf, ancestors) = publish_tables
                     .split_last()
+                    // lint: allow(no-unwrap-in-lib) — the publish chain always contains at least the leaf table
                     .expect("publish chain is non-empty");
                 for &i in ancestors {
                     let tm = self.mapping.table(&instances[i].ty)?;

@@ -1,6 +1,8 @@
 //! Workspace façade crate for LegoDB-rs: re-exports every crate so the
 //! repository-level integration tests and examples have one import root.
 
+#![forbid(unsafe_code)]
+
 pub use legodb_core as core;
 pub use legodb_imdb as imdb;
 pub use legodb_optimizer as optimizer;
