@@ -1,86 +1,164 @@
 #!/usr/bin/env bash
 # The offline CI gate: everything here must pass with no network access.
 # Run locally before pushing; .github/workflows/ci.yml runs the same
-# script. The workspace has zero external dependencies (see crates/util),
-# so --offline is a hard requirement, not an optimization.
+# script, one stage per matrix job. The workspace has zero external
+# dependencies (see crates/util), so --offline is a hard requirement,
+# not an optimization.
+#
+# Usage: ./ci.sh [stage...]
+#   fmt       rustfmt check
+#   lint      legodb-lint static analysis gate (+ clippy when available)
+#   test      plain workspace test pass
+#   fault     fault-injection test pass (LEGODB_FAULT_SEED=1)
+#   hardened  release tests with debug-assertions + overflow-checks
+#   bench     experiment benches + bench-gate thresholds
+#   all       every stage above, in order (the default)
+#
+# Gate artifacts (lint report, bench records) are collected under
+# target/ci/ so the workflow can upload them from one place.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
+ARTIFACTS=target/ci
+mkdir -p "$ARTIFACTS"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+build_release() {
+    echo "==> cargo build --release --offline"
+    cargo build --release --offline --workspace
+}
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline --workspace
+stage_fmt() {
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+}
 
 # Static analysis gate (DESIGN.md §12): the workspace must lint clean
 # before anything else runs. Exit is non-zero on any diagnostic; the
-# JSON-lines report is left in target/ for tooling.
-echo "==> legodb-lint (static analysis gate)"
-cargo run --release --offline -q -p legodb-lint -- \
-    --json target/LINT_report.jsonl
+# JSON-lines report is left in target/ci/ for tooling.
+stage_lint() {
+    build_release
+    echo "==> legodb-lint (static analysis gate)"
+    cargo run --release --offline -q -p legodb-lint -- \
+        --json "$ARTIFACTS/LINT_report.jsonl"
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline --workspace
+    # Clippy ships with rustup toolchains but not every minimal
+    # container; soft-fail only when the component itself is absent.
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy --offline -- -D warnings"
+        cargo clippy --offline --workspace --all-targets -- -D warnings
+    else
+        echo "==> cargo clippy unavailable; skipping lint step"
+    fi
+}
+
+stage_test() {
+    build_release
+    echo "==> cargo test -q --offline"
+    cargo test -q --offline --workspace
+}
 
 # Fault-injection pass: LEGODB_FAULT_SEED activates the deterministic
 # failpoints (crates/util/src/fault.rs); candidate evaluations fail or
 # panic for a fixed fraction of (site, key) pairs and the suite must
-# still pass — proving the fault-isolation layer contains them.
-echo "==> fault-injection test pass (LEGODB_FAULT_SEED=1)"
-LEGODB_FAULT_SEED=1 cargo test -q --offline --workspace
+# still pass — proving the fault-isolation layer contains them. The
+# incremental-costing equivalence property (DESIGN.md §11) is re-run
+# explicitly so the guarantee stays visible even if the suite's test
+# layout changes.
+stage_fault() {
+    echo "==> fault-injection test pass (LEGODB_FAULT_SEED=1)"
+    LEGODB_FAULT_SEED=1 cargo test -q --offline --workspace
+    echo "==> incremental-costing equivalence property (fault)"
+    LEGODB_FAULT_SEED=1 cargo test -q --offline \
+        --test properties incremental_costing_matches_the_oracle
+}
 
 # Hardened pass: optimized code with debug assertions and integer
 # overflow checks re-enabled, in a separate target dir so the plain
-# release cache stays valid.
-echo "==> hardened test pass (release + debug-assertions + overflow-checks)"
-RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
-CARGO_TARGET_DIR=target/hardened \
-cargo test -q --offline --workspace --release
+# release cache stays valid. The lint gate itself must build (and stay
+# clean) under the hardened flags — the gate is only trustworthy if it
+# survives its own CI. Debug assertions also arm the in-evaluator
+# from-scratch costing oracle, so the equivalence property runs here
+# too.
+stage_hardened() {
+    echo "==> hardened test pass (release + debug-assertions + overflow-checks)"
+    RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+    CARGO_TARGET_DIR=target/hardened \
+    cargo test -q --offline --workspace --release
 
-# The lint gate itself must build (and stay clean) under the hardened
-# flags — the gate is only trustworthy if it survives its own CI.
-RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
-CARGO_TARGET_DIR=target/hardened \
-cargo run --release --offline -q -p legodb-lint
+    RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+    CARGO_TARGET_DIR=target/hardened \
+    cargo run --release --offline -q -p legodb-lint
 
-# The incremental-costing equivalence property (DESIGN.md §11) must hold
-# under injected faults and under debug assertions (which arm the
-# in-evaluator from-scratch oracle). The workspace passes above include
-# it; these targeted runs keep the guarantee explicit even if the suite's
-# test layout changes.
-echo "==> incremental-costing equivalence property (fault + hardened)"
-LEGODB_FAULT_SEED=1 cargo test -q --offline \
-    --test properties incremental_costing_matches_the_oracle
-RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
-CARGO_TARGET_DIR=target/hardened \
-cargo test -q --offline --release \
-    --test properties incremental_costing_matches_the_oracle
-
-# The search_incremental bench must show the memo machinery actually
-# engaging: a zero cache hit rate means footprint/fingerprint
-# invalidation has regressed to recosting everything.
-echo "==> incremental-costing bench gate (nonzero cache hit rate)"
-rm -f target/BENCH_search.json
-LEGODB_BENCH_JSON=target/BENCH_search.json ./target/release/search_incremental >/dev/null
-hit_rate=$(awk -F'"hit_rate":' '/"memoize":"on"/ {split($2, a, "[,}]"); print a[1]}' \
-    target/BENCH_search.json)
-speedup=$(awk -F'"speedup":' '/"speedup":/ {split($2, a, "[,}]"); print a[1]}' \
-    target/BENCH_search.json)
-echo "    hit_rate=${hit_rate:-missing} speedup=${speedup:-missing}x"
-awk -v h="${hit_rate:-0}" 'BEGIN { exit (h > 0 ? 0 : 1) }' || {
-    echo "search_incremental: cache hit rate is zero" >&2
-    exit 1
+    echo "==> incremental-costing equivalence property (hardened)"
+    RUSTFLAGS="-C debug-assertions=on -C overflow-checks=on" \
+    CARGO_TARGET_DIR=target/hardened \
+    cargo test -q --offline --release \
+        --test properties incremental_costing_matches_the_oracle
 }
 
-# Clippy ships with rustup toolchains but not every minimal container;
-# soft-fail only when the component itself is absent.
-if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --offline -- -D warnings"
-    cargo clippy --offline --workspace --all-targets -- -D warnings
-else
-    echo "==> cargo clippy unavailable; skipping lint step"
-fi
+# Bench gates, enforced by the bench-gate bin over the JSON-lines
+# records in target/ci/BENCH_search.json:
+#
+#  - search_incremental: the memo machinery must actually engage — a
+#    zero cache hit rate means footprint/fingerprint invalidation has
+#    regressed to recosting everything.
+#  - search_scale at 10× IMDB-equivalent size: all scheduling arms must
+#    agree on the final cost bit-for-bit, and on multi-core machines the
+#    work-stealing scheduler must beat fixed chunking on wall-clock.
+#    (On a single core every arm degenerates to the same sequential
+#    execution, so there is no speedup to measure — the equality gate
+#    still runs.)
+stage_bench() {
+    build_release
+    echo "==> experiment benches (records in $ARTIFACTS/BENCH_search.json)"
+    rm -f "$ARTIFACTS/BENCH_search.json"
+    LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_search.json \
+        ./target/release/search_incremental >/dev/null
+    LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_search.json \
+    LEGODB_SCALE_LIST="${LEGODB_SCALE_LIST:-1,10}" \
+        ./target/release/search_scale >/dev/null
 
-echo "CI gate passed."
+    echo "==> bench-gate thresholds"
+    ./target/release/bench-gate "$ARTIFACTS/BENCH_search.json" \
+        --where experiment=search_incremental --where memoize=on \
+        --require 'hit_rate>0'
+    ./target/release/bench-gate "$ARTIFACTS/BENCH_search.json" \
+        --where experiment=search_incremental --where summary=1 \
+        --require 'speedup>0'
+    ./target/release/bench-gate "$ARTIFACTS/BENCH_search.json" \
+        --where experiment=search_scale --where scale=10 --where summary=1 \
+        --require 'cost_match==1'
+    if [ "$(nproc 2>/dev/null || echo 1)" -ge 2 ]; then
+        ./target/release/bench-gate "$ARTIFACTS/BENCH_search.json" \
+            --where experiment=search_scale --where scale=10 --where summary=1 \
+            --require 'steal_speedup_vs_chunked>1.0'
+    else
+        echo "    single core: skipping the work-stealing speedup gate"
+    fi
+}
+
+run_stage() {
+    case "$1" in
+        fmt) stage_fmt ;;
+        lint) stage_lint ;;
+        test) stage_test ;;
+        fault) stage_fault ;;
+        hardened) stage_hardened ;;
+        bench) stage_bench ;;
+        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_hardened; stage_bench ;;
+        *)
+            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault hardened bench all)" >&2
+            exit 2
+            ;;
+    esac
+}
+
+if [ "$#" -eq 0 ]; then
+    set -- all
+fi
+for stage in "$@"; do
+    run_stage "$stage"
+done
+
+echo "CI gate passed ($*)."

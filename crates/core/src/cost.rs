@@ -25,7 +25,7 @@ use crate::transform::TransformDelta;
 use crate::workload::Workload;
 use legodb_optimizer::{optimize_statement, OptimizerConfig, OptimizerError, Statement};
 use legodb_pschema::{rel, rel_incremental, Mapping, PSchema};
-use legodb_util::{fault, RwLock, StableHasher};
+use legodb_util::{fault, StableHasher, Striped};
 use legodb_xml::stats::Statistics;
 use legodb_xquery::{translate, TranslateError, TranslatedQuery};
 use std::collections::{BTreeMap, BTreeSet};
@@ -284,17 +284,37 @@ fn statement_tables_fingerprint(mapping: &Mapping, statement: &Statement) -> u64
     h.finish()
 }
 
+/// Stripes in the shared memo cache. Sized for the machine widths the
+/// search runs at (up to a few dozen workers): with 32 stripes and a
+/// stable key hash, two workers only contend when they price statements
+/// that land in the same shard.
+const MEMO_STRIPES: usize = 32;
+
+/// The stable stripe selector for a memo key. Must depend on the key
+/// alone (never on thread or timing state) so a key always routes to the
+/// same shard.
+fn memo_stripe_hash(key: &(String, u64)) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(&key.0);
+    h.write_u64(key.1);
+    h.finish()
+}
+
 /// Incremental, memoizing candidate pricer (shared across the search's
 /// parallel workers). See the module docs for the invalidation story.
 #[derive(Debug)]
 pub struct CostEvaluator {
     config: OptimizerConfig,
     memoize: bool,
-    /// BTreeMap, not HashMap: the memo cache is iterated nowhere today,
-    /// but it sits on the fingerprint path and the deterministic-
-    /// collections invariant (DESIGN.md §12) bans hash-randomized
-    /// containers here outright.
-    cache: RwLock<BTreeMap<(String, u64), f64>>,
+    /// The memo cache, lock-striped ([`Striped`]): one evaluator is
+    /// shared by every candidate of an iteration (and across
+    /// iterations), so under the work-stealing scheduler many workers
+    /// hit it concurrently — striping keeps them off a single global
+    /// lock. Shards are BTreeMaps, not HashMaps: the cache sits on the
+    /// fingerprint path and the deterministic-collections invariant
+    /// (DESIGN.md §12) bans hash-randomized containers here outright;
+    /// shard *routing* uses the seeded, platform-stable `StableHasher`.
+    cache: Striped<BTreeMap<(String, u64), f64>>,
     reused: AtomicU64,
     memo_hits: AtomicU64,
     recosted: AtomicU64,
@@ -312,7 +332,7 @@ impl CostEvaluator {
         CostEvaluator {
             config,
             memoize,
-            cache: RwLock::new(BTreeMap::new()),
+            cache: Striped::new(MEMO_STRIPES),
             reused: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             recosted: AtomicU64::new(0),
@@ -422,7 +442,8 @@ impl CostEvaluator {
                         statement.to_sql(),
                         statement_tables_fingerprint(&mapping, statement),
                     );
-                    let cached = self.cache.read().get(&key).copied();
+                    let stripe = self.cache.stripe(memo_stripe_hash(&key));
+                    let cached = stripe.read().get(&key).copied();
                     let statement_cost = match cached {
                         Some(cost) => cost,
                         None => {
@@ -434,7 +455,7 @@ impl CostEvaluator {
                                         transformation: None,
                                         error,
                                     })?;
-                            self.cache.write().insert(key, optimized.total);
+                            stripe.write().insert(key, optimized.total);
                             optimized.total
                         }
                     };

@@ -46,6 +46,9 @@ pub struct EngineResult {
     /// Incremental-costing counters (reused / memo-served / recomputed
     /// query pricings) across the search.
     pub eval: crate::cost::EvalStats,
+    /// Work-stealing scheduler telemetry across the search (`None` when
+    /// candidates were evaluated sequentially or chunked).
+    pub sched: Option<legodb_util::StealReport>,
 }
 
 impl From<SearchResult> for EngineResult {
@@ -60,6 +63,7 @@ impl From<SearchResult> for EngineResult {
             dropped_candidates: r.dropped_candidates,
             dropped_diagnostics: r.dropped_diagnostics,
             eval: r.eval,
+            sched: r.sched,
         }
     }
 }

@@ -15,7 +15,7 @@ use legodb_optimizer::OptimizerConfig;
 use legodb_pschema::{derive_pschema, InlineStyle, PSchema};
 use legodb_schema::Schema;
 use legodb_util::governor::{Budget, BudgetExceeded, Governor};
-use legodb_util::{fault, scoped_map_catch};
+use legodb_util::{fault, scoped_map_catch, steal_map_catch, Scheduler, StealReport};
 use legodb_xml::stats::Statistics;
 
 /// Which end of the inline spectrum the search starts from (§5.2).
@@ -43,6 +43,14 @@ pub struct SearchConfig {
     pub max_iterations: usize,
     /// Evaluate candidates on scoped threads.
     pub parallel: bool,
+    /// Which parallel discipline to use when `parallel` is set: the
+    /// work-stealing deque scheduler (default) rebalances the skewed
+    /// per-candidate costs incremental pricing produces; the chunked
+    /// scheduler pins one contiguous chunk per worker (the bench's
+    /// control arm). Scheduling never changes results: each candidate's
+    /// cost is a pure function of the candidate, so both disciplines —
+    /// and the sequential path — price bit-identically.
+    pub scheduler: Scheduler,
     /// Stop when the relative improvement of an iteration falls below this
     /// threshold (the paper suggests this optimization; 0.0 disables it).
     pub improvement_threshold: f64,
@@ -64,6 +72,7 @@ impl Default for SearchConfig {
             optimizer: OptimizerConfig::default(),
             max_iterations: 0,
             parallel: false,
+            scheduler: Scheduler::default(),
             improvement_threshold: 0.0,
             budget: None,
             memoize: true,
@@ -148,6 +157,10 @@ pub struct SearchResult {
     pub dropped_diagnostics: Vec<String>,
     /// Cumulative evaluator counters across the whole run.
     pub eval: EvalStats,
+    /// Work-stealing telemetry accumulated across every iteration's
+    /// candidate evaluation (`None` when the search ran sequentially or
+    /// under the chunked scheduler, which has no telemetry to report).
+    pub sched: Option<StealReport>,
 }
 
 /// Run Algorithm 4.1 from an arbitrary source schema.
@@ -196,6 +209,7 @@ pub fn greedy_search_from(
     let mut outcome = SearchOutcome::Converged;
     let mut dropped_candidates: u64 = 0;
     let mut dropped_diagnostics: Vec<String> = Vec::new();
+    let mut sched: Option<StealReport> = None;
     let mut iteration = 0;
     loop {
         iteration += 1;
@@ -207,7 +221,7 @@ pub fn greedy_search_from(
             break;
         }
         let candidates = enumerate_candidates(&current, &set);
-        let (evaluated, diagnostics, dropped) = evaluate_candidates(
+        let (evaluated, diagnostics, dropped, iteration_sched) = evaluate_candidates(
             &current,
             &report,
             &candidates,
@@ -216,7 +230,15 @@ pub fn greedy_search_from(
             &evaluator,
             config,
             governor.as_ref(),
+            // Seed the victim-selection PRNG deterministically per call:
+            // the iteration number is stable across runs, so a given
+            // (run, iteration, worker) always probes victims in the same
+            // order.
+            iteration as u64,
         );
+        if let Some(r) = iteration_sched {
+            sched.get_or_insert_with(StealReport::default).absorb(&r);
+        }
         dropped_candidates += dropped as u64;
         dropped_diagnostics.extend(diagnostics);
         let best = evaluated
@@ -267,6 +289,7 @@ pub fn greedy_search_from(
         dropped_candidates,
         dropped_diagnostics,
         eval: evaluator.stats(),
+        sched,
     })
 }
 
@@ -298,8 +321,10 @@ enum Eval {
 /// prices to a non-finite cost is dropped and counted (a candidate that
 /// cannot be priced cannot be chosen — and must not abort the search).
 /// Candidates are priced incrementally against the parent's report
-/// through the shared evaluator. Returns the priced survivors, one
-/// diagnostic per dropped candidate, and the dropped count.
+/// through the shared evaluator (one lock-striped memo serving every
+/// worker). Returns the priced survivors, one diagnostic per dropped
+/// candidate, the dropped count, and — under the work-stealing
+/// scheduler — the iteration's scheduling telemetry.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_candidates(
     current: &PSchema,
@@ -310,10 +335,12 @@ fn evaluate_candidates(
     evaluator: &CostEvaluator,
     config: &SearchConfig,
     governor: Option<&Governor>,
+    steal_seed: u64,
 ) -> (
     Vec<(Transformation, PSchema, CostReport)>,
     Vec<String>,
     usize,
+    Option<StealReport>,
 ) {
     let evaluate_one = |t: &Transformation| -> Eval {
         if let Some(g) = governor {
@@ -350,7 +377,13 @@ fn evaluate_candidates(
     let mut priced = Vec::new();
     let mut diagnostics = Vec::new();
     let mut dropped = 0;
-    let results = scoped_map_catch(candidates, threads, evaluate_one);
+    let (results, sched) = match config.scheduler {
+        Scheduler::WorkStealing if config.parallel => {
+            let (results, report) = steal_map_catch(candidates, threads, steal_seed, evaluate_one);
+            (results, Some(report))
+        }
+        _ => (scoped_map_catch(candidates, threads, evaluate_one), None),
+    };
     for (t, result) in candidates.iter().zip(results) {
         match result {
             Ok(Eval::Priced(t, pschema, report)) => priced.push((t, pschema, *report)),
@@ -365,7 +398,7 @@ fn evaluate_candidates(
             Ok(Eval::Skipped) => {}
         }
     }
-    (priced, diagnostics, dropped)
+    (priced, diagnostics, dropped, sched)
 }
 
 #[cfg(test)]
@@ -555,6 +588,78 @@ mod tests {
         )
         .unwrap();
         assert!((seq.cost - par.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_schedulers_agree_bit_for_bit() {
+        // The PR's hard invariant: sequential, chunked, and work-stealing
+        // candidate evaluation price identically — same final cost bits,
+        // same trajectory, same applied moves.
+        let w = lookup_workload();
+        let seq = greedy_search(
+            &schema(),
+            &stats(),
+            &w,
+            &SearchConfig {
+                parallel: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(seq.sched.is_none(), "sequential runs report no telemetry");
+        for scheduler in [Scheduler::Chunked, Scheduler::WorkStealing] {
+            let par = greedy_search(
+                &schema(),
+                &stats(),
+                &w,
+                &SearchConfig {
+                    parallel: true,
+                    scheduler,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                seq.cost.to_bits(),
+                par.cost.to_bits(),
+                "scheduler {scheduler}"
+            );
+            assert_eq!(seq.trajectory.len(), par.trajectory.len());
+            for (a, b) in seq.trajectory.iter().zip(&par.trajectory) {
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "scheduler {scheduler}");
+                assert_eq!(a.applied, b.applied, "scheduler {scheduler}");
+            }
+            match scheduler {
+                Scheduler::WorkStealing => {
+                    let sched = par.sched.expect("work-stealing telemetry");
+                    assert!(sched.items() > 0);
+                    assert!(sched.workers >= 1);
+                }
+                Scheduler::Chunked => assert!(par.sched.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_contains_injected_panics() {
+        // Panic isolation must hold for stolen tasks exactly as for
+        // chunk-local ones: every candidate panics, the search survives.
+        let _guard =
+            fault::override_for_test(fault::FaultConfig::always(11, fault::FaultMode::Panic));
+        let result = greedy_search(
+            &schema(),
+            &stats(),
+            &lookup_workload(),
+            &SearchConfig {
+                parallel: true,
+                scheduler: Scheduler::WorkStealing,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.outcome, SearchOutcome::Converged);
+        assert!(result.dropped_candidates > 0);
+        assert_eq!(result.trajectory.len(), 1);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gen;
+pub mod mega;
 pub mod name;
 pub mod parse;
 pub mod print;
@@ -44,6 +45,7 @@ pub mod schema;
 pub mod ty;
 pub mod validate;
 
+pub use mega::{mega_schema, MegaConfig, MegaSchema, MegaType};
 pub use name::{NameTest, TypeName};
 pub use parse::{parse_schema, parse_schema_with_limits, SchemaLimits, SchemaParseError};
 pub use schema::{Schema, SchemaError};

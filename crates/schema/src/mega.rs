@@ -1,0 +1,422 @@
+//! Synthetic "mega-schema" generation: parameterized schemas far larger
+//! than the hand-written IMDB application, for scaling experiments.
+//!
+//! The paper's evaluation runs the greedy search over one 12-type schema;
+//! the view-selection literature observes that the storage-configuration
+//! search space blows up quickly with schema size, which is where
+//! scheduling quality (not just per-candidate cost) starts to decide
+//! wall-clock. This module grows the *problem*: [`mega_schema`] emits a
+//! seeded, tree-shaped schema with tunable type count, nesting depth,
+//! fan-out, union density, and repetition density — in the same textual
+//! type-algebra notation as everything else (the output round-trips
+//! through [`crate::parse_schema`]) — plus path-level [`Statistics`]
+//! sized so that fat payloads exist to outline and keys exist to probe.
+//!
+//! Everything is a pure function of [`MegaConfig`] (including its seed):
+//! the same config produces byte-identical schema text and statistics on
+//! every platform, which the scale benches and CI gates rely on.
+
+use crate::schema::Schema;
+use legodb_util::{Rng, StdRng};
+use legodb_xml::stats::Statistics;
+use std::fmt::Write as _;
+
+/// Knobs for one synthetic schema. The defaults approximate the IMDB
+/// application's shape at unit scale (`types: 12`).
+#[derive(Debug, Clone)]
+pub struct MegaConfig {
+    /// Number of named types (= elements) to generate, ≥ 1.
+    pub types: usize,
+    /// Maximum nesting depth of the element tree (root is depth 0).
+    pub max_depth: usize,
+    /// Maximum children attached to one element (≥ 1; the actual count
+    /// per element is sampled in `1..=fanout`).
+    pub fanout: usize,
+    /// Probability that a pair of sibling references is wrapped into a
+    /// union `( A | B )` instead of a sequence.
+    pub union_density: f64,
+    /// Probability that a child reference is repeated (`{0,*}`); the
+    /// remainder are optional (`{0,1}`) or exactly-once, split evenly.
+    pub repetition_density: f64,
+    /// Probability that an element's payload column is *fat* (hundreds
+    /// to thousands of bytes) — the columns worth outlining.
+    pub fat_density: f64,
+    /// PRNG seed: everything downstream is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for MegaConfig {
+    fn default() -> Self {
+        MegaConfig {
+            types: 12,
+            max_depth: 6,
+            fanout: 4,
+            union_density: 0.15,
+            repetition_density: 0.4,
+            fat_density: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl MegaConfig {
+    /// The IMDB-equivalent shape scaled `scale`× in type count (the unit
+    /// scale matches the Appendix B schema's 12 types), with depth
+    /// growing logarithmically the way real document schemas do.
+    pub fn imdb_scaled(scale: usize) -> MegaConfig {
+        let scale = scale.max(1);
+        MegaConfig {
+            types: 12 * scale,
+            max_depth: 5 + scale.ilog2() as usize,
+            ..MegaConfig::default()
+        }
+    }
+}
+
+/// How one generated element hangs off its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly once.
+    One,
+    /// `{0,1}`.
+    Optional,
+    /// `{0,*}`.
+    Repeated,
+    /// One branch of a `( A | B )` union.
+    UnionBranch,
+}
+
+/// One generated type's geometry, for building workloads and assertions
+/// downstream without re-deriving the tree.
+#[derive(Debug, Clone)]
+pub struct MegaType {
+    /// Index into the generated type list (`T{index}` / `e{index}`).
+    pub index: usize,
+    /// Element-name path from the root to this element, inclusive.
+    pub path: Vec<String>,
+    /// Nesting depth (root = 0).
+    pub depth: usize,
+    /// How this element occurs under its parent (root: `One`).
+    pub occurrence: Occurrence,
+    /// Name of the key column child (`key{index}`), selective by
+    /// construction.
+    pub key: String,
+    /// Name of the payload column child (`pay{index}`).
+    pub payload: String,
+    /// Whether the payload is fat (worth outlining).
+    pub fat: bool,
+    /// Expected element count under the generated statistics.
+    pub count: u64,
+}
+
+/// A generated schema with its source text, geometry, and statistics.
+#[derive(Debug, Clone)]
+pub struct MegaSchema {
+    /// The parsed schema.
+    pub schema: Schema,
+    /// The type-algebra source it was parsed from (round-trips).
+    pub source: String,
+    /// Per-type geometry, in generation (BFS) order; `[0]` is the root.
+    pub types: Vec<MegaType>,
+    /// Path statistics consistent with the geometry.
+    pub stats: Statistics,
+}
+
+/// Element counts are clamped here so multiplicative repetition down a
+/// deep spine cannot push the cost model into astronomically large (but
+/// still finite) table cardinalities.
+const MAX_COUNT: u64 = 5_000_000;
+
+/// Generate one synthetic schema. Pure in `config` (see module docs).
+///
+/// # Panics
+/// Never for `config.types ≥ 1`: the emitted source is valid by
+/// construction and the parse is checked by tests across the knob space.
+pub fn mega_schema(config: &MegaConfig) -> MegaSchema {
+    let n = config.types.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // --- shape: BFS over the type pool --------------------------------
+    // children[i] = (child index, occurrence), in sibling order.
+    let mut children: Vec<Vec<(usize, Occurrence)>> = vec![Vec::new(); n];
+    let mut meta: Vec<(usize, Occurrence)> = vec![(0, Occurrence::One); n]; // (depth, occurrence)
+    let mut parent_of: Vec<usize> = vec![0; n];
+    let mut order: Vec<usize> = vec![0]; // BFS order of attachment
+    let mut queue: std::collections::VecDeque<usize> = [0].into();
+    let mut next = 1;
+    while next < n {
+        let parent = match queue.pop_front() {
+            Some(p) => p,
+            // Every open slot is at max depth; widen the root instead of
+            // dropping types so `types` is always honored exactly.
+            None => 0,
+        };
+        let (pdepth, _) = meta[parent];
+        let want = rng.gen_range(1..=config.fanout.max(1));
+        for _ in 0..want {
+            if next >= n {
+                break;
+            }
+            let occurrence = if rng.gen_bool(config.repetition_density.clamp(0.0, 1.0)) {
+                Occurrence::Repeated
+            } else if rng.gen_bool(0.5) {
+                Occurrence::Optional
+            } else {
+                Occurrence::One
+            };
+            children[parent].push((next, occurrence));
+            meta[next] = (pdepth + 1, occurrence);
+            parent_of[next] = parent;
+            order.push(next);
+            if pdepth + 1 < config.max_depth {
+                queue.push_back(next);
+            }
+            next += 1;
+        }
+    }
+
+    // Union formation: downgrade the last two single-occurrence siblings
+    // of a node into a `( A | B )` pair with the configured probability.
+    // Only exactly-once siblings qualify — the textual notation attaches
+    // occurrence to references, and a repeated union would change the
+    // geometry recorded above.
+    let mut union_pairs: Vec<Option<usize>> = vec![None; n]; // i -> union partner (i < partner)
+    for i in 0..n {
+        let singles: Vec<usize> = children[i]
+            .iter()
+            .filter(|(_, o)| *o == Occurrence::One)
+            .map(|(c, _)| *c)
+            .collect();
+        if singles.len() >= 2 && rng.gen_bool(config.union_density.clamp(0.0, 1.0)) {
+            let (a, b) = (singles[singles.len() - 2], singles[singles.len() - 1]);
+            union_pairs[a] = Some(b);
+            for (c, o) in &mut children[i] {
+                if *c == a || *c == b {
+                    *o = Occurrence::UnionBranch;
+                }
+            }
+            meta[a].1 = Occurrence::UnionBranch;
+            meta[b].1 = Occurrence::UnionBranch;
+        }
+    }
+
+    // --- columns ------------------------------------------------------
+    let mut fat: Vec<bool> = Vec::with_capacity(n);
+    let mut pay_size: Vec<u32> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let is_fat = rng.gen_bool(config.fat_density.clamp(0.0, 1.0));
+        fat.push(is_fat);
+        pay_size.push(if is_fat {
+            rng.gen_range(500..=4000)
+        } else {
+            rng.gen_range(20..=80)
+        });
+    }
+
+    // --- source text --------------------------------------------------
+    let mut source = String::new();
+    for i in 0..n {
+        let mut body = format!("key{i}[ String<#16> ], pay{i}[ String<#{}> ]", pay_size[i]);
+        let mut skip_next_of: Option<usize> = None;
+        for &(c, occurrence) in &children[i] {
+            if Some(c) == skip_next_of {
+                continue;
+            }
+            match occurrence {
+                Occurrence::One => {
+                    let _ = write!(body, ", T{c}");
+                }
+                Occurrence::Optional => {
+                    let _ = write!(body, ", T{c}{{0,1}}");
+                }
+                Occurrence::Repeated => {
+                    let _ = write!(body, ", T{c}{{0,*}}");
+                }
+                Occurrence::UnionBranch => {
+                    if let Some(b) = union_pairs[c] {
+                        let _ = write!(body, ", ( T{c} | T{b} )");
+                        skip_next_of = Some(b);
+                    }
+                }
+            }
+        }
+        let _ = writeln!(source, "type T{i} = e{i}[ {body} ]");
+    }
+
+    // lint: allow(no-unwrap-in-lib) — the emitted source is valid by construction; tests sweep the knob space
+    let schema = crate::parse_schema(&source).expect("generated mega-schema parses");
+
+    // --- geometry + statistics ----------------------------------------
+    let mut paths: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut counts: Vec<u64> = vec![1; n];
+    let mut stats = Statistics::new();
+    let mut types = Vec::with_capacity(n);
+    for &i in &order {
+        let (depth, occurrence) = meta[i];
+        let (parent_path, parent_count) = if i == 0 {
+            (Vec::new(), 1)
+        } else {
+            // `order` is BFS, so the parent's path and count are final
+            // by the time i is visited.
+            let parent = parent_of[i];
+            (paths[parent].clone(), counts[parent])
+        };
+        let mut path = parent_path;
+        path.push(format!("e{i}"));
+        let count = match occurrence {
+            Occurrence::One => parent_count,
+            Occurrence::Optional => (parent_count * 7 / 10).max(1),
+            Occurrence::UnionBranch => (parent_count / 2).max(1),
+            Occurrence::Repeated => {
+                let avg = rng.gen_range(2u64..=6);
+                (parent_count.saturating_mul(avg)).min(MAX_COUNT)
+            }
+        };
+        paths[i] = path.clone();
+        counts[i] = count;
+
+        stats.set_count(&path, count);
+        let mut key_path = path.clone();
+        key_path.push(format!("key{i}"));
+        stats
+            .set_count(&key_path, count)
+            .set_size(&key_path, 16.0)
+            .set_distinct(&key_path, count.max(1));
+        let mut pay_path = path.clone();
+        pay_path.push(format!("pay{i}"));
+        stats
+            .set_count(&pay_path, count)
+            .set_size(&pay_path, f64::from(pay_size[i]));
+
+        types.push(MegaType {
+            index: i,
+            path,
+            depth,
+            occurrence,
+            key: format!("key{i}"),
+            payload: format!("pay{i}"),
+            fat: fat[i],
+            count,
+        });
+    }
+    types.sort_by_key(|t| t.index);
+
+    MegaSchema {
+        schema,
+        source,
+        types,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let config = MegaConfig {
+            types: 60,
+            seed: 42,
+            ..MegaConfig::default()
+        };
+        let a = mega_schema(&config);
+        let b = mega_schema(&config);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.types.len(), b.types.len());
+        let c = mega_schema(&MegaConfig { seed: 43, ..config });
+        assert_ne!(a.source, c.source, "different seeds, different schemas");
+    }
+
+    #[test]
+    fn honors_the_type_count_exactly() {
+        for n in [1, 2, 12, 120, 360] {
+            let m = mega_schema(&MegaConfig {
+                types: n,
+                ..MegaConfig::default()
+            });
+            assert_eq!(m.types.len(), n);
+            assert_eq!(m.schema.len(), n, "schema should define {n} types");
+        }
+    }
+
+    #[test]
+    fn respects_depth_and_fanout_bounds() {
+        let config = MegaConfig {
+            types: 200,
+            max_depth: 4,
+            fanout: 3,
+            ..MegaConfig::default()
+        };
+        let m = mega_schema(&config);
+        // Overflow attaches to the root when every slot is at max depth,
+        // so the root may exceed `fanout`; every other node must not.
+        for t in &m.types {
+            assert!(
+                t.depth <= config.max_depth,
+                "T{} at depth {}",
+                t.index,
+                t.depth
+            );
+            assert_eq!(t.path.len(), t.depth + 1);
+        }
+    }
+
+    #[test]
+    fn density_knobs_reach_their_extremes() {
+        let none = mega_schema(&MegaConfig {
+            types: 80,
+            union_density: 0.0,
+            repetition_density: 0.0,
+            ..MegaConfig::default()
+        });
+        assert!(
+            !none.source.contains('|'),
+            "union_density 0 emitted a union"
+        );
+        assert!(
+            !none.source.contains("{0,*}"),
+            "repetition_density 0 emitted a repetition"
+        );
+        let all = mega_schema(&MegaConfig {
+            types: 80,
+            union_density: 1.0,
+            repetition_density: 1.0,
+            ..MegaConfig::default()
+        });
+        // With every child repeated there are no single-occurrence
+        // sibling pairs, so unions cannot form — repetition wins.
+        assert!(all.source.contains("{0,*}"));
+        let unions = mega_schema(&MegaConfig {
+            types: 80,
+            union_density: 1.0,
+            repetition_density: 0.0,
+            ..MegaConfig::default()
+        });
+        assert!(unions.source.contains('|'), "union_density 1 emitted none");
+    }
+
+    #[test]
+    fn statistics_cover_every_element_path() {
+        let m = mega_schema(&MegaConfig {
+            types: 50,
+            seed: 7,
+            ..MegaConfig::default()
+        });
+        for t in &m.types {
+            assert!(t.count >= 1);
+            // Root and exactly-once spine elements keep the parent count;
+            // everything is clamped.
+            assert!(t.count <= MAX_COUNT);
+            assert!(t.path[t.depth] == format!("e{}", t.index));
+        }
+    }
+
+    #[test]
+    fn imdb_scaled_tracks_the_appendix_shape() {
+        assert_eq!(MegaConfig::imdb_scaled(1).types, 12);
+        assert_eq!(MegaConfig::imdb_scaled(10).types, 120);
+        assert_eq!(MegaConfig::imdb_scaled(100).types, 1200);
+        assert!(MegaConfig::imdb_scaled(100).max_depth > MegaConfig::imdb_scaled(1).max_depth);
+    }
+}

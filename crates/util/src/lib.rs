@@ -8,14 +8,14 @@
 //! | Module | Replaces | Provides |
 //! |---|---|---|
 //! | [`rng`] | `rand` | seedable SplitMix64 / xoshiro256++ PRNG, `Rng` trait (`gen_range`, `gen_bool`, `shuffle`, `sample`) |
-//! | [`par`] | `crossbeam::thread::scope` | [`par::scoped_map`] / [`par::scoped_map_catch`] order-preserving (fault-isolated) parallel map on `std::thread::scope` |
+//! | [`par`] | `crossbeam::thread::scope` + `crossbeam::deque` | [`par::scoped_map`] / [`par::scoped_map_catch`] order-preserving (fault-isolated) parallel maps; [`par::steal_map_catch`] work-stealing deque scheduler with [`par::StealReport`] telemetry |
 //! | [`governor`] | — | [`governor::Budget`] deadlines / evaluation / memory-estimate budgets with a cheap `checkpoint()` |
 //! | [`fault`] | `fail` | deterministic, order-independent fault injection (`LEGODB_FAULT_SEED`) |
-//! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API |
+//! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API; [`sync::Striped`] lock-striped shards |
 //! | [`hash`] | — | [`hash::StableHasher`]: seeded, platform-stable FNV-1a fingerprints |
 //! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
 //! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
-//! | [`json`] | `serde` | minimal JSON writer for the bench records |
+//! | [`json`] | `serde` | minimal JSON writer for the bench records, and a JSON-lines reader for the CI gate |
 //!
 //! Everything here is deterministic where it matters (seeded streams are
 //! stable across platforms) and dependency-free by policy: see the
@@ -36,6 +36,6 @@ pub mod sync;
 pub use fault::{failpoint, FaultConfig, FaultError, FaultMode};
 pub use governor::{Budget, BudgetExceeded, Governor};
 pub use hash::StableHasher;
-pub use par::{scoped_map, scoped_map_catch};
+pub use par::{scoped_map, scoped_map_catch, steal_map_catch, Scheduler, StealReport};
 pub use rng::{Rng, SampleRange, SampleUniform, SplitMix64, StdRng};
-pub use sync::RwLock;
+pub use sync::{RwLock, Striped};

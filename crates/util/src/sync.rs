@@ -48,6 +48,57 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A lock-striped view: `N` independent [`RwLock`]s over shards of `T`,
+/// indexed by a caller-supplied hash. Readers and writers touching
+/// different stripes never contend — the sharing discipline the search's
+/// cost memo uses so parallel candidate evaluators stop serializing on
+/// one cache lock.
+///
+/// Stripe selection must be a *stable* function of the key (use
+/// [`crate::hash::StableHasher`]), so the same key always lands in the
+/// same stripe regardless of thread interleaving; the shards themselves
+/// can then stay deterministic collections (`BTreeMap`).
+#[derive(Debug)]
+pub struct Striped<T> {
+    stripes: Vec<RwLock<T>>,
+}
+
+impl<T: Default> Striped<T> {
+    /// `stripes` default-initialized shards (clamped to at least 1).
+    pub fn new(stripes: usize) -> Striped<T> {
+        Striped::with(stripes, T::default)
+    }
+}
+
+impl<T> Striped<T> {
+    /// `stripes` shards built by `init` (clamped to at least 1).
+    pub fn with(stripes: usize, init: impl Fn() -> T) -> Striped<T> {
+        Striped {
+            stripes: (0..stripes.max(1)).map(|_| RwLock::new(init())).collect(),
+        }
+    }
+
+    /// The stripe a hash maps to.
+    pub fn stripe(&self, hash: u64) -> &RwLock<T> {
+        &self.stripes[(hash % self.stripes.len() as u64) as usize]
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Always false: a `Striped` has at least one stripe.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate over every stripe (e.g. to aggregate sizes).
+    pub fn iter(&self) -> impl Iterator<Item = &RwLock<T>> {
+        self.stripes.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +117,32 @@ mod tests {
         let a = lock.read();
         let b = lock.read();
         assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn striped_routes_hashes_to_stable_stripes() {
+        let striped: Striped<Vec<u64>> = Striped::new(8);
+        assert_eq!(striped.len(), 8);
+        for h in 0..64u64 {
+            striped.stripe(h).write().push(h);
+        }
+        // Same hash, same stripe — and every value landed somewhere.
+        for h in 0..64u64 {
+            assert!(striped.stripe(h).read().contains(&h));
+        }
+        let total: usize = striped.iter().map(|s| s.read().len()).sum();
+        assert_eq!(total, 64);
+        // With 8 stripes and hashes 0..64, the modulo spread uses all 8.
+        assert!(striped.iter().all(|s| !s.read().is_empty()));
+    }
+
+    #[test]
+    fn striped_clamps_to_one_stripe() {
+        let striped: Striped<u32> = Striped::new(0);
+        assert_eq!(striped.len(), 1);
+        assert!(!striped.is_empty());
+        *striped.stripe(u64::MAX).write() = 7;
+        assert_eq!(*striped.stripe(0).read(), 7);
     }
 
     #[test]

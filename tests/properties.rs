@@ -237,3 +237,47 @@ prop_check! {
         prop_assert_eq!(reparsed.root.attribute("a"), Some(value.as_str()));
     }
 }
+
+prop_check! {
+    cases = 6,
+    // Candidate-evaluation scheduling never changes search results: the
+    // greedy search over a generated mega-schema lands on the same final
+    // cost (bit-for-bit) and the same applied moves whether candidates
+    // are priced sequentially, in fixed chunks, or on the work-stealing
+    // deques — scheduling is pure overhead-shaping, never semantics.
+    // Under the CI fault pass (`LEGODB_FAULT_SEED=1`) injected failures
+    // and panics are pure in (seed, site, key), so the equality holds
+    // with faults firing too.
+    fn scheduler_choice_never_changes_search_results(types in 4usize..16, seed in 0u64..50) {
+        use legodb_core::search::{greedy_search, SearchConfig, StartPoint};
+        use legodb_schema::{mega_schema, MegaConfig};
+        use legodb_util::Scheduler;
+        let mega = mega_schema(&MegaConfig {
+            types,
+            seed,
+            ..MegaConfig::default()
+        });
+        let workload = legodb_bench::harness::mega_workload(&mega);
+        let mut outcomes = Vec::new();
+        for (parallel, scheduler) in [
+            (false, Scheduler::WorkStealing),
+            (true, Scheduler::Chunked),
+            (true, Scheduler::WorkStealing),
+        ] {
+            let config = SearchConfig {
+                start: StartPoint::MaximallyInlined,
+                parallel,
+                scheduler,
+                max_iterations: 2,
+                ..Default::default()
+            };
+            let r = greedy_search(&mega.schema, &mega.stats, &workload, &config)
+                .expect("search succeeds");
+            let moves: Vec<Option<String>> =
+                r.trajectory.iter().map(|it| it.applied.clone()).collect();
+            outcomes.push((r.cost.to_bits(), moves));
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1], "sequential vs chunked");
+        prop_assert_eq!(&outcomes[0], &outcomes[2], "sequential vs work-stealing");
+    }
+}
