@@ -10,6 +10,7 @@
 #   lint      legodb-lint static analysis gate (+ clippy when available)
 #   test      plain workspace test pass
 #   fault     fault-injection test pass (LEGODB_FAULT_SEED=1)
+#   recovery  seeded crash-recovery property across 16 seed streams
 #   hardened  release tests with debug-assertions + overflow-checks
 #   bench     experiment benches + bench-gate thresholds
 #   all       every stage above, in order (the default)
@@ -73,6 +74,27 @@ stage_fault() {
         --test properties incremental_costing_matches_the_oracle
 }
 
+# Crash-recovery pass (DESIGN.md §14): the seeded crash-recovery
+# property re-runs across independent LEGODB_PROP_SEED streams with the
+# env failpoints armed, so each stream draws different (fault seed, row
+# count) cases and crashes the durable engine at different WAL and
+# checkpoint sites. The property asserts the reopened database is a
+# prefix of the operation sequence containing every acknowledged commit,
+# with no partial rows and byte-identical double opens. Per-stream
+# outcomes land in target/ci/RECOVERY_report.txt.
+stage_recovery() {
+    build_release
+    local streams="${LEGODB_RECOVERY_SEEDS:-16}"
+    echo "==> crash-recovery property across $streams seed streams"
+    : > "$ARTIFACTS/RECOVERY_report.txt"
+    for seed in $(seq 1 "$streams"); do
+        LEGODB_FAULT_SEED=1 LEGODB_PROP_SEED="$seed" \
+            cargo test -q --offline --test robustness crash_recovery
+        echo "seed stream $seed: ok" >> "$ARTIFACTS/RECOVERY_report.txt"
+    done
+    echo "    all $streams seed streams recovered consistently"
+}
+
 # Hardened pass: optimized code with debug assertions and integer
 # overflow checks re-enabled, in a separate target dir so the plain
 # release cache stays valid. The lint gate itself must build (and stay
@@ -109,6 +131,10 @@ stage_hardened() {
 #    (On a single core every arm degenerates to the same sequential
 #    execution, so there is no speedup to measure — the equality gate
 #    still runs.)
+#  - recovery (DESIGN.md §14): a durable load + midway checkpoint +
+#    reopen at 1× and 10× corpus scale must recover a byte-identical
+#    database (replay_match == 1). Throughput numbers are archived but
+#    not gated — wall clock on shared runners is too noisy.
 stage_bench() {
     build_release
     echo "==> experiment benches (records in $ARTIFACTS/BENCH_search.json)"
@@ -118,6 +144,12 @@ stage_bench() {
     LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_search.json \
     LEGODB_SCALE_LIST="${LEGODB_SCALE_LIST:-1,10}" \
         ./target/release/search_scale >/dev/null
+
+    echo "==> recovery bench (records in $ARTIFACTS/BENCH_recovery.json)"
+    rm -f "$ARTIFACTS/BENCH_recovery.json"
+    LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_recovery.json \
+    LEGODB_RECOVERY_SCALES="${LEGODB_RECOVERY_SCALES:-1,10}" \
+        ./target/release/recovery >/dev/null
 
     echo "==> bench-gate thresholds"
     ./target/release/bench-gate "$ARTIFACTS/BENCH_search.json" \
@@ -136,6 +168,11 @@ stage_bench() {
     else
         echo "    single core: skipping the work-stealing speedup gate"
     fi
+    for scale in $(echo "${LEGODB_RECOVERY_SCALES:-1,10}" | tr ',' ' '); do
+        ./target/release/bench-gate "$ARTIFACTS/BENCH_recovery.json" \
+            --where experiment=recovery --where "scale=$scale" \
+            --require 'replay_match==1'
+    done
 }
 
 run_stage() {
@@ -144,11 +181,12 @@ run_stage() {
         lint) stage_lint ;;
         test) stage_test ;;
         fault) stage_fault ;;
+        recovery) stage_recovery ;;
         hardened) stage_hardened ;;
         bench) stage_bench ;;
-        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_hardened; stage_bench ;;
+        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_recovery; stage_hardened; stage_bench ;;
         *)
-            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault hardened bench all)" >&2
+            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault recovery hardened bench all)" >&2
             exit 2
             ;;
     esac

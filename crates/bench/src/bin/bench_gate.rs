@@ -146,7 +146,10 @@ fn run() -> Result<(), String> {
         return Err("no --require given; a gate with nothing to enforce is a bug".into());
     }
 
-    let body = std::fs::read_to_string(&file)
+    // Ambient authority enters at the CLI boundary: the argv path
+    // becomes a DirHandle on its parent directory.
+    let body = legodb_util::fs::DirHandle::open_containing(&file)
+        .and_then(|(dir, name)| dir.read_to_string(&name))
         .map_err(|e| format!("cannot read {file}: {e} (did the bench stage run?)"))?;
     let records = parse_lines(&body).map_err(|e| format!("{file}: {e}"))?;
     let scope: String = filters

@@ -1,0 +1,14 @@
+//! The durability experiment: stream a shredded IMDB corpus into a
+//! durable database (WAL append + fsync, midway checkpoint), then reopen
+//! and verify the recovered state byte-for-byte (DESIGN.md §14).
+//! JSON-lines records — WAL bytes, append MB/s, checkpoint and replay
+//! wall clock, and the `replay_match` gate metric — land in
+//! `BENCH_recovery.json`, or the path in `$LEGODB_BENCH_JSON` when set.
+
+#![forbid(unsafe_code)]
+fn main() {
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment("recovery", legodb_bench::harness::recovery)
+    );
+}

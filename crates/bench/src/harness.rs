@@ -11,14 +11,17 @@ use legodb_core::LegoDb;
 use legodb_imdb::queries::QUERIES;
 use legodb_imdb::stats::with_review_split;
 use legodb_imdb::{
-    fig5_queries, imdb_schema, lookup_workload, publish_workload, query, scaled_statistics,
-    workload_w1, workload_w2,
+    fig5_queries, generate_imdb, imdb_schema, lookup_workload, publish_workload, query,
+    scaled_statistics, workload_w1, workload_w2, ScaleConfig,
 };
 use legodb_optimizer::OptimizerConfig;
-use legodb_pschema::PSchema;
+use legodb_pschema::{derive_pschema, rel, shred, InlineStyle, PSchema};
+use legodb_relational::Database;
 use legodb_schema::mega::Occurrence;
 use legodb_schema::{mega_schema, MegaConfig, MegaSchema, TypeName};
+use legodb_util::fs::DirHandle;
 use legodb_util::Scheduler;
+use legodb_util::StdRng;
 use legodb_xml::stats::Statistics;
 use legodb_xquery::XQuery;
 use std::fmt::Write as _;
@@ -887,6 +890,145 @@ pub fn search_scale() -> String {
             "final cost",
         ],
         &rows,
+    ));
+    out
+}
+
+// ------------------------------------------------------------------ E9
+
+/// Abort the experiment with context on an infrastructure failure — for
+/// a bench harness that is the right failure mode, and it keeps the
+/// `no-unwrap-in-lib` discipline (one panic site with a message instead
+/// of bare `.expect(…)` calls on every durable operation).
+fn must<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => panic!("recovery bench: {what}: {e}"),
+    }
+}
+
+/// Scales for the durability experiment: `LEGODB_RECOVERY_SCALES` is a
+/// comma list of corpus percentages (scale unit = 1% of the Appendix A
+/// IMDB corpus, ~348 shows); the default `1,10` probes a 10× spread.
+fn recovery_scales() -> Vec<u64> {
+    std::env::var("LEGODB_RECOVERY_SCALES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 10])
+}
+
+/// The durability experiment (DESIGN.md §14): shred a generated IMDB
+/// document, stream it into a durable database (WAL append + fsync per
+/// table, checkpoint at the halfway point so recovery exercises both the
+/// checkpoint restore *and* the WAL tail replay), then reopen and check
+/// the recovered state is byte-identical. JSON-lines records land in
+/// `BENCH_recovery.json` (or `$LEGODB_BENCH_JSON`); CI gates on
+/// `replay_match == 1` at every scale.
+pub fn recovery() -> String {
+    let pschema = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+    let root = must(
+        DirHandle::create("target/bench_recovery"),
+        "create working dir",
+    );
+    let mut rows_out = Vec::new();
+    let mut records = Vec::new();
+
+    fn load_tables(db: &mut Database, src: &Database, names: &[String]) {
+        for name in names {
+            let table = must(src.table(name), "source table");
+            must(db.create_table(table.def.clone()), "create table");
+            table.for_each(|row| must(db.insert(name, row.clone()), "insert row"));
+        }
+        must(db.commit(), "commit");
+    }
+
+    for scale in recovery_scales() {
+        let mut rng = StdRng::seed_from_u64(0x001E_60DB ^ scale);
+        let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.01 * scale as f64));
+        let stats = Statistics::collect(&doc);
+        let mapping = rel(&pschema, &stats);
+        let src = must(shred(&mapping, &doc), "shred document");
+
+        let sub = format!("scale_{scale}");
+        let _ = root.remove_tree(&sub);
+        let dir = must(root.create_subdir(&sub), "create scale dir");
+        let mut db = must(Database::open(&dir), "open durable database");
+        let names: Vec<String> = src.tables().map(|t| t.def.name.clone()).collect();
+        let half = names.len() / 2;
+
+        let ((), first_wall) = legodb_util::bench::time_once(|| {
+            load_tables(&mut db, &src, &names[..half]);
+        });
+        let first_bytes = must(db.wal().map_or(Ok(0), |w| w.len_bytes()), "WAL size");
+        let ((), checkpoint_wall) =
+            legodb_util::bench::time_once(|| must(db.checkpoint(&dir), "checkpoint"));
+        let ((), second_wall) = legodb_util::bench::time_once(|| {
+            load_tables(&mut db, &src, &names[half..]);
+        });
+        let second_bytes = must(db.wal().map_or(Ok(0), |w| w.len_bytes()), "WAL size");
+
+        let wal_bytes = first_bytes + second_bytes;
+        let append_secs = (first_wall + second_wall).as_secs_f64();
+        let append_mb_s = wal_bytes as f64 / 1e6 / append_secs.max(1e-9);
+        let checkpoint_ms = checkpoint_wall.as_secs_f64() * 1e3;
+
+        let (recovered, replay_wall) =
+            legodb_util::bench::time_once(|| must(Database::open(&dir), "recovery open"));
+        let replay_ms = replay_wall.as_secs_f64() * 1e3;
+        let replay_match = recovered.snapshot_json() == db.snapshot_json();
+        let total_rows = db.total_rows() as u64;
+
+        rows_out.push(vec![
+            format!("{scale}"),
+            total_rows.to_string(),
+            format!("{:.2}", wal_bytes as f64 / 1e6),
+            format!("{append_mb_s:.1}"),
+            format!("{checkpoint_ms:.1}"),
+            format!("{replay_ms:.1}"),
+            if replay_match {
+                "yes".to_string()
+            } else {
+                "NO — INVESTIGATE".to_string()
+            },
+        ]);
+        records.push(
+            legodb_util::json::JsonObject::new()
+                .str("experiment", "recovery")
+                .u64("scale", scale)
+                .u64("rows", total_rows)
+                .u64("wal_bytes", wal_bytes)
+                .f64("append_mb_s", append_mb_s)
+                .f64("checkpoint_ms", checkpoint_ms)
+                .f64("replay_ms", replay_ms)
+                .u64("replay_match", u64::from(replay_match))
+                .finish(),
+        );
+    }
+
+    let path = std::env::var_os("LEGODB_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_recovery.json"));
+    if let Err(e) = legodb_util::bench::append_json_lines(&path, records) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+    }
+    let mut out =
+        String::from("## E9 — durable load, checkpoint, and WAL replay (scale unit = 1% IMDB)\n\n");
+    out.push_str(&md_table(
+        &[
+            "Scale",
+            "rows",
+            "WAL MB",
+            "append MB/s",
+            "checkpoint ms",
+            "replay ms",
+            "recovered identical",
+        ],
+        &rows_out,
     ));
     out
 }

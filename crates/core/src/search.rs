@@ -325,6 +325,8 @@ enum Eval {
 /// worker). Returns the priced survivors, one diagnostic per dropped
 /// candidate, the dropped count, and — under the work-stealing
 /// scheduler — the iteration's scheduling telemetry.
+type PricedCandidate = (Transformation, PSchema, CostReport);
+
 #[allow(clippy::too_many_arguments)]
 fn evaluate_candidates(
     current: &PSchema,
@@ -337,7 +339,7 @@ fn evaluate_candidates(
     governor: Option<&Governor>,
     steal_seed: u64,
 ) -> (
-    Vec<(Transformation, PSchema, CostReport)>,
+    Vec<PricedCandidate>,
     Vec<String>,
     usize,
     Option<StealReport>,

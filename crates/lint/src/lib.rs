@@ -27,16 +27,20 @@ pub mod walk;
 pub use rules::{lint_source, Diagnostic, FileKind, RULES};
 pub use walk::{classify, collect_workspace, FileEntry};
 
+use legodb_util::fs::DirHandle;
 use std::io;
 use std::path::Path;
 
 /// Lint every covered file under the workspace root. Diagnostics come
-/// back sorted by (path, line, col) — a deterministic report.
+/// back sorted by (path, line, col) — a deterministic report. All reads
+/// go through a [`DirHandle`] rooted at `root`: the gate practices the
+/// capability discipline its `no-ambient-authority` rule enforces.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let files = collect_workspace(root)?;
+    let dir = DirHandle::open(root)?;
+    let files = collect_workspace(&dir)?;
     let mut diags = Vec::new();
     for f in &files {
-        let src = std::fs::read_to_string(&f.path)?;
+        let src = dir.read_to_string(&f.rel)?;
         diags.extend(lint_source(&f.rel, f.kind, &src));
     }
     diags.sort_by(|a, b| {

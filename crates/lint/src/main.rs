@@ -55,7 +55,11 @@ fn main() -> ExitCode {
             buf.push_str(&d.to_json());
             buf.push('\n');
         }
-        if let Err(e) = std::fs::write(&path, buf) {
+        // Ambient authority enters at the CLI boundary: the operator's
+        // argv path becomes a DirHandle on its parent directory.
+        let written = legodb_util::fs::DirHandle::create_containing(&path)
+            .and_then(|(dir, name)| dir.write_atomic(&name, buf.as_bytes()));
+        if let Err(e) = written {
             eprintln!("legodb-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -85,6 +85,11 @@ const COST_PATH_FILES: &[&str] = &[
 /// wall-clock by design.
 const AMBIENT_EXEMPT_CRATES: &[&str] = &["util", "bench"];
 
+/// Crates exempt from the filesystem half of `no-ambient-authority`:
+/// only `util` — it owns the `fs::DirHandle` capability type. `bench`
+/// is deliberately NOT here; its record writers route through util.
+const FS_EXEMPT_CRATES: &[&str] = &["util"];
+
 /// Crates whose parsers must route through `_with_limits` entry points.
 const LIMIT_GUARDED_CRATES: &[&str] = &["xml", "schema", "xquery"];
 
@@ -490,9 +495,15 @@ impl<'a> FileCheck<'a> {
     /// `no-ambient-authority`: no clocks, env reads, or thread spawns
     /// outside `crates/util` and `crates/bench` — fault-injection
     /// decisions must be pure in (seed, site, key) and parallel must
-    /// equal sequential (PR 2).
+    /// equal sequential (PR 2) — and no direct filesystem access
+    /// (`std::fs` / `File::` / `OpenOptions`) outside `crates/util`:
+    /// durable code must be *handed* a `legodb_util::fs::DirHandle`
+    /// capability, so crash-recovery failpoints stay the only I/O
+    /// failure model (PR 7).
     fn rule_no_ambient_authority(&mut self) {
-        if self.kind == FileKind::Test || self.in_crate(AMBIENT_EXEMPT_CRATES) {
+        let clock_exempt = self.in_crate(AMBIENT_EXEMPT_CRATES);
+        let fs_exempt = self.in_crate(FS_EXEMPT_CRATES);
+        if self.kind == FileKind::Test || (clock_exempt && fs_exempt) {
             return;
         }
         let mut hits = Vec::new();
@@ -507,7 +518,22 @@ impl<'a> FileCheck<'a> {
                         .get(i + 3)
                         .is_some_and(|m| members.iter().any(|w| m.is_ident(w)))
             };
-            let found = if path_call("env", &["var", "var_os", "vars", "vars_os"]) {
+            // The path segment right before token `i`, if `i` follows `::`.
+            let prev_segment = |name: &str| -> bool {
+                i >= 3
+                    && self.peek_punct(i - 1, ':')
+                    && self.peek_punct(i - 2, ':')
+                    && self.code[i - 3].is_ident(name)
+            };
+            // `legodb_util::fs::DirHandle` is the sanctioned capability
+            // path — an `fs` segment right after `legodb_util::` is fine.
+            let sanctioned_fs = || prev_segment("legodb_util");
+            // `std::fs::File`/`std::fs::OpenOptions` already flag at the
+            // `fs` segment; don't double-report the same path.
+            let via_fs_segment = || prev_segment("fs");
+            let clock_hit = if clock_exempt {
+                None
+            } else if path_call("env", &["var", "var_os", "vars", "vars_os"]) {
                 Some("`std::env::var` reads ambient environment")
             } else if path_call("SystemTime", &["now"]) || path_call("Instant", &["now"]) {
                 Some("ambient clock reads break deterministic replay")
@@ -516,13 +542,43 @@ impl<'a> FileCheck<'a> {
             } else {
                 None
             };
-            if let Some(what) = found {
+            if let Some(what) = clock_hit {
                 hits.push((
                     t.line,
                     t.col,
                     format!(
                         "{what} — only `crates/util` (governor/fault/bench) and \
                          `crates/bench` may touch ambient authority"
+                    ),
+                ));
+                continue;
+            }
+            let fs_hit = if fs_exempt {
+                None
+            } else if t.is_ident("fs")
+                && self.peek_punct(i + 1, ':')
+                && self.peek_punct(i + 2, ':')
+                && !sanctioned_fs()
+            {
+                Some("`fs::...` is ambient filesystem authority")
+            } else if t.is_ident("File")
+                && self.peek_punct(i + 1, ':')
+                && self.peek_punct(i + 2, ':')
+                && !via_fs_segment()
+            {
+                Some("`File::...` opens files directly")
+            } else if t.is_ident("OpenOptions") && !via_fs_segment() {
+                Some("`OpenOptions` opens files directly")
+            } else {
+                None
+            };
+            if let Some(what) = fs_hit {
+                hits.push((
+                    t.line,
+                    t.col,
+                    format!(
+                        "{what} — only `crates/util` may touch the filesystem; \
+                         take a `legodb_util::fs::DirHandle` capability instead"
                     ),
                 ));
             }
@@ -759,6 +815,35 @@ mod tests {
         assert!(lint_lib("crates/util/src/governor.rs", src).is_empty());
         assert!(lint_lib("crates/bench/src/harness.rs", src).is_empty());
         assert!(lint_source("tests/pipeline.rs", FileKind::Test, src).is_empty());
+    }
+
+    #[test]
+    fn filesystem_access_flagged_outside_util() {
+        let src = "fn f() { let _ = std::fs::read(\"x\"); \
+                   let _ = File::open(\"y\"); \
+                   let _ = OpenOptions::new().read(true); }";
+        let d = lint_lib("crates/core/src/engine.rs", src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "no-ambient-authority"));
+        assert!(d[0].message.contains("DirHandle"), "{:?}", d[0].message);
+        // util owns the capability type, so it alone may touch std::fs
+        assert!(lint_lib("crates/util/src/fs.rs", src).is_empty());
+        // bench is clock-exempt but NOT fs-exempt
+        let d = lint_lib("crates/bench/src/harness.rs", src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        // tests may use std::fs for scratch dirs
+        assert!(lint_source("tests/robustness.rs", FileKind::Test, src).is_empty());
+    }
+
+    #[test]
+    fn dirhandle_capability_path_is_sanctioned() {
+        let src = "use legodb_util::fs::DirHandle;\n\
+                   fn f(d: &legodb_util::fs::DirHandle) { let _ = d.read(\"x\"); }";
+        assert!(lint_lib("crates/relational/src/wal.rs", src).is_empty());
+        // ...but a bare `fs::` path is still ambient
+        let src = "use legodb_util::fs;\nfn f() { let _ = fs::DirHandle::open(\".\"); }";
+        let d = lint_lib("crates/relational/src/wal.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
     }
 
     #[test]

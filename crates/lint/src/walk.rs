@@ -1,16 +1,18 @@
 //! Workspace file discovery: every Rust source the lint gate covers,
 //! classified by [`FileKind`], in a deterministic (sorted) order.
+//!
+//! Discovery routes through [`legodb_util::fs::DirHandle`] — the lint
+//! gate obeys the same capability discipline it enforces.
 
 use crate::rules::FileKind;
-use std::fs;
+use legodb_util::fs::DirHandle;
 use std::io;
-use std::path::{Path, PathBuf};
 
-/// One file to lint: absolute path plus the workspace-relative path
-/// (always `/`-separated — rule scoping matches on it).
+/// One file to lint: the workspace-relative path (always `/`-separated —
+/// rule scoping matches on it, and [`DirHandle`] reads resolve it) plus
+/// its classification.
 #[derive(Debug, Clone)]
 pub struct FileEntry {
-    pub path: PathBuf,
     pub rel: String,
     pub kind: FileKind,
 }
@@ -22,22 +24,18 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "lint_fixtures"];
 /// Collect every `.rs` file the gate covers, relative to the workspace
 /// root: `crates/*/{src,tests,benches,examples}`, plus the façade
 /// crate's `src/`, `tests/`, and `examples/`.
-pub fn collect_workspace(root: &Path) -> io::Result<Vec<FileEntry>> {
+pub fn collect_workspace(root: &DirHandle) -> io::Result<Vec<FileEntry>> {
     let mut out = Vec::new();
     for top in ["src", "tests", "examples"] {
-        collect_dir(root, &root.join(top), &mut out)?;
+        collect_dir(root, top, &mut out)?;
     }
-    let crates = root.join("crates");
-    if crates.is_dir() {
-        let mut members: Vec<PathBuf> = fs::read_dir(&crates)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        members.sort();
-        for member in members {
+    if root.exists("crates")? {
+        for member in root.subdir("crates")?.list()? {
+            if !member.is_dir {
+                continue;
+            }
             for sub in ["src", "tests", "benches", "examples"] {
-                collect_dir(root, &member.join(sub), &mut out)?;
+                collect_dir(root, &format!("crates/{}/{sub}", member.name), &mut out)?;
             }
         }
     }
@@ -45,36 +43,26 @@ pub fn collect_workspace(root: &Path) -> io::Result<Vec<FileEntry>> {
     Ok(out)
 }
 
-fn collect_dir(root: &Path, dir: &Path, out: &mut Vec<FileEntry>) -> io::Result<()> {
-    if !dir.is_dir() {
+fn collect_dir(root: &DirHandle, rel: &str, out: &mut Vec<FileEntry>) -> io::Result<()> {
+    if !root.exists(rel)? {
         return Ok(());
     }
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
-        .filter_map(|e| e.ok())
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    for path in entries {
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if path.is_dir() {
-            if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
-                collect_dir(root, &path, out)?;
+    let dir = match root.subdir(rel) {
+        Ok(d) => d,
+        Err(_) => return Ok(()), // a plain file named like a source dir
+    };
+    for entry in dir.list()? {
+        let child = format!("{rel}/{}", entry.name);
+        if entry.is_dir {
+            if !SKIP_DIRS.contains(&entry.name.as_str()) && !entry.name.starts_with('.') {
+                collect_dir(root, &child, out)?;
             }
-        } else if name.ends_with(".rs") {
-            let rel = rel_unix(root, &path);
-            let kind = classify(&rel);
-            out.push(FileEntry { path, rel, kind });
+        } else if entry.name.ends_with(".rs") {
+            let kind = classify(&child);
+            out.push(FileEntry { rel: child, kind });
         }
     }
     Ok(())
-}
-
-fn rel_unix(root: &Path, path: &Path) -> String {
-    let rel = path.strip_prefix(root).unwrap_or(path);
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
 }
 
 /// Classify a workspace-relative path into the [`FileKind`] that decides
@@ -112,5 +100,33 @@ mod tests {
             FileKind::Test
         );
         assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+    }
+
+    #[test]
+    fn collect_walks_via_the_capability_handle() {
+        let root = std::env::temp_dir().join(format!("legodb-walk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        dir.write_atomic("src/lib.rs", b"pub fn f() {}").unwrap();
+        dir.write_atomic("crates/a/src/lib.rs", b"").unwrap();
+        dir.write_atomic("crates/a/tests/t.rs", b"").unwrap();
+        dir.write_atomic("crates/a/src/target_helper.rs", b"")
+            .unwrap();
+        dir.write_atomic("crates/a/src/notes.txt", b"").unwrap();
+        dir.create_subdir("crates/a/src/target").unwrap(); // skipped dir
+        dir.write_atomic("crates/a/src/target/gen.rs", b"").unwrap();
+        let files = collect_workspace(&dir).unwrap();
+        let rels: Vec<&str> = files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(
+            rels,
+            [
+                "crates/a/src/lib.rs",
+                "crates/a/src/target_helper.rs",
+                "crates/a/tests/t.rs",
+                "src/lib.rs",
+            ]
+        );
+        assert_eq!(files[2].kind, FileKind::Test);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -22,6 +22,17 @@ pub fn suppressed() -> Option<String> {
     std::env::var("PATH").ok()
 }
 
+pub fn flagged_filesystem() {
+    let _ = std::fs::read("ambient.bin");
+    let _ = std::fs::File::open("ambient.bin");
+    let _ = std::fs::OpenOptions::new();
+}
+
+pub fn sanctioned_capability(dir: &legodb_util::fs::DirHandle) -> std::io::Result<Vec<u8>> {
+    // The DirHandle path is the sanctioned route: not flagged.
+    dir.read("durable.json")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -29,6 +29,17 @@ pub enum RelationalError {
     ColumnOutOfRange { index: usize, width: usize },
     /// A plan was malformed (e.g. join keys of different lengths).
     BadPlan(String),
+    /// An I/O failure on the durability path. Carries the operation that
+    /// failed and the rendered OS error (kept as a `String` so the error
+    /// type stays `Clone + PartialEq + Eq`).
+    Io { context: String, message: String },
+    /// Durable state that passed its checksum but failed to decode — a
+    /// software bug or out-of-band corruption, never silently dropped.
+    Corrupt { context: String },
+    /// A durable operation was attempted on a WAL that already observed a
+    /// write failure; the log contents past that point are unknown, so
+    /// further appends are refused until the database is reopened.
+    WalPoisoned,
 }
 
 impl fmt::Display for RelationalError {
@@ -63,6 +74,18 @@ impl fmt::Display for RelationalError {
                 )
             }
             RelationalError::BadPlan(msg) => write!(f, "malformed plan: {msg}"),
+            RelationalError::Io { context, message } => {
+                write!(f, "i/o failure during {context}: {message}")
+            }
+            RelationalError::Corrupt { context } => {
+                write!(f, "corrupt durable state: {context}")
+            }
+            RelationalError::WalPoisoned => {
+                write!(
+                    f,
+                    "write-ahead log poisoned by an earlier write failure; reopen the database"
+                )
+            }
         }
     }
 }

@@ -17,6 +17,11 @@
 //!
 //! Page geometry is fixed at [`PAGE_SIZE`] bytes; table width is derived
 //! from column statistics, matching how the cost model reasons.
+//!
+//! Durability is provided by a write-ahead log ([`wal::Wal`]) plus a
+//! checkpoint/restore path on [`storage::Database`] (`open`, `checkpoint`,
+//! `commit`): see DESIGN.md §14. All filesystem access flows through the
+//! [`legodb_util::fs::DirHandle`] capability handle.
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +32,7 @@ pub mod expr;
 pub mod plan;
 pub mod storage;
 pub mod types;
+pub mod wal;
 
 pub use catalog::{Catalog, ColumnDef, ColumnStats, ForeignKey, TableDef, TableStats};
 pub use error::RelationalError;
@@ -35,6 +41,7 @@ pub use expr::{CmpOp, Expr};
 pub use plan::PhysicalPlan;
 pub use storage::{Database, Row, Table};
 pub use types::{SqlType, Value};
+pub use wal::{Wal, WalRecord};
 
 /// Page size used for both cost estimation and executor accounting (bytes).
 pub const PAGE_SIZE: f64 = 8192.0;

@@ -145,12 +145,9 @@ pub fn mega_schema(config: &MegaConfig) -> MegaSchema {
     let mut queue: std::collections::VecDeque<usize> = [0].into();
     let mut next = 1;
     while next < n {
-        let parent = match queue.pop_front() {
-            Some(p) => p,
-            // Every open slot is at max depth; widen the root instead of
-            // dropping types so `types` is always honored exactly.
-            None => 0,
-        };
+        // Every open slot is at max depth; widen the root instead of
+        // dropping types so `types` is always honored exactly.
+        let parent = queue.pop_front().unwrap_or(0);
         let (pdepth, _) = meta[parent];
         let want = rng.gen_range(1..=config.fanout.max(1));
         for _ in 0..want {
@@ -181,8 +178,8 @@ pub fn mega_schema(config: &MegaConfig) -> MegaSchema {
     // occurrence to references, and a repeated union would change the
     // geometry recorded above.
     let mut union_pairs: Vec<Option<usize>> = vec![None; n]; // i -> union partner (i < partner)
-    for i in 0..n {
-        let singles: Vec<usize> = children[i]
+    for kids in &mut children {
+        let singles: Vec<usize> = kids
             .iter()
             .filter(|(_, o)| *o == Occurrence::One)
             .map(|(c, _)| *c)
@@ -190,7 +187,7 @@ pub fn mega_schema(config: &MegaConfig) -> MegaSchema {
         if singles.len() >= 2 && rng.gen_bool(config.union_density.clamp(0.0, 1.0)) {
             let (a, b) = (singles[singles.len() - 2], singles[singles.len() - 1]);
             union_pairs[a] = Some(b);
-            for (c, o) in &mut children[i] {
+            for (c, o) in kids.iter_mut() {
                 if *c == a || *c == b {
                     *o = Occurrence::UnionBranch;
                 }

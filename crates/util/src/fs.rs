@@ -1,0 +1,401 @@
+//! Capability-style filesystem access: the only sanctioned route to
+//! `std::fs` in this workspace.
+//!
+//! The `no-ambient-authority` lint rule bans `std::fs` / `File::` /
+//! `OpenOptions` everywhere outside `crates/util`, so any code that
+//! needs durable storage must be *handed* a [`DirHandle`] — a handle to
+//! one directory, inside which all reads and writes stay. This keeps
+//! filesystem authority explicit in signatures (a function that cannot
+//! receive a handle cannot touch the disk) and keeps the deterministic
+//! fault-injection story honest: failpoints on the write paths are the
+//! only source of I/O failure the tests need to model.
+//!
+//! Names passed to a handle are `/`-separated *relative* paths and are
+//! validated: absolute paths, `..` components, and empty components are
+//! rejected with `InvalidInput` rather than escaping the root.
+//!
+//! [`DirHandle::write_atomic`] is the crash-safe publication primitive:
+//! write to a temp file, fsync it, rename over the target, fsync the
+//! directory. A crash at any point leaves either the old file or the
+//! new one, never a torn mixture — the checkpoint/restore path in
+//! `crates/relational` leans on exactly this.
+
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A capability to read and write inside one directory.
+#[derive(Debug, Clone)]
+pub struct DirHandle {
+    root: PathBuf,
+}
+
+impl DirHandle {
+    /// Open an existing directory as a capability root.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<DirHandle> {
+        let root = path.as_ref().to_path_buf();
+        if !root.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} is not a directory", root.display()),
+            ));
+        }
+        Ok(DirHandle { root })
+    }
+
+    /// Create the directory (and parents) if needed, then open it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<DirHandle> {
+        fs::create_dir_all(path.as_ref())?;
+        DirHandle::open(path)
+    }
+
+    /// Split a file path from the CLI boundary into (handle on the
+    /// parent directory, file name). This is where ambient authority is
+    /// allowed to enter a program: an operator-supplied path on argv.
+    pub fn open_containing(path: impl AsRef<Path>) -> io::Result<(DirHandle, String)> {
+        let (parent, name) = split_containing(path.as_ref())?;
+        Ok((DirHandle::open(parent)?, name))
+    }
+
+    /// Like [`DirHandle::open_containing`], creating the parent
+    /// directory first.
+    pub fn create_containing(path: impl AsRef<Path>) -> io::Result<(DirHandle, String)> {
+        let (parent, name) = split_containing(path.as_ref())?;
+        Ok((DirHandle::create(parent)?, name))
+    }
+
+    /// The directory this handle is rooted at.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Validate `name` and resolve it against the root. Rejects absolute
+    /// paths and any `..` / empty component.
+    fn resolve(&self, name: &str) -> io::Result<PathBuf> {
+        if name.is_empty() || name.starts_with('/') || name.contains('\\') {
+            return Err(bad_name(name));
+        }
+        let mut path = self.root.clone();
+        for part in name.split('/') {
+            if part.is_empty() || part == "." || part == ".." {
+                return Err(bad_name(name));
+            }
+            path.push(part);
+        }
+        Ok(path)
+    }
+
+    /// Does `name` exist under this root?
+    pub fn exists(&self, name: &str) -> io::Result<bool> {
+        Ok(self.resolve(name)?.exists())
+    }
+
+    /// Read a file's bytes.
+    pub fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.resolve(name)?)
+    }
+
+    /// Read a file's bytes, mapping "not found" to `None`.
+    pub fn read_opt(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.resolve(name)?) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Read a file as UTF-8.
+    pub fn read_to_string(&self, name: &str) -> io::Result<String> {
+        fs::read_to_string(self.resolve(name)?)
+    }
+
+    /// Size of a file in bytes (0 if it does not exist).
+    pub fn file_len(&self, name: &str) -> io::Result<u64> {
+        match fs::metadata(self.resolve(name)?) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically replace `name` with `bytes`: write `<name>.tmp`, fsync
+    /// it, rename over `name`, fsync the directory. A crash leaves either
+    /// the old contents or the new, never a torn file.
+    pub fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let target = self.resolve(name)?;
+        let tmp = self.resolve(&format!("{name}.tmp"))?;
+        if let Some(parent) = target.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &target)?;
+        // Persist the rename itself. Directory fsync is a no-op on some
+        // platforms; failure to open the directory is not fatal.
+        if let Some(parent) = target.parent() {
+            if let Ok(dir) = fs::File::open(parent) {
+                dir.sync_all()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Open (creating if absent) an append-only log file.
+    pub fn append_log(&self, name: &str) -> io::Result<LogFile> {
+        let path = self.resolve(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        Ok(LogFile { file })
+    }
+
+    /// Truncate (or extend with zeros) a file to `len` bytes. Creates the
+    /// file if it does not exist.
+    pub fn set_len(&self, name: &str, len: u64) -> io::Result<()> {
+        let path = self.resolve(name)?;
+        // truncate(false): `set_len` below does the sizing; opening must
+        // not clobber the contents we may be keeping a prefix of.
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(len)?;
+        file.sync_all()
+    }
+
+    /// Remove a file if it exists.
+    pub fn remove(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.resolve(name)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Remove a subdirectory and everything under it (no-op if absent).
+    pub fn remove_tree(&self, name: &str) -> io::Result<()> {
+        match fs::remove_dir_all(self.resolve(name)?) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Entries directly under this root, name-sorted.
+    pub fn list(&self) -> io::Result<Vec<DirEntryInfo>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = match entry.file_name().into_string() {
+                Ok(n) => n,
+                Err(_) => continue, // non-UTF-8 names are invisible to the capability API
+            };
+            let is_dir = entry.file_type()?.is_dir();
+            out.push(DirEntryInfo { name, is_dir });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// A handle on an existing subdirectory.
+    pub fn subdir(&self, name: &str) -> io::Result<DirHandle> {
+        DirHandle::open(self.resolve(name)?)
+    }
+
+    /// A handle on a subdirectory, creating it if needed.
+    pub fn create_subdir(&self, name: &str) -> io::Result<DirHandle> {
+        DirHandle::create(self.resolve(name)?)
+    }
+}
+
+/// One entry of [`DirHandle::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntryInfo {
+    /// File or directory name (one component, no separators).
+    pub name: String,
+    /// True for directories.
+    pub is_dir: bool,
+}
+
+fn split_containing(path: &Path) -> io::Result<(PathBuf, String)> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| bad_name(&path.display().to_string()))?
+        .to_string();
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    Ok((parent, name))
+}
+
+fn bad_name(name: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("invalid relative path {name:?}: must be non-empty, relative, and `..`-free"),
+    )
+}
+
+/// An append-only file: the WAL's write primitive.
+#[derive(Debug)]
+pub struct LogFile {
+    file: fs::File,
+}
+
+impl LogFile {
+    /// Append bytes at the end of the file.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    /// Durably flush appended bytes (fdatasync-style).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    /// Current length of the file in bytes.
+    pub fn len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// True if the file is empty.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Read the whole file from the start (diagnostics/tests).
+    pub fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        use std::io::Seek as _;
+        let mut out = Vec::new();
+        self.file.seek(io::SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("legodb-util-fs-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn create_read_write_roundtrip() {
+        let root = scratch("rw");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        dir.write_atomic("a.txt", b"hello").unwrap();
+        assert_eq!(dir.read_to_string("a.txt").unwrap(), "hello");
+        assert!(dir.exists("a.txt").unwrap());
+        assert!(!dir.exists("b.txt").unwrap());
+        assert_eq!(dir.read_opt("b.txt").unwrap(), None);
+        assert_eq!(dir.file_len("a.txt").unwrap(), 5);
+        // nested relative paths work and create parents on write
+        dir.write_atomic("sub/inner.txt", b"x").unwrap();
+        assert_eq!(dir.read("sub/inner.txt").unwrap(), b"x");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn escaping_names_are_rejected() {
+        let root = scratch("escape");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        for bad in ["", "/etc/passwd", "../up", "a/../b", "a//b", "./a"] {
+            assert!(dir.read(bad).is_err(), "{bad:?} must be rejected");
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let root = scratch("atomic");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        dir.write_atomic("f", b"old contents").unwrap();
+        dir.write_atomic("f", b"new").unwrap();
+        assert_eq!(dir.read("f").unwrap(), b"new");
+        // the temp file does not linger
+        assert!(!dir.exists("f.tmp").unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn append_log_accumulates_and_truncates() {
+        let root = scratch("log");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        {
+            let mut log = dir.append_log("wal.log").unwrap();
+            log.append(b"abc").unwrap();
+            log.append(b"def").unwrap();
+            log.sync().unwrap();
+            assert_eq!(log.len().unwrap(), 6);
+            assert_eq!(log.read_all().unwrap(), b"abcdef");
+        }
+        dir.set_len("wal.log", 4).unwrap();
+        assert_eq!(dir.read("wal.log").unwrap(), b"abcd");
+        // appends after truncation land at the new end
+        let mut log = dir.append_log("wal.log").unwrap();
+        log.append(b"Z").unwrap();
+        drop(log);
+        assert_eq!(dir.read("wal.log").unwrap(), b"abcdZ");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn list_and_subdir_enumerate_entries() {
+        let root = scratch("list");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        dir.write_atomic("b.txt", b"1").unwrap();
+        dir.create_subdir("adir").unwrap();
+        let entries = dir.list().unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                DirEntryInfo {
+                    name: "adir".into(),
+                    is_dir: true
+                },
+                DirEntryInfo {
+                    name: "b.txt".into(),
+                    is_dir: false
+                },
+            ]
+        );
+        let sub = dir.subdir("adir").unwrap();
+        sub.write_atomic("c", b"2").unwrap();
+        assert_eq!(dir.read("adir/c").unwrap(), b"2");
+        dir.remove_tree("adir").unwrap();
+        assert!(!dir.exists("adir").unwrap());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn open_containing_splits_cli_paths() {
+        let root = scratch("cli");
+        let _ = fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).unwrap();
+        dir.write_atomic("records.json", b"{}").unwrap();
+        let (parent, name) = DirHandle::open_containing(root.join("records.json")).unwrap();
+        assert_eq!(name, "records.json");
+        assert_eq!(parent.read(&name).unwrap(), b"{}");
+        // bare file names resolve against "."
+        let (_, bare) = DirHandle::create_containing("bare.txt").unwrap();
+        assert_eq!(bare, "bare.txt");
+        let _ = fs::remove_dir_all(&root);
+    }
+}

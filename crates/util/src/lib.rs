@@ -16,6 +16,7 @@
 //! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
 //! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
 //! | [`json`] | `serde` | minimal JSON writer for the bench records, and a JSON-lines reader for the CI gate |
+//! | [`fs`] | — | [`fs::DirHandle`] capability-style directory handle: the only sanctioned route to `std::fs` (atomic replace, append logs, truncation) |
 //!
 //! Everything here is deterministic where it matters (seeded streams are
 //! stable across platforms) and dependency-free by policy: see the
@@ -25,6 +26,7 @@
 
 pub mod bench;
 pub mod fault;
+pub mod fs;
 pub mod governor;
 pub mod hash;
 pub mod json;
@@ -34,6 +36,7 @@ pub mod rng;
 pub mod sync;
 
 pub use fault::{failpoint, FaultConfig, FaultError, FaultMode};
+pub use fs::{DirHandle, LogFile};
 pub use governor::{Budget, BudgetExceeded, Governor};
 pub use hash::StableHasher;
 pub use par::{scoped_map, scoped_map_catch, steal_map_catch, Scheduler, StealReport};
