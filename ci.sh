@@ -175,6 +175,39 @@ stage_bench() {
     done
 }
 
+# Streaming-ingest gates (DESIGN.md §15), over BENCH_ingest.json:
+#
+#  - rows_match at every scale: the streaming shred must be bit-identical
+#    to the DOM oracle — a throughput win that changes the database is a
+#    correctness bug, not an optimisation.
+#  - within_budget: the streaming path must actually stream (peak
+#    resident elements under a tenth of the DOM node count).
+#  - fsyncs_per_batch <= 1: batched appends group each batch into one
+#    WAL frame with a single fsync.
+#  - streaming_speedup > 1.0 at 10×: the event-pull path must beat the
+#    DOM path. The headline target is 1.5×; the CI floor is looser
+#    because wall clock on shared runners is noisy.
+stage_ingest() {
+    build_release
+    echo "==> streaming ingest bench (records in $ARTIFACTS/BENCH_ingest.json)"
+    rm -f "$ARTIFACTS/BENCH_ingest.json"
+    LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_ingest.json \
+    LEGODB_INGEST_SCALES="${LEGODB_INGEST_SCALES:-1,10}" \
+        ./target/release/ingest >/dev/null
+
+    echo "==> ingest gates"
+    for scale in $(echo "${LEGODB_INGEST_SCALES:-1,10}" | tr ',' ' '); do
+        ./target/release/bench-gate "$ARTIFACTS/BENCH_ingest.json" \
+            --where experiment=ingest --where "scale=$scale" \
+            --require 'rows_match==1' \
+            --require 'within_budget==1' \
+            --require 'fsyncs_per_batch<=1'
+    done
+    ./target/release/bench-gate "$ARTIFACTS/BENCH_ingest.json" \
+        --where experiment=ingest --where scale=10 \
+        --require 'streaming_speedup>1.0'
+}
+
 run_stage() {
     case "$1" in
         fmt) stage_fmt ;;
@@ -184,9 +217,10 @@ run_stage() {
         recovery) stage_recovery ;;
         hardened) stage_hardened ;;
         bench) stage_bench ;;
-        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_recovery; stage_hardened; stage_bench ;;
+        ingest) stage_ingest ;;
+        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_recovery; stage_hardened; stage_bench; stage_ingest ;;
         *)
-            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault recovery hardened bench all)" >&2
+            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault recovery hardened bench ingest all)" >&2
             exit 2
             ;;
     esac

@@ -1,0 +1,15 @@
+//! The streaming-ingest experiment: shred a generated IMDB corpus via the
+//! DOM path (parse + walk) and the event-pull streaming path, verify the
+//! outputs are bit-identical, and load the rows durably through batched
+//! WAL appends (one fsync per batch) — DESIGN.md §15. JSON-lines records
+//! (throughput, peak resident elements, `rows_match`, `fsyncs_per_batch`,
+//! and the gated `streaming_speedup`) land in `BENCH_ingest.json`, or the
+//! path in `$LEGODB_BENCH_JSON` when set.
+
+#![forbid(unsafe_code)]
+fn main() {
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment("ingest", legodb_bench::harness::ingest)
+    );
+}

@@ -1033,6 +1033,190 @@ pub fn recovery() -> String {
     out
 }
 
+// ----------------------------------------------------------------- E10
+
+/// Scales for the ingest experiment (`LEGODB_INGEST_SCALES`, same 1% unit
+/// as the recovery bench; default `1,10`).
+fn ingest_scales() -> Vec<u64> {
+    std::env::var("LEGODB_INGEST_SCALES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 10])
+}
+
+/// The streaming-ingest experiment (DESIGN.md §15): shred a generated
+/// IMDB corpus twice — the DOM path (`parse` then `shred_dom`: build the
+/// whole tree, validate it upfront, walk it) and the streaming path
+/// (`shred_events`: tokenize, buffer one root-child subtree at a time) —
+/// and compare wall clock, throughput, and peak resident elements. The
+/// hard invariant is bit-identical output (`rows_match`, gated in CI
+/// together with `streaming_speedup > 1`). A third arm loads the shredded
+/// rows into a durable database through `Database::insert_batch`, one
+/// batch per table, counting WAL fsyncs to demonstrate group commit
+/// (`fsyncs_per_batch <= 1`).
+pub fn ingest() -> String {
+    use legodb_pschema::{shred_dom, shred_events_report};
+    use legodb_xml::{events, parse};
+
+    let reps: usize = std::env::var("LEGODB_INGEST_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+    let pschema = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+    let root = must(
+        DirHandle::create("target/bench_ingest"),
+        "create working dir",
+    );
+    let mut rows_out = Vec::new();
+    let mut records = Vec::new();
+
+    for scale in ingest_scales() {
+        let mut rng = StdRng::seed_from_u64(0x001A_6E57 ^ scale);
+        let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.01 * scale as f64));
+        let xml = doc.to_xml();
+        let stats = Statistics::collect(&doc);
+        let mapping = rel(&pschema, &stats);
+        let mb = xml.len() as f64 / 1e6;
+        drop(doc); // both arms start from the serialized bytes
+
+        // DOM arm: materialize the tree, then the classic shredder.
+        let mut dom_secs = f64::INFINITY;
+        let mut dom_result = None;
+        for _ in 0..reps {
+            let (r, elapsed) = legodb_util::bench::time_once(|| {
+                let doc = must(parse(&xml), "parse corpus");
+                let db = must(shred_dom(&mapping, &doc), "DOM shred");
+                (db, doc.element_count())
+            });
+            dom_secs = dom_secs.min(elapsed.as_secs_f64());
+            dom_result = Some(r);
+        }
+        // lint: allow(no-unwrap-in-lib) — reps >= 1, so the loop body ran
+        let (dom_db, dom_nodes) = dom_result.expect("at least one repetition ran");
+
+        // Streaming arm: tokenizer events straight into the shredder.
+        let mut stream_secs = f64::INFINITY;
+        let mut stream_result = None;
+        for _ in 0..reps {
+            let (r, elapsed) = legodb_util::bench::time_once(|| {
+                must(
+                    shred_events_report(&mapping, events(&xml)),
+                    "streaming shred",
+                )
+            });
+            stream_secs = stream_secs.min(elapsed.as_secs_f64());
+            stream_result = Some(r);
+        }
+        // lint: allow(no-unwrap-in-lib) — reps >= 1, so the loop body ran
+        let (stream_db, report) = stream_result.expect("at least one repetition ran");
+
+        let rows = dom_db.total_rows() as u64;
+        let rows_match = dom_db.snapshot_json() == stream_db.snapshot_json();
+        let speedup = dom_secs / stream_secs.max(1e-9);
+        let stream_mb_s = mb / stream_secs.max(1e-9);
+        let dom_mb_s = mb / dom_secs.max(1e-9);
+        let stream_rows_s = rows as f64 / stream_secs.max(1e-9);
+        // Bounded-memory demonstration: under a working-set budget of a
+        // tenth of the document, the DOM path cannot load this corpus but
+        // the streaming path fits with room to spare.
+        let budget_nodes = dom_nodes / 10;
+        let within_budget = report.streamed && report.peak_resident_elements < budget_nodes;
+
+        // Durable batched load: one insert_batch (= one WAL frame, one
+        // fsync) per table.
+        let sub = format!("scale_{scale}");
+        let _ = root.remove_tree(&sub);
+        let dir = must(root.create_subdir(&sub), "create scale dir");
+        let mut durable = must(Database::open(&dir), "open durable database");
+        let mut batches = 0u64;
+        for table in stream_db.tables() {
+            must(durable.create_table(table.def.clone()), "create table");
+        }
+        must(durable.commit(), "commit schema");
+        let before_syncs = durable.wal().map_or(0, |w| w.sync_count());
+        for table in stream_db.tables() {
+            let mut batch = Vec::with_capacity(table.len());
+            table.for_each(|row| batch.push(row.clone()));
+            must(durable.insert_batch(&table.def.name, batch), "insert batch");
+            batches += 1;
+        }
+        let fsyncs = durable.wal().map_or(0, |w| w.sync_count()) - before_syncs;
+        let fsyncs_per_batch = fsyncs as f64 / batches.max(1) as f64;
+
+        rows_out.push(vec![
+            format!("{scale}"),
+            format!("{mb:.2}"),
+            rows.to_string(),
+            format!("{dom_mb_s:.1}"),
+            format!("{stream_mb_s:.1}"),
+            format!("{speedup:.2}x"),
+            dom_nodes.to_string(),
+            report.peak_resident_elements.to_string(),
+            format!("{fsyncs_per_batch:.2}"),
+            if rows_match {
+                "yes".to_string()
+            } else {
+                "NO — INVESTIGATE".to_string()
+            },
+        ]);
+        records.push(
+            legodb_util::json::JsonObject::new()
+                .str("experiment", "ingest")
+                .u64("scale", scale)
+                .f64("mb", mb)
+                .u64("rows", rows)
+                .f64("dom_mb_s", dom_mb_s)
+                .f64("stream_mb_s", stream_mb_s)
+                .f64("stream_rows_s", stream_rows_s)
+                .f64("streaming_speedup", speedup)
+                .u64("dom_nodes", dom_nodes as u64)
+                .u64("stream_peak_nodes", report.peak_resident_elements as u64)
+                .u64("budget_nodes", budget_nodes as u64)
+                .u64("within_budget", u64::from(within_budget))
+                .u64("batches", batches)
+                .u64("fsyncs", fsyncs)
+                .f64("fsyncs_per_batch", fsyncs_per_batch)
+                .u64("rows_match", u64::from(rows_match))
+                .finish(),
+        );
+    }
+
+    let path = std::env::var_os("LEGODB_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_ingest.json"));
+    if let Err(e) = legodb_util::bench::append_json_lines(&path, records) {
+        eprintln!("bench: cannot write {}: {e}", path.display());
+    }
+    let mut out = String::from(
+        "## E10 — streaming ingest: DOM shred vs event-pull shred (scale unit = 1% IMDB)\n\n\
+         Peak = resident XML elements; budget demo: the streaming path stays \
+         under a tenth of the DOM working set. Durable arm: batched appends, \
+         one WAL fsync per batch.\n\n",
+    );
+    out.push_str(&md_table(
+        &[
+            "Scale",
+            "MB",
+            "rows",
+            "DOM MB/s",
+            "stream MB/s",
+            "speedup",
+            "DOM nodes",
+            "stream peak",
+            "fsyncs/batch",
+            "identical",
+        ],
+        &rows_out,
+    ));
+    out
+}
+
 /// Run one experiment section on the `legodb_util::bench` monotonic
 /// clock. The rendered markdown is returned unchanged; when
 /// `LEGODB_BENCH_JSON` is set, a `{"experiment": ..., "wall_ms": ...}`

@@ -588,9 +588,10 @@ impl<'a> FileCheck<'a> {
         }
     }
 
-    /// `parser-limit-guard`: every `pub fn parse*` in the parser crates
-    /// must route through a `_with_limits` variant (PR 2's hard input
-    /// limits must stay un-bypassable).
+    /// `parser-limit-guard`: every `pub fn parse*` or `pub fn events*` in
+    /// the parser crates must route through a `_with_limits` variant (PR
+    /// 2's hard input limits must stay un-bypassable; the streaming-ingest
+    /// event iterators are entry points just like the tree parsers).
     fn rule_parser_limit_guard(&mut self) {
         if self.kind != FileKind::Lib || !self.in_crate(LIMIT_GUARDED_CRATES) {
             return;
@@ -615,7 +616,8 @@ impl<'a> FileCheck<'a> {
                 break;
             };
             let name = name_tok.text;
-            if !name.starts_with("parse") || name.ends_with("_with_limits") {
+            let guarded = name.starts_with("parse") || name.starts_with("events");
+            if !guarded || name.ends_with("_with_limits") {
                 i = j + 1;
                 continue;
             }
@@ -859,6 +861,22 @@ mod tests {
         assert!(lint_lib("crates/xml/src/parse.rs", good).is_empty());
         // other crates are out of scope
         assert!(lint_lib("crates/imdb/src/gen.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn parser_limit_guard_covers_event_iterators() {
+        // Streaming entry points are entry points: `pub fn events*` must
+        // route through limits just like `pub fn parse*`.
+        let bad = "pub fn events(input: &str) -> Events<'_> { Events::new(input) }";
+        let d = lint_lib("crates/xml/src/events.rs", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "parser-limit-guard");
+        assert!(d[0].message.contains("events"), "{:?}", d[0].message);
+        let good = "pub fn events(input: &str) -> Events<'_> \
+                    { events_with_limits(input, &ParseLimits::default()) }\n\
+                    pub fn events_with_limits(input: &str, l: &ParseLimits) -> Events<'_> \
+                    { Events::new(input, l) }";
+        assert!(lint_lib("crates/xml/src/events.rs", good).is_empty());
     }
 
     #[test]

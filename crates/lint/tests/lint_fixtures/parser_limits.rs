@@ -22,6 +22,21 @@ pub(crate) fn parse_fragment(input: &str) -> Doc {
     run(input)
 }
 
+pub struct Events;
+
+pub fn events(input: &str) -> Events {
+    let _ = input;
+    Events
+}
+
+pub fn events_checked(input: &str) -> Events {
+    events_with_limits(input, &Limits)
+}
+
+pub fn events_with_limits(_input: &str, _limits: &Limits) -> Events {
+    Events
+}
+
 fn run(_input: &str) -> Doc {
     Doc
 }

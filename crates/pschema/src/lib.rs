@@ -40,5 +40,7 @@ pub mod stratify;
 pub use derive::{derive_pschema, InlineStyle};
 pub use mapping::{rel, rel_incremental, ColumnTarget, Mapping, TableMapping};
 pub use publish::publish_all;
-pub use shred::shred;
+pub use shred::{
+    shred, shred_dom, shred_events, shred_events_report, shred_stream, ShredError, ShredReport,
+};
 pub use stratify::{PSchema, StratifyError};

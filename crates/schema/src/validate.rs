@@ -116,20 +116,84 @@ pub fn is_nullable(schema: &Schema, ty: &Type) -> bool {
     nullable(schema, ty, &mut BTreeSet::new())
 }
 
+/// Incremental content matching for streaming consumers: the same
+/// derivative fold as [`content_matches`], but fed one item at a time as
+/// events arrive, so an element's children never need to be materialized
+/// together. Feed order must mirror [`content_matches`]: attributes in
+/// document order, then child items (elements and non-whitespace text) in
+/// document order.
+pub struct ContentMatcher<'s> {
+    schema: &'s Schema,
+    residual: Option<Type>,
+}
+
+impl<'s> ContentMatcher<'s> {
+    /// Start matching `content` from the beginning.
+    pub fn new(schema: &'s Schema, content: &Type) -> Self {
+        ContentMatcher {
+            schema,
+            residual: Some(content.clone()),
+        }
+    }
+
+    /// Consume one attribute.
+    pub fn feed_attribute(&mut self, attr: &Attribute) {
+        self.step(&ItemRef::Attr(attr));
+    }
+
+    /// Consume one child element (borrowed; no clone into a [`Node`]).
+    pub fn feed_element(&mut self, element: &Element) {
+        self.step(&ItemRef::ChildElement(element));
+    }
+
+    /// Consume one non-whitespace text child.
+    pub fn feed_text(&mut self, text: &str) {
+        self.step(&ItemRef::ChildText(text));
+    }
+
+    fn step(&mut self, item: &ItemRef<'_>) {
+        if let Some(residual) = self.residual.take() {
+            self.residual = deriv(self.schema, &residual, item, &mut Vec::new());
+        }
+    }
+
+    /// Has the residual died? Once true, no continuation can match.
+    pub fn failed(&self) -> bool {
+        self.residual.is_none()
+    }
+
+    /// Does the content fed so far form a complete match?
+    pub fn matches(&self) -> bool {
+        match &self.residual {
+            Some(residual) => nullable(self.schema, residual, &mut BTreeSet::new()),
+            None => false,
+        }
+    }
+}
+
 /// One item of an element's flattened content.
 enum ItemRef<'a> {
     Attr(&'a Attribute),
     Child(&'a Node),
+    /// A borrowed element item, fed by [`ContentMatcher`] without cloning
+    /// into a [`Node`]. Matches exactly like `Child(Node::Element(..))`.
+    ChildElement(&'a Element),
+    /// A borrowed text item. Matches exactly like `Child(Node::Text(..))`.
+    ChildText(&'a str),
 }
 
 /// Does one item match an *atomic* type (scalar/attribute/element)?
 fn match_item(schema: &Schema, item: &ItemRef<'_>, ty: &Type, _path: &mut Vec<String>) -> bool {
     match (ty, item) {
         (Type::Scalar { kind, .. }, ItemRef::Child(Node::Text(t))) => scalar_accepts(*kind, t),
+        (Type::Scalar { kind, .. }, ItemRef::ChildText(t)) => scalar_accepts(*kind, t),
         (Type::Attribute { name, content }, ItemRef::Attr(a)) => {
             name == &a.name && scalar_type_accepts(schema, content, &a.value)
         }
         (Type::Element { name, content }, ItemRef::Child(Node::Element(e))) => {
+            name.matches(&e.name) && element_content_matches(schema, e, content)
+        }
+        (Type::Element { name, content }, ItemRef::ChildElement(e)) => {
             name.matches(&e.name) && element_content_matches(schema, e, content)
         }
         (Type::Ref(name), item) => match schema.get(name) {
@@ -432,6 +496,67 @@ mod tests {
         let s = parse_schema("type T = t[ @n[ String ]? ]").unwrap();
         assert!(check(&s, "<t/>"));
         assert!(check(&s, r#"<t n="x"/>"#));
+    }
+
+    /// Replays an element's content through a [`ContentMatcher`] the way a
+    /// streaming shredder would: attributes first, then children in order.
+    fn matcher_accepts(schema: &Schema, element: &legodb_xml::Element, content: &Type) -> bool {
+        let mut m = ContentMatcher::new(schema, content);
+        for attr in &element.attributes {
+            m.feed_attribute(attr);
+        }
+        for child in &element.children {
+            match child {
+                Node::Element(e) => m.feed_element(e),
+                Node::Text(t) => m.feed_text(t),
+            }
+        }
+        m.matches()
+    }
+
+    #[test]
+    fn content_matcher_agrees_with_content_matches() {
+        let s = show_schema();
+        let docs = [
+            r#"<show type="Movie"><title>T</title><year>1993</year><aka>a</aka>
+               <box_office>5</box_office><video_sales>6</video_sales></show>"#,
+            r#"<show type="Movie"><title>T</title><year>1993</year></show>"#,
+            r#"<show type="x"><title>T</title><year>1993</year><aka>a</aka>
+               <box_office>5</box_office><seasons>2</seasons></show>"#,
+        ];
+        let content = match s.get(&TypeName::new("Show")).unwrap() {
+            Type::Element { content, .. } => content.clone(),
+            other => panic!("unexpected Show definition {other}"),
+        };
+        for xml in docs {
+            let doc = parse(xml).unwrap();
+            assert_eq!(
+                matcher_accepts(&s, &doc.root, &content),
+                content_matches(&s, &doc.root, &content),
+                "{xml}"
+            );
+        }
+    }
+
+    #[test]
+    fn content_matcher_fails_fast_and_stays_failed() {
+        let s = parse_schema("type T = t[ year[ Integer ] ]").unwrap();
+        let content = match s.get(&TypeName::new("T")).unwrap() {
+            Type::Element { content, .. } => content.clone(),
+            other => panic!("unexpected definition {other}"),
+        };
+        let mut m = ContentMatcher::new(&s, &content);
+        assert!(!m.failed());
+        assert!(!m.matches(), "year is required");
+        let bogus = parse("<t><nope/></t>").unwrap();
+        let Node::Element(child) = &bogus.root.children[0] else {
+            panic!("expected element child");
+        };
+        m.feed_element(child);
+        assert!(m.failed());
+        // Feeding more after failure keeps it failed rather than panicking.
+        m.feed_text("later");
+        assert!(m.failed() && !m.matches());
     }
 
     #[test]

@@ -543,7 +543,12 @@ mod tests {
             x
         });
         assert_eq!(out.len(), 64);
-        if report.workers == 4 {
+        // On a single core the 4 workers timeslice and a whole deque can
+        // drain before its thief ever runs, so rebalancing is not
+        // guaranteed — the same reason ci.sh skips its work-stealing
+        // speedup gate there.
+        let multicore = std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2);
+        if report.workers == 4 && multicore {
             // Every worker must end up executing something: the three
             // whose chunks drain quickly steal from the loaded one.
             assert!(

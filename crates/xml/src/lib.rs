@@ -26,11 +26,13 @@
 
 pub mod error;
 pub mod escape;
+pub mod events;
 pub mod parse;
 pub mod stats;
 pub mod tree;
 pub mod write;
 
 pub use error::{ParseError, ParseErrorKind, Position};
+pub use events::{events, events_with_limits, tree_events, Event, EventAttribute, Events};
 pub use parse::{parse, parse_with_limits, ParseLimits};
 pub use tree::{Attribute, Document, Element, Node};

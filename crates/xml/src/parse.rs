@@ -1,4 +1,5 @@
-//! A hand-written, non-validating XML parser.
+//! The DOM parsing entry points: a thin tree-builder over the pull parser
+//! in [`crate::events`], which owns the single tokenizer.
 //!
 //! Supports the subset of XML needed by the LegoDB workloads: elements,
 //! attributes, character data, predefined and numeric entity references,
@@ -7,7 +8,7 @@
 //! treated as part of the name (prefix and all), matching the paper's usage.
 
 use crate::error::{ParseError, ParseErrorKind, Position};
-use crate::escape::resolve_entity;
+use crate::events::{events_with_limits, Event};
 use crate::tree::{Attribute, Document, Element, Node};
 
 /// Hard input limits enforced while parsing — the defense against hostile
@@ -26,8 +27,8 @@ pub struct ParseLimits {
 impl Default for ParseLimits {
     fn default() -> Self {
         ParseLimits {
-            // Deep enough for any real document; shallow enough that the
-            // recursive descent fits comfortably in a small thread stack.
+            // Deep enough for any real document; shallow enough that tree
+            // recursion over parsed documents fits in a small thread stack.
             max_depth: 256,
             max_input_bytes: 256 << 20,
             max_entity_expansions: 1 << 20,
@@ -42,392 +43,49 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
 }
 
 /// Parse a complete XML document under explicit [`ParseLimits`].
+///
+/// This is a tree-builder over [`events_with_limits`]: the tokenizer
+/// enforces the limits and guarantees balanced, well-formed events, so the
+/// builder only stacks elements and attaches children.
 pub fn parse_with_limits(input: &str, limits: &ParseLimits) -> Result<Document, ParseError> {
-    if input.len() > limits.max_input_bytes {
-        return Err(ParseError {
+    let mut stack: Vec<Element> = Vec::new();
+    let mut root: Option<Element> = None;
+    for event in events_with_limits(input, limits) {
+        match event? {
+            Event::StartElement { name, attributes } => {
+                let mut element = Element::new(name.into_owned());
+                element.attributes = attributes
+                    .into_iter()
+                    .map(|a| Attribute {
+                        name: a.name.into_owned(),
+                        value: a.value.into_owned(),
+                    })
+                    .collect();
+                stack.push(element);
+            }
+            Event::Text(text) => {
+                if let Some(open) = stack.last_mut() {
+                    open.children.push(Node::Text(text.into_owned()));
+                }
+            }
+            Event::EndElement { .. } => {
+                // lint: allow(no-unwrap-in-lib) — the tokenizer only emits balanced end tags
+                let element = stack.pop().expect("balanced events");
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Element(element)),
+                    None => root = Some(element),
+                }
+            }
+        }
+    }
+    match root {
+        Some(root) => Ok(Document::new(root)),
+        // Unreachable: an event stream either errors or produces a root.
+        None => Err(ParseError {
             position: Position::start(),
-            kind: ParseErrorKind::InputTooLarge {
-                limit: limits.max_input_bytes,
-                actual: input.len(),
-            },
-        });
+            kind: ParseErrorKind::MissingRoot,
+        }),
     }
-    let mut p = Parser::new(input, *limits);
-    p.skip_prolog()?;
-    let root = match p.parse_element()? {
-        Some(root) => root,
-        None => return Err(p.error(ParseErrorKind::MissingRoot)),
-    };
-    p.skip_misc();
-    if !p.at_eof() {
-        return Err(p.error(ParseErrorKind::TrailingContent));
-    }
-    Ok(Document::new(root))
-}
-
-struct Parser<'a> {
-    input: &'a [u8],
-    src: &'a str,
-    pos: usize,
-    line: u32,
-    col: u32,
-    limits: ParseLimits,
-    depth: usize,
-    entities: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(src: &'a str, limits: ParseLimits) -> Self {
-        Parser {
-            input: src.as_bytes(),
-            src,
-            pos: 0,
-            line: 1,
-            col: 1,
-            limits,
-            depth: 0,
-            entities: 0,
-        }
-    }
-
-    fn position(&self) -> Position {
-        Position {
-            offset: self.pos,
-            line: self.line,
-            column: self.col,
-        }
-    }
-
-    fn error(&self, kind: ParseErrorKind) -> ParseError {
-        ParseError {
-            position: self.position(),
-            kind,
-        }
-    }
-
-    fn at_eof(&self) -> bool {
-        self.pos >= self.input.len()
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.input.get(self.pos).copied()
-    }
-
-    fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos..].starts_with(s.as_bytes())
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        if b == b'\n' {
-            self.line += 1;
-            self.col = 1;
-        } else {
-            self.col += 1;
-        }
-        Some(b)
-    }
-
-    fn bump_n(&mut self, n: usize) {
-        for _ in 0..n {
-            self.bump();
-        }
-    }
-
-    fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
-        }
-    }
-
-    /// Skip the XML declaration, DOCTYPE, comments and PIs before the root.
-    fn skip_prolog(&mut self) -> Result<(), ParseError> {
-        loop {
-            self.skip_whitespace();
-            if self.starts_with("<?") {
-                self.skip_until("?>", "reading a processing instruction")?;
-            } else if self.starts_with("<!--") {
-                self.skip_until("-->", "reading a comment")?;
-            } else if self.starts_with("<!DOCTYPE") {
-                self.skip_doctype()?;
-            } else {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Skip trailing comments/PIs/whitespace after the root element.
-    fn skip_misc(&mut self) {
-        loop {
-            self.skip_whitespace();
-            if self.starts_with("<!--") {
-                if self.skip_until("-->", "reading a comment").is_err() {
-                    return;
-                }
-            } else if self.starts_with("<?") {
-                if self
-                    .skip_until("?>", "reading a processing instruction")
-                    .is_err()
-                {
-                    return;
-                }
-            } else {
-                return;
-            }
-        }
-    }
-
-    fn skip_until(&mut self, end: &str, ctx: &'static str) -> Result<(), ParseError> {
-        while !self.at_eof() {
-            if self.starts_with(end) {
-                self.bump_n(end.len());
-                return Ok(());
-            }
-            self.bump();
-        }
-        Err(self.error(ParseErrorKind::UnexpectedEof(ctx)))
-    }
-
-    /// Skip `<!DOCTYPE ... >`, including a bracketed internal subset.
-    fn skip_doctype(&mut self) -> Result<(), ParseError> {
-        self.bump_n("<!DOCTYPE".len());
-        let mut depth: i32 = 0;
-        while let Some(b) = self.peek() {
-            match b {
-                b'[' => depth += 1,
-                b']' => depth -= 1,
-                b'>' if depth <= 0 => {
-                    self.bump();
-                    return Ok(());
-                }
-                _ => {}
-            }
-            self.bump();
-        }
-        Err(self.error(ParseErrorKind::UnexpectedEof("reading DOCTYPE")))
-    }
-
-    fn parse_name(&mut self) -> Result<String, ParseError> {
-        let start = self.pos;
-        match self.peek() {
-            Some(b) if is_name_start(b) => {
-                self.bump();
-            }
-            _ => return Err(self.error(ParseErrorKind::BadName)),
-        }
-        while matches!(self.peek(), Some(b) if is_name_char(b)) {
-            self.bump();
-        }
-        Ok(self.src[start..self.pos].to_string())
-    }
-
-    /// Parse one element starting at `<name ...`. Returns `None` if the
-    /// cursor is not at an element start.
-    fn parse_element(&mut self) -> Result<Option<Element>, ParseError> {
-        if self.peek() != Some(b'<') {
-            return Ok(None);
-        }
-        self.depth += 1;
-        if self.depth > self.limits.max_depth {
-            return Err(self.error(ParseErrorKind::TooDeep {
-                limit: self.limits.max_depth,
-            }));
-        }
-        self.bump(); // consume '<'
-        let name = self.parse_name()?;
-        let mut element = Element::new(name);
-        loop {
-            self.skip_whitespace();
-            match self.peek() {
-                Some(b'>') => {
-                    self.bump();
-                    self.parse_content(&mut element)?;
-                    self.depth -= 1;
-                    return Ok(Some(element));
-                }
-                Some(b'/') => {
-                    self.bump();
-                    if self.peek() != Some(b'>') {
-                        return Err(self.error(ParseErrorKind::UnexpectedChar {
-                            found: self.peek().map(|b| b as char).unwrap_or('\0'),
-                            expected: "'>' after '/'",
-                        }));
-                    }
-                    self.bump();
-                    self.depth -= 1;
-                    return Ok(Some(element));
-                }
-                Some(b) if is_name_start(b) => {
-                    let attr = self.parse_attribute()?;
-                    if element.attributes.iter().any(|a| a.name == attr.name) {
-                        return Err(self.error(ParseErrorKind::DuplicateAttribute(attr.name)));
-                    }
-                    element.attributes.push(attr);
-                }
-                Some(b) => {
-                    return Err(self.error(ParseErrorKind::UnexpectedChar {
-                        found: b as char,
-                        expected: "attribute name, '>', or '/>'",
-                    }))
-                }
-                None => {
-                    return Err(self.error(ParseErrorKind::UnexpectedEof("reading a start tag")))
-                }
-            }
-        }
-    }
-
-    fn parse_attribute(&mut self) -> Result<Attribute, ParseError> {
-        let name = self.parse_name()?;
-        self.skip_whitespace();
-        if self.peek() != Some(b'=') {
-            return Err(self.error(ParseErrorKind::UnexpectedChar {
-                found: self.peek().map(|b| b as char).unwrap_or('\0'),
-                expected: "'=' in attribute",
-            }));
-        }
-        self.bump();
-        self.skip_whitespace();
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            other => {
-                return Err(self.error(ParseErrorKind::UnexpectedChar {
-                    found: other.map(|b| b as char).unwrap_or('\0'),
-                    expected: "quoted attribute value",
-                }))
-            }
-        };
-        self.bump();
-        let mut value = String::new();
-        loop {
-            match self.peek() {
-                Some(q) if q == quote => {
-                    self.bump();
-                    break;
-                }
-                Some(b'&') => value.push(self.parse_entity()?),
-                Some(_) => {
-                    let c = self.next_char()?;
-                    value.push(c);
-                }
-                None => {
-                    return Err(
-                        self.error(ParseErrorKind::UnexpectedEof("reading an attribute value"))
-                    )
-                }
-            }
-        }
-        Ok(Attribute { name, value })
-    }
-
-    /// Parse element content up to and including the matching close tag.
-    fn parse_content(&mut self, element: &mut Element) -> Result<(), ParseError> {
-        let mut text = String::new();
-        loop {
-            match self.peek() {
-                None => {
-                    return Err(self.error(ParseErrorKind::UnexpectedEof("reading element content")))
-                }
-                Some(b'<') => {
-                    if self.starts_with("</") {
-                        flush_text(&mut text, element);
-                        self.bump_n(2);
-                        let close = self.parse_name()?;
-                        if close != element.name {
-                            return Err(self.error(ParseErrorKind::MismatchedClosingTag {
-                                open: element.name.clone(),
-                                close,
-                            }));
-                        }
-                        self.skip_whitespace();
-                        if self.peek() != Some(b'>') {
-                            return Err(self.error(ParseErrorKind::UnexpectedChar {
-                                found: self.peek().map(|b| b as char).unwrap_or('\0'),
-                                expected: "'>' in closing tag",
-                            }));
-                        }
-                        self.bump();
-                        return Ok(());
-                    } else if self.starts_with("<!--") {
-                        self.skip_until("-->", "reading a comment")?;
-                    } else if self.starts_with("<![CDATA[") {
-                        self.bump_n("<![CDATA[".len());
-                        let start = self.pos;
-                        self.skip_until("]]>", "reading a CDATA section")?;
-                        text.push_str(&self.src[start..self.pos - 3]);
-                    } else if self.starts_with("<?") {
-                        self.skip_until("?>", "reading a processing instruction")?;
-                    } else {
-                        flush_text(&mut text, element);
-                        let child = self
-                            .parse_element()?
-                            // lint: allow(no-unwrap-in-lib) — the peeked '<' guarantees parse_element yields an element
-                            .expect("peeked '<' guarantees an element start");
-                        element.children.push(Node::Element(child));
-                    }
-                }
-                Some(b'&') => text.push(self.parse_entity()?),
-                Some(_) => {
-                    let c = self.next_char()?;
-                    text.push(c);
-                }
-            }
-        }
-    }
-
-    fn parse_entity(&mut self) -> Result<char, ParseError> {
-        debug_assert_eq!(self.peek(), Some(b'&'));
-        self.entities += 1;
-        if self.entities > self.limits.max_entity_expansions {
-            return Err(self.error(ParseErrorKind::TooManyEntities {
-                limit: self.limits.max_entity_expansions,
-            }));
-        }
-        self.bump();
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b';' {
-                let name = &self.src[start..self.pos];
-                self.bump();
-                return resolve_entity(name)
-                    .ok_or_else(|| self.error(ParseErrorKind::BadEntity(name.to_string())));
-            }
-            if self.pos - start > 16 {
-                break;
-            }
-            self.bump();
-        }
-        Err(self.error(ParseErrorKind::BadEntity(
-            self.src[start..self.pos].to_string(),
-        )))
-    }
-
-    /// Consume one full (possibly multi-byte) character.
-    fn next_char(&mut self) -> Result<char, ParseError> {
-        let c = self.src[self.pos..]
-            .chars()
-            .next()
-            .ok_or_else(|| self.error(ParseErrorKind::UnexpectedEof("reading text")))?;
-        self.bump_n(c.len_utf8());
-        Ok(c)
-    }
-}
-
-fn flush_text(text: &mut String, element: &mut Element) {
-    if !text.trim().is_empty() {
-        element.children.push(Node::Text(std::mem::take(text)));
-    } else {
-        text.clear();
-    }
-}
-
-fn is_name_start(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
-}
-
-fn is_name_char(b: u8) -> bool {
-    is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
 }
 
 #[cfg(test)]

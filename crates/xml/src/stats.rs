@@ -9,7 +9,9 @@
 //! relational catalog statistics (table cardinalities, column widths,
 //! min/max, distinct counts).
 
-use crate::tree::{Document, Element};
+use crate::error::ParseError;
+use crate::events::{tree_events, Event};
+use crate::tree::Document;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
@@ -188,12 +190,96 @@ impl Statistics {
     /// counts, average text sizes of leaf elements and attributes, numeric
     /// min/max where every value parses as an integer, and distinct-value
     /// counts (exact up to [`DISTINCT_CAP`] values, saturating after).
+    ///
+    /// Implemented as a fold over the document's event stream; see
+    /// [`Statistics::collect_stream`] for harvesting straight off a pull
+    /// parser without materializing a tree.
     pub fn collect(doc: &Document) -> Statistics {
-        let mut acc: BTreeMap<Path, Accum> = BTreeMap::new();
-        let mut path = Vec::new();
-        walk(&doc.root, &mut path, &mut acc);
+        let mut fold = Fold::default();
+        for event in tree_events(doc) {
+            fold.feed(event);
+        }
+        fold.finish()
+    }
+
+    /// Harvest statistics from a (fallible) event stream, e.g.
+    /// [`crate::events::events_with_limits`]. Memory use is bounded by the
+    /// number of distinct label paths plus the open-element stack — the
+    /// document itself is never materialized.
+    pub fn collect_stream<'a, I>(events: I) -> Result<Statistics, ParseError>
+    where
+        I: IntoIterator<Item = Result<Event<'a>, ParseError>>,
+    {
+        let mut fold = Fold::default();
+        for event in events {
+            fold.feed(event?);
+        }
+        Ok(fold.finish())
+    }
+}
+
+/// The streaming statistics fold: one frame per open element, one
+/// accumulator per label path.
+#[derive(Default)]
+struct Fold {
+    acc: BTreeMap<Path, Accum>,
+    path: Vec<String>,
+    frames: Vec<Frame>,
+}
+
+#[derive(Default)]
+struct Frame {
+    has_child_elements: bool,
+    text: String,
+}
+
+impl Fold {
+    fn feed(&mut self, event: Event<'_>) {
+        match event {
+            Event::StartElement { name, attributes } => {
+                if let Some(parent) = self.frames.last_mut() {
+                    parent.has_child_elements = true;
+                }
+                self.path.push(name.into_owned());
+                self.acc.entry(Path(self.path.clone())).or_default().count += 1;
+                for a in &attributes {
+                    self.path.push(format!("@{}", a.name));
+                    let entry = self.acc.entry(Path(self.path.clone())).or_default();
+                    entry.count += 1;
+                    entry.observe_value(&a.value);
+                    self.path.pop();
+                }
+                self.frames.push(Frame::default());
+            }
+            Event::Text(t) => {
+                if let Some(frame) = self.frames.last_mut() {
+                    frame.text.push_str(&t);
+                }
+            }
+            Event::EndElement { .. } => {
+                let Some(frame) = self.frames.pop() else {
+                    return;
+                };
+                // Leaf scalar content: only elements without element
+                // children contribute a text observation (`Element::text`
+                // semantics: direct text concatenated, then trimmed).
+                if !frame.has_child_elements {
+                    let text = frame.text.trim();
+                    if !text.is_empty() {
+                        self.acc
+                            .entry(Path(self.path.clone()))
+                            .or_default()
+                            .observe_value(text);
+                    }
+                }
+                self.path.pop();
+            }
+        }
+    }
+
+    fn finish(self) -> Statistics {
         let mut stats = Statistics::new();
-        for (path, a) in acc {
+        for (path, a) in self.acc {
             let e = stats.entries.entry(path).or_default();
             e.count = Some(a.count);
             if a.text_values > 0 {
@@ -251,32 +337,6 @@ impl Accum {
         }
         self.seen_value = true;
     }
-}
-
-fn walk(e: &Element, path: &mut Vec<String>, acc: &mut BTreeMap<Path, Accum>) {
-    path.push(e.name.clone());
-    let entry = acc.entry(Path(path.clone())).or_default();
-    entry.count += 1;
-    if e.is_leaf() {
-        let text = e.text();
-        if !text.is_empty() {
-            acc.get_mut(&Path(path.clone()))
-                // lint: allow(no-unwrap-in-lib) — entry inserted a few lines above
-                .expect("just inserted")
-                .observe_value(&text);
-        }
-    }
-    for a in &e.attributes {
-        path.push(format!("@{}", a.name));
-        let entry = acc.entry(Path(path.clone())).or_default();
-        entry.count += 1;
-        entry.observe_value(&a.value);
-        path.pop();
-    }
-    for child in e.child_elements() {
-        walk(child, path, acc);
-    }
-    path.pop();
 }
 
 impl fmt::Display for Statistics {
