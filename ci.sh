@@ -13,6 +13,8 @@
 #   recovery  seeded crash-recovery property across 16 seed streams
 #   hardened  release tests with debug-assertions + overflow-checks
 #   bench     experiment benches + bench-gate thresholds
+#   ingest    streaming-ingest bench + gates
+#   layout    physical-layout bench + gates
 #   all       every stage above, in order (the default)
 #
 # Gate artifacts (lint report, bench records) are collected under
@@ -208,6 +210,41 @@ stage_ingest() {
         --require 'streaming_speedup>1.0'
 }
 
+# Physical-layout gates (DESIGN.md §16), over BENCH_layout.json:
+#
+#  - results_match at every scale: the all-row and mixed-layout builds
+#    must answer Q1–Q18 (plus the analytic scan set) bit-identically —
+#    layout is physical design, never semantics.
+#  - agg_chose_columnar == 1: the greedy `set-layout` search must move at
+#    least one table referenced by the analytic workload (Q11–Q18) to
+#    the column store.
+#  - lookup_columnar_tables == 0: the same search on the point-lookup
+#    workload (Q1–Q6) must leave every table on the row heap — columnar
+#    random access pays a per-column reassembly penalty.
+#  - columnar_agg_speedup > 1.2 at 10×: narrow-projection analytic scans
+#    must actually run faster on the column store. The headline number
+#    is ~2×; the CI floor is looser for shared-runner noise.
+stage_layout() {
+    build_release
+    echo "==> physical-layout bench (records in $ARTIFACTS/BENCH_layout.json)"
+    rm -f "$ARTIFACTS/BENCH_layout.json"
+    LEGODB_BENCH_JSON=$ARTIFACTS/BENCH_layout.json \
+    LEGODB_LAYOUT_SCALES="${LEGODB_LAYOUT_SCALES:-1,10}" \
+        ./target/release/layout_scale >/dev/null
+
+    echo "==> layout gates"
+    for scale in $(echo "${LEGODB_LAYOUT_SCALES:-1,10}" | tr ',' ' '); do
+        ./target/release/bench-gate "$ARTIFACTS/BENCH_layout.json" \
+            --where experiment=layout --where "scale=$scale" \
+            --require 'results_match==1' \
+            --require 'agg_chose_columnar==1' \
+            --require 'lookup_columnar_tables==0'
+    done
+    ./target/release/bench-gate "$ARTIFACTS/BENCH_layout.json" \
+        --where experiment=layout --where scale=10 \
+        --require 'columnar_agg_speedup>1.2'
+}
+
 run_stage() {
     case "$1" in
         fmt) stage_fmt ;;
@@ -218,9 +255,10 @@ run_stage() {
         hardened) stage_hardened ;;
         bench) stage_bench ;;
         ingest) stage_ingest ;;
-        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_recovery; stage_hardened; stage_bench; stage_ingest ;;
+        layout) stage_layout ;;
+        all) stage_fmt; stage_lint; stage_test; stage_fault; stage_recovery; stage_hardened; stage_bench; stage_ingest; stage_layout ;;
         *)
-            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault recovery hardened bench ingest all)" >&2
+            echo "ci.sh: unknown stage '$1' (stages: fmt lint test fault recovery hardened bench ingest layout all)" >&2
             exit 2
             ;;
     esac

@@ -1,0 +1,15 @@
+//! The physical-layout experiment: greedy `set-layout` search picks the
+//! column store for the analytic workload's tables and the row heap for
+//! the point-lookup tables, and generated-data runs verify both builds
+//! answer Q1–Q18 bit-identically — DESIGN.md §16. JSON-lines records
+//! (`agg_chose_columnar`, `lookup_columnar_tables`, `results_match`, and
+//! the gated `columnar_agg_speedup`) land in `BENCH_layout.json`, or the
+//! path in `$LEGODB_BENCH_JSON` when set.
+
+#![forbid(unsafe_code)]
+fn main() {
+    print!(
+        "{}",
+        legodb_bench::harness::timed_experiment("layout", legodb_bench::harness::layout)
+    );
+}

@@ -8,6 +8,7 @@
 //! are pure.
 
 use legodb_pschema::{PSchema, StratifyError};
+use legodb_relational::Layout;
 use legodb_schema::{NameTest, Schema, Type, TypeName};
 use std::fmt;
 
@@ -58,6 +59,16 @@ pub enum Transformation {
         /// The type whose definition holds the union.
         in_type: TypeName,
     },
+    /// Assign the relation a type maps to a storage layout (row heap ⇄
+    /// column store). Leaves the schema untouched — this is the purely
+    /// physical dimension of the design space, priced through the same
+    /// cost seam as the logical rewritings.
+    SetLayout {
+        /// The type whose relation changes layout.
+        type_name: TypeName,
+        /// The layout to assign.
+        layout: Layout,
+    },
 }
 
 impl fmt::Display for Transformation {
@@ -78,6 +89,9 @@ impl fmt::Display for Transformation {
                 write!(f, "wildcard({wildcard_type}, {name})")
             }
             Transformation::UnionToOptions { in_type } => write!(f, "union-to-opts({in_type})"),
+            Transformation::SetLayout { type_name, layout } => {
+                write!(f, "set-layout({type_name}, {layout})")
+            }
         }
     }
 }
@@ -196,6 +210,8 @@ pub struct TransformationSet {
     pub wildcard_names: Vec<String>,
     /// Allow union-to-options.
     pub union_to_options: bool,
+    /// Allow storage-layout flips (row heap ⇄ column store).
+    pub layouts: bool,
 }
 
 impl TransformationSet {
@@ -233,6 +249,15 @@ impl TransformationSet {
             repetition_split: true,
             wildcard_names,
             union_to_options: true,
+            layouts: true,
+        }
+    }
+
+    /// Only layout flips — pure physical design over a fixed schema.
+    pub fn layouts_only() -> Self {
+        TransformationSet {
+            layouts: true,
+            ..Default::default()
         }
     }
 }
@@ -302,6 +327,17 @@ pub fn enumerate_candidates(pschema: &PSchema, set: &TransformationSet) -> Vec<T
                 in_type: name.clone(),
             });
         }
+        if set.layouts {
+            // One move per type: flip to the layout it does not have.
+            let flipped = match pschema.layout(name) {
+                Layout::Row => Layout::Columnar,
+                Layout::Columnar => Layout::Row,
+            };
+            out.push(Transformation::SetLayout {
+                type_name: name.clone(),
+                layout: flipped,
+            });
+        }
     }
     // Different walk paths can surface the same move twice (e.g. repeated
     // wildcard hints, or a repetition of the same target at two sites
@@ -326,6 +362,22 @@ pub fn apply(
     pschema: &PSchema,
     t: &Transformation,
 ) -> Result<(PSchema, TransformDelta), TransformError> {
+    // Layout flips leave the schema untouched, so a schema diff would be
+    // empty; the delta names the flipped type explicitly — its table def
+    // (and nothing else) changes, which is exactly what incremental
+    // costing must invalidate.
+    if let Transformation::SetLayout { type_name, layout } = t {
+        if pschema.schema().get(type_name).is_none() {
+            return Err(TransformError::UnknownType(type_name.clone()));
+        }
+        let mut out = pschema.clone();
+        out.set_layout(type_name, *layout);
+        let delta = TransformDelta {
+            rewritten: vec![type_name.clone()],
+            ..TransformDelta::default()
+        };
+        return Ok((out, delta));
+    }
     let schema = pschema.schema().clone();
     let rewritten = match t {
         Transformation::Inline(name) => apply_inline(schema, name)?,
@@ -339,9 +391,15 @@ pub fn apply(
             name,
         } => apply_wildcard(schema, wildcard_type, name)?,
         Transformation::UnionToOptions { in_type } => apply_union_to_options(schema, in_type)?,
+        Transformation::SetLayout { .. } => unreachable!("handled above"),
     };
     let delta = TransformDelta::between(pschema.schema(), &rewritten);
-    Ok((PSchema::try_new(rewritten)?, delta))
+    // Layout assignments ride along; entries for types a rewriting
+    // removed are dropped by the layout-preserving constructor.
+    Ok((
+        PSchema::try_new_with_layouts(rewritten, pschema.layouts().clone())?,
+        delta,
+    ))
 }
 
 // ---------------------------------------------------------------- inline
@@ -1118,6 +1176,60 @@ mod tests {
         assert!(s.get_str("TV").is_none(), "{s}");
         // Movies' documents still validate (the language only widened).
         assert_preserves_semantics(&p, &out);
+    }
+
+    #[test]
+    fn set_layout_flips_without_touching_the_schema() {
+        let p = imdb();
+        let review = TypeName::new("Review");
+        let t = Transformation::SetLayout {
+            type_name: review.clone(),
+            layout: Layout::Columnar,
+        };
+        let (out, delta) = apply(&p, &t).unwrap();
+        assert_eq!(out.schema(), p.schema());
+        assert_eq!(out.layout(&review), Layout::Columnar);
+        assert_eq!(delta.rewritten, vec![review.clone()]);
+        assert!(delta.created.is_empty() && delta.removed.is_empty());
+        // One flip move per type; the already-columnar type flips back.
+        let moves = enumerate_candidates(&out, &TransformationSet::layouts_only());
+        assert_eq!(moves.len(), out.schema().len());
+        assert!(moves.contains(&Transformation::SetLayout {
+            type_name: review,
+            layout: Layout::Row,
+        }));
+        assert!(matches!(
+            apply(
+                &p,
+                &Transformation::SetLayout {
+                    type_name: TypeName::new("Nope"),
+                    layout: Layout::Columnar,
+                }
+            ),
+            Err(TransformError::UnknownType(_))
+        ));
+    }
+
+    #[test]
+    fn layout_assignments_survive_schema_transformations() {
+        let mut p = imdb();
+        p.set_layout(&TypeName::new("Review"), Layout::Columnar);
+        p.set_layout(&TypeName::new("Description"), Layout::Columnar);
+        // A rewriting elsewhere keeps both assignments...
+        let (out, _) = apply(
+            &p,
+            &Transformation::Outline {
+                in_type: TypeName::new("Show"),
+                rel: vec!["title".into()],
+            },
+        )
+        .unwrap();
+        assert_eq!(out.layout(&TypeName::new("Review")), Layout::Columnar);
+        assert_eq!(out.layouts().len(), 2);
+        // ...and inlining a columnar type away drops its entry.
+        let (gone, _) = apply(&out, &Transformation::Inline(TypeName::new("Description"))).unwrap();
+        assert_eq!(gone.layouts().len(), 1);
+        assert_eq!(gone.layout(&TypeName::new("Review")), Layout::Columnar);
     }
 
     #[test]

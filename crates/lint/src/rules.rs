@@ -464,10 +464,13 @@ impl<'a> FileCheck<'a> {
 
     /// `deterministic-collections`: no default-hasher `HashMap`/`HashSet`
     /// where iteration order feeds fingerprints (PR 3): all of
-    /// `crates/pschema` and `crates/core/src/cost.rs`.
+    /// `crates/pschema`, `crates/core/src/cost.rs`, and the column store
+    /// (`crates/relational/src/column.rs`, PR 9), whose snapshots and
+    /// storage stats must serialize identically across runs.
     fn rule_deterministic_collections(&mut self) {
-        let scoped =
-            self.rel.starts_with("crates/pschema/src/") || self.rel == "crates/core/src/cost.rs";
+        let scoped = self.rel.starts_with("crates/pschema/src/")
+            || self.rel == "crates/core/src/cost.rs"
+            || self.rel == "crates/relational/src/column.rs";
         if !scoped || self.kind != FileKind::Lib {
             return;
         }

@@ -1,0 +1,16 @@
+//@ path: crates/relational/src/column.rs
+// Deliberately-bad fixture: hash-randomized collections inside the
+// column store, whose snapshots and storage stats must serialize
+// identically across runs. Never compiled — lexed and linted by
+// tests/golden.rs.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn flagged() {
+    let _widths: HashMap<usize, f64> = HashMap::new();
+}
+
+// lint: allow(deterministic-collections) — fixture: drained through a sorted index vector
+pub type Suppressed = HashMap<String, u64>;
+
+pub type Fine = BTreeMap<usize, f64>;

@@ -33,5 +33,7 @@ pub mod optimize;
 pub mod query;
 
 pub use cost::{Cost, CostModel};
-pub use optimize::{optimize, optimize_statement, OptimizedPlan, OptimizerConfig, OptimizerError};
+pub use optimize::{
+    optimize, optimize_statement, IndexAssumption, OptimizedPlan, OptimizerConfig, OptimizerError,
+};
 pub use query::{ColRef, FilterPred, JoinPred, Range, SpjQuery, Statement, TableRef};

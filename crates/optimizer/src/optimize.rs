@@ -5,7 +5,7 @@ use crate::cost::{Cost, CostModel};
 use crate::estimate::{filter_selectivity, filtered_cardinality, join_selectivity, output_width};
 use crate::query::{ColRef, FilterPred, SpjQuery, Statement};
 use legodb_relational::plan::IndexKey;
-use legodb_relational::{Catalog, CmpOp, Expr, PhysicalPlan, TableDef, PAGE_SIZE};
+use legodb_relational::{Catalog, CmpOp, Expr, Layout, PhysicalPlan, TableDef, PAGE_SIZE};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -279,6 +279,47 @@ fn filters_to_expr(def: &TableDef, filters: &[&FilterPred], offset: usize) -> Op
     }
 }
 
+/// Column positions of table `i` referenced anywhere in the query —
+/// filters, join edges, and the projection. An empty projection means the
+/// query delivers every column (`SELECT *`), so all columns count.
+fn referenced_columns(def: &TableDef, query: &SpjQuery, i: usize) -> Vec<usize> {
+    if query.projection.is_empty() {
+        return (0..def.columns.len()).collect();
+    }
+    let mut cols = Vec::new();
+    let mut add = |col: &ColRef| {
+        if col.table == i {
+            if let Some(ci) = def.column_index(&col.column) {
+                cols.push(ci);
+            }
+        }
+    };
+    for f in &query.filters {
+        add(f.col());
+    }
+    for j in &query.joins {
+        add(&j.left);
+        add(&j.right);
+    }
+    for p in &query.projection {
+        add(p);
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    cols
+}
+
+/// Per-row multiplier for random (index-driven) access. Reassembling one
+/// row from a columnar table touches every column vector — one seek and
+/// one page apiece — where the row heap pays a single page per row. This
+/// is the penalty that keeps point-lookup tables on the row layout.
+fn random_access_factor(def: &TableDef) -> f64 {
+    match def.layout {
+        Layout::Row => 1.0,
+        Layout::Columnar => def.columns.len().max(1) as f64,
+    }
+}
+
 /// Best access path for one table: sequential scan vs. index scan on the
 /// most selective indexed equality/range filter.
 fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &OptimizerConfig) -> SubPlan {
@@ -292,8 +333,13 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
     let card = filtered_cardinality(catalog, query, i);
     let rows = def.stats.rows.max(0.0);
 
-    // Sequential scan.
-    let seq_cost = Cost::seq_read(def.pages()) + Cost::cpu(rows);
+    // Sequential scan. A columnar table is charged only for the column
+    // vectors the query references; the row heap always reads full pages.
+    let seq_pages = match def.layout {
+        Layout::Row => def.pages(),
+        Layout::Columnar => def.columnar_scan_pages(Some(&referenced_columns(def, query, i))),
+    };
+    let seq_cost = Cost::seq_read(seq_pages) + Cost::cpu(rows);
     let seq_plan = PhysicalPlan::SeqScan {
         table: def.name.clone(),
         predicate: filters_to_expr(def, &filters, 0),
@@ -326,10 +372,12 @@ fn access_path(catalog: &Catalog, query: &SpjQuery, i: usize, config: &Optimizer
         };
         let sel = filter_selectivity(catalog, query, filter);
         let matches = rows * sel;
-        // 1 seek + ~2 index pages + one random page per match (unclustered).
+        // 1 seek + ~2 index pages + one random page per match (unclustered);
+        // columnar rows pay the reassembly factor per match.
+        let fetch = matches * random_access_factor(def);
         let cost = Cost {
-            seeks: 1.0 + matches,
-            pages_read: 2.0 + matches,
+            seeks: 1.0 + fetch,
+            pages_read: 2.0 + fetch,
             ..Cost::ZERO
         } + Cost::cpu(matches);
         let residual: Vec<&FilterPred> = filters
@@ -511,9 +559,10 @@ fn join_subplans(
             let right_card_filtered = filtered_cardinality(catalog, query, rt);
             let per_probe = (right_card_filtered * sel).max(0.0);
             let probes = left.card.max(0.0);
+            let fetch = per_probe * random_access_factor(def);
             let per_probe_cost = Cost {
-                seeks: 1.0 + per_probe,
-                pages_read: 2.0 + per_probe,
+                seeks: 1.0 + fetch,
+                pages_read: 2.0 + fetch,
                 ..Cost::ZERO
             } + Cost::cpu(per_probe);
             let cost = left.cost + per_probe_cost.scale(probes);
@@ -633,9 +682,29 @@ fn finish(
             .map(|c| col_position(catalog, query, &root.layout, c))
             .collect();
         let columns = columns.ok_or(OptimizerError::NoTables)?;
-        plan = PhysicalPlan::Project {
-            input: Box::new(plan),
-            columns,
+        // Projection pushdown: a single-table scan over a columnar table
+        // applies the projection inside the scan, so only the projected
+        // column vectors are ever materialized (no Project node).
+        plan = match plan {
+            PhysicalPlan::SeqScan {
+                table,
+                predicate,
+                projection: None,
+            } if root.layout.len() == 1
+                && catalog
+                    .table(&table)
+                    .is_some_and(|d| d.layout == Layout::Columnar) =>
+            {
+                PhysicalPlan::SeqScan {
+                    table,
+                    predicate,
+                    projection: Some(columns),
+                }
+            }
+            other => PhysicalPlan::Project {
+                input: Box::new(other),
+                columns,
+            },
         };
     }
     // Result delivery: writing the output (paper: "amount of data written").
@@ -871,6 +940,58 @@ mod tests {
             }
         }
         assert!(!any_index(&opt.plan));
+    }
+
+    #[test]
+    fn columnar_layout_discounts_narrow_scans_and_penalizes_lookups() {
+        let row_cat = catalog();
+        let mut col_cat = Catalog::new();
+        for name in ["Show", "Aka"] {
+            col_cat.add(
+                row_cat
+                    .table(name)
+                    .unwrap()
+                    .clone()
+                    .with_layout(Layout::Columnar),
+            );
+        }
+        // Narrow aggregate-style scan: columnar reads one column vector
+        // instead of full pages, and the projection is pushed into the scan.
+        let mut narrow = SpjQuery::single("Show", "s");
+        narrow.projection = vec![ColRef::new(0, "year")];
+        let cfg = default_config();
+        let r = optimize(&row_cat, &narrow, &cfg).unwrap();
+        let c = optimize(&col_cat, &narrow, &cfg).unwrap();
+        assert!(c.total < r.total, "columnar {} !< row {}", c.total, r.total);
+        assert!(
+            matches!(
+                c.plan,
+                PhysicalPlan::SeqScan {
+                    projection: Some(_),
+                    ..
+                }
+            ),
+            "expected pushed-down projection:\n{}",
+            c.plan
+        );
+        // Point lookup: reassembling full columnar rows through the index
+        // costs more than the row heap's one page per match.
+        let mut lookup = SpjQuery::single("Show", "s");
+        lookup
+            .filters
+            .push(FilterPred::eq(ColRef::new(0, "Show_id"), 7i64));
+        let cfg = OptimizerConfig {
+            indexes: IndexAssumption::AllFiltered,
+            ..default_config()
+        };
+        let r = optimize(&row_cat, &lookup, &cfg).unwrap();
+        let c = optimize(&col_cat, &lookup, &cfg).unwrap();
+        assert!(
+            r.total <= c.total,
+            "row {} !<= columnar {}",
+            r.total,
+            c.total
+        );
     }
 
     #[test]

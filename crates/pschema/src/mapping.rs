@@ -20,7 +20,7 @@
 //! over, and missing optional members become null fractions.
 
 use crate::stratify::PSchema;
-use legodb_relational::{Catalog, ColumnDef, ColumnStats, ForeignKey, SqlType, TableDef};
+use legodb_relational::{Catalog, ColumnDef, ColumnStats, ForeignKey, Layout, SqlType, TableDef};
 use legodb_schema::{NameTest, ScalarKind, ScalarStats, Schema, Type, TypeName};
 use legodb_util::StableHasher;
 use legodb_xml::stats::{Path, Statistics};
@@ -189,7 +189,8 @@ fn build_mapping(pschema: &PSchema, stats: &Statistics, parent: Option<&Mapping>
         // lint: allow(no-unwrap-in-lib) — iterating names owned by this schema; the lookup cannot miss
         let def = schema.get(name).expect("iterating names");
         let parents = parents_index.get(name).unwrap_or(&no_parents);
-        let fp = type_fingerprint(name, parents, &shallow, &refs, stats_fp);
+        let layout = pschema.layout(name);
+        let fp = type_fingerprint(name, parents, &shallow, &refs, stats_fp, layout);
         let reused = parent.and_then(|pm| {
             if pm.fingerprints.get(name) != Some(&fp) {
                 return None;
@@ -198,13 +199,18 @@ fn build_mapping(pschema: &PSchema, stats: &Statistics, parent: Option<&Mapping>
             let table_mapping = pm.tables.get(name)?.clone();
             Some((table_def, table_mapping))
         });
-        let (table_def, table_mapping) = match reused {
+        let (mut table_def, table_mapping) = match reused {
             Some(pair) => pair,
             None => {
                 let occs = occurrences.get(name).cloned().unwrap_or_default();
                 build_table(schema, name, def, parents, &occs, &occurrences, stats)
             }
         };
+        // Physical design: the p-schema's layout assignment becomes the
+        // table's storage layout. (On the reuse path this is a no-op:
+        // layout is part of the fingerprint, so equal fingerprints imply
+        // the cached def already carries the same layout.)
+        table_def.layout = layout;
         catalog.add(table_def);
         tables.insert(name.clone(), table_mapping);
         fingerprints.insert(name.clone(), fp);
@@ -299,17 +305,20 @@ fn hash_ref_deps(schema: &Schema, def: &Type, h: &mut StableHasher, depth: usize
 /// The derivation fingerprint of one type: everything [`build_table`]
 /// reads to produce the type's `TableDef` + `TableMapping`, combined
 /// from the precomputed per-type `shallow` (definition + occurrences)
-/// and `refs` (reference closure) hashes. Equal fingerprints (for the
-/// same statistics) imply identical outputs.
+/// and `refs` (reference closure) hashes, plus the type's storage
+/// [`Layout`] (which is stamped onto the table def after building).
+/// Equal fingerprints (for the same statistics) imply identical outputs.
 fn type_fingerprint(
     name: &TypeName,
     parents: &[TypeName],
     shallow: &BTreeMap<TypeName, u64>,
     refs: &BTreeMap<TypeName, u64>,
     stats_fp: u64,
+    layout: Layout,
 ) -> u64 {
     let mut h = StableHasher::new();
     h.write_u64(stats_fp);
+    h.write_u64(layout as u64);
     h.write_str(name.as_str());
     h.write_u64(shallow.get(name).copied().unwrap_or(0));
     h.write_u64(refs.get(name).copied().unwrap_or(0));
@@ -1209,6 +1218,34 @@ mod tests {
             format!("{:?}", incremental.tables),
             format!("{:?}", parent.tables)
         );
+    }
+
+    #[test]
+    fn layout_assignment_stamps_tables_and_invalidates_only_that_type() {
+        let p_row = PSchema::try_new(imdb_schema()).unwrap();
+        let mut p_col = p_row.clone();
+        p_col.set_layout(&TypeName::new("Review"), Layout::Columnar);
+        let stats = imdb_stats();
+        let parent = rel(&p_row, &stats);
+        let child = rel_incremental(&p_col, &stats, &parent);
+        // The layout lands on the table def...
+        assert_eq!(
+            child.catalog.table("Review").unwrap().layout,
+            Layout::Columnar
+        );
+        assert_eq!(child.catalog.table("Show").unwrap().layout, Layout::Row);
+        // ...and invalidates exactly the flipped type (layout does not
+        // feed any other type's derivation).
+        let changed = child.changed_tables(&parent);
+        assert_eq!(changed.len(), 1, "{changed:?}");
+        assert!(changed.contains("Review"));
+        // Incremental result still matches a from-scratch derivation.
+        let scratch = rel(&p_col, &stats);
+        assert_eq!(
+            format!("{:?}", child.catalog),
+            format!("{:?}", scratch.catalog)
+        );
+        assert_eq!(child.fingerprints, scratch.fingerprints);
     }
 
     #[test]

@@ -21,16 +21,26 @@
 //! and foreign keys are forced to exist wherever the relational model
 //! needs them.
 
+use legodb_relational::Layout;
 use legodb_schema::{Schema, Type, TypeName};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A schema whose every definition satisfies the stratified grammar.
 ///
 /// The inner schema is reachable read-only; mutation goes through
 /// [`PSchema::try_new`] so the invariant cannot be silently broken.
+///
+/// Beyond the type structure, a p-schema carries one piece of physical
+/// design per type: the storage [`Layout`] of the relation it maps to.
+/// Only non-default (columnar) entries are stored, so two p-schemas with
+/// the same types and the same columnar set compare equal regardless of
+/// how their layouts were assigned.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PSchema {
     schema: Schema,
+    /// Types stored columnar; absence means [`Layout::Row`].
+    layouts: BTreeMap<TypeName, Layout>,
 }
 
 /// Why a schema is not a valid p-schema.
@@ -81,12 +91,29 @@ impl fmt::Display for StratifyError {
 impl std::error::Error for StratifyError {}
 
 impl PSchema {
-    /// Validate the stratification invariant and wrap.
+    /// Validate the stratification invariant and wrap. Every type starts
+    /// on the default row layout.
     pub fn try_new(schema: Schema) -> Result<PSchema, StratifyError> {
+        PSchema::try_new_with_layouts(schema, BTreeMap::new())
+    }
+
+    /// Validate and wrap, carrying layout assignments forward. Entries for
+    /// types absent from `schema` are dropped (a transformation may have
+    /// inlined them away); row entries are normalized to absence.
+    pub fn try_new_with_layouts(
+        schema: Schema,
+        layouts: BTreeMap<TypeName, Layout>,
+    ) -> Result<PSchema, StratifyError> {
         for (name, ty) in schema.iter() {
             check_pt(name, ty)?;
         }
-        Ok(PSchema { schema })
+        let layouts = layouts
+            .into_iter()
+            .filter(|(name, layout)| {
+                *layout != Layout::Row && schema.iter().any(|(n, _)| n == name)
+            })
+            .collect();
+        Ok(PSchema { schema, layouts })
     }
 
     /// The underlying schema.
@@ -102,6 +129,26 @@ impl PSchema {
     /// The root type name.
     pub fn root(&self) -> &TypeName {
         self.schema.root()
+    }
+
+    /// The storage layout assigned to `name`'s relation.
+    pub fn layout(&self, name: &TypeName) -> Layout {
+        self.layouts.get(name).copied().unwrap_or_default()
+    }
+
+    /// The layout assignment map (columnar entries only).
+    pub fn layouts(&self) -> &BTreeMap<TypeName, Layout> {
+        &self.layouts
+    }
+
+    /// Assign `name`'s relation a storage layout. Row assignments are
+    /// normalized to absence from the map.
+    pub fn set_layout(&mut self, name: &TypeName, layout: Layout) {
+        if layout == Layout::Row {
+            self.layouts.remove(name);
+        } else {
+            self.layouts.insert(name.clone(), layout);
+        }
     }
 }
 
@@ -255,6 +302,32 @@ mod tests {
     #[test]
     fn recursive_named_types_are_valid() {
         assert!(check("type AnyElement = ~[ AnyElement{0,*} ]").is_ok());
+    }
+
+    #[test]
+    fn layout_assignments_normalize_and_survive_revalidation() {
+        let mut p = check(
+            "type Show = show [ title[ String ], Reviews{0,*} ]
+             type Reviews = reviews[ String ]",
+        )
+        .unwrap();
+        let show = TypeName::from("Show");
+        let reviews = TypeName::from("Reviews");
+        assert_eq!(p.layout(&show), Layout::Row);
+        p.set_layout(&show, Layout::Columnar);
+        assert_eq!(p.layout(&show), Layout::Columnar);
+        // Row assignments are normalized to absence: equal to a fresh map.
+        p.set_layout(&reviews, Layout::Columnar);
+        p.set_layout(&reviews, Layout::Row);
+        assert_eq!(p.layouts().len(), 1);
+        // Carrying layouts into a new schema drops entries for types that
+        // no longer exist.
+        let narrower = parse_schema("type Show = show [ title[ String ] ]").unwrap();
+        let mut carried = p.layouts().clone();
+        carried.insert(TypeName::from("Gone"), Layout::Columnar);
+        let q = PSchema::try_new_with_layouts(narrower, carried).unwrap();
+        assert_eq!(q.layout(&show), Layout::Columnar);
+        assert_eq!(q.layouts().len(), 1);
     }
 
     #[test]

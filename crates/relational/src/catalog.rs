@@ -12,6 +12,44 @@ use crate::{PAGE_SIZE, ROW_OVERHEAD};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Physical storage layout of one table.
+///
+/// The paper's search space is purely *logical* (which types become which
+/// tables); `Layout` extends it with a *physical* dimension priced by the
+/// same cost model. A row-store table is the classic heap: whole rows,
+/// contiguous. A columnar table stores one typed vector per column plus a
+/// null bitmap, so a scan that touches `k` of `n` columns reads only the
+/// bytes of those `k` columns — and pays a per-row reassembly penalty on
+/// random access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layout {
+    /// Row heap (the default; what the paper assumes throughout).
+    #[default]
+    Row,
+    /// One typed vector per column + null bitmap.
+    Columnar,
+}
+
+impl Layout {
+    /// Parse the serialized name (see [`std::fmt::Display`]).
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "row" => Some(Layout::Row),
+            "columnar" => Some(Layout::Columnar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layout::Row => "row",
+            Layout::Columnar => "columnar",
+        })
+    }
+}
+
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
@@ -115,6 +153,8 @@ pub struct TableDef {
     pub foreign_keys: Vec<ForeignKey>,
     /// Table statistics.
     pub stats: TableStats,
+    /// Physical storage layout (row heap vs column store).
+    pub layout: Layout,
 }
 
 impl TableDef {
@@ -126,7 +166,14 @@ impl TableDef {
             key: None,
             foreign_keys: Vec::new(),
             stats: TableStats::default(),
+            layout: Layout::Row,
         }
+    }
+
+    /// Builder-style: set the physical layout.
+    pub fn with_layout(mut self, layout: Layout) -> TableDef {
+        self.layout = layout;
+        self
     }
 
     /// Index of a column by name.
@@ -153,6 +200,28 @@ impl TableDef {
     /// Number of pages the table occupies.
     pub fn pages(&self) -> f64 {
         (self.stats.rows * self.row_width() / PAGE_SIZE).max(1.0)
+    }
+
+    /// Effective stored width in bytes of column `i`: non-null values at
+    /// their average width, nulls at one bitmap-adjacent byte. This is the
+    /// per-column share of [`TableDef::row_width`] minus the row overhead,
+    /// which a column store pays per *referenced* column instead of per
+    /// row.
+    pub fn column_width(&self, i: usize) -> f64 {
+        self.columns.get(i).map_or(0.0, |c| {
+            c.stats.avg_width * (1.0 - c.stats.null_fraction) + c.stats.null_fraction
+        })
+    }
+
+    /// Pages a columnar scan reads when it touches only `cols` (all
+    /// columns when `None`). Column vectors are densely packed, so there
+    /// is no per-row overhead — the whole point of the layout.
+    pub fn columnar_scan_pages(&self, cols: Option<&[usize]>) -> f64 {
+        let width: f64 = match cols {
+            Some(cols) => cols.iter().map(|&i| self.column_width(i)).sum(),
+            None => (0..self.columns.len()).map(|i| self.column_width(i)).sum(),
+        };
+        (self.stats.rows * width / PAGE_SIZE).max(1.0)
     }
 
     /// Render as a `CREATE TABLE` statement.
@@ -321,6 +390,28 @@ mod tests {
         c.add(t2);
         assert_eq!(c.len(), 1);
         assert_eq!(c.table("Show").unwrap().stats.rows, 1.0);
+    }
+
+    #[test]
+    fn columnar_scan_pages_charges_only_referenced_columns() {
+        let t = show_table();
+        // title alone: 34798 rows * 50 bytes, no row overhead.
+        let title_only = t.columnar_scan_pages(Some(&[2]));
+        assert!((title_only - 34798.0 * 50.0 / 8192.0).abs() < 1e-6);
+        // All columns (74 bytes) still beat the row heap (90 with overhead).
+        let all = t.columnar_scan_pages(None);
+        assert!(all < t.pages());
+        assert!((all - 34798.0 * 74.0 / 8192.0).abs() < 1e-6);
+        // Layout round-trips through parse/Display.
+        for l in [Layout::Row, Layout::Columnar] {
+            assert_eq!(Layout::parse(&l.to_string()), Some(l));
+        }
+        assert_eq!(Layout::parse("paged"), None);
+        assert_eq!(TableDef::new("T").layout, Layout::Row);
+        assert_eq!(
+            TableDef::new("T").with_layout(Layout::Columnar).layout,
+            Layout::Columnar
+        );
     }
 
     #[test]

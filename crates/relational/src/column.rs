@@ -1,0 +1,270 @@
+//! The column store: one typed vector per column plus a null bitmap.
+//!
+//! A [`ColumnStore`] is the columnar twin of the row heap in
+//! `storage.rs`: the same logical table (positional rows, same
+//! arity/typing rules) decomposed into per-column vectors, so a scan that
+//! references `k` of `n` columns touches only those `k` vectors. NULLs
+//! are recorded in a per-column bitmap; the data vector carries a
+//! placeholder at null positions so every vector stays positionally
+//! aligned with the row id.
+//!
+//! Determinism contract: everything in this module is `Vec`-ordered by
+//! row id and column position — no hashed collections — because column
+//! order feeds both the snapshot/checkpoint byte format and the layout
+//! cost model (see the `deterministic-collections` lint rule, which
+//! covers this file).
+
+use crate::catalog::TableDef;
+use crate::storage::Row;
+use crate::types::{SqlType, Value};
+
+/// The typed values of one column, positionally aligned with row ids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// `INT` columns: fixed 8-byte integers.
+    Int(Vec<i64>),
+    /// `CHAR(n)` / `STRING` columns.
+    Str(Vec<String>),
+}
+
+impl ColumnData {
+    fn with_capacity_for(ty: SqlType) -> ColumnData {
+        match ty {
+            SqlType::Int => ColumnData::Int(Vec::new()),
+            SqlType::Char(_) | SqlType::Text => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+}
+
+/// One column: typed data + null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVector {
+    data: ColumnData,
+    /// Bit `i` set ⇒ row `i` is NULL (the data vector holds a
+    /// placeholder there to preserve alignment).
+    nulls: Vec<u64>,
+}
+
+impl ColumnVector {
+    fn new(ty: SqlType) -> ColumnVector {
+        ColumnVector {
+            data: ColumnData::with_capacity_for(ty),
+            nulls: Vec::new(),
+        }
+    }
+
+    /// The typed data vector (placeholders at null positions).
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Is row `i` NULL in this column?
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls
+            .get(i / 64)
+            .is_some_and(|word| word & (1u64 << (i % 64)) != 0)
+    }
+
+    fn set_null(&mut self, i: usize) {
+        let word = i / 64;
+        if self.nulls.len() <= word {
+            self.nulls.resize(word + 1, 0);
+        }
+        self.nulls[word] |= 1u64 << (i % 64);
+    }
+
+    fn push(&mut self, value: &Value) {
+        let i = self.data.len();
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Int(n)) => v.push(*n),
+            (ColumnData::Str(v), Value::Str(s)) => v.push(s.clone()),
+            (ColumnData::Int(v), _) => {
+                v.push(0);
+                self.set_null(i);
+            }
+            (ColumnData::Str(v), _) => {
+                v.push(String::new());
+                self.set_null(i);
+            }
+        }
+    }
+
+    /// The value at row `i`, reassembled.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => v.get(i).map_or(Value::Null, |&n| Value::Int(n)),
+            ColumnData::Str(v) => v.get(i).map_or(Value::Null, |s| Value::Str(s.clone())),
+        }
+    }
+
+    /// Bytes materialized by this column vector: data + null bitmap.
+    pub fn materialized_bytes(&self) -> f64 {
+        let data = match &self.data {
+            ColumnData::Int(v) => 8.0 * v.len() as f64,
+            ColumnData::Str(v) => v.iter().map(|s| s.len() as f64).sum(),
+        };
+        data + 8.0 * self.nulls.len() as f64
+    }
+}
+
+/// A columnar table body: one [`ColumnVector`] per [`TableDef`] column.
+///
+/// Rows are identified by their insertion position, exactly as in the row
+/// heap, so secondary indexes (which store row ids) work unchanged on
+/// either layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStore {
+    columns: Vec<ColumnVector>,
+    len: usize,
+}
+
+impl ColumnStore {
+    /// An empty store shaped for `def`'s columns.
+    pub fn new(def: &TableDef) -> ColumnStore {
+        ColumnStore {
+            columns: def
+                .columns
+                .iter()
+                .map(|c| ColumnVector::new(c.ty))
+                .collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of column vectors materialized.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One column vector by position.
+    pub fn column(&self, i: usize) -> Option<&ColumnVector> {
+        self.columns.get(i)
+    }
+
+    /// Append one row. The caller (the `Table` facade) has already
+    /// validated arity, types, and NOT NULL constraints; a value a vector
+    /// cannot hold is stored as NULL.
+    pub fn push(&mut self, row: &Row) {
+        for (vector, value) in self.columns.iter_mut().zip(row) {
+            vector.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// The value at (`row`, `col`); NULL when either is out of range
+    /// (matching the row executor's permissive projection).
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.columns.get(col).map_or(Value::Null, |c| c.value(row))
+    }
+
+    /// Reassemble the full row at position `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Reassemble every row (the columnar `scan`).
+    pub fn rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Total bytes materialized across all column vectors.
+    pub fn materialized_bytes(&self) -> f64 {
+        self.columns
+            .iter()
+            .map(ColumnVector::materialized_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+
+    fn def() -> TableDef {
+        let mut def = TableDef::new("Show");
+        def.columns = vec![
+            ColumnDef::new("Show_id", SqlType::Int),
+            ColumnDef::new("title", SqlType::Text),
+            ColumnDef::new("year", SqlType::Int).nullable(),
+        ];
+        def
+    }
+
+    #[test]
+    fn push_and_reassemble_rows() {
+        let mut s = ColumnStore::new(&def());
+        assert!(s.is_empty());
+        s.push(&vec![Value::Int(1), Value::str("ER"), Value::Int(1994)]);
+        s.push(&vec![Value::Int(2), Value::str("X Files"), Value::Null]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column_count(), 3);
+        assert_eq!(
+            s.row(0),
+            vec![Value::Int(1), Value::str("ER"), Value::Int(1994)]
+        );
+        assert_eq!(
+            s.row(1),
+            vec![Value::Int(2), Value::str("X Files"), Value::Null]
+        );
+        assert_eq!(s.rows().len(), 2);
+    }
+
+    #[test]
+    fn null_bitmap_tracks_nulls_past_one_word() {
+        let mut s = ColumnStore::new(&def());
+        for i in 0..130 {
+            let year = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(1990 + i)
+            };
+            s.push(&vec![Value::Int(i), Value::str(format!("t{i}")), year]);
+        }
+        for i in 0..130usize {
+            let got = s.value(i, 2);
+            if i % 3 == 0 {
+                assert_eq!(got, Value::Null, "row {i}");
+            } else {
+                assert_eq!(got, Value::Int(1990 + i as i64), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_access_yields_null() {
+        let mut s = ColumnStore::new(&def());
+        s.push(&vec![Value::Int(1), Value::str("t"), Value::Null]);
+        assert_eq!(s.value(0, 99), Value::Null);
+        assert_eq!(s.value(99, 0), Value::Null);
+    }
+
+    #[test]
+    fn materialized_bytes_counts_data_and_bitmaps() {
+        let mut s = ColumnStore::new(&def());
+        s.push(&vec![Value::Int(1), Value::str("abcd"), Value::Null]);
+        // Int col: 8 bytes; title: 4 bytes; year: 8 (placeholder) + one
+        // bitmap word (8 bytes).
+        assert!((s.materialized_bytes() - (8.0 + 4.0 + 8.0 + 8.0)).abs() < 1e-9);
+    }
+}

@@ -8,8 +8,10 @@
 //!   per-column statistics — the interface the cost-based optimizer reads;
 //! - **values and expressions** ([`types::Value`], [`expr::Expr`]) for
 //!   predicates and projections;
-//! - an in-memory **storage engine** ([`storage::Database`]) with heap
-//!   tables and B-tree (ordered) secondary indexes;
+//! - an in-memory **storage engine** ([`storage::Database`]) whose tables
+//!   are layout-polymorphic ([`catalog::Layout`]): a row heap or a column
+//!   store ([`column::ColumnStore`]), both with B-tree (ordered)
+//!   secondary indexes;
 //! - **physical plans** ([`plan::PhysicalPlan`]) and a pull-based
 //!   **executor** ([`exec`]) that runs them while counting tuples and pages
 //!   touched, so optimizer estimates can be checked against observed work
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -34,12 +37,13 @@ pub mod storage;
 pub mod types;
 pub mod wal;
 
-pub use catalog::{Catalog, ColumnDef, ColumnStats, ForeignKey, TableDef, TableStats};
+pub use catalog::{Catalog, ColumnDef, ColumnStats, ForeignKey, Layout, TableDef, TableStats};
+pub use column::{ColumnData, ColumnStore, ColumnVector};
 pub use error::RelationalError;
 pub use exec::{run, ExecCounters};
 pub use expr::{CmpOp, Expr};
 pub use plan::PhysicalPlan;
-pub use storage::{Database, Row, Table};
+pub use storage::{Database, Row, StorageStats, Table};
 pub use types::{SqlType, Value};
 pub use wal::{Wal, WalRecord};
 

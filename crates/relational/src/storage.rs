@@ -6,10 +6,13 @@
 //! acquisition) so a shared `&Database` can be read from multiple threads —
 //! the LegoDB greedy search evaluates candidate configurations in parallel.
 
-use crate::catalog::{Catalog, ColumnStats, TableDef};
+use crate::catalog::{Catalog, ColumnStats, Layout, TableDef};
+use crate::column::{ColumnData, ColumnStore};
 use crate::error::RelationalError;
+use crate::expr::Expr;
 use crate::types::Value;
 use crate::wal::{self, Wal, WalRecord};
+use crate::ROW_OVERHEAD;
 use legodb_util::fault::failpoint;
 use legodb_util::fs::DirHandle;
 use legodb_util::json::{self, Value as JValue};
@@ -23,28 +26,88 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.json";
 /// A row: one value per column of the owning table.
 pub type Row = Vec<Value>;
 
+/// Physical storage statistics for one table, reported per layout by
+/// [`Table::storage_stats`]: the row heap reports zero materialized
+/// column vectors and byte-estimates rows at their measured width plus
+/// [`ROW_OVERHEAD`]; the column store reports its vector count and the
+/// exact bytes held in vectors + null bitmaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageStats {
+    /// Which storage engine holds the data.
+    pub layout: Layout,
+    /// Rows stored.
+    pub rows: usize,
+    /// Column vectors materialized (0 for the row heap).
+    pub columns_materialized: usize,
+    /// Estimated resident bytes of the table body.
+    pub est_bytes: f64,
+}
+
+/// Assemble [`ColumnStats`] from one analysis pass's accumulators.
+fn finish_column_stats(
+    n: usize,
+    nulls: usize,
+    width_sum: f64,
+    distinct: usize,
+    min: Option<i64>,
+    max: Option<i64>,
+) -> ColumnStats {
+    let non_null = n - nulls;
+    ColumnStats {
+        avg_width: if non_null > 0 {
+            width_sum / non_null as f64
+        } else {
+            1.0
+        },
+        distinct: Some(distinct as f64),
+        min,
+        max,
+        null_fraction: nulls as f64 / n as f64,
+    }
+}
+
+/// The physical body of a table: the row heap or the column store,
+/// selected by the definition's [`Layout`]. Everything above this enum —
+/// validation, indexing, the executor, WAL replay, checkpointing — is
+/// layout-agnostic: both arms expose positional rows addressed by
+/// insertion order, so row ids (and therefore secondary indexes) mean the
+/// same thing in either.
+#[derive(Debug)]
+enum TableStore {
+    Row(RwLock<Vec<Row>>),
+    Column(RwLock<ColumnStore>),
+}
+
 /// A table: definition + rows + secondary indexes.
 #[derive(Debug)]
 pub struct Table {
     /// The table definition (columns, key, statistics).
     pub def: TableDef,
-    rows: RwLock<Vec<Row>>,
+    store: TableStore,
     indexes: RwLock<HashMap<String, BTreeMap<Value, Vec<usize>>>>,
 }
 
 impl Table {
-    /// An empty table for a definition.
+    /// An empty table for a definition; the definition's [`Layout`]
+    /// selects the storage engine.
     pub fn new(def: TableDef) -> Table {
+        let store = match def.layout {
+            Layout::Row => TableStore::Row(RwLock::new(Vec::new())),
+            Layout::Columnar => TableStore::Column(RwLock::new(ColumnStore::new(&def))),
+        };
         Table {
             def,
-            rows: RwLock::new(Vec::new()),
+            store,
             indexes: RwLock::new(HashMap::new()),
         }
     }
 
     /// Number of rows currently stored.
     pub fn len(&self) -> usize {
-        self.rows.read().len()
+        match &self.store {
+            TableStore::Row(rows) => rows.read().len(),
+            TableStore::Column(store) => store.read().len(),
+        }
     }
 
     /// True if the table holds no rows.
@@ -84,8 +147,23 @@ impl Table {
     /// Insert one row, enforcing arity, types, and NOT NULL constraints.
     pub fn insert(&self, row: Row) -> Result<(), RelationalError> {
         self.validate_row(&row)?;
-        let mut rows = self.rows.write();
-        let row_id = rows.len();
+        match &self.store {
+            TableStore::Row(rows) => {
+                let mut rows = rows.write();
+                self.index_new_row(&row, rows.len())?;
+                rows.push(row);
+            }
+            TableStore::Column(store) => {
+                let mut store = store.write();
+                self.index_new_row(&row, store.len())?;
+                store.push(&row);
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a row about to be stored at `row_id` in every live index.
+    fn index_new_row(&self, row: &Row, row_id: usize) -> Result<(), RelationalError> {
         let mut indexes = self.indexes.write();
         for (column, index) in indexes.iter_mut() {
             let ci =
@@ -97,7 +175,6 @@ impl Table {
                     })?;
             index.entry(row[ci].clone()).or_default().push(row_id);
         }
-        rows.push(row);
         Ok(())
     }
 
@@ -114,10 +191,24 @@ impl Table {
         if indexes.contains_key(column) {
             return Ok(());
         }
-        let rows = self.rows.read();
         let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
-        for (row_id, row) in rows.iter().enumerate() {
-            index.entry(row[ci].clone()).or_default().push(row_id);
+        match &self.store {
+            TableStore::Row(rows) => {
+                for (row_id, row) in rows.read().iter().enumerate() {
+                    index.entry(row[ci].clone()).or_default().push(row_id);
+                }
+            }
+            TableStore::Column(store) => {
+                // Only the indexed column is materialized — the other
+                // vectors are never touched.
+                let store = store.read();
+                for row_id in 0..store.len() {
+                    index
+                        .entry(store.value(row_id, ci))
+                        .or_default()
+                        .push(row_id);
+                }
+            }
         }
         indexes.insert(column.to_string(), index);
         Ok(())
@@ -137,14 +228,75 @@ impl Table {
 
     /// Snapshot all rows (cloned). The executor's sequential scan.
     pub fn scan(&self) -> Vec<Row> {
-        self.rows.read().clone()
+        match &self.store {
+            TableStore::Row(rows) => rows.read().clone(),
+            TableStore::Column(store) => store.read().rows(),
+        }
     }
 
-    /// Visit all rows without cloning the whole table.
+    /// Visit all rows without cloning the whole table. On a columnar
+    /// table each row is reassembled into a scratch buffer first; use
+    /// [`Table::columnar_scan`] when only some columns are needed.
     pub fn for_each(&self, mut f: impl FnMut(&Row)) {
-        for row in self.rows.read().iter() {
-            f(row);
+        match &self.store {
+            TableStore::Row(rows) => {
+                for row in rows.read().iter() {
+                    f(row);
+                }
+            }
+            TableStore::Column(store) => {
+                let store = store.read();
+                for i in 0..store.len() {
+                    f(&store.row(i));
+                }
+            }
         }
+    }
+
+    /// Sequential scan of a **columnar** table that materializes only the
+    /// columns a query references (DESIGN.md §16). Phase one reassembles
+    /// just the predicate's columns into a sparse full-arity row (NULLs
+    /// elsewhere — safe because the predicate only reads its own columns)
+    /// and evaluates it; phase two materializes the output columns for
+    /// accepted rows only. With `projection = Some(cols)` the returned
+    /// rows are already projected. Returns `None` on a row-store table:
+    /// the executor falls back to [`Table::for_each`].
+    pub fn columnar_scan(
+        &self,
+        predicate: Option<&Expr>,
+        projection: Option<&[usize]>,
+    ) -> Option<Result<Vec<Row>, RelationalError>> {
+        let TableStore::Column(store) = &self.store else {
+            return None;
+        };
+        let store = store.read();
+        let pred_cols = predicate
+            .map(|p| p.referenced_columns())
+            .unwrap_or_default();
+        let mut sparse = vec![Value::Null; self.def.columns.len()];
+        let mut out = Vec::new();
+        for i in 0..store.len() {
+            let keep = match predicate {
+                Some(p) => {
+                    for &c in &pred_cols {
+                        sparse[c] = store.value(i, c);
+                    }
+                    match p.accepts(&sparse) {
+                        Ok(b) => b,
+                        Err(e) => return Some(Err(e)),
+                    }
+                }
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            out.push(match projection {
+                Some(cols) => cols.iter().map(|&c| store.value(i, c)).collect(),
+                None => store.row(i),
+            });
+        }
+        Some(Ok(out))
     }
 
     /// Rows whose `column` equals `key`, via the index. Returns `None` if no
@@ -152,11 +304,10 @@ impl Table {
     pub fn index_lookup(&self, column: &str, key: &Value) -> Option<Vec<Row>> {
         let indexes = self.indexes.read();
         let index = indexes.get(column)?;
-        let rows = self.rows.read();
         Some(
             index
                 .get(key)
-                .map(|ids| ids.iter().map(|&i| rows[i].clone()).collect())
+                .map(|ids| self.rows_at(ids))
                 .unwrap_or_default(),
         )
     }
@@ -171,57 +322,138 @@ impl Table {
     ) -> Option<Vec<Row>> {
         let indexes = self.indexes.read();
         let index = indexes.get(column)?;
-        let rows = self.rows.read();
         let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         let upper = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        let mut out = Vec::new();
-        for (_, ids) in index.range((lower, upper)) {
-            out.extend(ids.iter().map(|&i| rows[i].clone()));
+        let mut ids = Vec::new();
+        for (_, matched) in index.range((lower, upper)) {
+            ids.extend_from_slice(matched);
         }
-        Some(out)
+        Some(self.rows_at(&ids))
+    }
+
+    /// Clone out the rows at `ids` (index probes reconstruct matches by
+    /// row id on either layout).
+    fn rows_at(&self, ids: &[usize]) -> Vec<Row> {
+        match &self.store {
+            TableStore::Row(rows) => {
+                let rows = rows.read();
+                ids.iter().map(|&i| rows[i].clone()).collect()
+            }
+            TableStore::Column(store) => {
+                let store = store.read();
+                ids.iter().map(|&i| store.row(i)).collect()
+            }
+        }
     }
 
     /// Recompute this table's statistics from the stored data: row count,
-    /// average widths, distincts, numeric min/max, null fractions.
+    /// average widths, distincts, numeric min/max, null fractions. The
+    /// layout rides along in the definition, so a re-`analyze`d catalog
+    /// still tells the cost model which page math applies; on a columnar
+    /// table each column's pass reads only that column's vector.
     pub fn analyze(&mut self) {
-        let rows = self.rows.read();
-        let n = rows.len();
+        let n = self.len();
         self.def.stats.rows = n as f64;
-        for (ci, col) in self.def.columns.iter_mut().enumerate() {
-            if n == 0 {
-                col.stats = ColumnStats::unknown(col.ty);
-                continue;
-            }
-            let mut width_sum = 0.0;
-            let mut nulls = 0usize;
-            let mut distinct: HashSet<&Value> = HashSet::new();
-            let mut min: Option<i64> = None;
-            let mut max: Option<i64> = None;
-            for row in rows.iter() {
-                let v = &row[ci];
-                if v.is_null() {
-                    nulls += 1;
-                    continue;
+        match &self.store {
+            TableStore::Row(rows) => {
+                let rows = rows.read();
+                for (ci, col) in self.def.columns.iter_mut().enumerate() {
+                    if n == 0 {
+                        col.stats = ColumnStats::unknown(col.ty);
+                        continue;
+                    }
+                    let mut width_sum = 0.0;
+                    let mut nulls = 0usize;
+                    let mut distinct: HashSet<&Value> = HashSet::new();
+                    let mut min: Option<i64> = None;
+                    let mut max: Option<i64> = None;
+                    for row in rows.iter() {
+                        let v = &row[ci];
+                        if v.is_null() {
+                            nulls += 1;
+                            continue;
+                        }
+                        width_sum += v.width();
+                        distinct.insert(v);
+                        if let Value::Int(i) = v {
+                            min = Some(min.map_or(*i, |m| m.min(*i)));
+                            max = Some(max.map_or(*i, |m| m.max(*i)));
+                        }
+                    }
+                    col.stats = finish_column_stats(n, nulls, width_sum, distinct.len(), min, max);
                 }
-                width_sum += v.width();
-                distinct.insert(v);
-                if let Value::Int(i) = v {
-                    min = Some(min.map_or(*i, |m| m.min(*i)));
-                    max = Some(max.map_or(*i, |m| m.max(*i)));
+            }
+            TableStore::Column(store) => {
+                let store = store.read();
+                for (ci, col) in self.def.columns.iter_mut().enumerate() {
+                    let Some(vector) = store.column(ci).filter(|_| n > 0) else {
+                        col.stats = ColumnStats::unknown(col.ty);
+                        continue;
+                    };
+                    let mut width_sum = 0.0;
+                    let mut nulls = 0usize;
+                    let mut min: Option<i64> = None;
+                    let mut max: Option<i64> = None;
+                    let distinct_count = match vector.data() {
+                        ColumnData::Int(values) => {
+                            let mut distinct: HashSet<i64> = HashSet::new();
+                            for (i, &x) in values.iter().enumerate() {
+                                if vector.is_null(i) {
+                                    nulls += 1;
+                                    continue;
+                                }
+                                width_sum += 8.0;
+                                distinct.insert(x);
+                                min = Some(min.map_or(x, |m| m.min(x)));
+                                max = Some(max.map_or(x, |m| m.max(x)));
+                            }
+                            distinct.len()
+                        }
+                        ColumnData::Str(values) => {
+                            let mut distinct: HashSet<&str> = HashSet::new();
+                            for (i, s) in values.iter().enumerate() {
+                                if vector.is_null(i) {
+                                    nulls += 1;
+                                    continue;
+                                }
+                                width_sum += s.len() as f64;
+                                distinct.insert(s.as_str());
+                            }
+                            distinct.len()
+                        }
+                    };
+                    col.stats = finish_column_stats(n, nulls, width_sum, distinct_count, min, max);
                 }
             }
-            let non_null = n - nulls;
-            col.stats = ColumnStats {
-                avg_width: if non_null > 0 {
-                    width_sum / non_null as f64
-                } else {
-                    1.0
-                },
-                distinct: Some(distinct.len() as f64),
-                min,
-                max,
-                null_fraction: nulls as f64 / n as f64,
-            };
+        }
+    }
+
+    /// Per-layout physical storage statistics (see
+    /// [`Database::snapshot_json`]'s `storage` block).
+    pub fn storage_stats(&self) -> StorageStats {
+        match &self.store {
+            TableStore::Row(rows) => {
+                let rows = rows.read();
+                let bytes: f64 = rows
+                    .iter()
+                    .map(|r| ROW_OVERHEAD + r.iter().map(Value::width).sum::<f64>())
+                    .sum();
+                StorageStats {
+                    layout: Layout::Row,
+                    rows: rows.len(),
+                    columns_materialized: 0,
+                    est_bytes: bytes,
+                }
+            }
+            TableStore::Column(store) => {
+                let store = store.read();
+                StorageStats {
+                    layout: Layout::Columnar,
+                    rows: store.len(),
+                    columns_materialized: store.column_count(),
+                    est_bytes: store.materialized_bytes(),
+                }
+            }
         }
     }
 }
@@ -521,6 +753,18 @@ impl Database {
             first_table = false;
             out.push_str("{\"def\":");
             out.push_str(&wal::table_def_json(&table.def).render());
+            // Physical storage block: which engine holds the rows and
+            // what it costs in memory. Recovery/restore ignores it (the
+            // def carries the layout); byte-compared snapshots include it
+            // so a layout regression is a visible diff.
+            let stats = table.storage_stats();
+            out.push_str(&format!(
+                ",\"storage\":{{\"columns_materialized\":{},\"est_bytes\":{},\"layout\":\"{}\",\"rows\":{}}}",
+                stats.columns_materialized,
+                json::Value::Number(stats.est_bytes).render(),
+                stats.layout,
+                stats.rows
+            ));
             out.push_str(",\"indexes\":[");
             let cols = table.index_columns();
             for (i, col) in cols.iter().enumerate() {
@@ -702,6 +946,120 @@ mod tests {
         catalog.add(TableDef::new("Aka"));
         let db = Database::from_catalog(&catalog);
         assert_eq!(db.tables().count(), 2);
+    }
+
+    fn loaded_columnar_table() -> Table {
+        let t = Table::new(show_def().with_layout(Layout::Columnar));
+        t.insert(vec![
+            Value::Int(1),
+            Value::str("The Fugitive"),
+            Value::Int(1993),
+        ])
+        .unwrap();
+        t.insert(vec![Value::Int(2), Value::str("X Files"), Value::Int(1993)])
+            .unwrap();
+        t.insert(vec![Value::Int(3), Value::str("Twin Peaks"), Value::Null])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn columnar_table_behaves_like_the_row_heap() {
+        let row = loaded_table();
+        let col = loaded_columnar_table();
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.scan(), row.scan());
+        let mut via_for_each = Vec::new();
+        col.for_each(|r| via_for_each.push(r.clone()));
+        assert_eq!(via_for_each, row.scan());
+        // Index built after load, kept current across inserts, identical
+        // answers on both layouts.
+        col.create_index("year").unwrap();
+        row.create_index("year").unwrap();
+        assert_eq!(
+            col.index_lookup("year", &Value::Int(1993)),
+            row.index_lookup("year", &Value::Int(1993))
+        );
+        col.insert(vec![Value::Int(4), Value::str("ER"), Value::Int(1993)])
+            .unwrap();
+        assert_eq!(
+            col.index_lookup("year", &Value::Int(1993)).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            col.index_range("Show_id", Some(&Value::Int(2)), None),
+            None,
+            "no index on Show_id yet"
+        );
+        col.create_index("Show_id").unwrap();
+        assert_eq!(
+            col.index_range("Show_id", Some(&Value::Int(2)), Some(&Value::Int(3)))
+                .unwrap()
+                .len(),
+            2
+        );
+        // Constraints are enforced by the same validation layer.
+        assert!(matches!(
+            col.insert(vec![Value::Null, Value::str("t"), Value::Null]),
+            Err(RelationalError::NullViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn columnar_analyze_matches_row_analyze() {
+        let mut row = loaded_table();
+        let mut col = loaded_columnar_table();
+        row.analyze();
+        col.analyze();
+        // Identical statistics from both layouts; only the layout differs.
+        let mut rdef = row.def.clone();
+        rdef.layout = Layout::Columnar;
+        assert_eq!(rdef, col.def);
+        assert_eq!(col.def.layout, Layout::Columnar);
+    }
+
+    #[test]
+    fn columnar_scan_pushdown_matches_full_scan() {
+        let col = loaded_columnar_table();
+        let pred = crate::expr::Expr::cmp(crate::expr::CmpOp::Eq, 2, 1993i64);
+        let rows = col
+            .columnar_scan(Some(&pred), Some(&[1]))
+            .expect("columnar table")
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("The Fugitive")],
+                vec![Value::str("X Files")]
+            ]
+        );
+        // The row heap has no columnar path.
+        assert!(loaded_table().columnar_scan(None, None).is_none());
+    }
+
+    #[test]
+    fn storage_stats_report_per_layout() {
+        let row = loaded_table();
+        let col = loaded_columnar_table();
+        let rs = row.storage_stats();
+        assert_eq!(rs.layout, Layout::Row);
+        assert_eq!(rs.rows, 3);
+        assert_eq!(rs.columns_materialized, 0);
+        assert!(rs.est_bytes > 0.0);
+        let cs = col.storage_stats();
+        assert_eq!(cs.layout, Layout::Columnar);
+        assert_eq!(cs.rows, 3);
+        assert_eq!(cs.columns_materialized, 3);
+        assert!(cs.est_bytes > 0.0);
+        // Columns pack tighter than rows: no per-row overhead.
+        assert!(cs.est_bytes < rs.est_bytes);
+        // The snapshot document carries the storage block.
+        let mut db = Database::new();
+        db.create_table(show_def().with_layout(Layout::Columnar))
+            .unwrap();
+        let snap = db.snapshot_json();
+        assert!(snap.contains("\"storage\":{\"columns_materialized\":3"));
+        assert!(snap.contains("\"layout\":\"columnar\""));
     }
 
     // -- durability ---------------------------------------------------------

@@ -49,7 +49,7 @@
 //! | `wal.fsync` | fsync failure at a commit boundary (poisons: durability unknown) |
 //! | `wal.truncate` | crash after a checkpoint installs but before the log is reclaimed |
 
-use crate::catalog::{ColumnDef, ColumnStats, ForeignKey, TableDef};
+use crate::catalog::{ColumnDef, ColumnStats, ForeignKey, Layout, TableDef};
 use crate::error::RelationalError;
 use crate::storage::Row;
 use crate::types::{SqlType, Value};
@@ -503,6 +503,7 @@ pub fn table_def_json(def: &TableDef) -> JValue {
     m.insert("columns".to_string(), JValue::Array(columns));
     m.insert("fks".to_string(), JValue::Array(fks));
     m.insert("rows".to_string(), JValue::Number(def.stats.rows));
+    m.insert("layout".to_string(), JValue::String(def.layout.to_string()));
     JValue::Object(m)
 }
 
@@ -549,6 +550,15 @@ pub fn table_def_from_json(j: &JValue) -> Result<TableDef, RelationalError> {
         });
     }
     def.stats.rows = num_field(j, "rows")?;
+    // Logs written before layouts existed carry no field: default Row,
+    // which is exactly what those tables were.
+    def.layout = match j.get("layout") {
+        None => Layout::Row,
+        Some(JValue::String(s)) => {
+            Layout::parse(s).ok_or_else(|| corrupt(&format!("unknown table layout {s:?}")))?
+        }
+        Some(_) => return Err(corrupt("table layout must be a string")),
+    };
     Ok(def)
 }
 
@@ -721,6 +731,27 @@ mod tests {
         assert_eq!(decoded, def, "catalog must round-trip bit-identically");
         // Byte-determinism: re-encoding the decoded def is identical.
         assert_eq!(table_def_json(&decoded).render(), encoded);
+    }
+
+    #[test]
+    fn table_def_codec_round_trips_layout_and_defaults_to_row() {
+        let mut def = show_def();
+        def.layout = Layout::Columnar;
+        let encoded = table_def_json(&def).render();
+        let decoded = table_def_from_json(&json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded, def, "columnar layout must survive the codec");
+        assert_eq!(table_def_json(&decoded).render(), encoded);
+        // A pre-layout log record (no field) decodes to the row heap.
+        let legacy = encoded.replace("\"layout\":\"columnar\",", "");
+        assert_ne!(legacy, encoded, "test must actually strip the field");
+        let decoded = table_def_from_json(&json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(decoded.layout, Layout::Row);
+        // An unknown layout name is corruption, not a silent default.
+        let bad = encoded.replace("\"layout\":\"columnar\"", "\"layout\":\"paged\"");
+        assert!(matches!(
+            table_def_from_json(&json::parse(&bad).unwrap()),
+            Err(RelationalError::Corrupt { .. })
+        ));
     }
 
     #[test]

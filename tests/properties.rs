@@ -202,6 +202,72 @@ prop_check! {
     }
 }
 
+prop_check! {
+    cases = 6,
+    // Physical layout is invisible to query answers: shred a generated
+    // IMDB corpus into an all-row build and a build with a random subset
+    // of relations flipped columnar, then answer every Appendix C query
+    // Q1–Q18 on both. The sorted result rows must be bit-identical —
+    // the column store changes page math and clone traffic, never
+    // semantics. Runs unchanged under the CI fault and hardened passes.
+    fn layout_never_changes_query_results(seed in 0u64..100, layout_seed in 0u64..100) {
+        use legodb_imdb::{generate_imdb, imdb_schema, query, ScaleConfig};
+        use legodb_optimizer::{optimize_statement, OptimizerConfig};
+        use legodb_relational::{run, Layout};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = generate_imdb(&mut rng, &ScaleConfig::at_scale(0.002));
+        let stats = Statistics::collect(&doc);
+        let row_ps = derive_pschema(&imdb_schema(), InlineStyle::Inlined);
+        // Flip a random, non-empty subset of the relations columnar.
+        let mut col_ps = row_ps.clone();
+        let names: Vec<_> = col_ps.schema().iter().map(|(n, _)| n.clone()).collect();
+        let mut layout_rng = StdRng::seed_from_u64(layout_seed);
+        for name in &names {
+            if layout_rng.gen_range(0u32..2) == 1 {
+                col_ps.set_layout(name, Layout::Columnar);
+            }
+        }
+        if col_ps.layouts().is_empty() {
+            for name in &names {
+                col_ps.set_layout(name, Layout::Columnar);
+            }
+        }
+        let mapping_row = rel(&row_ps, &stats);
+        let mapping_col = rel(&col_ps, &stats);
+        let db_row = shred(&mapping_row, &doc).expect("row build shreds");
+        let db_col = shred(&mapping_col, &doc).expect("columnar build shreds");
+        for i in 1..=18u32 {
+            let name = format!("Q{i}");
+            let q = query(&name);
+            let mut results = Vec::new();
+            for (mapping, db) in [(&mapping_row, &db_row), (&mapping_col, &db_col)] {
+                let t = legodb_xquery::translate(mapping, &q).expect("query translates");
+                let mut rows = Vec::new();
+                for statement in &t.statements {
+                    let opt = optimize_statement(
+                        &mapping.catalog,
+                        statement,
+                        &OptimizerConfig::default(),
+                    )
+                    .expect("statement optimizes");
+                    let (r, _) = run(db, &opt.plan).expect("plan executes");
+                    rows.extend(r);
+                }
+                rows.retain(|row| !row.iter().all(|v| v.is_null()));
+                rows.sort();
+                results.push(rows);
+            }
+            prop_assert_eq!(
+                &results[0],
+                &results[1],
+                "query {} answers differently on the columnar build",
+                name
+            );
+        }
+    }
+}
+
 /// Random printable-ASCII text of `len` characters, drawn from `rng`.
 fn printable_text(rng: &mut StdRng, len: usize) -> String {
     (0..len)

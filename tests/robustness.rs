@@ -26,7 +26,7 @@
 //! each batch is one WAL frame, so a torn frame drops wholly.
 
 use legodb_core::{greedy_search, Budget, SearchConfig, SearchOutcome, StartPoint, Workload};
-use legodb_relational::{ColumnDef, Database, SqlType, TableDef, Value};
+use legodb_relational::{ColumnDef, Database, Layout, SqlType, TableDef, Value};
 use legodb_schema::{
     parse_schema, parse_schema_with_limits, Schema, SchemaLimits, SchemaParseError,
 };
@@ -420,6 +420,106 @@ prop_check! {
             "seed {seed}: double open diverged"
         );
         drop(recovered);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+prop_check! {
+    cases = 6,
+    // A columnar table is exactly as durable as a row table: the WAL
+    // `CreateTable` record carries the layout, so crash recovery must
+    // rebuild the column store — not silently fall back to a row heap —
+    // and recover an acked-consistent prefix cell-for-cell. A checkpoint
+    // taken after recovery must round-trip the layout byte-identically.
+    fn crash_recovery_round_trips_a_columnar_table(
+        seed in 0u64..1_000_000,
+        rows in 1u64..40,
+    ) {
+        let root = std::env::temp_dir().join(format!(
+            "legodb-crash-recovery-col-{}-{seed}-{rows}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = DirHandle::create(&root).expect("create scratch dir");
+
+        let mut acked = 0u64;
+        let mut attempted = 0u64;
+        {
+            let quiet = quiet_faults();
+            let mut db = Database::open(&dir).expect("fresh open");
+            db.create_table(event_def().with_layout(Layout::Columnar))
+                .expect("create columnar table");
+            db.create_index("Event", "name").expect("create index");
+            db.commit().expect("commit schema");
+            drop(quiet);
+
+            let _faulty = override_for_test(FaultConfig {
+                seed,
+                rate: 0.2,
+                mode: FaultMode::Error,
+            });
+            for i in 0..rows {
+                if i == rows / 2 && db.checkpoint(&dir).is_err() {
+                    break;
+                }
+                attempted = i + 1;
+                if db.insert("Event", event_row(i as i64)).is_err() {
+                    break;
+                }
+                if db.commit().is_err() {
+                    break;
+                }
+                acked = i + 1;
+            }
+        }
+
+        let _quiet = quiet_faults();
+        let mut recovered = Database::open(&dir).expect("recovery open");
+        let table = recovered.table("Event").expect("table survives");
+        prop_assert_eq!(
+            table.def.layout,
+            Layout::Columnar,
+            "seed {seed}: layout lost in WAL replay"
+        );
+        let got = table.scan();
+        let n = got.len() as u64;
+        prop_assert!(
+            acked <= n && n <= attempted,
+            "seed {seed}: recovered {n} rows, acked {acked}, attempted {attempted}"
+        );
+        for (i, row) in got.iter().enumerate() {
+            prop_assert_eq!(
+                row,
+                &event_row(i as i64),
+                "seed {seed}: columnar row {i} corrupted after recovery"
+            );
+        }
+        prop_assert!(
+            table.has_index("name"),
+            "seed {seed}: secondary index lost on the columnar table"
+        );
+        let snapshot = recovered.snapshot_json();
+        prop_assert!(
+            snapshot.contains("\"layout\":\"columnar\""),
+            "seed {seed}: snapshot does not report the columnar layout"
+        );
+        // Checkpoint round trip: compact the recovered state and reopen —
+        // byte-identical snapshot, layout intact.
+        recovered
+            .checkpoint(&dir)
+            .expect("post-recovery checkpoint");
+        let again = Database::open(&dir).expect("open after checkpoint");
+        prop_assert_eq!(
+            snapshot,
+            again.snapshot_json(),
+            "seed {seed}: checkpoint round trip diverged"
+        );
+        prop_assert_eq!(
+            again.table("Event").expect("table survives").def.layout,
+            Layout::Columnar,
+            "seed {seed}: layout lost in the checkpoint"
+        );
+        drop(again);
         let _ = std::fs::remove_dir_all(&root);
     }
 }
