@@ -36,9 +36,13 @@ stage_fmt() {
     cargo fmt --check
 }
 
-# Static analysis gate (DESIGN.md §12): the workspace must lint clean
-# before anything else runs. Exit is non-zero on any diagnostic; the
-# JSON-lines report is left in target/ci/ for tooling.
+# Static analysis gate (DESIGN.md §12 + §17): the workspace must lint
+# clean before anything else runs — per-file rules, the flow-aware
+# concurrency/durability rules (lock-order, wal-before-apply,
+# guard-across-fsync), and the allow-unused audit (a stale
+# `lint: allow` is itself a diagnostic, so the suppression count can
+# only shrink). Exit is non-zero on any diagnostic; the JSON-lines
+# report is left in target/ci/ for tooling.
 stage_lint() {
     build_release
     echo "==> legodb-lint (static analysis gate)"
@@ -74,6 +78,13 @@ stage_fault() {
     echo "==> incremental-costing equivalence property (fault)"
     LEGODB_FAULT_SEED=1 cargo test -q --offline \
         --test properties incremental_costing_matches_the_oracle
+    # One crash-recovery property seed with the runtime lock-order
+    # sanitizer (crates/util/src/lockcheck.rs) forced on: faults drive
+    # the durable engine down its rarest lock paths, and the tracker
+    # panics on any acquisition-order cycle the static analyzer missed.
+    echo "==> crash-recovery property with the lock-order sanitizer forced on"
+    LEGODB_LOCK_ORDER=1 LEGODB_FAULT_SEED=1 LEGODB_PROP_SEED=1 \
+        cargo test -q --offline --test robustness crash_recovery
 }
 
 # Crash-recovery pass (DESIGN.md §14): the seeded crash-recovery

@@ -1,0 +1,510 @@
+//! The workspace-level half of the flow analyzer: an approximate call
+//! graph over [`crate::facts::FnFacts`], transitive lock sets, and the
+//! three protocol rules built on them (DESIGN.md §17):
+//!
+//! - `lock-order` — the transitive lock-nesting graph must be acyclic;
+//!   a cycle is a potential deadlock and is reported with the
+//!   acquisition site of *every* edge on the cycle.
+//! - `wal-before-apply` — in `crates/relational`, a function that
+//!   appends to the WAL must issue the append before any table/catalog
+//!   mutation (log-before-apply, DESIGN.md §14).
+//! - `guard-across-fsync` — in `crates/relational`, no lock guard may be
+//!   live across an fsync or WAL append: a guard held there serializes
+//!   the group-commit seam ROADMAP item 5 needs.
+//!
+//! Call resolution is deliberately conservative: bare `g(…)`, `self.g(…)`
+//! and `Q::g(…)` resolve by name (and impl owner); arbitrary-receiver
+//! method calls do not resolve at all, so `indexes.insert(…)` can never
+//! fabricate an edge to `Table::insert`. The price is false *negatives*
+//! (a lock taken behind a trait object or closure is invisible), never
+//! false cycles.
+
+use crate::facts::{Acquire, Call, FnFacts};
+use crate::rules::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names that mutate a table or the catalog when called on some
+/// receiver in a durable path.
+const MUTATORS: &[&str] = &["insert", "insert_batch", "create_index", "push", "remove"];
+
+/// Call names that reach the disk's durability boundary.
+const SYNC_CALLS: &[&str] = &["sync", "sync_all", "sync_data", "fsync"];
+
+/// Receivers whose `append*` methods are WAL/log writes (a plain
+/// `Vec::append` on some other receiver is not a durability call).
+const DURABLE_RECVS: &[&str] = &["wal", "log"];
+
+/// Run all flow rules over the workspace's extracted functions.
+pub fn analyze(fns: &[FnFacts]) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(fns);
+    let mut diags = Vec::new();
+    rule_lock_order(fns, &graph, &mut diags);
+    rule_wal_before_apply(fns, &mut diags);
+    rule_guard_across_fsync(fns, &mut diags);
+    diags
+}
+
+/// Summary counters for the workspace-clean proof: the analyzer only
+/// vouches for the workspace if it demonstrably saw it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisStats {
+    pub functions: usize,
+    pub acquisitions: usize,
+    pub resolved_calls: usize,
+    pub lock_classes: usize,
+}
+
+/// Compute the coverage counters for a set of extracted functions.
+pub fn stats(fns: &[FnFacts]) -> AnalysisStats {
+    let graph = CallGraph::build(fns);
+    let classes: BTreeSet<&str> = fns
+        .iter()
+        .flat_map(|f| f.acquires.iter().map(|a| a.class.as_str()))
+        .collect();
+    AnalysisStats {
+        functions: fns.len(),
+        acquisitions: fns.iter().map(|f| f.acquires.len()).sum(),
+        resolved_calls: graph.resolved_edges,
+        lock_classes: classes.len(),
+    }
+}
+
+/// Where a lock class gets acquired — carried through transitive lock
+/// sets so cycle reports can point at real source lines.
+#[derive(Debug, Clone)]
+struct AcqSite {
+    path: String,
+    line: u32,
+    col: u32,
+    fun: String,
+    method: String,
+}
+
+impl AcqSite {
+    fn of(f: &FnFacts, a: &Acquire) -> AcqSite {
+        AcqSite {
+            path: f.path.clone(),
+            line: a.line,
+            col: a.col,
+            fun: f.display(),
+            method: a.method.clone(),
+        }
+    }
+}
+
+struct CallGraph {
+    /// Per-function resolved callee indices, parallel to the input slice.
+    callees: Vec<Vec<(usize, usize)>>, // (call index in f.calls, target fn index)
+    /// Transitive lock set per function: class → first acquisition site.
+    lockset: Vec<BTreeMap<String, AcqSite>>,
+    resolved_edges: usize,
+}
+
+impl CallGraph {
+    fn build(fns: &[FnFacts]) -> CallGraph {
+        // Name tables. Owned fns by (owner, name); free fns by name.
+        let mut owned: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            match &f.owner {
+                Some(o) => owned.entry((o, &f.name)).or_default().push(i),
+                None => free.entry(&f.name).or_default().push(i),
+            }
+        }
+        let resolve = |f: &FnFacts, c: &Call| -> Vec<usize> {
+            if let Some(q) = &c.qual {
+                // `Q::g(…)`: an associated fn of Q, or (for module paths
+                // like `lockcheck::enter`) a free fn of that name.
+                return owned
+                    .get(&(q.as_str(), c.name.as_str()))
+                    .or_else(|| free.get(c.name.as_str()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            match c.recv.as_deref() {
+                Some("self") => f
+                    .owner
+                    .as_deref()
+                    .and_then(|o| owned.get(&(o, c.name.as_str())))
+                    .cloned()
+                    .unwrap_or_default(),
+                Some(_) => Vec::new(), // arbitrary receiver: unresolvable
+                None => free.get(c.name.as_str()).cloned().unwrap_or_default(),
+            }
+        };
+
+        let mut callees: Vec<Vec<(usize, usize)>> = Vec::with_capacity(fns.len());
+        let mut resolved_edges = 0usize;
+        for f in fns {
+            let mut edges = Vec::new();
+            for (ci, c) in f.calls.iter().enumerate() {
+                for target in resolve(f, c) {
+                    edges.push((ci, target));
+                    resolved_edges += 1;
+                }
+            }
+            callees.push(edges);
+        }
+
+        // Transitive lock sets by fixpoint: what may be acquired while a
+        // call to this function runs.
+        let mut lockset: Vec<BTreeMap<String, AcqSite>> = fns
+            .iter()
+            .map(|f| {
+                let mut m = BTreeMap::new();
+                for a in &f.acquires {
+                    m.entry(a.class.clone())
+                        .or_insert_with(|| AcqSite::of(f, a));
+                }
+                m
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..fns.len() {
+                for &(_, t) in &callees[i] {
+                    if t == i {
+                        continue;
+                    }
+                    let add: Vec<(String, AcqSite)> = lockset[t]
+                        .iter()
+                        .filter(|(class, _)| !lockset[i].contains_key(*class))
+                        .map(|(class, site)| (class.clone(), site.clone()))
+                        .collect();
+                    if !add.is_empty() {
+                        changed = true;
+                        lockset[i].extend(add);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        CallGraph {
+            callees,
+            lockset,
+            resolved_edges,
+        }
+    }
+}
+
+/// One directed edge of the lock-nesting graph, with its first witness.
+#[derive(Debug, Clone)]
+struct Edge {
+    hold: AcqSite,
+    acq: AcqSite,
+    via: Option<String>, // callee display when the edge crosses a call
+}
+
+/// `lock-order`: build class-level nesting edges (intra-function nesting
+/// plus guards held across resolvable calls), then flag every cycle.
+fn rule_lock_order(fns: &[FnFacts], graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    let mut add = |from: &str, to: &str, e: Edge| {
+        edges.entry((from.to_string(), to.to_string())).or_insert(e);
+    };
+    for (i, f) in fns.iter().enumerate() {
+        for a in &f.acquires {
+            // Intra-function: B acquired while A's guard is live.
+            for b in &f.acquires {
+                if a.tok < b.tok && b.tok < a.live_end && a.class != b.class {
+                    add(
+                        &a.class,
+                        &b.class,
+                        Edge {
+                            hold: AcqSite::of(f, a),
+                            acq: AcqSite::of(f, b),
+                            via: None,
+                        },
+                    );
+                }
+            }
+            // Interprocedural: a call made under A's guard pulls in the
+            // callee's transitive lock set.
+            for &(ci, t) in &graph.callees[i] {
+                let c = &f.calls[ci];
+                if !(a.tok < c.tok && c.tok < a.live_end) {
+                    continue;
+                }
+                for (class, site) in &graph.lockset[t] {
+                    if *class != a.class {
+                        add(
+                            &a.class,
+                            class,
+                            Edge {
+                                hold: AcqSite::of(f, a),
+                                acq: site.clone(),
+                                via: Some(fns[t].display()),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Every edge that closes a directed cycle is a deadlock candidate.
+    // Canonicalize each cycle (rotate its minimum class first) so one
+    // cycle yields one diagnostic no matter which edge found it.
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for (from, to) in edges.keys().cloned().collect::<Vec<_>>() {
+        let Some(path_back) = find_path(&edges, &to, &from) else {
+            continue;
+        };
+        let mut cycle: Vec<String> = vec![from.clone()];
+        cycle.extend(path_back.into_iter().take_while(|n| *n != from));
+        let min_at = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.as_str())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        cycle.rotate_left(min_at);
+        if !seen.insert(cycle.clone()) {
+            continue;
+        }
+        let mut lines = format!(
+            "lock nesting cycle `{} -> {}` — two threads taking these in \
+             opposite order deadlock:",
+            cycle.join(" -> "),
+            cycle[0]
+        );
+        for w in 0..cycle.len() {
+            let (a, b) = (&cycle[w], &cycle[(w + 1) % cycle.len()]);
+            let e = &edges[&(a.clone(), b.clone())];
+            let via = e
+                .via
+                .as_ref()
+                .map(|v| format!(" via call to `{v}`"))
+                .unwrap_or_default();
+            lines.push_str(&format!(
+                " [`{a}` {} in `{}` ({}:{}:{}) then `{b}` {} ({}:{}:{}){via}]",
+                e.hold.method,
+                e.hold.fun,
+                e.hold.path,
+                e.hold.line,
+                e.hold.col,
+                e.acq.method,
+                e.acq.path,
+                e.acq.line,
+                e.acq.col,
+            ));
+        }
+        let anchor = &edges[&(cycle[0].clone(), cycle[1 % cycle.len()].clone())].acq;
+        diags.push(Diagnostic {
+            path: anchor.path.clone(),
+            line: anchor.line,
+            col: anchor.col,
+            rule: "lock-order",
+            message: lines,
+        });
+    }
+}
+
+/// Breadth-first path `from → … → to` over the edge set, deterministic.
+fn find_path(
+    edges: &BTreeMap<(String, String), Edge>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        succ.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: VecDeque<&str> = VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![to.to_string()];
+            let mut at = to;
+            while at != from {
+                at = prev[at];
+                path.push(at.to_string());
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in succ.get(node).into_iter().flatten() {
+            if next != from && !prev.contains_key(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Is this call a WAL/log append or an fsync?
+fn is_durability_call(c: &Call) -> bool {
+    SYNC_CALLS.contains(&c.name.as_str())
+        || (c.name.starts_with("append")
+            && c.recv
+                .as_deref()
+                .is_some_and(|r| DURABLE_RECVS.contains(&r)))
+}
+
+/// `wal-before-apply`: inside `crates/relational`, a function that
+/// issues WAL appends must issue the first one before any mutation.
+/// Functions that never append (replay, recovery, pure reads) are out of
+/// scope — the WAL append *is* the durable-path marker.
+fn rule_wal_before_apply(fns: &[FnFacts], diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if !f.path.starts_with("crates/relational/") {
+            continue;
+        }
+        let first = f
+            .calls
+            .iter()
+            .filter(|c| c.recv.as_deref() == Some("wal") && c.name.starts_with("append"))
+            .min_by_key(|c| c.tok);
+        let Some(first) = first else {
+            continue;
+        };
+        for c in &f.calls {
+            if c.tok < first.tok && c.recv.is_some() && MUTATORS.contains(&c.name.as_str()) {
+                diags.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    rule: "wal-before-apply",
+                    message: format!(
+                        "`{}.{}(…)` mutates state before `{}`'s first WAL append \
+                         (line {}) — log-before-apply requires the append to \
+                         dominate every mutation, or a crash loses the change \
+                         while the log claims otherwise",
+                        c.recv.as_deref().unwrap_or("?"),
+                        c.name,
+                        f.display(),
+                        first.line,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `guard-across-fsync`: inside `crates/relational`, no lock guard may
+/// be live across an fsync/append call — that guard is exactly what
+/// group commit (ROADMAP item 5) must not inherit.
+fn rule_guard_across_fsync(fns: &[FnFacts], diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if !f.path.starts_with("crates/relational/") {
+            continue;
+        }
+        for c in f.calls.iter().filter(|c| is_durability_call(c)) {
+            for a in &f.acquires {
+                if a.tok < c.tok && c.tok < a.live_end {
+                    diags.push(Diagnostic {
+                        path: f.path.clone(),
+                        line: c.line,
+                        col: c.col,
+                        rule: "guard-across-fsync",
+                        message: format!(
+                            "guard on `{}` (acquired line {}) is live across \
+                             `{}(…)` in `{}` — holding a lock over the \
+                             durability boundary serializes group commit",
+                            a.class,
+                            a.line,
+                            c.name,
+                            f.display(),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::extract;
+    use crate::lexer::{lex, Tok};
+    use crate::parse::parse_items;
+
+    fn fns_of(rel: &str, src: &str) -> Vec<FnFacts> {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = vec![false; code.len()];
+        let items = parse_items(&code, &in_test);
+        extract(rel, &code, &in_test, &items)
+    }
+
+    #[test]
+    fn consistent_order_produces_no_cycle() {
+        let src = "impl T { fn f(&self) { let a = self.a.read(); let b = self.b.read(); }\n\
+                            fn g(&self) { let a = self.a.write(); let b = self.b.write(); } }";
+        let d = analyze(&fns_of("crates/x/src/l.rs", src));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn interprocedural_inversion_is_a_cycle() {
+        let src = "impl P {\n\
+                     fn forward(&self) { let a = self.a.read(); let b = self.b.read(); }\n\
+                     fn sum_a(&self) -> u32 { *self.a.read() }\n\
+                     fn backward(&self) -> u32 { let b = self.b.write(); *b + self.sum_a() }\n\
+                   }";
+        let d = analyze(&fns_of("crates/x/src/l.rs", src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock-order");
+        assert!(d[0].message.contains("x/a"), "{}", d[0].message);
+        assert!(d[0].message.contains("x/b"), "{}", d[0].message);
+        assert!(d[0].message.contains("sum_a"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn scoped_guard_breaks_the_edge() {
+        // The fixed index_lookup shape: the indexes guard dies in the
+        // inner block before rows_at takes the store lock.
+        let src = "impl T {\n\
+                     fn ins(&self) { let s = self.store.write(); self.index_row(1); }\n\
+                     fn index_row(&self, r: u32) { let i = self.indexes.write(); }\n\
+                     fn lookup(&self) { let ids = { let i = self.indexes.read(); pick(i) };\n\
+                                        self.rows_at(ids); }\n\
+                     fn rows_at(&self, ids: u32) { let s = self.store.read(); }\n\
+                   }";
+        let d = analyze(&fns_of("crates/x/src/l.rs", src));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn mutation_before_append_is_flagged() {
+        let src = "impl D { fn insert(&mut self) {\n\
+                     table.insert(row);\n\
+                     self.wal.append_insert(t, &row);\n\
+                   } }";
+        let d = analyze(&fns_of("crates/relational/src/db.rs", src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "wal-before-apply");
+        // append-first order passes
+        let src = "impl D { fn insert(&mut self) {\n\
+                     self.wal.append_insert(t, &row);\n\
+                     table.insert(row);\n\
+                   } }";
+        assert!(analyze(&fns_of("crates/relational/src/db.rs", src)).is_empty());
+        // replay paths never append — exempt
+        let src = "impl D { fn apply(&mut self) { table.insert(row); } }";
+        assert!(analyze(&fns_of("crates/relational/src/db.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn guard_across_fsync_fires_only_in_relational() {
+        let src = "impl W { fn commit(&self) {\n\
+                     let inner = self.inner.write();\n\
+                     inner.log.sync();\n\
+                   } }";
+        let d = analyze(&fns_of("crates/relational/src/wal2.rs", src));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "guard-across-fsync");
+        assert!(analyze(&fns_of("crates/util/src/fs2.rs", src)).is_empty());
+        // a Vec append on a non-log receiver is not a durability call
+        let src = "impl W { fn merge(&self) {\n\
+                     let g = self.inner.write();\n\
+                     out.append(&mut v);\n\
+                   } }";
+        assert!(analyze(&fns_of("crates/relational/src/wal2.rs", src)).is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! Per-function fact extraction: lock/guard acquisitions (with an
+//! approximate liveness range), calls, and WAL interactions. These feed
+//! the workspace call graph in [`crate::callgraph`] (DESIGN.md §17).
+//!
+//! All facts are token-positional approximations: "dominates" means
+//! "earlier in token order", and a guard's life is a token range, not a
+//! dataflow result. The known false-negative shapes this buys are
+//! documented with the rules.
+
+use crate::lexer::{Tok, TokKind};
+use crate::parse::FnItem;
+
+/// Method names whose zero-argument call on some receiver takes a lock.
+/// The zero-argument requirement is what separates `rows.read()` (a
+/// `sync::RwLock` acquisition) from `file.read(&mut buf)` (I/O).
+const ACQUIRE_METHODS: &[&str] = &["read", "write", "lock"];
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Lock class: `<crate>/<receiver>` — e.g. `relational/indexes` for
+    /// `self.indexes.write()`. Striped accesses resolve through the
+    /// `.stripe(…)` call to the striped field (`core/cache`).
+    pub class: String,
+    /// Which method acquired it (`read`/`write`/`lock`).
+    pub method: String,
+    /// Token index of the acquiring method name.
+    pub tok: usize,
+    /// Token index one past the last token at which the guard is assumed
+    /// live: end of statement for temporaries, end of the enclosing
+    /// block for `let`-bound guards.
+    pub live_end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name as written.
+    pub name: String,
+    /// `Some(Q)` for a path call `Q::name(…)`.
+    pub qual: Option<String>,
+    /// `Some(recv)` for a method call `recv.name(…)` (the identifier
+    /// nearest the dot: `self.wal.append(…)` → `wal`; `self.f(…)` →
+    /// `self`).
+    pub recv: Option<String>,
+    /// Token index of the callee name.
+    pub tok: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Call {
+    /// Can the workspace call graph resolve this call by name? Only
+    /// shapes whose target is nameable: bare `g(…)`, `self.g(…)`, and
+    /// `Q::g(…)`. Arbitrary-receiver method calls (`x.g(…)`) are *not*
+    /// resolved — linking them by bare name would invent edges (e.g.
+    /// `indexes.insert(…)` is `BTreeMap::insert`, not `Table::insert`).
+    pub fn resolvable(&self) -> bool {
+        self.qual.is_some() || self.recv.is_none() || self.recv.as_deref() == Some("self")
+    }
+}
+
+/// Everything the analyzer knows about one function.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Crate the file belongs to (`relational` for `crates/relational/…`,
+    /// `root` for the façade's own sources).
+    pub crate_name: String,
+    pub name: String,
+    pub owner: Option<String>,
+    pub line: u32,
+    pub col: u32,
+    pub acquires: Vec<Acquire>,
+    pub calls: Vec<Call>,
+}
+
+impl FnFacts {
+    /// `Owner::name` or `name` — the label diagnostics use.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Crate component of a workspace-relative path.
+pub fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("root")
+}
+
+/// Extract facts for every non-test function in a file. `items` comes
+/// from [`crate::parse::parse_items`] over the same `code`/`in_test`.
+pub fn extract(rel: &str, code: &[Tok], in_test: &[bool], items: &[FnItem]) -> Vec<FnFacts> {
+    let crate_name = crate_of(rel);
+    let mut out = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        if item.is_test {
+            continue;
+        }
+        // Token ranges of fns nested inside this one — their facts are
+        // their own, not the enclosing fn's.
+        let nested: Vec<(usize, usize)> = items
+            .iter()
+            .enumerate()
+            .filter(|(j, n)| *j != idx && n.fn_tok >= item.body.0 && n.body.1 <= item.body.1)
+            .map(|(_, n)| (n.fn_tok, n.body.1 + 1))
+            .collect();
+        let mut facts = FnFacts {
+            path: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            name: item.name.clone(),
+            owner: item.owner.clone(),
+            line: item.line,
+            col: item.col,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+        };
+        let mut i = item.body.0;
+        while i < item.body.1 {
+            if let Some(&(_, skip_to)) = nested.iter().find(|(s, e)| (*s..*e).contains(&i)) {
+                i = skip_to;
+                continue;
+            }
+            if in_test.get(i).copied().unwrap_or(false) {
+                i += 1;
+                continue;
+            }
+            scan_token(code, i, item.body.1, &mut facts);
+            i += 1;
+        }
+        out.push(facts);
+    }
+    out
+}
+
+/// Classify the token at `i` as an acquisition or a call, if either.
+fn scan_token(code: &[Tok], i: usize, body_end: usize, facts: &mut FnFacts) {
+    let t = &code[i];
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    let called = is_punct_at(code, i + 1, '(');
+    if !called {
+        return;
+    }
+    let dotted = i > 0 && code[i - 1].is_punct('.');
+    // Zero-argument `.read()` / `.write()` / `.lock()` is an acquisition.
+    if dotted && ACQUIRE_METHODS.contains(&t.text) && is_punct_at(code, i + 2, ')') {
+        if let Some(class) = receiver_class(code, i - 1) {
+            facts.acquires.push(Acquire {
+                class: format!("{}/{class}", facts.crate_name),
+                method: t.text.to_string(),
+                tok: i,
+                live_end: guard_live_end(code, i, body_end),
+                line: t.line,
+                col: t.col,
+            });
+        }
+        return;
+    }
+    let (qual, recv) = if dotted {
+        let recv = if i >= 2 && code[i - 2].kind == TokKind::Ident {
+            Some(code[i - 2].text.to_string())
+        } else {
+            None
+        };
+        (None, recv)
+    } else if i >= 3
+        && code[i - 1].is_punct(':')
+        && code[i - 2].is_punct(':')
+        && code[i - 3].kind == TokKind::Ident
+    {
+        (Some(code[i - 3].text.to_string()), None)
+    } else if i > 0 && (code[i - 1].is_punct(':') || code[i - 1].is_punct('.')) {
+        // `::name(` with a non-ident qualifier (e.g. `<T as X>::f(…)`),
+        // or `.name(` on a non-ident receiver — unresolvable, skip.
+        return;
+    } else {
+        (None, None)
+    };
+    facts.calls.push(Call {
+        name: t.text.to_string(),
+        qual,
+        recv,
+        tok: i,
+        line: t.line,
+        col: t.col,
+    });
+}
+
+fn is_punct_at(code: &[Tok], i: usize, c: char) -> bool {
+    code.get(i).is_some_and(|t| t.is_punct(c))
+}
+
+/// The lock class of the receiver chain ending at the `.` at `dot_idx`:
+/// the identifier nearest the dot (`self.indexes.write()` → `indexes`),
+/// walking back through a `.stripe(…)` call to the striped field
+/// (`self.cache.stripe(h).read()` → `cache`) and through index
+/// expressions (`deques[v].lock()` → `deques`). `None` when the
+/// receiver is not nameable (a literal, a temporary from an
+/// unrecognized call, …).
+fn receiver_class(code: &[Tok], dot_idx: usize) -> Option<String> {
+    let mut j = dot_idx; // points at a `.`; the receiver ends at j-1
+    loop {
+        let end = j.checked_sub(1)?;
+        let t = code.get(end)?;
+        if t.kind == TokKind::Ident {
+            return Some(t.text.to_string());
+        }
+        if t.is_punct(')') {
+            let open = matching_open(code, end, '(', ')')?;
+            let name = code.get(open.checked_sub(1)?)?;
+            if name.kind != TokKind::Ident {
+                return None;
+            }
+            if name.text == "stripe" {
+                // Walk through the stripe call to the striped value:
+                // `cache.stripe(h)` — continue from the dot before it.
+                let before = open.checked_sub(2)?;
+                if code.get(before).is_some_and(|d| d.is_punct('.')) {
+                    j = before;
+                    continue;
+                }
+                return None;
+            }
+            // `graph().lock()` — name the producing call.
+            return Some(name.text.to_string());
+        }
+        if t.is_punct(']') {
+            // `deques[v].lock()` — skip the index expression.
+            let open = matching_open(code, end, '[', ']')?;
+            j = open;
+            continue;
+        }
+        return None;
+    }
+}
+
+/// Index of the `open` matching the `close` at `i`, scanning backwards.
+fn matching_open(code: &[Tok], i: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=i).rev() {
+        if code[k].is_punct(close) {
+            depth += 1;
+        } else if code[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// How long the guard produced by the acquisition at `acq` (the method
+/// name token) is assumed live, as an exclusive token index.
+///
+/// - `let g = x.read();` — the guard is named: live to the end of the
+///   enclosing block (the `}` that closes it).
+/// - anything else (`x.read().len()`, `if x.read().is_empty() {`,
+///   `f(x.read().get(k))`) — a temporary: live to the end of the
+///   current statement or expression arm (`;`, `,`, or a brace at the
+///   same nesting depth).
+fn guard_live_end(code: &[Tok], acq: usize, body_end: usize) -> usize {
+    let close = acq + 2; // the `)` of the zero-arg call
+    let bound_by_let = is_punct_at(code, close + 1, ';') && stmt_is_let_binding(code, acq);
+    if bound_by_let {
+        // Scan to the `}` closing the enclosing block.
+        let mut depth = 0i32;
+        for (k, t) in code.iter().enumerate().take(body_end).skip(close + 1) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                if depth == 0 {
+                    return k;
+                }
+                depth -= 1;
+            }
+        }
+        return body_end;
+    }
+    // Temporary: end of statement at the same nesting depth.
+    let mut depth = 0i32;
+    for (k, t) in code.iter().enumerate().take(body_end).skip(close + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 {
+                return k; // end of an enclosing argument list
+            }
+            depth -= 1;
+        } else if depth == 0
+            && (t.is_punct(';') || t.is_punct(',') || t.is_punct('{') || t.is_punct('}'))
+        {
+            return k;
+        }
+    }
+    body_end
+}
+
+/// Does the statement containing the acquisition at `acq` have the shape
+/// `let [mut] <name> = <receiver-chain>.read();`? Walks back to the
+/// start of the receiver chain and checks for the binding.
+fn stmt_is_let_binding(code: &[Tok], acq: usize) -> bool {
+    let Some(start) = chain_start(code, acq - 1) else {
+        return false;
+    };
+    if start < 2 || !code[start - 1].is_punct('=') {
+        return false;
+    }
+    if code[start - 2].kind != TokKind::Ident && !code[start - 2].is_punct('_') {
+        return false;
+    }
+    let mut k = start - 2; // the bound name
+                           // `let mut name` / `let name`
+    k = match k.checked_sub(1) {
+        Some(p) if code[p].is_ident("mut") => p,
+        Some(p) => return code[p].is_ident("let"),
+        None => return false,
+    };
+    k.checked_sub(1).is_some_and(|p| code[p].is_ident("let"))
+}
+
+/// First token of the receiver chain whose last `.` sits at `dot_idx`
+/// (`self.cache.stripe(h)` → the `self` token).
+fn chain_start(code: &[Tok], dot_idx: usize) -> Option<usize> {
+    let mut j = dot_idx; // a `.`; chain continues to the left
+    loop {
+        let end = j.checked_sub(1)?;
+        let t = &code[end];
+        let seg_start = if t.kind == TokKind::Ident {
+            end
+        } else if t.is_punct(')') {
+            let open = matching_open(code, end, '(', ')')?;
+            let name = open.checked_sub(1)?;
+            if code[name].kind != TokKind::Ident {
+                return None;
+            }
+            name
+        } else if t.is_punct(']') {
+            let open = matching_open(code, end, '[', ']')?;
+            let name = open.checked_sub(1)?;
+            if code[name].kind != TokKind::Ident {
+                return None;
+            }
+            name
+        } else {
+            return None;
+        };
+        match seg_start.checked_sub(1) {
+            Some(p) if code[p].is_punct('.') => j = p,
+            Some(p) if code[p].is_punct(':') && p >= 1 && code[p - 1].is_punct(':') => {
+                // `wal::Wal::open(…)` — path segments; keep walking left.
+                j = p - 1;
+                // the `::` is not a `.`: the next loop iteration expects
+                // `j` to sit one past the segment, which `p-1` provides.
+            }
+            _ => return Some(seg_start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn facts_of(rel: &str, src: &str) -> Vec<FnFacts> {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = vec![false; code.len()];
+        let items = parse_items(&code, &in_test);
+        extract(rel, &code, &in_test, &items)
+    }
+
+    #[test]
+    fn zero_arg_acquisitions_are_found_with_classes() {
+        let src = "impl T { fn f(&self) {\n\
+                     let g = self.indexes.write();\n\
+                     let s = self.cache.stripe(h).read();\n\
+                     let d = deques[v].lock();\n\
+                     file.read(&mut buf);\n\
+                   } }";
+        let f = &facts_of("crates/relational/src/x.rs", src)[0];
+        let classes: Vec<&str> = f.acquires.iter().map(|a| a.class.as_str()).collect();
+        assert_eq!(
+            classes,
+            [
+                "relational/indexes",
+                "relational/cache",
+                "relational/deques"
+            ],
+            "{:?}",
+            f.acquires
+        );
+    }
+
+    #[test]
+    fn let_bound_guards_outlive_temporaries() {
+        let src = "fn f() { let g = a.read(); b.write().push(1); use_it(g); }";
+        let f = &facts_of("crates/core/src/x.rs", src)[0];
+        let a = &f.acquires[0];
+        let b = &f.acquires[1];
+        // `g` lives past `b`'s acquisition; `b`'s temporary ends at `;`.
+        assert!(a.live_end > b.tok, "{f:?}");
+        assert!(b.live_end < f.acquires[0].live_end, "{f:?}");
+    }
+
+    #[test]
+    fn inner_block_scopes_bound_guard_life() {
+        let src = "fn f() { let ids = { let g = a.read(); pick(g) }; b.write().touch(); }";
+        let f = &facts_of("crates/core/src/x.rs", src)[0];
+        let a = &f.acquires[0];
+        let b = &f.acquires[1];
+        assert!(
+            a.live_end < b.tok,
+            "guard must die at the inner block: {f:?}"
+        );
+    }
+
+    #[test]
+    fn call_shapes_and_resolvability() {
+        let src = "impl D { fn f(&mut self) {\n\
+                     helper(1);\n\
+                     self.apply(2);\n\
+                     Wal::open(dir);\n\
+                     self.wal.append_insert(t, &row);\n\
+                     mac!(x);\n\
+                   } }";
+        let f = &facts_of("crates/relational/src/x.rs", src)[0];
+        let names: Vec<(&str, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.resolvable()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("helper", true),
+                ("apply", true),
+                ("open", true),
+                ("append_insert", false),
+            ],
+            "{:?}",
+            f.calls
+        );
+        assert_eq!(f.calls[3].recv.as_deref(), Some("wal"));
+        assert_eq!(f.calls[2].qual.as_deref(), Some("Wal"));
+    }
+
+    #[test]
+    fn test_masked_fns_produce_no_facts() {
+        let toks = lex("fn f() { a.read(); }");
+        let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = vec![true; code.len()];
+        let mut items = parse_items(&code, &in_test);
+        items[0].is_test = true;
+        assert!(extract("crates/x/src/a.rs", &code, &in_test, &items).is_empty());
+    }
+}

@@ -426,6 +426,34 @@ mod tests {
     }
 
     #[test]
+    fn columns_count_chars_not_bytes_on_non_ascii_lines() {
+        // `é` is 2 bytes, `→` is 3, `🧵` is 4 — each is one column.
+        // Diagnostics and allow directives anchor by (line, col), so a
+        // byte-counted column would drift right on any line with a doc
+        // comment using typographic dashes or accents.
+        let src = "/// détruit — la flèche → ici\nlet x = \"🧵🧵\"; y";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let line2: Vec<(&str, u32, u32)> = toks
+            .iter()
+            .skip(1)
+            .map(|t| (t.text, t.line, t.col))
+            .collect();
+        assert_eq!(
+            line2,
+            vec![
+                ("let", 2, 1),
+                ("x", 2, 5),
+                ("=", 2, 7),
+                ("\"🧵🧵\"", 2, 9),
+                (";", 2, 13),
+                ("y", 2, 15),
+            ]
+        );
+    }
+
+    #[test]
     fn numbers_keep_dots_and_suffixes() {
         let toks = kinds("1.0 2e10 0xFF_u32 3usize x.max(0.0)");
         assert_eq!(toks[0], (TokKind::Num, "1.0"));

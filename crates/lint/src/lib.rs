@@ -6,25 +6,41 @@
 //! of ambient clocks, hash-randomized iteration on fingerprint paths,
 //! and NaN-unsafe float ordering — and the robustness story only holds
 //! while library code returns typed errors instead of panicking. Nothing
-//! in the compiler checks any of that, so this crate does: a small Rust
-//! lexer ([`lexer`]) feeds a rule engine ([`rules`]) that walks every
-//! workspace source file ([`walk`]) and emits structured diagnostics.
+//! in the compiler checks any of that, so this crate does, in two tiers:
+//!
+//! 1. **Per-file**: a small Rust lexer ([`lexer`]) feeds a rule engine
+//!    ([`rules`]) that walks every workspace source file ([`walk`]) and
+//!    emits structured diagnostics. Alongside the rules, a lightweight
+//!    item parser ([`parse`]) extracts per-function facts ([`facts`]):
+//!    lock acquisitions with liveness ranges, calls, WAL appends.
+//! 2. **Workspace**: the facts from every file feed an approximate call
+//!    graph ([`callgraph`]) checking flow properties no single file can
+//!    show — lock-order cycles, log-before-apply violations, and guards
+//!    held across the durability boundary (DESIGN.md §17).
 //!
 //! Run it with `cargo run --release -p legodb-lint`; `ci.sh` runs it as
 //! a hard gate before the test suite. Rules, rationale, and the
 //! `// lint: allow(<rule>) — <why>` escape hatch are documented in
-//! DESIGN.md §12.
+//! DESIGN.md §12 and §17. An allow whose rule no longer fires is itself
+//! a diagnostic (`allow-unused`), so the suppression count can only
+//! shrink.
 //!
 //! Zero dependencies beyond `legodb-util` (for JSON-lines output), per
 //! the offline-build policy.
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
+pub mod facts;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
-pub use rules::{lint_source, Diagnostic, FileKind, RULES};
+pub use callgraph::AnalysisStats;
+pub use rules::{
+    check_file, finish_workspace, lint_source, AnalyzedFile, Diagnostic, FileKind, RULES,
+};
 pub use walk::{classify, collect_workspace, FileEntry};
 
 use legodb_util::fs::DirHandle;
@@ -36,15 +52,24 @@ use std::path::Path;
 /// go through a [`DirHandle`] rooted at `root`: the gate practices the
 /// capability discipline its `no-ambient-authority` rule enforces.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(lint_workspace_with_stats(root)?.0)
+}
+
+/// [`lint_workspace`], plus the analyzer's coverage counters — the
+/// workspace-clean claim only means something if the flow analyzer
+/// demonstrably saw functions, acquisitions, and call edges.
+pub fn lint_workspace_with_stats(root: &Path) -> io::Result<(Vec<Diagnostic>, AnalysisStats)> {
     let dir = DirHandle::open(root)?;
     let files = collect_workspace(&dir)?;
-    let mut diags = Vec::new();
+    let mut analyzed = Vec::with_capacity(files.len());
     for f in &files {
         let src = dir.read_to_string(&f.rel)?;
-        diags.extend(lint_source(&f.rel, f.kind, &src));
+        analyzed.push(check_file(&f.rel, f.kind, &src));
     }
-    diags.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
-    });
-    Ok(diags)
+    let fns: Vec<facts::FnFacts> = analyzed
+        .iter()
+        .flat_map(|f| f.fns.iter().cloned())
+        .collect();
+    let stats = callgraph::stats(&fns);
+    Ok((finish_workspace(analyzed), stats))
 }

@@ -38,8 +38,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let diags = match legodb_lint::lint_workspace(&root) {
-        Ok(d) => d,
+    let (diags, stats) = match legodb_lint::lint_workspace_with_stats(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("legodb-lint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
@@ -66,6 +66,12 @@ fn main() -> ExitCode {
     }
 
     let mut err = std::io::stderr();
+    let _ = writeln!(
+        err,
+        "legodb-lint: flow analysis over {} functions, {} lock acquisitions, \
+         {} lock classes, {} resolved call edges",
+        stats.functions, stats.acquisitions, stats.lock_classes, stats.resolved_calls
+    );
     if diags.is_empty() {
         let _ = writeln!(err, "legodb-lint: workspace clean");
         ExitCode::SUCCESS

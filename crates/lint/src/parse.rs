@@ -1,0 +1,175 @@
+//! Item-level parsing over the lexed token stream: just enough structure
+//! to know *which function* a token belongs to and *which type* that
+//! function is implemented on. The flow-aware rules (DESIGN.md §17) need
+//! function boundaries and impl owners to build a call graph; they do not
+//! need expressions, types, or patterns, so this stays a few brace-depth
+//! walks rather than a grammar.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` block's self type, if the fn is an associated item
+    /// (`impl Table { fn insert … }` → `Some("Table")`). Trait impls use
+    /// the implementing type (`impl Display for Diagnostic` → the type).
+    pub owner: Option<String>,
+    /// Line/col of the name token (diagnostic anchors).
+    pub line: u32,
+    pub col: u32,
+    /// Token index of the `fn` keyword — the start of the whole item.
+    pub fn_tok: usize,
+    /// Body token range `(start, end)`, both inside the braces,
+    /// end-exclusive. Empty for bodyless trait methods.
+    pub body: (usize, usize),
+    /// Is this fn inside a `#[cfg(test)]`/`#[test]`-masked region?
+    pub is_test: bool,
+}
+
+/// Find every `fn` item (including nested ones) in a code-token stream.
+/// `in_test` is the parallel test-mask from the rule engine.
+pub fn parse_items(code: &[Tok], in_test: &[bool]) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    // Brace-scope stack: `Some(type)` for an impl block's body, `None`
+    // for every other brace (fn bodies, modules, match arms, …). The
+    // innermost `Some` is the owner of any `fn` found inside.
+    let mut scopes: Vec<Option<String>> = Vec::new();
+    let mut pending_owner: Option<String> = None;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('{') {
+            scopes.push(pending_owner.take());
+        } else if t.is_punct('}') {
+            scopes.pop();
+        } else if t.is_ident("impl") {
+            pending_owner = impl_self_type(code, i);
+        } else if t.is_ident("fn") {
+            if let Some(name_tok) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                if let Some(body) = fn_body(code, i + 1) {
+                    items.push(FnItem {
+                        name: name_tok.text.to_string(),
+                        owner: scopes.iter().rev().find_map(|o| o.clone()),
+                        line: name_tok.line,
+                        col: name_tok.col,
+                        fn_tok: i,
+                        body,
+                        is_test: in_test.get(i).copied().unwrap_or(false),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// The self type of an `impl` header starting at token `i` (`impl`):
+/// the last path segment before the body brace, taken after `for` when
+/// present, stopping at `where`. `impl<T> Striped<T>` → `Striped`;
+/// `impl fmt::Display for Diagnostic` → `Diagnostic`.
+fn impl_self_type(code: &[Tok], i: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut candidate: Option<&str> = None;
+    for t in code.iter().skip(i + 1) {
+        if t.is_punct('{') || t.is_ident("where") {
+            break;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_ident("for") {
+            candidate = None; // trait name so far — the self type follows
+        } else if angle <= 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") {
+            candidate = Some(t.text);
+        }
+    }
+    candidate.map(str::to_string)
+}
+
+/// From a fn's name token index, locate its `{ … }` body; returns
+/// `(start, end)` token indices (end exclusive, both inside the braces —
+/// an empty range for `fn f() {}`). A bodyless trait method (`fn f();`)
+/// returns `None`.
+fn fn_body(code: &[Tok], name_idx: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut i = name_idx;
+    while i < code.len() {
+        let t = &code[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            let mut bd = 0i32;
+            for (k, b) in code.iter().enumerate().skip(i) {
+                if b.is_punct('{') {
+                    bd += 1;
+                } else if b.is_punct('}') {
+                    bd -= 1;
+                    if bd == 0 {
+                        return Some((i + 1, k));
+                    }
+                }
+            }
+            return Some((i + 1, code.len()));
+        } else if t.is_punct(';') && depth == 0 {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks.into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = vec![false; code.len()];
+        parse_items(&code, &in_test)
+    }
+
+    #[test]
+    fn finds_free_and_associated_fns() {
+        let src = "fn free() { body(); }\n\
+                   impl Table { pub fn insert(&self) -> u8 { 1 } }\n\
+                   impl fmt::Display for Diagnostic { fn fmt(&self) -> R { write() } }\n";
+        let got = items(src);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert_eq!((got[0].name.as_str(), got[0].owner.clone()), ("free", None));
+        assert_eq!(got[1].owner.as_deref(), Some("Table"));
+        assert_eq!(got[2].owner.as_deref(), Some("Diagnostic"));
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_the_self_type() {
+        let src = "impl<'a, T: Ord> Striped<T> where T: Clone { fn stripe(&self) {} }";
+        let got = items(src);
+        assert_eq!(got[0].owner.as_deref(), Some("Striped"));
+    }
+
+    #[test]
+    fn nested_fns_are_found_with_the_outer_owner_scope() {
+        let src = "impl W { fn outer(&self) { fn inner() { x(); } inner(); } }";
+        let got = items(src);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "outer");
+        assert_eq!(got[1].name, "inner");
+        // inner's item range nests inside outer's body (the `fn` keyword
+        // may be the body's very first token)
+        assert!(got[1].fn_tok >= got[0].body.0 && got[1].body.1 <= got[0].body.1);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_skipped() {
+        let got = items("trait T { fn sig(&self) -> u8; }");
+        assert!(got.is_empty(), "{got:?}");
+    }
+}

@@ -57,8 +57,11 @@ impl Diagnostic {
     }
 }
 
-/// Every enforceable rule id, in reporting order. `allow-syntax` is the
-/// meta-rule for malformed allow directives and cannot itself be allowed.
+/// Every enforceable rule id, in reporting order. The last three are the
+/// flow-aware workspace rules ([`crate::callgraph`], DESIGN.md §17).
+/// Two meta-rules sit outside this list and cannot themselves be
+/// allowed: `allow-syntax` (malformed directives) and `allow-unused` (a
+/// directive whose rule no longer fires on the line it excuses).
 pub const RULES: &[&str] = &[
     "no-unwrap-in-lib",
     "float-total-cmp",
@@ -66,6 +69,9 @@ pub const RULES: &[&str] = &[
     "no-ambient-authority",
     "parser-limit-guard",
     "crate-hygiene",
+    "lock-order",
+    "wal-before-apply",
+    "guard-across-fsync",
 ];
 
 /// Files whose `.max(..)` / `.min(..)` calls sit on float-typed cost
@@ -93,9 +99,37 @@ const FS_EXEMPT_CRATES: &[&str] = &["util"];
 /// Crates whose parsers must route through `_with_limits` entry points.
 const LIMIT_GUARDED_CRATES: &[&str] = &["xml", "schema", "xquery"];
 
-/// Lint one source file. `rel` is the workspace-relative path with `/`
-/// separators (it scopes several rules); `kind` is where the file sits.
-pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+/// One allow directive found in a file, tracked through the workspace
+/// pass so stale directives can be reported (`allow-unused`).
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    pub line: u32,
+    pub col: u32,
+    pub rule: String,
+    /// Did any diagnostic actually get suppressed by this directive?
+    pub used: bool,
+    /// Directives inside `#[cfg(test)]`/`#[test]` regions are exempt
+    /// from `allow-unused` — rules skip masked code, so an allow there
+    /// can never be "used" in the first place.
+    pub in_test: bool,
+}
+
+/// Tier-one output for one file: its per-file diagnostics, plus the
+/// function facts and allow directives the workspace pass consumes.
+pub struct AnalyzedFile {
+    pub rel: String,
+    pub kind: FileKind,
+    /// Per-function facts for the call-graph rules.
+    pub fns: Vec<crate::facts::FnFacts>,
+    diags: Vec<Diagnostic>,
+    allows: Vec<AllowSite>,
+}
+
+/// Analyze one source file: run every per-file rule and extract the
+/// function facts ([`crate::facts`]) the workspace pass needs. `rel` is
+/// the workspace-relative path with `/` separators (it scopes several
+/// rules); `kind` is where the file sits.
+pub fn check_file(rel: &str, kind: FileKind, src: &str) -> AnalyzedFile {
     let toks = lex(src);
     let mut check = FileCheck::new(rel, kind, &toks);
     check.mark_test_items();
@@ -105,11 +139,71 @@ pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
     check.rule_no_ambient_authority();
     check.rule_parser_limit_guard();
     check.rule_crate_hygiene();
-    check.finish()
+    check.into_analyzed()
+}
+
+/// Tier two: run the workspace-level flow rules over every analyzed
+/// file's facts ([`crate::callgraph`]), apply allow directives to their
+/// findings, then report any directive that suppressed nothing
+/// (`allow-unused`). Returns all diagnostics sorted by
+/// (path, line, col, rule).
+pub fn finish_workspace(mut files: Vec<AnalyzedFile>) -> Vec<Diagnostic> {
+    let fns: Vec<crate::facts::FnFacts> =
+        files.iter().flat_map(|f| f.fns.iter().cloned()).collect();
+    let mut diags = Vec::new();
+    for d in crate::callgraph::analyze(&fns) {
+        // Same contract as per-file rules: an allow on the offending
+        // line or the line above suppresses, and counts as used.
+        let allowed = files.iter_mut().find(|f| f.rel == d.path).is_some_and(|f| {
+            let mut hit = false;
+            for a in f.allows.iter_mut() {
+                if a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+                    a.used = true;
+                    hit = true;
+                }
+            }
+            hit
+        });
+        if !allowed {
+            diags.push(d);
+        }
+    }
+    for f in &files {
+        diags.extend(f.diags.iter().cloned());
+        for a in &f.allows {
+            if a.used || a.in_test {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: f.rel.clone(),
+                line: a.line,
+                col: a.col,
+                rule: "allow-unused",
+                message: format!(
+                    "`lint: allow({})` suppresses nothing — the code it excused \
+                     is gone or no longer trips the rule; delete the stale \
+                     directive",
+                    a.rule
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    diags
+}
+
+/// Lint one source file in isolation: [`check_file`] plus a
+/// single-file [`finish_workspace`]. Interprocedural rules see only
+/// this file's functions.
+pub fn lint_source(rel: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+    finish_workspace(vec![check_file(rel, kind, src)])
 }
 
 struct Allow {
     rule: String,
+    col: u32,
     used: bool,
 }
 
@@ -249,6 +343,7 @@ impl<'a> FileCheck<'a> {
                 }
                 self.allows.entry(c.line).or_default().push(Allow {
                     rule: rule.to_string(),
+                    col: c.col,
                     used: false,
                 });
             }
@@ -727,10 +822,48 @@ impl<'a> FileCheck<'a> {
         );
     }
 
-    fn finish(mut self) -> Vec<Diagnostic> {
+    fn into_analyzed(mut self) -> AnalyzedFile {
+        // Function facts feed the workspace call-graph rules. Test and
+        // example files are excluded wholesale: their functions are free
+        // to take locks in adversarial orders (the runtime sanitizer's
+        // own tests invert a pair on purpose).
+        let fns = if matches!(self.kind, FileKind::Lib | FileKind::Bin) {
+            let items = crate::parse::parse_items(&self.code, &self.in_test);
+            crate::facts::extract(self.rel, &self.code, &self.in_test, &items)
+        } else {
+            Vec::new()
+        };
+        let test_lines: std::collections::BTreeSet<u32> = self
+            .code
+            .iter()
+            .zip(&self.in_test)
+            .filter(|(_, masked)| **masked)
+            .map(|(t, _)| t.line)
+            .collect();
+        let mut allows = Vec::new();
+        for (line, entries) in &self.allows {
+            for a in entries {
+                allows.push(AllowSite {
+                    line: *line,
+                    col: a.col,
+                    rule: a.rule.clone(),
+                    used: a.used,
+                    // A directive sits on the offending line or the line
+                    // above it, so either line being masked makes it a
+                    // test-code directive.
+                    in_test: test_lines.contains(line) || test_lines.contains(&(line + 1)),
+                });
+            }
+        }
         self.diags
             .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-        self.diags
+        AnalyzedFile {
+            rel: self.rel.to_string(),
+            kind: self.kind,
+            fns,
+            diags: self.diags,
+            allows,
+        }
     }
 }
 
@@ -901,5 +1034,58 @@ mod tests {
         let src = "// lint: allow(no-such-rule) — whatever\nfn f() {}\n";
         let d = lint_lib("crates/core/src/engine.rs", src);
         assert!(d.iter().any(|d| d.rule == "allow-syntax"));
+    }
+
+    #[test]
+    fn stale_allow_is_itself_a_diagnostic() {
+        // The rule no longer fires on the excused line — the directive
+        // is dead weight and must be deleted.
+        let src = "// lint: allow(no-unwrap-in-lib) — was needed before the refactor\n\
+                   pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        let d = lint_lib("crates/core/src/engine.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "allow-unused");
+        assert_eq!(d[0].line, 1);
+        // ...while a directive that suppresses something stays silent.
+        let used = "pub fn f(x: Option<u8>) -> u8 {\n    \
+            // lint: allow(no-unwrap-in-lib) — checked two lines up\n    x.unwrap()\n}\n";
+        assert!(lint_lib("crates/core/src/engine.rs", used).is_empty());
+    }
+
+    #[test]
+    fn allow_inside_test_code_is_exempt_from_allow_unused() {
+        // Rules skip masked code, so an allow there can never be used;
+        // it must not be punished for that.
+        let src = "#[cfg(test)]\nmod tests {\n    \
+                   // lint: allow(no-unwrap-in-lib) — test scaffolding\n    \
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(lint_lib("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flow_rules_respect_allow_directives() {
+        let src = "impl W { fn commit(&self) {\n    \
+                   let inner = self.inner.write();\n    \
+                   // lint: allow(guard-across-fsync) — single-writer WAL holds the seam\n    \
+                   inner.log.sync();\n} }";
+        let d = lint_lib("crates/relational/src/wal2.rs", src);
+        assert!(d.is_empty(), "{d:?}");
+        // Without the directive the rule fires through lint_source too.
+        let bare = "impl W { fn commit(&self) {\n    \
+                    let inner = self.inner.write();\n    inner.log.sync();\n} }";
+        let d = lint_lib("crates/relational/src/wal2.rs", bare);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "guard-across-fsync");
+    }
+
+    #[test]
+    fn test_files_contribute_no_flow_facts() {
+        // Integration tests may invert lock orders on purpose (the
+        // runtime sanitizer's own tests do); they are out of scope.
+        let src = "fn helper() { let b = B.write(); let a = A.read(); }\n\
+                   fn other() { let a = A.write(); let b = B.read(); }\n";
+        assert!(lint_source("tests/locks.rs", FileKind::Test, src).is_empty());
+        let d = lint_source("crates/core/src/locks.rs", FileKind::Lib, src);
+        assert!(d.iter().any(|d| d.rule == "lock-order"), "{d:?}");
     }
 }

@@ -1,0 +1,11 @@
+//@ path: crates/demo/src/stale.rs
+// Deliberately-bad fixture: an allow directive whose rule no longer
+// fires on the line it excuses. The unwrap it once suppressed was
+// refactored into `unwrap_or`, so the directive is dead weight — and
+// dead suppressions are themselves findings, so the allow count can
+// only shrink. Never compiled — lexed and linted by tests/golden.rs.
+
+pub fn tidy(x: Option<u8>) -> u8 {
+    // lint: allow(no-unwrap-in-lib) — the directive outlived its unwrap
+    x.unwrap_or(0)
+}

@@ -1,0 +1,23 @@
+//@ path: crates/relational/src/group.rs
+// Deliberately-bad fixture: a lock guard held live across the fsync
+// boundary — exactly the seam group commit (ROADMAP item 5) must keep
+// clear. `commit_scoped` shows the fix (guard dies before the flush)
+// and must stay silent. Never compiled — lexed and linted by
+// tests/golden.rs.
+
+impl Journal {
+    pub fn commit(&self) -> Result<(), E> {
+        let inner = self.inner.write();
+        inner.file.sync_all()?;
+        Ok(())
+    }
+
+    pub fn commit_scoped(&self) -> Result<(), E> {
+        let tail = {
+            let inner = self.inner.write();
+            inner.tail
+        };
+        self.file.sync_all()?;
+        Ok(tail)
+    }
+}

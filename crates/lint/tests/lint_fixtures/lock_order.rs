@@ -1,0 +1,28 @@
+//@ path: crates/core/src/registry.rs
+// Deliberately-bad fixture: inverted lock nesting across a call. A
+// thread in `forward` takes `a` then `b`; a thread in `backward` takes
+// `b` and then reaches `a` through `sum_a` — opposite orders, so the
+// pair can deadlock. Never compiled — lexed and linted by
+// tests/golden.rs.
+
+pub struct Pair {
+    a: RwLock<u32>,
+    b: RwLock<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.a.read();
+        let b = self.b.read();
+        *a + *b
+    }
+
+    fn sum_a(&self) -> u32 {
+        *self.a.read()
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.b.write();
+        *b + self.sum_a()
+    }
+}

@@ -1,0 +1,21 @@
+//@ path: crates/relational/src/db.rs
+// Deliberately-bad fixture: a durable path that mutates the table
+// before its WAL append — a crash between the two loses the row while
+// the recovered log claims nothing happened. `delete` below shows the
+// correct append-first order and must stay silent. Never compiled —
+// lexed and linted by tests/golden.rs.
+
+impl Database {
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<u64, E> {
+        let t = self.tables.get_mut(table)?;
+        t.insert(row.clone());
+        let lsn = self.wal.append_insert(table, &row)?;
+        Ok(lsn)
+    }
+
+    pub fn delete(&mut self, table: &str, key: u64) -> Result<u64, E> {
+        let lsn = self.wal.append_delete(table, key)?;
+        self.tables.get_mut(table)?.remove(key);
+        Ok(lsn)
+    }
+}

@@ -1,20 +1,28 @@
 //! The real workspace must lint clean: this is the same scan `ci.sh`
 //! gates on, run as a test so `cargo test` alone catches a regression.
 
-use legodb_lint::lint_workspace;
+use legodb_lint::lint_workspace_with_stats;
 use std::path::Path;
 
 #[test]
-fn the_real_workspace_lints_clean() {
+fn the_real_workspace_lints_clean_and_the_analyzer_saw_it() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels below the workspace root");
-    let diags = lint_workspace(root).expect("workspace sources are readable");
+    let (diags, stats) = lint_workspace_with_stats(root).expect("workspace sources are readable");
     let report: String = diags.iter().map(|d| format!("  {d}\n")).collect();
     assert!(
         diags.is_empty(),
         "the workspace must lint clean; {} diagnostic(s):\n{report}",
         diags.len()
     );
+    // "Clean" only means something if the flow analyzer demonstrably
+    // covered the workspace: the storage/WAL/striped lock classes alone
+    // guarantee these floors, so dropping under them means fact
+    // extraction silently broke, not that the code got simpler.
+    assert!(stats.functions > 500, "{stats:?}");
+    assert!(stats.acquisitions > 20, "{stats:?}");
+    assert!(stats.lock_classes >= 5, "{stats:?}");
+    assert!(stats.resolved_calls > 500, "{stats:?}");
 }

@@ -91,14 +91,19 @@ impl Table {
     /// An empty table for a definition; the definition's [`Layout`]
     /// selects the storage engine.
     pub fn new(def: TableDef) -> Table {
+        // Lock discipline (checked statically by the `lock-order` lint and
+        // dynamically by `legodb_util::lockcheck`): the store lock is
+        // always taken *before* the indexes lock, never the reverse.
         let store = match def.layout {
-            Layout::Row => TableStore::Row(RwLock::new(Vec::new())),
-            Layout::Columnar => TableStore::Column(RwLock::new(ColumnStore::new(&def))),
+            Layout::Row => TableStore::Row(RwLock::new_named(Vec::new(), "table.store")),
+            Layout::Columnar => {
+                TableStore::Column(RwLock::new_named(ColumnStore::new(&def), "table.store"))
+            }
         };
         Table {
             def,
             store,
-            indexes: RwLock::new(HashMap::new()),
+            indexes: RwLock::new_named(HashMap::new(), "table.indexes"),
         }
     }
 
@@ -187,30 +192,43 @@ impl Table {
                 table: self.def.name.clone(),
                 column: column.to_string(),
             })?;
-        let mut indexes = self.indexes.write();
-        if indexes.contains_key(column) {
+        if self.indexes.read().contains_key(column) {
             return Ok(());
         }
-        let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+        // Store lock before indexes lock — the same order `insert` uses —
+        // and the store guard stays held while the built index is
+        // published, so no row inserted concurrently can be missed.
         match &self.store {
             TableStore::Row(rows) => {
-                for (row_id, row) in rows.read().iter().enumerate() {
+                let rows = rows.read();
+                let mut indexes = self.indexes.write();
+                if indexes.contains_key(column) {
+                    return Ok(());
+                }
+                let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
+                for (row_id, row) in rows.iter().enumerate() {
                     index.entry(row[ci].clone()).or_default().push(row_id);
                 }
+                indexes.insert(column.to_string(), index);
             }
             TableStore::Column(store) => {
                 // Only the indexed column is materialized — the other
                 // vectors are never touched.
                 let store = store.read();
+                let mut indexes = self.indexes.write();
+                if indexes.contains_key(column) {
+                    return Ok(());
+                }
+                let mut index: BTreeMap<Value, Vec<usize>> = BTreeMap::new();
                 for row_id in 0..store.len() {
                     index
                         .entry(store.value(row_id, ci))
                         .or_default()
                         .push(row_id);
                 }
+                indexes.insert(column.to_string(), index);
             }
         }
-        indexes.insert(column.to_string(), index);
         Ok(())
     }
 
@@ -302,14 +320,15 @@ impl Table {
     /// Rows whose `column` equals `key`, via the index. Returns `None` if no
     /// index exists on that column.
     pub fn index_lookup(&self, column: &str, key: &Value) -> Option<Vec<Row>> {
-        let indexes = self.indexes.read();
-        let index = indexes.get(column)?;
-        Some(
-            index
-                .get(key)
-                .map(|ids| self.rows_at(ids))
-                .unwrap_or_default(),
-        )
+        // Copy the matching ids out before touching the store: `rows_at`
+        // takes the store lock, which must never nest under the indexes
+        // lock (it would invert the store-before-indexes order).
+        let ids = {
+            let indexes = self.indexes.read();
+            let index = indexes.get(column)?;
+            index.get(key).cloned().unwrap_or_default()
+        };
+        Some(self.rows_at(&ids))
     }
 
     /// Rows whose `column` lies in `[lo, hi]` (inclusive bounds; `None` is
@@ -320,14 +339,17 @@ impl Table {
         lo: Option<&Value>,
         hi: Option<&Value>,
     ) -> Option<Vec<Row>> {
-        let indexes = self.indexes.read();
-        let index = indexes.get(column)?;
         let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         let upper = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        let mut ids = Vec::new();
-        for (_, matched) in index.range((lower, upper)) {
-            ids.extend_from_slice(matched);
-        }
+        let ids = {
+            let indexes = self.indexes.read();
+            let index = indexes.get(column)?;
+            let mut ids = Vec::new();
+            for (_, matched) in index.range((lower, upper)) {
+                ids.extend_from_slice(matched);
+            }
+            ids
+        };
         Some(self.rows_at(&ids))
     }
 

@@ -11,7 +11,8 @@
 //! | [`par`] | `crossbeam::thread::scope` + `crossbeam::deque` | [`par::scoped_map`] / [`par::scoped_map_catch`] order-preserving (fault-isolated) parallel maps; [`par::steal_map_catch`] work-stealing deque scheduler with [`par::StealReport`] telemetry |
 //! | [`governor`] | — | [`governor::Budget`] deadlines / evaluation / memory-estimate budgets with a cheap `checkpoint()` |
 //! | [`fault`] | `fail` | deterministic, order-independent fault injection (`LEGODB_FAULT_SEED`) |
-//! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] with direct-guard API; [`sync::Striped`] lock-striped shards |
+//! | [`sync`] | `parking_lot` | poison-tolerant [`sync::RwLock`] / [`sync::Mutex`] with direct-guard API; [`sync::Striped`] lock-striped shards |
+//! | [`lockcheck`] | `tsan`-style deadlock detection | debug-only runtime lock-order sanitizer fed by [`sync`] (held-lock stacks, acquisition-order graph, cycle panics with witnesses) |
 //! | [`hash`] | — | [`hash::StableHasher`]: seeded, platform-stable FNV-1a fingerprints |
 //! | [`prop`] | `proptest` | [`prop_check!`] macro: case generation, shrinking-by-halving, seed replay |
 //! | [`bench`] | `criterion` | warmup + N-sample micro-bench harness, median/p95, JSON-lines output |
@@ -30,6 +31,7 @@ pub mod fs;
 pub mod governor;
 pub mod hash;
 pub mod json;
+pub mod lockcheck;
 pub mod par;
 pub mod prop;
 pub mod rng;
@@ -41,4 +43,4 @@ pub use governor::{Budget, BudgetExceeded, Governor};
 pub use hash::StableHasher;
 pub use par::{scoped_map, scoped_map_catch, steal_map_catch, Scheduler, StealReport};
 pub use rng::{Rng, SampleRange, SampleUniform, SplitMix64, StdRng};
-pub use sync::{RwLock, Striped};
+pub use sync::{Mutex, RwLock, Striped};

@@ -1,0 +1,261 @@
+//! Runtime lock-order sanitizer: the dynamic half of the two-tier
+//! concurrency analyzer (DESIGN.md §17).
+//!
+//! Every acquisition of a [`crate::sync::RwLock`] / [`crate::sync::Mutex`]
+//! (and therefore every [`crate::sync::Striped`] stripe) reports here
+//! before it blocks. Each thread keeps a stack of the locks it currently
+//! holds; acquiring `B` while holding `A` records the directed edge
+//! `A → B` in a process-global acquisition-order graph, together with a
+//! *witness*: the acquiring thread's held-lock stack at that moment. If a
+//! new edge closes a cycle (`B` can already reach `A`), the acquisition
+//! panics immediately — **before** blocking on the inner lock — with both
+//! witness stacks, so a latent deadlock becomes a loud test failure
+//! instead of a hung CI job.
+//!
+//! The tracker is identity-precise: every lock instance gets a unique id
+//! from a process-wide counter (ids are never reused), so two tables'
+//! `rows` locks are distinct nodes and re-acquiring the *same* lock is
+//! recognized as self-deadlock rather than an order edge. Uncontended,
+//! un-nested acquisitions never touch the global graph — they cost two
+//! thread-local `Vec` operations.
+//!
+//! Gating: compiled to a no-op unless `debug_assertions` are on (the
+//! `fault`, `recovery`, and `hardened` CI passes all build with them, so
+//! those seeded property runs double as deadlock detectors). Within a
+//! debug build, `LEGODB_LOCK_ORDER=0` (or `off`) disables it at runtime;
+//! any other value — or no value — leaves it on.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// How a lock is being taken. Shared re-acquisition of the same lock on
+/// one thread is legal (std `RwLock` reads don't self-deadlock on any
+/// platform we run); anything involving an exclusive side does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// `RwLock::read`.
+    Shared,
+    /// `RwLock::write` / `Mutex::lock`.
+    Exclusive,
+}
+
+impl Mode {
+    fn verb(self) -> &'static str {
+        match self {
+            Mode::Shared => "read",
+            Mode::Exclusive => "write",
+        }
+    }
+}
+
+/// One lock a thread currently holds.
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    id: u64,
+    name: &'static str,
+    mode: Mode,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Monotonic lock-id source; id 0 is reserved for "untracked".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// New-edge counter, for tests proving the wiring executes.
+static EDGES: AtomicU64 = AtomicU64::new(0);
+
+struct Edge {
+    to_name: &'static str,
+    witness: String,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `from-id → (to-id → first witness)`; edges are only ever added.
+    edges: BTreeMap<u64, BTreeMap<u64, Edge>>,
+    names: BTreeMap<u64, &'static str>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+/// Allocate a unique id for a new lock instance.
+pub fn next_lock_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Is the tracker observing acquisitions in this process?
+pub fn is_active() -> bool {
+    if !cfg!(debug_assertions) {
+        return false;
+    }
+    static ACTIVE: OnceLock<bool> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        !matches!(
+            std::env::var("LEGODB_LOCK_ORDER").as_deref(),
+            Ok("0") | Ok("off")
+        )
+    })
+}
+
+/// Distinct acquisition-order edges recorded so far (0 when inactive).
+pub fn edges_recorded() -> u64 {
+    EDGES.load(Ordering::Relaxed)
+}
+
+/// RAII token for one tracked acquisition: dropping it pops the lock
+/// from the owning thread's held stack.
+#[derive(Debug)]
+pub struct HeldLock {
+    id: u64,
+}
+
+impl Drop for HeldLock {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Pop the most recent entry for this id: guards usually drop
+            // LIFO, and with shared re-acquisition any entry of the id is
+            // equivalent.
+            if let Some(pos) = held.iter().rposition(|h| h.id == self.id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Report an acquisition *about to block* on lock `id`. Checks the
+/// acquisition-order graph first, so an actual deadlock panics (with both
+/// witness stacks) instead of hanging. Returns the pop-on-drop token.
+pub fn enter(id: u64, name: &'static str, mode: Mode) -> HeldLock {
+    if !is_active() {
+        return HeldLock { id: 0 };
+    }
+    let stack = HELD.with(|held| held.borrow().clone());
+    if let Some(prior) = stack.iter().find(|h| h.id == id) {
+        if mode == Mode::Exclusive || prior.mode == Mode::Exclusive {
+            panic!(
+                "lock-order: self-deadlock — thread already holds \
+                 `{name}` (#{id}, {}) and is re-acquiring it for {}\n\
+                 held stack: {}",
+                prior.mode.verb(),
+                mode.verb(),
+                render(&stack),
+            );
+        }
+    } else if let Some(top) = stack.last() {
+        record_edge(top, id, name, mode, &stack);
+    }
+    HELD.with(|held| held.borrow_mut().push(Held { id, name, mode }));
+    HeldLock { id }
+}
+
+fn render(stack: &[Held]) -> String {
+    if stack.is_empty() {
+        return "(none)".to_string();
+    }
+    stack
+        .iter()
+        .map(|h| format!("`{}` (#{}, {})", h.name, h.id, h.mode.verb()))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+fn record_edge(top: &Held, id: u64, name: &'static str, mode: Mode, stack: &[Held]) {
+    let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+    g.names.insert(top.id, top.name);
+    g.names.insert(id, name);
+    if g.edges.get(&top.id).is_some_and(|m| m.contains_key(&id)) {
+        return; // edge already known — it was cycle-checked when first seen
+    }
+    // Would `top.id → id` close a cycle? Walk the existing graph from
+    // `id` looking for a path back to `top.id`.
+    if let Some(path) = find_path(&g, id, top.id) {
+        let mut lines = vec![format!(
+            "lock-order: cycle detected — acquiring `{name}` (#{id}, {}) \
+             while holding {}",
+            mode.verb(),
+            render(stack),
+        )];
+        lines.push(format!(
+            "  this thread wants the edge `{}` (#{}) -> `{name}` (#{id})",
+            top.name, top.id
+        ));
+        lines.push("  but the reverse order was already witnessed:".to_string());
+        for (from, to) in path.windows(2).map(|w| (w[0], w[1])) {
+            let edge = &g.edges[&from][&to];
+            lines.push(format!(
+                "    `{}` (#{from}) -> `{}` (#{to}): first seen with held stack {}",
+                g.names.get(&from).copied().unwrap_or("?"),
+                edge.to_name,
+                edge.witness,
+            ));
+        }
+        panic!("{}", lines.join("\n"));
+    }
+    g.edges.entry(top.id).or_default().insert(
+        id,
+        Edge {
+            to_name: name,
+            witness: render(stack),
+        },
+    );
+    EDGES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A path `from → … → to` through the recorded edges, if one exists
+/// (breadth-first, deterministic order).
+fn find_path(g: &Graph, from: u64, to: u64) -> Option<Vec<u64>> {
+    let mut prev: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![to];
+            let mut at = to;
+            while at != from {
+                at = prev[&at];
+                path.push(at);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(nexts) = g.edges.get(&node) {
+            for &next in nexts.keys() {
+                if next != from && !prev.contains_key(&next) {
+                    prev.insert(next, node);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = next_lock_id();
+        let b = next_lock_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn inactive_tokens_are_inert() {
+        // An id-0 token must never touch the thread-local stack.
+        let t = HeldLock { id: 0 };
+        drop(t);
+    }
+}

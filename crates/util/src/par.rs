@@ -25,9 +25,9 @@
 //! work-stealing execution.
 
 use crate::rng::{Rng, StdRng};
+use crate::sync::{Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Map `f` over `items` on up to `max_threads` scoped threads, returning
@@ -281,7 +281,7 @@ where
         .map(|w| {
             let lo = w * chunk;
             let hi = ((w + 1) * chunk).min(n);
-            Mutex::new((lo..hi.max(lo)).collect())
+            Mutex::new_named((lo..hi.max(lo)).collect(), "par.deque")
         })
         .collect();
     let remaining = AtomicUsize::new(n);
@@ -399,12 +399,12 @@ fn execute<T, U>(
     log.results.push((i, r));
 }
 
-fn lock_deque(m: &Mutex<VecDeque<usize>>) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+fn lock_deque(m: &Mutex<VecDeque<usize>>) -> MutexGuard<'_, VecDeque<usize>> {
     // A worker panicking while holding the deque lock is impossible (the
     // guarded section only pops an index), but `f` panics on *other*
-    // threads can poison std mutexes observed later; shrug it off like
-    // `sync::RwLock` does.
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    // threads can poison mutexes observed later; `sync::Mutex` shrugs
+    // that off, and its lock-order tracking covers the steal path too.
+    m.lock()
 }
 
 #[cfg(test)]

@@ -1,24 +1,78 @@
-//! A poison-tolerant reader–writer lock with the `parking_lot` calling
-//! convention (`read()`/`write()` return guards directly).
+//! Poison-tolerant locks with the `parking_lot` calling convention
+//! (`read()`/`write()`/`lock()` return guards directly), instrumented for
+//! the runtime lock-order sanitizer in [`crate::lockcheck`].
 //!
 //! The storage engine takes table locks around operations that never
 //! intentionally panic; if one does, the data is a plain `Vec`/`BTreeMap`
 //! left in a consistent state by Rust's unwinding rules, so propagating
 //! std's poison flag would only turn one test failure into a cascade.
 //! Lock acquisition therefore shrugs off poison and returns the guard.
+//!
+//! Every lock instance carries a unique id and a static name (pass one
+//! via [`RwLock::new_named`] / [`Mutex::new_named`] so sanitizer reports
+//! read `table.rows -> table.indexes` instead of opaque ids). Under
+//! `debug_assertions` each acquisition reports to the lock-order tracker
+//! *before* blocking, so an inverted acquisition order panics with both
+//! witness stacks instead of deadlocking (see DESIGN.md §17).
 
-use std::sync::{PoisonError, RwLockReadGuard, RwLockWriteGuard};
+use crate::lockcheck::{self, HeldLock, Mode};
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
 
-/// A thin wrapper over [`std::sync::RwLock`] that ignores poisoning.
-#[derive(Debug, Default)]
+/// A thin wrapper over [`std::sync::RwLock`] that ignores poisoning and
+/// feeds the lock-order sanitizer.
+#[derive(Debug)]
 pub struct RwLock<T: ?Sized> {
+    id: u64,
+    name: &'static str,
     inner: std::sync::RwLock<T>,
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    // Field order is drop order: release the inner lock, then pop the
+    // sanitizer's held-stack entry.
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    _held: HeldLock,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    _held: HeldLock,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
 }
 
 impl<T> RwLock<T> {
     /// A new unlocked lock holding `value`.
     pub fn new(value: T) -> RwLock<T> {
+        RwLock::new_named(value, "RwLock")
+    }
+
+    /// A new unlocked lock with a static name for sanitizer reports.
+    pub fn new_named(value: T, name: &'static str) -> RwLock<T> {
         RwLock {
+            id: lockcheck::next_lock_id(),
+            name,
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -31,15 +85,103 @@ impl<T> RwLock<T> {
     }
 }
 
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let held = lockcheck::enter(self.id, self.name, Mode::Shared);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
     }
 
     /// Acquire exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        let held = lockcheck::enter(self.id, self.name, Mode::Exclusive);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A poison-tolerant, sanitizer-tracked mutex with a direct-guard API —
+/// the mutual-exclusion counterpart of [`RwLock`] (the work-stealing
+/// scheduler's deques use it).
+#[derive(Debug)]
+pub struct Mutex<T: ?Sized> {
+    id: u64,
+    name: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    _held: HeldLock,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex::new_named(value, "Mutex")
+    }
+
+    /// A new unlocked mutex with a static name for sanitizer reports.
+    pub fn new_named(value: T, name: &'static str) -> Mutex<T> {
+        Mutex {
+            id: lockcheck::next_lock_id(),
+            name,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let held = lockcheck::enter(self.id, self.name, Mode::Exclusive);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            _held: held,
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
@@ -57,7 +199,9 @@ impl<T: ?Sized> RwLock<T> {
 /// Stripe selection must be a *stable* function of the key (use
 /// [`crate::hash::StableHasher`]), so the same key always lands in the
 /// same stripe regardless of thread interleaving; the shards themselves
-/// can then stay deterministic collections (`BTreeMap`).
+/// can then stay deterministic collections (`BTreeMap`). Each stripe is
+/// its own tracked lock instance, so the sanitizer sees cross-stripe
+/// nesting precisely.
 #[derive(Debug)]
 pub struct Striped<T> {
     stripes: Vec<RwLock<T>>,
@@ -74,7 +218,9 @@ impl<T> Striped<T> {
     /// `stripes` shards built by `init` (clamped to at least 1).
     pub fn with(stripes: usize, init: impl Fn() -> T) -> Striped<T> {
         Striped {
-            stripes: (0..stripes.max(1)).map(|_| RwLock::new(init())).collect(),
+            stripes: (0..stripes.max(1))
+                .map(|_| RwLock::new_named(init(), "stripe"))
+                .collect(),
         }
     }
 
@@ -117,6 +263,28 @@ mod tests {
         let a = lock.read();
         let b = lock.read();
         assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn mutex_round_trip_and_default() {
+        let m = Mutex::new(vec![1u8]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+        let d: Mutex<u32> = Mutex::default();
+        *d.lock() += 5;
+        assert_eq!(d.into_inner(), 5);
+        let mut g = Mutex::new(3u8);
+        *g.get_mut() = 4;
+        assert_eq!(g.into_inner(), 4);
+    }
+
+    #[test]
+    fn default_rwlock_holds_default_value() {
+        let lock: RwLock<Vec<u8>> = RwLock::default();
+        assert!(lock.read().is_empty());
+        let mut lock = RwLock::new(1u8);
+        *lock.get_mut() = 9;
+        assert_eq!(*lock.read(), 9);
     }
 
     #[test]

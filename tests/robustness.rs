@@ -474,7 +474,7 @@ prop_check! {
         }
 
         let _quiet = quiet_faults();
-        let mut recovered = Database::open(&dir).expect("recovery open");
+        let recovered = Database::open(&dir).expect("recovery open");
         let table = recovered.table("Event").expect("table survives");
         prop_assert_eq!(
             table.def.layout,
